@@ -1,0 +1,147 @@
+(* Benchmark entry point.
+
+   Part 1 — Bechamel micro-benchmarks (wall-clock cost of the simulator's
+   own primitives, one [Test.make] per table below).  These measure the
+   *host-level* speed of the simulation substrate; the paper's simulated
+   results come from Part 2.
+
+   Part 2 — the full paper reproduction: every table and figure of the
+   evaluation (Figs. 4, 5, 6, the §5.1 remap-strategy claim, the §3.2
+   memory-release mechanics, the footnote-2 DWCAS leak, the §2.4 cost
+   micro-validation) plus the ablations documented in DESIGN.md, all in
+   simulated cycles via the experiment registry.
+
+   Sizes are scaled for wall-clock time (see DESIGN.md / EXPERIMENTS.md);
+   `bin/repro run <fig> --full` reruns any figure at paper scale. *)
+
+open Bechamel
+open Toolkit
+open Oamem_engine
+open Oamem_vmem
+open Oamem_harness
+
+(* --- Part 1: bechamel micro-benchmarks -------------------------------------- *)
+
+let geom = Geometry.default
+
+let test_prng =
+  Test.make ~name:"prng/next"
+    (Staged.stage
+       (let r = Prng.create 1 in
+        fun () -> ignore (Prng.next r)))
+
+let test_cache_hit =
+  Test.make ~name:"cache/l1-hit"
+    (Staged.stage
+       (let c = Cache.create ~name:"l1" ~sets:64 ~ways:4 in
+        ignore (Cache.access c 42);
+        fun () -> ignore (Cache.access c 42)))
+
+let test_hierarchy_access =
+  Test.make ~name:"hierarchy/access"
+    (Staged.stage
+       (let h =
+          Hierarchy.create ~cost:Cost_model.opteron_6274 ~nthreads:4 ()
+        in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          ignore (Hierarchy.access h ~tid:(!i land 3) ~kind:Hierarchy.Load (!i land 1023))))
+
+let test_vmem_load =
+  Test.make ~name:"vmem/load"
+    (Staged.stage
+       (let vm = Vmem.create ~max_pages:1024 geom in
+        let ctx = Engine.external_ctx () in
+        let addr = Vmem.reserve vm ~npages:1 in
+        Vmem.map_anon vm ctx ~vpage:(Geometry.page_of_addr geom addr) ~npages:1;
+        Vmem.store vm ctx addr 1;
+        fun () -> ignore (Vmem.load vm ctx addr)))
+
+let test_vmem_cas =
+  Test.make ~name:"vmem/cas"
+    (Staged.stage
+       (let vm = Vmem.create ~max_pages:1024 geom in
+        let ctx = Engine.external_ctx () in
+        let addr = Vmem.reserve vm ~npages:1 in
+        Vmem.map_anon vm ctx ~vpage:(Geometry.page_of_addr geom addr) ~npages:1;
+        Vmem.store vm ctx addr 0;
+        fun () -> ignore (Vmem.cas vm ctx addr ~expect:0 ~desired:0)))
+
+let test_malloc_free =
+  Test.make ~name:"lrmalloc/malloc+free"
+    (Staged.stage
+       (let vm = Vmem.create ~max_pages:65536 geom in
+        let meta = Cell.heap geom in
+        let a =
+          Oamem_lrmalloc.Lrmalloc.create ~vmem:vm ~meta ~nthreads:1 ()
+        in
+        let ctx = Engine.external_ctx () in
+        fun () ->
+          let b = Oamem_lrmalloc.Lrmalloc.malloc a ctx 2 in
+          Oamem_lrmalloc.Lrmalloc.free a ctx b))
+
+let test_engine_step =
+  Test.make ~name:"engine/create+200-accesses"
+    (Staged.stage (fun () ->
+         let eng = Engine.create ~nthreads:2 () in
+         for tid = 0 to 1 do
+           Engine.spawn eng ~tid (fun ctx ->
+               for i = 0 to 99 do
+                 Engine.access ctx ~vpage:(-1) ~paddr:(i land 63)
+                   ~kind:Engine.Load
+               done)
+         done;
+         Engine.run eng))
+
+let run_bechamel () =
+  let tests =
+    [
+      test_prng;
+      test_cache_hit;
+      test_hierarchy_access;
+      test_vmem_load;
+      test_vmem_cas;
+      test_malloc_free;
+      test_engine_step;
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Printf.printf "\n== host-level micro-benchmarks (bechamel, wall clock) ==\n";
+  Printf.printf "%-26s %14s\n" "benchmark" "ns/op";
+  Printf.printf "%s\n" (String.make 42 '-');
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark (Test.make_grouped ~name:"g" [ test ])) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-26s %14.1f\n" name est
+          | _ -> Printf.printf "%-26s %14s\n" name "-")
+        results)
+    tests;
+  Printf.printf "%!"
+
+(* --- Part 2: the paper reproduction ------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  run_bechamel ();
+  let cfg =
+    if quick then Experiments.quick_config else Experiments.default_config
+  in
+  Printf.printf
+    "\n\
+     == paper reproduction (simulated cycles; see EXPERIMENTS.md for the \
+     paper-vs-measured record) ==\n";
+  List.iter (fun e -> e.Experiments.run cfg) Experiments.all

@@ -1,0 +1,143 @@
+(* Command-line driver for the paper-reproduction experiments.
+
+     repro list                          enumerate experiments
+     repro run fig4a [options]           run one experiment
+     repro all [options]                 run every experiment
+
+   Options select thread counts, the simulated-time horizon, the figure-6
+   structure size, reclamation schemes and CSV output. *)
+
+open Cmdliner
+open Oamem_harness
+
+let threads_arg =
+  let doc = "Comma-separated simulated thread counts." in
+  Arg.(
+    value
+    & opt (list int) Experiments.default_config.Experiments.threads
+    & info [ "t"; "threads" ] ~docv:"N,N,..." ~doc)
+
+let horizon_arg =
+  let doc = "Measured window per thread, in simulated cycles." in
+  Arg.(
+    value
+    & opt int Experiments.default_config.Experiments.horizon_cycles
+    & info [ "horizon" ] ~docv:"CYCLES" ~doc)
+
+let fig4_arg =
+  let doc =
+    "List size for figure 4 (the paper uses 5000; the default is scaled \
+     down for runtime)."
+  in
+  Arg.(
+    value
+    & opt int Experiments.default_config.Experiments.fig4_size
+    & info [ "fig4-size" ] ~docv:"N" ~doc)
+
+let fig6_arg =
+  let doc =
+    "Structure size for figure 6 (the paper uses 1000000; the default is \
+     scaled down for runtime)."
+  in
+  Arg.(
+    value
+    & opt int Experiments.default_config.Experiments.fig6_size
+    & info [ "fig6-size" ] ~docv:"N" ~doc)
+
+let full_arg =
+  let doc = "Run figures at the paper's full scale (5K list, 1M hash)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let schemes_arg =
+  let doc = "Comma-separated reclamation schemes to compare." in
+  Arg.(
+    value
+    & opt (list string) Oamem_reclaim.Registry.paper_methods
+    & info [ "s"; "schemes" ] ~docv:"NAME,..." ~doc)
+
+let seed_arg =
+  let doc = "Workload random seed." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Directory to write per-experiment CSV files into." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let quick_arg =
+  let doc = "Use the quick preset (fewer thread counts, shorter horizon)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let config_term =
+  let make threads horizon fig4 fig6 full schemes seed csv quick =
+    let base =
+      if quick then Experiments.quick_config else Experiments.default_config
+    in
+    {
+      Experiments.threads =
+        (if threads <> Experiments.default_config.Experiments.threads then
+           threads
+         else base.Experiments.threads);
+      horizon_cycles =
+        (if horizon <> Experiments.default_config.Experiments.horizon_cycles
+         then horizon
+         else base.Experiments.horizon_cycles);
+      fig4_size =
+        (if full then 5_000
+         else if fig4 <> Experiments.default_config.Experiments.fig4_size then
+           fig4
+         else base.Experiments.fig4_size);
+      fig6_size =
+        (if full then 1_000_000
+         else if fig6 <> Experiments.default_config.Experiments.fig6_size then
+           fig6
+         else base.Experiments.fig6_size);
+      schemes;
+      seed;
+      csv_dir = csv;
+    }
+  in
+  Term.(
+    const make $ threads_arg $ horizon_arg $ fig4_arg $ fig6_arg $ full_arg
+    $ schemes_arg $ seed_arg $ csv_arg $ quick_arg)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-18s %-22s %s\n" "id" "paper" "title";
+    Printf.printf "%s\n" (String.make 80 '-');
+    List.iter
+      (fun e ->
+        Printf.printf "%-18s %-22s %s\n" e.Experiments.id
+          e.Experiments.paper_ref e.Experiments.title)
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments.") Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see `repro list').")
+  in
+  let run cfg id =
+    let e = Experiments.find id in
+    e.Experiments.run cfg
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment.")
+    Term.(const run $ config_term $ id_arg)
+
+let all_cmd =
+  let run cfg =
+    List.iter (fun e -> e.Experiments.run cfg) Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ config_term)
+
+let () =
+  let doc =
+    "Reproduction of 'Releasing Memory with Optimistic Access' (SPAA 2023) \
+     on a simulated multicore."
+  in
+  exit (Cmd.eval (Cmd.group (Cmd.info "repro" ~doc) [ list_cmd; run_cmd; all_cmd ]))

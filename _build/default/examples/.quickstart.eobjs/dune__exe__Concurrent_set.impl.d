@@ -1,0 +1,1 @@
+examples/concurrent_set.ml: Array Engine Fmt Hm_list Oamem_core Oamem_engine Oamem_lockfree Oamem_reclaim Oamem_vmem Option Prng Scheme System

@@ -1,0 +1,1 @@
+examples/memory_release.ml: Config Engine Fmt Hm_list List Michael_hash Oamem_core Oamem_engine Oamem_lockfree Oamem_lrmalloc Oamem_reclaim Oamem_vmem Scheme System Vmem

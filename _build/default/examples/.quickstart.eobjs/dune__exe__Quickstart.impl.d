@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Fmt Heap Lrmalloc Oamem_core Oamem_engine Oamem_lrmalloc Oamem_vmem System Vmem

@@ -1,0 +1,1 @@
+examples/schedule_explorer.ml: Array Engine Explore Fmt Geometry Oamem_engine Oamem_vmem Printf Vmem

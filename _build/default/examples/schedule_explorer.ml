@@ -1,0 +1,63 @@
+(* Using the bounded schedule explorer to *prove* (up to a depth bound) that
+   a small lock-free interaction is correct under every interleaving — and
+   to watch it catch a deliberately broken variant.
+
+   Scenario: two simulated threads race a "claim" on the same slot.  The
+   correct version claims with CAS; the broken version does a racy
+   read-then-write.  The explorer enumerates every scheduling of the first
+   [depth] memory accesses and checks that exactly one thread wins.
+
+   Run with: dune exec examples/schedule_explorer.exe *)
+
+open Oamem_engine
+open Oamem_vmem
+
+let g = Geometry.default
+
+let scenario ~broken () =
+  let vm = Vmem.create ~max_pages:64 g in
+  let slot = Vmem.reserve vm ~npages:1 in
+  Vmem.map_anon vm (Engine.external_ctx ())
+    ~vpage:(Geometry.page_of_addr g slot)
+    ~npages:1;
+  let wins = Array.make 2 false in
+  {
+    Explore.setup =
+      (fun eng ->
+        for tid = 0 to 1 do
+          Engine.spawn eng ~tid (fun ctx ->
+              let me = ctx.Engine.tid + 1 in
+              if broken then begin
+                (* racy claim: check-then-act *)
+                let v = Vmem.load vm ctx slot in
+                if v = 0 then begin
+                  Vmem.store vm ctx slot me;
+                  wins.(me - 1) <- true
+                end
+              end
+              else if Vmem.cas vm ctx slot ~expect:0 ~desired:me then
+                wins.(me - 1) <- true)
+        done);
+    verify =
+      (fun () ->
+        let winners = (if wins.(0) then 1 else 0) + if wins.(1) then 1 else 0 in
+        if winners <> 1 then
+          failwith (Printf.sprintf "%d winners claimed the slot" winners));
+  }
+
+let () =
+  Fmt.pr "Exploring the CAS-based claim...@.";
+  let stats = Explore.check ~nthreads:2 ~depth:8 (scenario ~broken:false) in
+  Fmt.pr "  %d schedules explored, %d violations — correct under every \
+          interleaving up to depth 8.@."
+    stats.Explore.runs stats.Explore.violations;
+
+  Fmt.pr "@.Exploring the broken check-then-act claim...@.";
+  (match Explore.check ~nthreads:2 ~depth:8 (scenario ~broken:true) with
+  | exception Failure msg -> Fmt.pr "  caught it: %s@." msg
+  | stats ->
+      Fmt.pr "  unexpectedly clean after %d runs?!@." stats.Explore.runs);
+
+  Fmt.pr
+    "@.The same engine runs the paper's benchmarks: every interleaving the \
+     explorer visits is a schedule the reclamation schemes must survive.@."

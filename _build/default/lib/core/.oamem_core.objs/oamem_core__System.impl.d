@@ -1,0 +1,1 @@
+lib/core/system.ml: Cell Config Cost_model Engine Geometry Hierarchy Lrmalloc Oamem_engine Oamem_lockfree Oamem_lrmalloc Oamem_reclaim Oamem_vmem Registry Scheme Vmem

@@ -1,0 +1,1 @@
+lib/core/system.mli: Cell Config Cost_model Engine Geometry Heap Hierarchy Lrmalloc Oamem_engine Oamem_lockfree Oamem_lrmalloc Oamem_reclaim Oamem_vmem Scheme Vmem

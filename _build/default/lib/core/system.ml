@@ -1,0 +1,128 @@
+(* The assembled system: simulated machine + virtual memory + LRMalloc +
+   a reclamation scheme.  This is the library façade a user builds
+   experiments and applications on.
+
+   A [t] owns one simulated multicore (engine), one address space, one
+   allocator instance and one reclamation scheme instance; data structures
+   are then created against it and driven from simulated threads spawned
+   with [spawn]/[run]. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_lrmalloc
+open Oamem_reclaim
+
+type config = {
+  nthreads : int;
+  policy : Engine.policy;
+  cost : Cost_model.t;
+  cache_cfg : Hierarchy.config option;
+  geom : Geometry.t;
+  max_pages : int;
+  frame_capacity : int option;
+  shared_region_pages : int;
+  alloc_cfg : Config.t;
+  scheme : string;  (** one of {!Oamem_reclaim.Registry.names} *)
+  scheme_cfg : Scheme.config;
+}
+
+let default_config =
+  {
+    nthreads = 4;
+    policy = Engine.Min_clock;
+    cost = Cost_model.opteron_6274;
+    cache_cfg = None;
+    geom = Geometry.default;
+    max_pages = 1 lsl 18;
+    frame_capacity = None;
+    shared_region_pages = 1;
+    alloc_cfg = Config.default;
+    scheme = "oa-ver";
+    scheme_cfg = Scheme.default_config;
+  }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  vmem : Vmem.t;
+  meta : Cell.heap;
+  alloc : Lrmalloc.t;
+  scheme : Scheme.ops;
+}
+
+let create (config : config) =
+  let engine =
+    Engine.create ~policy:config.policy ~cost:config.cost
+      ?cache_cfg:config.cache_cfg ~geom:config.geom
+      ~nthreads:config.nthreads ()
+  in
+  let vmem =
+    Vmem.create ~max_pages:config.max_pages
+      ?frame_capacity:config.frame_capacity
+      ~shared_region_pages:config.shared_region_pages config.geom
+  in
+  let meta = Cell.heap config.geom in
+  let alloc =
+    Lrmalloc.create ~cfg:config.alloc_cfg ~vmem ~meta
+      ~nthreads:config.nthreads ()
+  in
+  let scheme =
+    (Registry.find config.scheme) config.scheme_cfg ~alloc ~meta
+      ~nthreads:config.nthreads
+  in
+  { config; engine; vmem; meta; alloc; scheme }
+
+let engine t = t.engine
+let vmem t = t.vmem
+let alloc t = t.alloc
+let scheme t = t.scheme
+let meta t = t.meta
+let nthreads t = t.config.nthreads
+
+(* {2 Data structures} *)
+
+let list_set t ctx =
+  Oamem_lockfree.Hm_list.create ctx ~scheme:t.scheme ~vmem:t.vmem
+
+let hash_set t ctx ~expected_size =
+  Oamem_lockfree.Michael_hash.create ctx ~scheme:t.scheme ~vmem:t.vmem
+    ~alloc:t.alloc ~expected_size ~load_factor:0.75
+
+let list_map t ctx =
+  Oamem_lockfree.Hm_list.create_kv ctx ~scheme:t.scheme ~vmem:t.vmem
+
+let hash_map t ctx ~expected_size =
+  Oamem_lockfree.Michael_hash.create_kv ctx ~scheme:t.scheme ~vmem:t.vmem
+    ~alloc:t.alloc ~expected_size ~load_factor:0.75
+
+(* {2 Thread driving} *)
+
+let spawn t ~tid f = Engine.spawn t.engine ~tid f
+let run ?max_steps t = Engine.run ?max_steps t.engine
+
+(* Run [f] once on thread 0 to completion (setup/prefill phases). *)
+let run_on_thread0 t f =
+  spawn t ~tid:0 f;
+  run t
+
+(* {2 Teardown and metrics} *)
+
+(* Drain limbo lists and thread caches from every thread slot, then release
+   lingering empty superblocks, so memory metrics reflect steady state. *)
+let drain t =
+  for tid = 0 to t.config.nthreads - 1 do
+    spawn t ~tid (fun ctx ->
+        t.scheme.Scheme.flush ctx;
+        Lrmalloc.flush_thread_cache t.alloc ctx)
+  done;
+  run t;
+  run_on_thread0 t (fun ctx -> Oamem_lrmalloc.Heap.trim (Lrmalloc.heap t.alloc) ctx)
+
+let usage t = Vmem.usage t.vmem
+let engine_stats t = Engine.stats t.engine
+let scheme_stats t = t.scheme.Scheme.stats
+let alloc_stats t = Lrmalloc.stats t.alloc
+
+let reset_measurement t =
+  Engine.reset_clocks t.engine;
+  Engine.reset_stats t.engine

@@ -1,0 +1,67 @@
+(** The assembled system: simulated multicore + virtual memory + LRMalloc +
+    one reclamation scheme — the façade applications and experiments build
+    on. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_lrmalloc
+open Oamem_reclaim
+
+type config = {
+  nthreads : int;
+  policy : Engine.policy;
+  cost : Cost_model.t;
+  cache_cfg : Hierarchy.config option;
+  geom : Geometry.t;
+  max_pages : int;
+  frame_capacity : int option;
+  shared_region_pages : int;
+  alloc_cfg : Config.t;
+  scheme : string;  (** one of {!Oamem_reclaim.Registry.names} *)
+  scheme_cfg : Scheme.config;
+}
+
+val default_config : config
+(** 4 threads, Min_clock, Opteron cost model, OA-VER. *)
+
+type t
+
+val create : config -> t
+val engine : t -> Engine.t
+val vmem : t -> Vmem.t
+val alloc : t -> Lrmalloc.t
+val scheme : t -> Scheme.ops
+val meta : t -> Cell.heap
+val nthreads : t -> int
+
+(** {2 Data structures} *)
+
+val list_set : t -> Engine.ctx -> Oamem_lockfree.Hm_list.t
+val hash_set :
+  t -> Engine.ctx -> expected_size:int -> Oamem_lockfree.Michael_hash.t
+
+val list_map : t -> Engine.ctx -> Oamem_lockfree.Hm_list.t
+(** Key-value variant (3-word nodes); use the [_kv]/[lookup]/[replace] ops. *)
+
+val hash_map :
+  t -> Engine.ctx -> expected_size:int -> Oamem_lockfree.Michael_hash.t
+
+(** {2 Thread driving} *)
+
+val spawn : t -> tid:int -> (Engine.ctx -> unit) -> unit
+val run : ?max_steps:int -> t -> unit
+val run_on_thread0 : t -> (Engine.ctx -> unit) -> unit
+
+(** {2 Teardown and metrics} *)
+
+val drain : t -> unit
+(** Drain limbo lists and thread caches on every slot, then release
+    lingering empty superblocks. *)
+
+val usage : t -> Vmem.usage
+val engine_stats : t -> Engine.stats
+val scheme_stats : t -> Scheme.stats
+val alloc_stats : t -> Heap.stats
+
+val reset_measurement : t -> unit
+(** Reset clocks and engine counters (cache/TLB contents are preserved). *)

@@ -1,0 +1,1 @@
+lib/engine/cell.ml: Array Atomic Engine Geometry

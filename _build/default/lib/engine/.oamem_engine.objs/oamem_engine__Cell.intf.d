@@ -1,0 +1,1 @@
+lib/engine/cell.mli: Engine Geometry

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Cost_model Effect Fmt Geometry Hierarchy Prng Tlb

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Cost_model Format Geometry Hierarchy Prng Tlb

@@ -1,0 +1,1 @@
+lib/engine/explore.ml: Array Engine List Printexc Printf String

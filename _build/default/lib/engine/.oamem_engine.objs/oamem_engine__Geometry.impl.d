@@ -1,0 +1,1 @@
+lib/engine/geometry.ml: Fmt

@@ -1,0 +1,1 @@
+lib/engine/hierarchy.ml: Array Cache Cost_model Fmt Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/engine/hierarchy.mli: Cache Cost_model Format

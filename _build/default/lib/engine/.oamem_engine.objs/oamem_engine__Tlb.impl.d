@@ -1,0 +1,1 @@
+lib/engine/tlb.ml: Array Cost_model Fmt

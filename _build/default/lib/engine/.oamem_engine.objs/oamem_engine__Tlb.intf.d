@@ -1,0 +1,1 @@
+lib/engine/tlb.mli: Cost_model Format

@@ -1,0 +1,104 @@
+(* One set-associative cache level with LRU replacement.
+
+   The cache tracks which line-sized blocks are present; it stores no data
+   (the simulated memory itself lives in {!Oamem_vmem}).  Lookups and fills
+   are O(associativity) over small int arrays, so the per-access overhead of
+   the simulation stays low. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  tags : int array;  (* sets * ways; -1 = invalid *)
+  stamps : int array;  (* LRU timestamps, parallel to [tags] *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+let create ~name ~sets ~ways =
+  if sets <= 0 || ways <= 0 then invalid_arg "Cache.create";
+  if sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a power of two";
+  {
+    name;
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let capacity_lines t = t.sets * t.ways
+let set_of_block t block = block land (t.sets - 1)
+
+(* Returns [true] on hit.  On miss the block is installed, evicting the
+   least-recently-used way of its set. *)
+let access t block =
+  let base = set_of_block t block * t.ways in
+  t.tick <- t.tick + 1;
+  let rec find i =
+    if i >= t.ways then None
+    else if t.tags.(base + i) = block then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      t.stamps.(base + i) <- t.tick;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Pick the LRU way (or any invalid way). *)
+      let victim = ref 0 in
+      for i = 1 to t.ways - 1 do
+        if t.tags.(base + i) = -1 then victim := i
+        else if t.tags.(base + !victim) <> -1
+                && t.stamps.(base + i) < t.stamps.(base + !victim)
+        then victim := i
+      done;
+      t.tags.(base + !victim) <- block;
+      t.stamps.(base + !victim) <- t.tick;
+      false
+
+(* Probe without installing or updating LRU state. *)
+let present t block =
+  let base = set_of_block t block * t.ways in
+  let rec find i =
+    if i >= t.ways then false
+    else t.tags.(base + i) = block || find (i + 1)
+  in
+  find 0
+
+let invalidate t block =
+  let base = set_of_block t block * t.ways in
+  let rec find i =
+    if i >= t.ways then ()
+    else if t.tags.(base + i) = block then begin
+      t.tags.(base + i) <- -1;
+      t.invalidations <- t.invalidations + 1
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.tick <- 0
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; invalidations = t.invalidations }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "hits=%d misses=%d inval=%d" s.hits s.misses s.invalidations

@@ -1,0 +1,28 @@
+(** One set-associative cache level with LRU replacement.
+
+    Tracks presence of line-sized blocks only; the simulated memory contents
+    live elsewhere.  Used as the building block of {!Hierarchy}. *)
+
+type t
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+val create : name:string -> sets:int -> ways:int -> t
+(** [sets] must be a power of two. *)
+
+val capacity_lines : t -> int
+
+val access : t -> int -> bool
+(** [access t block] returns [true] on hit; on miss the block is installed
+    (evicting the LRU way of its set) and [false] is returned. *)
+
+val present : t -> int -> bool
+(** Probe without side effects. *)
+
+val invalidate : t -> int -> unit
+(** Drop [block] if present (coherence invalidation). *)
+
+val clear : t -> unit
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

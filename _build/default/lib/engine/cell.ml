@@ -1,0 +1,90 @@
+(* Cost-modelled atomic metadata words.
+
+   Allocator and reclaimer metadata (superblock anchors, hazard-pointer
+   slots, warning bits, the global reclamation clock, pool heads...) must be
+   visible to the cache simulator, otherwise the coherence traffic the paper
+   reasons about — hazard-pointer publication, warning-bit broadcasts,
+   global-clock contention — would be invisible to the cost model.
+
+   A [Cell.t] is an OCaml [Atomic.t] paired with a simulated address drawn
+   from a dedicated metadata heap placed far above any simulated physical
+   frame, so metadata and data never alias in the cache simulator.  Metadata
+   is modelled as identity-mapped for the TLB.
+
+   Cells are safe under real OCaml domains too (the [Atomic.t] provides the
+   synchronisation); under the simulation engine the cost accounting happens
+   before the atomic operation, which is fine because the scheduler runs one
+   yield-to-yield segment at a time. *)
+
+type heap = {
+  geom : Geometry.t;
+  base : int;
+  mutable next : int;
+  mutable allocated : int;
+}
+
+(* Well above any physical frame address the frame pool can produce. *)
+let default_base = 1 lsl 50
+
+let heap ?(base = default_base) geom = { geom; base; next = base; allocated = 0 }
+
+type t = { addr : int; v : int Atomic.t }
+
+(* Reserve [words] simulated words; with [pad] the allocation starts on a
+   fresh cache line and the line is not shared with later allocations,
+   preventing (simulated) false sharing. *)
+let alloc_words h ?(pad = false) words =
+  if words <= 0 then invalid_arg "Cell.alloc_words";
+  let line = Geometry.line_words h.geom in
+  if pad then begin
+    let aligned = (h.next + line - 1) / line * line in
+    let addr = aligned in
+    h.next <- (addr + words + line - 1) / line * line;
+    h.allocated <- h.allocated + words;
+    addr
+  end
+  else begin
+    let addr = h.next in
+    h.next <- h.next + words;
+    h.allocated <- h.allocated + words;
+    addr
+  end
+
+let make ?(pad = false) h init =
+  { addr = alloc_words h ~pad 1; v = Atomic.make init }
+
+let make_array ?(pad = false) h n init =
+  Array.init n (fun _ -> make ~pad h init)
+
+let vpage_of geom addr = Geometry.page_of_addr geom addr
+
+let account ctx kind (t : t) =
+  match ctx.Engine.eng with
+  | None -> ()
+  | Some eng ->
+      let geom = Engine.geometry eng in
+      Engine.access ctx ~vpage:(vpage_of geom t.addr) ~paddr:t.addr ~kind
+
+let get ctx t =
+  account ctx Engine.Load t;
+  Atomic.get t.v
+
+let set ctx t x =
+  account ctx Engine.Store t;
+  Atomic.set t.v x
+
+let cas ctx t ~expect ~desired =
+  account ctx Engine.Rmw t;
+  Atomic.compare_and_set t.v expect desired
+
+let exchange ctx t x =
+  account ctx Engine.Rmw t;
+  Atomic.exchange t.v x
+
+let fetch_and_add ctx t d =
+  account ctx Engine.Rmw t;
+  Atomic.fetch_and_add t.v d
+
+let peek t = Atomic.get t.v
+let poke t x = Atomic.set t.v x
+let addr t = t.addr

@@ -1,0 +1,35 @@
+(** Cost-modelled atomic metadata words.
+
+    A cell is an [Atomic.t] paired with a simulated address from a dedicated
+    metadata heap, so the cache simulator sees the coherence traffic on
+    allocator/reclaimer metadata (hazard pointers, warning bits, pool heads).
+    Cells are also safe under real OCaml domains. *)
+
+type heap
+
+val default_base : int
+val heap : ?base:int -> Geometry.t -> heap
+
+val alloc_words : heap -> ?pad:bool -> int -> int
+(** Reserve raw simulated words from the metadata heap; returns the address.
+    [pad] starts on a fresh cache line and pads to a line boundary. *)
+
+type t
+
+val make : ?pad:bool -> heap -> int -> t
+val make_array : ?pad:bool -> heap -> int -> int -> t array
+
+val get : Engine.ctx -> t -> int
+val set : Engine.ctx -> t -> int -> unit
+val cas : Engine.ctx -> t -> expect:int -> desired:int -> bool
+val exchange : Engine.ctx -> t -> int -> int
+val fetch_and_add : Engine.ctx -> t -> int -> int
+
+val peek : t -> int
+(** Read without cost accounting (assertions, stats, test oracles). *)
+
+val poke : t -> int -> unit
+(** Write without cost accounting (initialisation outside the simulation). *)
+
+val addr : t -> int
+(** Simulated address (test hook: cache/false-sharing assertions). *)

@@ -1,0 +1,73 @@
+(* Cycle cost model of the simulated machine.
+
+   Every simulated memory access, fence and operating-system event is charged
+   against a per-thread cycle clock using the constants below.  The default
+   preset mimics the AMD Opteron 6274 testbed used by the paper (16 KiB L1
+   per core, 2 MiB L2 per pair of cores, 12 MiB shared L3). *)
+
+type t = {
+  l1_hit : int;
+  l2_hit : int;
+  l3_hit : int;
+  dram : int;
+  rmw_extra : int;  (** additional cycles for CAS / fetch-and-add *)
+  fence_full : int;  (** full store-load barrier *)
+  fence_compiler : int;  (** compiler-only barrier; free on TSO hardware *)
+  invalidation : int;  (** coherence invalidation broadcast on a shared line *)
+  tlb_hit : int;
+  tlb_miss : int;  (** page-walk cost *)
+  minor_fault : int;  (** copy-on-write fault-in of a frame *)
+  syscall : int;  (** mmap / madvise round trip *)
+  pause : int;  (** one spin-loop iteration *)
+  op_base : int;  (** fixed per-data-structure-operation overhead *)
+  ghz : float;  (** clock frequency used to convert cycles to seconds *)
+}
+
+(* l1_hit is the *effective* cost of an L1 hit: out-of-order pipelines hide
+   most of the ~4-cycle latency of hot loads, which is what makes the OA
+   warning check "inexpensive" (§2.4). *)
+let opteron_6274 =
+  {
+    l1_hit = 1;
+    l2_hit = 12;
+    l3_hit = 40;
+    dram = 180;
+    rmw_extra = 20;
+    fence_full = 40;
+    fence_compiler = 0;
+    invalidation = 60;
+    tlb_hit = 0;
+    tlb_miss = 30;
+    minor_fault = 2500;
+    syscall = 1500;
+    pause = 10;
+    op_base = 15;
+    ghz = 2.2;
+  }
+
+(* A deliberately flat model: every access costs the same.  Useful in tests
+   to decouple algorithmic work counts from locality effects. *)
+let uniform =
+  {
+    l1_hit = 1;
+    l2_hit = 1;
+    l3_hit = 1;
+    dram = 1;
+    rmw_extra = 0;
+    fence_full = 1;
+    fence_compiler = 0;
+    invalidation = 0;
+    tlb_hit = 0;
+    tlb_miss = 0;
+    minor_fault = 1;
+    syscall = 1;
+    pause = 1;
+    op_base = 0;
+    ghz = 1.0;
+  }
+
+let seconds_of_cycles t cycles = float_of_int cycles /. (t.ghz *. 1e9)
+
+let pp ppf t =
+  Fmt.pf ppf "cost{l1=%d l2=%d l3=%d dram=%d fence=%d}" t.l1_hit t.l2_hit
+    t.l3_hit t.dram t.fence_full

@@ -1,0 +1,33 @@
+(** Cycle cost model of the simulated machine.
+
+    Every simulated memory access, fence and OS event is charged against a
+    per-thread cycle clock using these constants. *)
+
+type t = {
+  l1_hit : int;
+      (** effective (pipelined) cost of an L1 hit — deliberately low, which
+          is what makes the OA warning check "inexpensive" (paper §2.4) *)
+  l2_hit : int;
+  l3_hit : int;
+  dram : int;
+  rmw_extra : int;  (** additional cycles for CAS / fetch-and-add *)
+  fence_full : int;  (** full store-load barrier *)
+  fence_compiler : int;  (** compiler-only barrier; free on TSO hardware *)
+  invalidation : int;  (** coherence invalidation broadcast *)
+  tlb_hit : int;
+  tlb_miss : int;  (** page-walk cost *)
+  minor_fault : int;  (** copy-on-write fault-in of a frame *)
+  syscall : int;  (** mmap / madvise round trip *)
+  pause : int;  (** one spin-loop iteration *)
+  op_base : int;  (** fixed per-data-structure-operation overhead *)
+  ghz : float;  (** clock frequency for converting cycles to seconds *)
+}
+
+val opteron_6274 : t
+(** Mimics the paper's AMD Opteron 6274 testbed. *)
+
+val uniform : t
+(** Flat model: every access costs 1 cycle (test aid). *)
+
+val seconds_of_cycles : t -> int -> float
+val pp : Format.formatter -> t -> unit

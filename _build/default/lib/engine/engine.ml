@@ -1,0 +1,309 @@
+(* Deterministic simulated multicore execution engine.
+
+   Logical threads are OCaml-5 effect-based coroutines.  Every simulated
+   memory access, fence or OS event is a yield point: the thread performs a
+   {!request} effect, the scheduler charges its cycle cost (via the cache
+   hierarchy and TLB models) onto the thread's clock, and then resumes the
+   globally earliest thread.  Under the [Min_clock] policy this executes all
+   shared-memory accesses in simulated-time order, giving a deterministic
+   discrete-event simulation of a multicore; under [Random_order] the
+   scheduler explores arbitrary interleavings (used by race tests).
+
+   Because exactly one access runs at a time, each access is atomic, and the
+   interleaving granularity is a single memory access — the same granularity
+   at which the paper's algorithms must be correct.
+
+   Threads occupy fixed slots [0, nthreads); slots may be reused across
+   successive [run] phases (e.g. a sequential prefill phase followed by a
+   parallel measurement phase).  Spin loops in simulated code must call
+   {!pause} (or perform some other yield) on every iteration, otherwise the
+   simulation cannot make progress on other threads. *)
+
+type access_kind = Load | Store | Rmw
+type fence_kind = Full | Compiler
+type event_kind = Minor_fault | Syscall | Pause
+
+type request =
+  | Access of { vpage : int; paddr : int; kind : access_kind }
+  | Fence of fence_kind
+  | Event of event_kind
+
+type scripted = {
+  prefix : int array;  (* scheduling choices to replay, as runnable-set
+                          indices (taken modulo the number of runnable
+                          threads at that step) *)
+  mutable factors : int list;  (* observed branching factors, reversed *)
+  mutable steps : int;
+}
+
+type policy = Min_clock | Random_order of int | Scripted of scripted
+
+type _ Effect.t += Yield : request -> unit Effect.t
+
+type outcome =
+  | Done
+  | Yielded of request * (unit, outcome) Effect.Deep.continuation
+
+type t = {
+  cost : Cost_model.t;
+  geom : Geometry.t;
+  hierarchy : Hierarchy.t;
+  tlb : Tlb.t;
+  nthreads : int;
+  mutable slots : slot array;
+  policy : policy;
+  sched_rng : Prng.t;
+  mutable accesses : int;
+  mutable fences : int;
+  mutable faults : int;
+  mutable syscalls : int;
+}
+
+and slot = {
+  ctx : ctx;
+  mutable clock : int;
+  mutable pending : pending;
+}
+
+and pending =
+  | Idle
+  | Start of (ctx -> unit)
+  | Blocked of request * (unit, outcome) Effect.Deep.continuation
+
+and ctx = { tid : int; eng : t option; prng : Prng.t }
+
+let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
+    ?(geom = Geometry.default) ?cache_cfg ?(tlb_slots = 64) ~nthreads () =
+  if nthreads <= 0 then invalid_arg "Engine.create: nthreads must be positive";
+  let hierarchy = Hierarchy.create ?cfg:cache_cfg ~cost ~nthreads () in
+  let tlb = Tlb.create ~slots:tlb_slots ~cost ~nthreads () in
+  let sched_seed =
+    match policy with Random_order s -> s | Min_clock | Scripted _ -> 1
+  in
+  let t =
+    {
+      cost;
+      geom;
+      hierarchy;
+      tlb;
+      nthreads;
+      slots = [||];
+      policy;
+      sched_rng = Prng.create sched_seed;
+      accesses = 0;
+      fences = 0;
+      faults = 0;
+      syscalls = 0;
+    }
+  in
+  t.slots <-
+    Array.init nthreads (fun tid ->
+        {
+          ctx = { tid; eng = Some t; prng = Prng.create (0x9e37 + tid) };
+          clock = 0;
+          pending = Idle;
+        });
+  t
+
+let cost_model t = t.cost
+let geometry t = t.geom
+let nthreads t = t.nthreads
+
+let external_ctx ?(tid = 0) ?(seed = 42) () =
+  { tid; eng = None; prng = Prng.create seed }
+
+(* Cycle cost of a request issued by thread [tid], updating the cache and
+   TLB models as a side effect. *)
+let cost_of_request t ~tid = function
+  | Access { vpage; paddr; kind } ->
+      t.accesses <- t.accesses + 1;
+      let tlb_cost = if vpage >= 0 then Tlb.access t.tlb ~tid vpage else 0 in
+      let hkind =
+        match kind with
+        | Load -> Hierarchy.Load
+        | Store -> Hierarchy.Store
+        | Rmw -> Hierarchy.Rmw
+      in
+      let block = Geometry.block_of_addr t.geom paddr in
+      tlb_cost + Hierarchy.access t.hierarchy ~tid ~kind:hkind block
+  | Fence Full ->
+      t.fences <- t.fences + 1;
+      t.cost.fence_full
+  | Fence Compiler -> t.cost.fence_compiler
+  | Event Minor_fault ->
+      t.faults <- t.faults + 1;
+      t.cost.minor_fault
+  | Event Syscall ->
+      t.syscalls <- t.syscalls + 1;
+      t.cost.syscall
+  | Event Pause -> t.cost.pause
+
+(* --- thread-side API ----------------------------------------------------- *)
+
+let yield ctx request =
+  match ctx.eng with
+  | None -> ()
+  | Some _ -> Effect.perform (Yield request)
+
+let access ctx ~vpage ~paddr ~kind = yield ctx (Access { vpage; paddr; kind })
+let fence ctx kind = yield ctx (Fence kind)
+let event ctx kind = yield ctx (Event kind)
+let pause ctx = yield ctx (Event Pause)
+
+let charge ctx cycles =
+  match ctx.eng with
+  | None -> ()
+  | Some t ->
+      let slot = t.slots.(ctx.tid) in
+      slot.clock <- slot.clock + cycles
+
+let now ctx =
+  match ctx.eng with None -> 0 | Some t -> t.slots.(ctx.tid).clock
+
+(* Kernel-side effect of an unmap/remap: flush the page from every TLB.  The
+   cycle cost is part of the syscall that triggered it. *)
+let tlb_shootdown ctx vpage =
+  match ctx.eng with None -> () | Some t -> Tlb.shootdown t.tlb vpage
+
+(* --- scheduler ----------------------------------------------------------- *)
+
+let spawn t ~tid f =
+  if tid < 0 || tid >= t.nthreads then invalid_arg "Engine.spawn: bad tid";
+  let slot = t.slots.(tid) in
+  (match slot.pending with
+  | Idle -> ()
+  | Start _ | Blocked _ -> invalid_arg "Engine.spawn: slot busy");
+  slot.pending <- Start f
+
+let start_thread ctx f =
+  Effect.Deep.match_with f ctx
+    {
+      retc = (fun () -> Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield r ->
+              Some
+                (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                  Yielded (r, k))
+          | _ -> None);
+    }
+
+(* Pick the next slot to resume: the earliest clock (ties to lowest tid)
+   under [Min_clock], or a uniformly random runnable slot otherwise. *)
+let pick t =
+  let best = ref (-1) in
+  let runnable = ref 0 in
+  for tid = 0 to t.nthreads - 1 do
+    match t.slots.(tid).pending with
+    | Idle -> ()
+    | Start _ | Blocked _ ->
+        incr runnable;
+        if !best < 0 || t.slots.(tid).clock < t.slots.(!best).clock then
+          best := tid
+  done;
+  let nth_runnable n =
+    let chosen = ref (-1) in
+    let seen = ref 0 in
+    for tid = 0 to t.nthreads - 1 do
+      (match t.slots.(tid).pending with
+      | Idle -> ()
+      | Start _ | Blocked _ ->
+          if !seen = n && !chosen < 0 then chosen := tid;
+          incr seen)
+    done;
+    !chosen
+  in
+  if !best < 0 then None
+  else
+    match t.policy with
+    | Min_clock -> Some !best
+    | Random_order _ -> Some (nth_runnable (Prng.int t.sched_rng !runnable))
+    | Scripted s ->
+        (* record the branching factor, then follow the prefix; past the
+           prefix, take the first runnable thread (deterministic default) *)
+        let step = s.steps in
+        s.steps <- step + 1;
+        s.factors <- !runnable :: s.factors;
+        let choice =
+          if step < Array.length s.prefix then s.prefix.(step) mod !runnable
+          else 0
+        in
+        Some (nth_runnable choice)
+
+exception Step_limit_exceeded
+
+let run ?max_steps t =
+  let steps = ref 0 in
+  let rec loop () =
+    match pick t with
+    | None -> ()
+    | Some tid ->
+        incr steps;
+        (match max_steps with
+        | Some limit when !steps > limit -> raise Step_limit_exceeded
+        | _ -> ());
+        let slot = t.slots.(tid) in
+        let outcome =
+          match slot.pending with
+          | Idle -> assert false
+          | Start f ->
+              slot.pending <- Idle;
+              (try start_thread slot.ctx f
+               with e ->
+                 slot.pending <- Idle;
+                 raise e)
+          | Blocked (request, k) ->
+              slot.pending <- Idle;
+              slot.clock <- slot.clock + cost_of_request t ~tid request;
+              (try Effect.Deep.continue k ()
+               with e ->
+                 slot.pending <- Idle;
+                 raise e)
+        in
+        (match outcome with
+        | Done -> slot.pending <- Idle
+        | Yielded (r, k) -> slot.pending <- Blocked (r, k));
+        loop ()
+  in
+  loop ()
+
+(* --- stats --------------------------------------------------------------- *)
+
+let clock t ~tid = t.slots.(tid).clock
+let elapsed t = Array.fold_left (fun acc s -> max acc s.clock) 0 t.slots
+let elapsed_seconds t = Cost_model.seconds_of_cycles t.cost (elapsed t)
+
+let reset_clocks t = Array.iter (fun s -> s.clock <- 0) t.slots
+
+type stats = {
+  accesses : int;
+  fences : int;
+  faults : int;
+  syscalls : int;
+  cache : Hierarchy.stats;
+  tlb : Tlb.stats;
+}
+
+let stats (t : t) =
+  {
+    accesses = t.accesses;
+    fences = t.fences;
+    faults = t.faults;
+    syscalls = t.syscalls;
+    cache = Hierarchy.stats t.hierarchy;
+    tlb = Tlb.stats t.tlb;
+  }
+
+let reset_stats (t : t) =
+  t.accesses <- 0;
+  t.fences <- 0;
+  t.faults <- 0;
+  t.syscalls <- 0;
+  Hierarchy.reset_stats t.hierarchy;
+  Tlb.reset_stats t.tlb
+
+let pp_stats ppf s =
+  Fmt.pf ppf "accesses=%d fences=%d faults=%d syscalls=%d %a %a" s.accesses
+    s.fences s.faults s.syscalls Hierarchy.pp_stats s.cache Tlb.pp_stats s.tlb

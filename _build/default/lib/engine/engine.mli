@@ -1,0 +1,109 @@
+(** Deterministic simulated multicore execution engine.
+
+    Logical threads are effect-based coroutines; every simulated memory
+    access, fence or OS event yields to the scheduler, which charges its
+    cycle cost (cache hierarchy + TLB models) to the thread's clock and
+    resumes the globally earliest thread ([Min_clock]) or a random runnable
+    one ([Random_order]).  Exactly one access executes at a time, so each
+    access is atomic and interleaving granularity is a single access.
+
+    Spin loops in simulated code must yield (e.g. {!pause}) on every
+    iteration, otherwise other threads cannot progress. *)
+
+type access_kind = Load | Store | Rmw
+type fence_kind = Full | Compiler
+type event_kind = Minor_fault | Syscall | Pause
+
+type scripted = {
+  prefix : int array;
+      (** scheduling choices to replay, as runnable-set indices (taken
+          modulo the number of runnable threads at that step) *)
+  mutable factors : int list;
+      (** observed branching factors, reversed; filled in by the run *)
+  mutable steps : int;  (** number of scheduling decisions taken so far *)
+}
+
+type policy =
+  | Min_clock  (** execute accesses in simulated-time order (benchmarks) *)
+  | Random_order of int  (** seeded random interleaving (race tests) *)
+  | Scripted of scripted
+      (** replay a schedule prefix and record branching factors; used by
+          {!Explore} for bounded schedule enumeration *)
+
+type t
+
+type ctx = private { tid : int; eng : t option; prng : Prng.t }
+(** Per-logical-thread context.  [eng = None] means direct (uncosted)
+    execution, e.g. from real domains or test setup code. *)
+
+val create :
+  ?policy:policy ->
+  ?cost:Cost_model.t ->
+  ?geom:Geometry.t ->
+  ?cache_cfg:Hierarchy.config ->
+  ?tlb_slots:int ->
+  nthreads:int ->
+  unit ->
+  t
+
+val cost_model : t -> Cost_model.t
+val geometry : t -> Geometry.t
+val nthreads : t -> int
+
+val external_ctx : ?tid:int -> ?seed:int -> unit -> ctx
+(** A context usable outside the scheduler: all cost accounting is a no-op. *)
+
+(** {2 Thread-side API} — called from inside simulated threads. *)
+
+val access : ctx -> vpage:int -> paddr:int -> kind:access_kind -> unit
+(** Charge one memory access.  [vpage < 0] skips the TLB (used for allocator
+    metadata that is modelled as identity-mapped). *)
+
+val fence : ctx -> fence_kind -> unit
+val event : ctx -> event_kind -> unit
+val pause : ctx -> unit
+(** One spin-loop iteration: charges the pause cost and yields. *)
+
+val charge : ctx -> int -> unit
+(** Add raw cycles to the calling thread's clock without yielding. *)
+
+val now : ctx -> int
+(** The calling thread's simulated clock, in cycles. *)
+
+val tlb_shootdown : ctx -> int -> unit
+(** Flush a virtual page from every TLB (issued by unmap/remap paths; its
+    cycle cost is part of the surrounding syscall). *)
+
+(** {2 Scheduler} *)
+
+val spawn : t -> tid:int -> (ctx -> unit) -> unit
+(** Assign a body to thread slot [tid].  The slot must be idle.  Slots may be
+    reused across successive {!run} phases. *)
+
+exception Step_limit_exceeded
+
+val run : ?max_steps:int -> t -> unit
+(** Run until every spawned thread finishes.  Exceptions raised by thread
+    bodies propagate (the raising slot is marked idle). *)
+
+(** {2 Clocks and stats} *)
+
+val clock : t -> tid:int -> int
+val elapsed : t -> int
+(** Max over all thread clocks, in cycles. *)
+
+val elapsed_seconds : t -> float
+val reset_clocks : t -> unit
+
+type stats = {
+  accesses : int;
+  fences : int;
+  faults : int;
+  syscalls : int;
+  cache : Hierarchy.stats;
+  tlb : Tlb.stats;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,24 @@
+(** Bounded schedule exploration over the simulation engine.
+
+    Enumerates every scheduling decision for the first [depth] yield points
+    of a small scenario and replays each resulting schedule, verifying an
+    oracle after each run.  Scenarios are re-instantiated per schedule. *)
+
+type instance = {
+  setup : Engine.t -> unit;  (** spawn the scenario's threads *)
+  verify : unit -> unit;  (** raise to report a violation *)
+}
+
+type stats = { runs : int; violations : int; max_depth_reached : int }
+
+exception Budget_exhausted of stats
+
+val check :
+  ?max_runs:int ->
+  ?max_steps:int ->
+  nthreads:int ->
+  depth:int ->
+  (unit -> instance) ->
+  stats
+(** Raises [Failure] describing the first failing schedule if any oracle
+    violation is found; raises {!Budget_exhausted} past [max_runs]. *)

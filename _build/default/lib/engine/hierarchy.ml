@@ -1,0 +1,172 @@
+(* Cache hierarchy of the simulated multicore.
+
+   Geometry follows the paper's testbed (AMD Opteron 6274): a private L1 per
+   hardware thread, an L2 shared by each pair of threads, and one shared L3.
+   Coherence is write-invalidate, driven by a directory that maps each block
+   to the bitmask of threads that may hold it.  A store or RMW to a block
+   held elsewhere invalidates the remote copies and pays an invalidation
+   penalty — this is what makes hazard-pointer publication and warning-bit
+   broadcasts expensive in the simulation, exactly the costs the paper
+   reasons about in §2.4.
+
+   The directory is not told about silent evictions, so it may conservatively
+   over-invalidate; this only adds a small amount of cost noise. *)
+
+type config = {
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  l3_sets : int;
+  l3_ways : int;
+  threads_per_l2 : int;
+}
+
+(* 16 KiB L1 (4-way), 2 MiB L2 per pair (8-way), 12 MiB shared L3 (12-way),
+   with 64-byte lines. *)
+let opteron_6274_config =
+  {
+    l1_sets = 64;
+    l1_ways = 4;
+    l2_sets = 4096;
+    l2_ways = 8;
+    l3_sets = 16384;
+    l3_ways = 12;
+    threads_per_l2 = 2;
+  }
+
+(* A tiny hierarchy for unit tests where evictions must be easy to force. *)
+let tiny_config =
+  {
+    l1_sets = 2;
+    l1_ways = 2;
+    l2_sets = 4;
+    l2_ways = 2;
+    l3_sets = 8;
+    l3_ways = 2;
+    threads_per_l2 = 2;
+  }
+
+type kind = Load | Store | Rmw
+
+type t = {
+  cfg : config;
+  cost : Cost_model.t;
+  nthreads : int;
+  l1 : Cache.t array;  (* per thread *)
+  l2 : Cache.t array;  (* per group of [threads_per_l2] threads *)
+  l3 : Cache.t;
+  directory : (int, int) Hashtbl.t;  (* block -> sharer bitmask *)
+  mutable remote_invalidations : int;
+}
+
+let create ?(cfg = opteron_6274_config) ~cost ~nthreads () =
+  if nthreads <= 0 || nthreads > 62 then
+    invalid_arg "Hierarchy.create: nthreads must be in [1, 62]";
+  let n_l2 = (nthreads + cfg.threads_per_l2 - 1) / cfg.threads_per_l2 in
+  {
+    cfg;
+    cost;
+    nthreads;
+    l1 =
+      Array.init nthreads (fun i ->
+          Cache.create ~name:(Printf.sprintf "L1.%d" i) ~sets:cfg.l1_sets
+            ~ways:cfg.l1_ways);
+    l2 =
+      Array.init n_l2 (fun i ->
+          Cache.create ~name:(Printf.sprintf "L2.%d" i) ~sets:cfg.l2_sets
+            ~ways:cfg.l2_ways);
+    l3 = Cache.create ~name:"L3" ~sets:cfg.l3_sets ~ways:cfg.l3_ways;
+    directory = Hashtbl.create 4096;
+    remote_invalidations = 0;
+  }
+
+let l2_bank t tid = tid / t.cfg.threads_per_l2
+
+let sharers t block =
+  match Hashtbl.find_opt t.directory block with Some m -> m | None -> 0
+
+(* Invalidate every remote copy of [block]; returns true if any remote
+   thread actually shared it (to charge the invalidation broadcast). *)
+let invalidate_remote t ~tid block =
+  let mask = sharers t block in
+  let others = mask land lnot (1 lsl tid) in
+  if others = 0 then false
+  else begin
+    let my_bank = l2_bank t tid in
+    for tid' = 0 to t.nthreads - 1 do
+      if others land (1 lsl tid') <> 0 then begin
+        Cache.invalidate t.l1.(tid') block;
+        let bank = l2_bank t tid' in
+        if bank <> my_bank then Cache.invalidate t.l2.(bank) block
+      end
+    done;
+    t.remote_invalidations <- t.remote_invalidations + 1;
+    true
+  end
+
+(* Charge one access and update cache state; returns the cycle cost. *)
+let access t ~tid ~kind block =
+  let c = t.cost in
+  let hit_cost =
+    if Cache.access t.l1.(tid) block then c.l1_hit
+    else if Cache.access t.l2.(l2_bank t tid) block then c.l2_hit
+    else if Cache.access t.l3 block then c.l3_hit
+    else c.dram
+  in
+  let coherence_cost =
+    match kind with
+    | Load ->
+        Hashtbl.replace t.directory block (sharers t block lor (1 lsl tid));
+        0
+    | Store | Rmw ->
+        let remote = invalidate_remote t ~tid block in
+        Hashtbl.replace t.directory block (1 lsl tid);
+        if remote then c.invalidation else 0
+  in
+  let rmw_cost = match kind with Rmw -> c.rmw_extra | Load | Store -> 0 in
+  hit_cost + coherence_cost + rmw_cost
+
+type stats = {
+  l1 : Cache.stats;
+  l2 : Cache.stats;
+  l3 : Cache.stats;
+  remote_invalidations : int;
+}
+
+let sum_stats (caches : Cache.t array) : Cache.stats =
+  Array.fold_left
+    (fun (acc : Cache.stats) cache ->
+      let (s : Cache.stats) = Cache.stats cache in
+      Cache.
+        {
+          hits = acc.hits + s.hits;
+          misses = acc.misses + s.misses;
+          invalidations = acc.invalidations + s.invalidations;
+        })
+    Cache.{ hits = 0; misses = 0; invalidations = 0 }
+    caches
+
+let stats (t : t) =
+  {
+    l1 = sum_stats t.l1;
+    l2 = sum_stats t.l2;
+    l3 = Cache.stats t.l3;
+    remote_invalidations = t.remote_invalidations;
+  }
+
+let reset_stats (t : t) =
+  Array.iter Cache.reset_stats t.l1;
+  Array.iter Cache.reset_stats t.l2;
+  Cache.reset_stats t.l3;
+  t.remote_invalidations <- 0
+
+let clear (t : t) =
+  Array.iter Cache.clear t.l1;
+  Array.iter Cache.clear t.l2;
+  Cache.clear t.l3;
+  Hashtbl.reset t.directory
+
+let pp_stats ppf s =
+  Fmt.pf ppf "L1[%a] L2[%a] L3[%a] remote-inval=%d" Cache.pp_stats s.l1
+    Cache.pp_stats s.l2 Cache.pp_stats s.l3 s.remote_invalidations

@@ -1,0 +1,23 @@
+(** Deterministic SplitMix-style pseudo-random number generator.
+
+    Used for scheduler decisions, workload key streams and property tests.
+    The state is a single mutable int, making per-thread generators cheap. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val next : t -> int
+(** Next non-negative pseudo-random int (full width). *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** Derive an independent generator. *)

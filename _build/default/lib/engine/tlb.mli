@@ -1,0 +1,19 @@
+(** Per-thread translation lookaside buffers with shootdown on unmap. *)
+
+type t
+
+val create : ?slots:int -> cost:Cost_model.t -> nthreads:int -> unit -> t
+(** [slots] must be a positive power of two (default 64). *)
+
+val access : t -> tid:int -> int -> int
+(** [access t ~tid vpage] simulates a translation and returns its cost. *)
+
+val shootdown : t -> int -> unit
+(** Flush a virtual page from every thread's TLB. *)
+
+type stats = { hits : int; misses : int; shootdowns : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val clear : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

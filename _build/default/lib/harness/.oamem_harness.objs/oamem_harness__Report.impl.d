@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Char List Printf String

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Config Engine Format Heap Hierarchy Oamem_core Oamem_engine Oamem_lrmalloc Oamem_reclaim Oamem_vmem Scheme Workload

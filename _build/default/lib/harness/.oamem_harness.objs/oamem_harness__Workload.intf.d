@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Oamem_engine Prng

@@ -1,0 +1,711 @@
+(* The experiment registry: one entry per table/figure of the paper's
+   evaluation (§5) plus the mechanism experiments (§3.2) and our ablations.
+   Every experiment prints its data as a table, renders throughput figures
+   as ASCII charts, states the paper's expected shape next to the measured
+   one, and optionally dumps CSV for external plotting. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_lrmalloc
+open Oamem_reclaim
+open Oamem_core
+open Oamem_lockfree
+
+type config = {
+  threads : int list;
+  horizon_cycles : int;
+  fig4_size : int;  (** paper uses 5K list nodes; scaled for runtime *)
+  fig6_size : int;  (** paper uses 1M; scaled by default for CI time *)
+  schemes : string list;
+  seed : int;
+  csv_dir : string option;
+}
+
+let default_config =
+  {
+    threads = [ 1; 2; 4; 8; 16; 32 ];
+    horizon_cycles = 400_000;
+    fig4_size = 1_000;
+    fig6_size = 100_000;
+    schemes = Registry.paper_methods;
+    seed = 7;
+    csv_dir = None;
+  }
+
+(* A faster preset for smoke runs. *)
+let quick_config =
+  {
+    default_config with
+    threads = [ 1; 4; 16 ];
+    horizon_cycles = 200_000;
+    fig4_size = 500;
+    fig6_size = 20_000;
+  }
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  expected : string;
+  run : config -> unit;
+}
+
+let maybe_csv cfg ~id ~header rows =
+  match cfg.csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Report.csv ~path:(Filename.concat dir (id ^ ".csv")) ~header rows
+
+(* --- throughput figures (Figs. 4, 5, 6) ------------------------------------- *)
+
+let fmt_mops v = Printf.sprintf "%.3f" v
+
+let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
+    ?(threshold = 64) ?(horizon_mult = 1) ?(trials = 1) () =
+  let run cfg =
+    Report.section (Printf.sprintf "%s — %s" id title);
+    Printf.printf "Paper: %s\nExpected shape: %s\n\n" paper_ref expected;
+    let initial = initial cfg in
+    let results =
+      List.map
+        (fun scheme ->
+          let per_thread =
+            List.map
+              (fun threads ->
+                let summary =
+                  Runner.run_trials ~trials
+                    {
+                      Runner.default_spec with
+                      Runner.scheme;
+                      threads;
+                      structure;
+                      workload = Workload.make ~mix ~initial ();
+                      horizon_cycles = horizon_mult * cfg.horizon_cycles;
+                      threshold;
+                      seed = cfg.seed;
+                    }
+                in
+                (* report the median trial (lists are noisy at small scale) *)
+                List.find
+                  (fun r ->
+                    r.Runner.throughput_mops = summary.Runner.median_mops)
+                  summary.Runner.trials)
+              cfg.threads
+          in
+          (scheme, per_thread))
+        cfg.schemes
+    in
+    let header = "threads" :: List.map string_of_int cfg.threads in
+    let rows =
+      List.map
+        (fun (scheme, rs) ->
+          scheme :: List.map (fun r -> fmt_mops r.Runner.throughput_mops) rs)
+        results
+    in
+    Report.table ~header rows;
+    Report.chart ~title:(Printf.sprintf "%s (%s)" id title)
+      ~xlabel:"threads" ~ylabel:"Mops/s" ~xs:cfg.threads
+      (List.map
+         (fun (scheme, rs) ->
+           (scheme, List.map (fun r -> r.Runner.throughput_mops) rs))
+         results);
+    (* reclamation diagnostics at the highest thread count *)
+    Printf.printf "Diagnostics at %d threads:\n"
+      (List.fold_left max 1 cfg.threads);
+    Report.table
+      ~header:
+        [ "scheme"; "restarts"; "warnings"; "piggyback"; "phases";
+          "frames-peak" ]
+      (List.map
+         (fun (scheme, rs) ->
+           let last = List.nth rs (List.length rs - 1) in
+           let s = last.Runner.scheme_stats in
+           [
+             scheme;
+             string_of_int s.Scheme.restarts;
+             string_of_int s.Scheme.warnings_fired;
+             string_of_int s.Scheme.warnings_piggybacked;
+             string_of_int s.Scheme.reclaim_phases;
+             string_of_int last.Runner.usage.Vmem.frames_peak;
+           ])
+         results);
+    maybe_csv cfg ~id
+      ~header:("scheme" :: List.map string_of_int cfg.threads)
+      rows
+  in
+  { id; title; paper_ref; expected; run }
+
+let fig4a =
+  throughput_figure ~id:"fig4a"
+    ~title:"linked list (paper: 5K nodes, scaled), 50%ins/50%del"
+    ~paper_ref:"Figure 4a" ~structure:Runner.List_set
+    ~initial:(fun cfg -> cfg.fig4_size)
+    ~mix:Workload.update_only ~threshold:16 ~horizon_mult:8 ~trials:3
+    ~expected:
+      "OA-VER above OA-BIT (fewer warnings on long chains); OA-BIT/OA-VER \
+       beat OA and NR at low thread counts; NR/OA recover at high counts"
+    ()
+
+let fig4b =
+  throughput_figure ~id:"fig4b"
+    ~title:"linked list (paper: 5K nodes, scaled), 50%srch/25/25"
+    ~paper_ref:"Figure 4b" ~structure:Runner.List_set
+    ~initial:(fun cfg -> cfg.fig4_size)
+    ~mix:Workload.balanced ~threshold:16 ~horizon_mult:8 ~trials:3
+    ~expected:"same ordering as 4a with a smaller OA-VER/OA-BIT gap" ()
+
+let fig5a =
+  throughput_figure ~id:"fig5a" ~title:"hash table, 10K nodes, 50%ins/50%del"
+    ~paper_ref:"Figure 5a" ~structure:Runner.Hash_set
+    ~initial:(fun _ -> 10_000)
+    ~mix:Workload.update_only ~horizon_mult:2
+    ~expected:
+      "OA competitive at 1-2 threads but flattens with threads (shared \
+       fixed pool); OA-BIT ~ OA-VER scale"
+    ()
+
+let fig5b =
+  throughput_figure ~id:"fig5b" ~title:"hash table, 10K nodes, 50%srch/25/25"
+    ~paper_ref:"Figure 5b" ~structure:Runner.Hash_set
+    ~initial:(fun _ -> 10_000)
+    ~mix:Workload.balanced ~horizon_mult:2 ~expected:"same shape as 5a" ()
+
+let fig6a =
+  throughput_figure ~id:"fig6a" ~title:"hash table, 1M nodes (scaled), 50/50"
+    ~paper_ref:"Figure 6a" ~structure:Runner.Hash_set
+    ~initial:(fun cfg -> cfg.fig6_size)
+    ~mix:Workload.update_only ~horizon_mult:2
+    ~expected:"same ordering as 5a at a larger footprint" ()
+
+let fig6b =
+  throughput_figure ~id:"fig6b"
+    ~title:"hash table, 1M nodes (scaled), 50%srch/25/25"
+    ~paper_ref:"Figure 6b" ~structure:Runner.Hash_set
+    ~initial:(fun cfg -> cfg.fig6_size)
+    ~mix:Workload.balanced ~horizon_mult:2 ~expected:"same shape as 6a" ()
+
+(* --- E7: remap strategies make no throughput difference (§5.1) -------------- *)
+
+let remap_strategies =
+  {
+    id = "remap-strategies";
+    title = "OA-VER throughput across remap strategies";
+    paper_ref = "Section 5.1 (final paragraph)";
+    expected =
+      "keep / madvise / shared within noise of each other (empties are rare)";
+    run =
+      (fun cfg ->
+        Report.section "remap-strategies — keep vs madvise vs shared";
+        let strategies =
+          [ Config.Keep_resident; Config.Madvise; Config.Shared_map ]
+        in
+        let rows =
+          List.map
+            (fun remap ->
+              let per_thread =
+                List.map
+                  (fun threads ->
+                    Runner.run
+                      {
+                        Runner.default_spec with
+                        Runner.scheme = "oa-ver";
+                        threads;
+                        structure = Runner.Hash_set;
+                        workload =
+                          Workload.make ~mix:Workload.update_only ~initial:10_000 ();
+                        horizon_cycles = cfg.horizon_cycles;
+                        remap;
+                        seed = cfg.seed;
+                      })
+                  cfg.threads
+              in
+              Config.remap_strategy_name remap
+              :: List.map
+                   (fun r -> fmt_mops r.Runner.throughput_mops)
+                   per_thread)
+            strategies
+        in
+        Report.table ~header:("strategy" :: List.map string_of_int cfg.threads) rows;
+        maybe_csv cfg ~id:"remap-strategies"
+          ~header:("strategy" :: List.map string_of_int cfg.threads)
+          rows);
+  }
+
+(* --- E8: physical memory release (Fig. 3 mechanics) -------------------------- *)
+
+let memory_release =
+  {
+    id = "memory-release";
+    title = "frames released when a structure is torn down";
+    paper_ref = "Section 3.2, Figure 3";
+    expected =
+      "keep: frames stay resident; madvise: frames drop, RSS drops; shared: \
+       frames drop but Linux-style RSS stays inflated";
+    run =
+      (fun cfg ->
+        Report.section "memory-release — frames and RSS after teardown";
+        let strategies =
+          [ Config.Keep_resident; Config.Madvise; Config.Shared_map ]
+        in
+        let rows =
+          List.map
+            (fun remap ->
+              let spec =
+                {
+                  Runner.default_spec with
+                  Runner.scheme = "oa-ver";
+                  threads = 2;
+                  structure = Runner.Hash_set;
+                  workload =
+                    Workload.make ~mix:Workload.update_only ~initial:10_000 ();
+                  horizon_cycles = 1;
+                  remap;
+                  sb_pages = 8;
+                  threshold = 32;
+                  seed = cfg.seed;
+                }
+              in
+              let sys = Runner.make_system spec in
+              let setup = Engine.external_ctx () in
+              let h = System.hash_set sys setup ~expected_size:10_000 in
+              let keys = List.init 10_000 (fun i -> 2 * i) in
+              Michael_hash.prefill h setup keys;
+              let peak = (System.usage sys).Vmem.frames_live in
+              (* delete every key from a simulated thread, then drain *)
+              System.run_on_thread0 sys (fun ctx ->
+                  List.iter (fun k -> ignore (Michael_hash.delete h ctx k)) keys);
+              System.drain sys;
+              let u = System.usage sys in
+              [
+                Config.remap_strategy_name remap;
+                string_of_int peak;
+                string_of_int u.Vmem.frames_live;
+                string_of_int u.Vmem.resident_pages;
+                string_of_int u.Vmem.linux_rss_pages;
+                string_of_int (System.engine_stats sys).Engine.syscalls;
+              ])
+            strategies
+        in
+        Report.table
+          ~header:
+            [ "strategy"; "frames-peak"; "frames-after"; "resident-pages";
+              "linux-rss-pages"; "syscalls" ]
+          rows;
+        maybe_csv cfg ~id:"memory-release"
+          ~header:
+            [ "strategy"; "frames_peak"; "frames_after"; "resident_pages";
+              "linux_rss_pages"; "syscalls" ]
+          rows);
+  }
+
+(* --- E9: VBR-style DWCAS leak (§3.2 footnote 2) ------------------------------ *)
+
+let dwcas_leak =
+  {
+    id = "dwcas-leak";
+    title = "failed DWCAS on reclaimed memory: madvise leaks, shared does not";
+    paper_ref = "Section 3.2, footnote 2";
+    expected = "madvise: one frame faulted per touched page; shared: none";
+    run =
+      (fun _cfg ->
+        Report.section "dwcas-leak — VBR tagged DWCAS on released superblocks";
+        let probe remap =
+          let g = Geometry.default in
+          let vm = Vmem.create ~max_pages:65536 g in
+          let meta = Cell.heap g in
+          let acfg = { Config.default with Config.sb_pages = 8; remap } in
+          let alloc = Lrmalloc.create ~cfg:acfg ~vmem:vm ~meta ~nthreads:1 () in
+          let ctx = Engine.external_ctx () in
+          let first = Lrmalloc.palloc alloc ctx 512 in
+          let heap = Lrmalloc.heap alloc in
+          let d = Heap.lookup_desc heap ctx first |> Option.get in
+          let blocks =
+            first
+            :: List.init
+                 (d.Descriptor.max_count - 1)
+                 (fun _ -> Lrmalloc.palloc alloc ctx 512)
+          in
+          List.iter (fun b -> Lrmalloc.free alloc ctx b) blocks;
+          Lrmalloc.flush_thread_cache alloc ctx;
+          Heap.trim heap ctx;
+          Vbr_probe.run vm ctx ~addrs:blocks
+        in
+        let rows =
+          List.map
+            (fun remap ->
+              let r = probe remap in
+              [
+                Config.remap_strategy_name remap;
+                string_of_int r.Vbr_probe.attempts;
+                string_of_int r.Vbr_probe.succeeded;
+                string_of_int r.Vbr_probe.frames_leaked;
+                string_of_int r.Vbr_probe.cow_cas_faults;
+              ])
+            [ Config.Madvise; Config.Shared_map ]
+        in
+        Report.table
+          ~header:[ "strategy"; "dwcas"; "succeeded"; "frames-leaked"; "cas-faults" ]
+          rows);
+  }
+
+(* --- E10: per-node validation cost micro-benchmark (§2.4) -------------------- *)
+
+let micro_validate =
+  {
+    id = "micro-validate";
+    title = "per-node cost: OA warning check vs HP publish+fence+verify";
+    paper_ref = "Section 2.4 cost argument";
+    expected = "OA read_check cycles well below HP traverse_protect cycles";
+    run =
+      (fun _cfg ->
+        Report.section "micro-validate — simulated cycles per primitive";
+        let measure scheme_name f =
+          let sys =
+            System.create
+              {
+                System.default_config with
+                System.nthreads = 1;
+                scheme = scheme_name;
+              }
+          in
+          let iters = 2_000 in
+          System.run_on_thread0 sys (fun ctx ->
+              (* warm-up *)
+              f sys ctx 64);
+          let sys =
+            System.create
+              {
+                System.default_config with
+                System.nthreads = 1;
+                scheme = scheme_name;
+              }
+          in
+          let cycles = ref 0 in
+          System.run_on_thread0 sys (fun ctx ->
+              f sys ctx 64;
+              (* warm caches *)
+              let t0 = Engine.now ctx in
+              f sys ctx iters;
+              cycles := Engine.now ctx - t0);
+          float_of_int !cycles /. float_of_int iters
+        in
+        let oa_check sys ctx n =
+          let sch = System.scheme sys in
+          for _ = 1 to n do
+            sch.Scheme.read_check ctx
+          done
+        in
+        let hp_protect sys ctx n =
+          let sch = System.scheme sys in
+          let vm = System.vmem sys in
+          let node = sch.Scheme.alloc ctx 2 in
+          let loc = sch.Scheme.alloc ctx 2 in
+          Vmem.store vm ctx loc node;
+          for _ = 1 to n do
+            sch.Scheme.traverse_protect ctx ~slot:0 ~addr:node
+              ~verify:(fun () -> Vmem.load vm ctx loc = node)
+          done
+        in
+        let rows =
+          [
+            [ "oa-ver read_check"; fmt_mops (measure "oa-ver" oa_check) ];
+            [ "oa-bit read_check"; fmt_mops (measure "oa-bit" oa_check) ];
+            [ "hp traverse_protect"; fmt_mops (measure "hp" hp_protect) ];
+          ]
+        in
+        Report.table ~header:[ "primitive"; "cycles/op" ] rows);
+  }
+
+(* --- E11: warnings fired, OA-BIT vs OA-VER (Alg. 2 ablation) ----------------- *)
+
+let warnings_ablation =
+  {
+    id = "warnings-ablation";
+    title = "warning traffic and restarts: OA-BIT vs OA-VER on lists";
+    paper_ref = "Section 3.1 / Figure 4a explanation";
+    expected =
+      "OA-VER fires fewer warnings per reclaim (piggy-backing) and restarts \
+       readers less";
+    run =
+      (fun cfg ->
+        Report.section "warnings-ablation — OA-BIT vs OA-VER";
+        (* mid-range thread count and the list-figure horizon: the regime
+           where warning frequency drives restart losses *)
+        let threads = min 8 (List.fold_left max 1 cfg.threads) in
+        let rows =
+          List.map
+            (fun scheme ->
+              let r =
+                Runner.run
+                  {
+                    Runner.default_spec with
+                    Runner.scheme;
+                    threads;
+                    structure = Runner.List_set;
+                    workload =
+                      Workload.make ~mix:Workload.update_only ~initial:cfg.fig4_size ();
+                    horizon_cycles = 8 * cfg.horizon_cycles;
+                    threshold = 16;
+                    seed = cfg.seed;
+                  }
+              in
+              let s = r.Runner.scheme_stats in
+              [
+                scheme;
+                fmt_mops r.Runner.throughput_mops;
+                string_of_int s.Scheme.warnings_fired;
+                string_of_int s.Scheme.warnings_piggybacked;
+                string_of_int s.Scheme.restarts;
+                string_of_int s.Scheme.reclaim_phases;
+              ])
+            [ "oa-bit"; "oa-ver" ]
+        in
+        Report.table
+          ~header:
+            [ "scheme"; "Mops/s"; "warnings"; "piggyback"; "restarts"; "phases" ]
+          rows);
+  }
+
+(* --- ablations beyond the paper ---------------------------------------------- *)
+
+let limbo_sweep =
+  {
+    id = "limbo-sweep";
+    title = "limbo-list threshold sweep (OA-VER, hash 10K)";
+    paper_ref = "design choice in Alg. 1/2 (threshold X)";
+    expected = "throughput rises then plateaus; tiny thresholds thrash";
+    run =
+      (fun cfg ->
+        Report.section "limbo-sweep — reclamation threshold";
+        let threads = List.fold_left max 1 cfg.threads in
+        let rows =
+          List.map
+            (fun threshold ->
+              let r =
+                Runner.run
+                  {
+                    Runner.default_spec with
+                    Runner.scheme = "oa-ver";
+                    threads;
+                    structure = Runner.Hash_set;
+                    workload =
+                      Workload.make ~mix:Workload.update_only ~initial:10_000 ();
+                    horizon_cycles = cfg.horizon_cycles;
+                    threshold;
+                    seed = cfg.seed;
+                  }
+              in
+              [
+                string_of_int threshold;
+                fmt_mops r.Runner.throughput_mops;
+                string_of_int r.Runner.scheme_stats.Scheme.reclaim_phases;
+                string_of_int r.Runner.usage.Vmem.frames_peak;
+              ])
+            [ 4; 16; 64; 256; 1024 ]
+        in
+        Report.table
+          ~header:[ "threshold"; "Mops/s"; "phases"; "frames-peak" ]
+          rows);
+  }
+
+let padding_ablation =
+  {
+    id = "padding-ablation";
+    title = "hazard-slot cache-line padding on vs off";
+    paper_ref = "implementation detail (false sharing)";
+    expected = "unpadded slots cost throughput via false sharing";
+    run =
+      (fun cfg ->
+        Report.section "padding-ablation — hazard slot false sharing";
+        let threads = List.fold_left max 1 cfg.threads in
+        let rows =
+          List.map
+            (fun padded ->
+              let r =
+                Runner.run
+                  {
+                    Runner.default_spec with
+                    Runner.scheme = "hp";
+                    threads;
+                    structure = Runner.Hash_set;
+                    workload =
+                      Workload.make ~mix:Workload.update_only ~initial:10_000 ();
+                    horizon_cycles = cfg.horizon_cycles;
+                    hazard_padded = padded;
+                    seed = cfg.seed;
+                  }
+              in
+              [
+                (if padded then "padded" else "unpadded");
+                fmt_mops r.Runner.throughput_mops;
+                string_of_int
+                  r.Runner.engine_stats.Engine.cache.Hierarchy
+                  .remote_invalidations;
+              ])
+            [ true; false ]
+        in
+        Report.table ~header:[ "slots"; "Mops/s"; "remote-invalidations" ] rows);
+  }
+
+let cache_sweep =
+  {
+    id = "cache-sweep";
+    title = "cache-geometry sensitivity (OA-VER vs NR, hash 10K)";
+    paper_ref = "locality discussion in §5.2";
+    expected =
+      "a small L1 amplifies the footprint advantage of reclaiming schemes";
+    run =
+      (fun cfg ->
+        Report.section "cache-sweep — cache geometry";
+        (* the list is where footprint-vs-L1 matters: OA-VER's compact
+           reuse fits the default L1, NR's scattered leak does not *)
+        let threads = min 8 (List.fold_left max 1 cfg.threads) in
+        let geoms =
+          [
+            ("opteron", None);
+            ( "small-l1",
+              Some
+                {
+                  Oamem_engine.Hierarchy.opteron_6274_config with
+                  Oamem_engine.Hierarchy.l1_sets = 8;
+                } );
+            ( "big-l1",
+              Some
+                {
+                  Oamem_engine.Hierarchy.opteron_6274_config with
+                  Oamem_engine.Hierarchy.l1_sets = 1024;
+                } );
+          ]
+        in
+        let rows =
+          List.concat_map
+            (fun (name, cache_cfg) ->
+              List.map
+                (fun scheme ->
+                  let r =
+                    Runner.run
+                      {
+                        Runner.default_spec with
+                        Runner.scheme;
+                        threads;
+                        structure = Runner.List_set;
+                        workload =
+                          Workload.make ~mix:Workload.update_only ~initial:cfg.fig4_size ();
+                        horizon_cycles = 8 * cfg.horizon_cycles;
+                        threshold = 16;
+                        cache_cfg;
+                        seed = cfg.seed;
+                      }
+                  in
+                  [ name; scheme; fmt_mops r.Runner.throughput_mops ])
+                [ "oa-ver"; "nr" ])
+            geoms
+        in
+        Report.table ~header:[ "cache"; "scheme"; "Mops/s" ] rows);
+  }
+
+(* --- §6 future work: VBR over the extended allocator -------------------------- *)
+
+let vbr_stack =
+  {
+    id = "vbr-stack";
+    title = "VBR stack (immediate free) vs OA-VER stack (limbo + warnings)";
+    paper_ref = "Section 6 (future work) + Section 3.2 footnote 2";
+    expected =
+      "VBR frees every popped node immediately with competitive throughput; \
+       memory returns with no drain";
+    run =
+      (fun cfg ->
+        Report.section "vbr-stack — the paper's future-work combination";
+        let nthreads = min 8 (List.fold_left max 1 cfg.threads) in
+        let ops_per_thread = 2_000 in
+        let run_stack which =
+          let sys =
+            System.create
+              {
+                System.default_config with
+                System.nthreads;
+                scheme = "oa-ver";
+                alloc_cfg =
+                  { Config.default with Config.sb_pages = 8 };
+                scheme_cfg =
+                  {
+                    Scheme.default_config with
+                    Scheme.threshold = 64;
+                    slots_per_thread = Hm_list.slots_needed;
+                  };
+              }
+          in
+          let setup = Engine.external_ctx () in
+          let push, pop, frees_after =
+            match which with
+            | `Vbr ->
+                let s = Vbr_stack.create setup ~alloc:(System.alloc sys) in
+                ( Vbr_stack.push s,
+                  (fun ctx -> ignore (Vbr_stack.pop s ctx)),
+                  fun () -> Vbr_stack.immediate_frees s )
+            | `Oa ->
+                let s =
+                  Treiber_stack.create setup ~scheme:(System.scheme sys)
+                    ~vmem:(System.vmem sys)
+                in
+                ( Treiber_stack.push s,
+                  (fun ctx -> ignore (Treiber_stack.pop s ctx)),
+                  fun () ->
+                    (System.scheme_stats sys).Scheme.freed )
+          in
+          for tid = 0 to nthreads - 1 do
+            System.spawn sys ~tid (fun ctx ->
+                let rng = Prng.create (cfg.seed + tid) in
+                for i = 1 to ops_per_thread do
+                  if Prng.bool rng then push ctx i else pop ctx
+                done)
+          done;
+          System.run sys;
+          let eng = System.engine sys in
+          let mops =
+            float_of_int (nthreads * ops_per_thread)
+            /. Engine.elapsed_seconds eng /. 1e6
+          in
+          let frames_busy = (System.usage sys).Vmem.frames_live in
+          (mops, frees_after (), frames_busy)
+        in
+        let vbr_mops, vbr_frees, vbr_frames = run_stack `Vbr in
+        let oa_mops, oa_frees, oa_frames = run_stack `Oa in
+        Report.table
+          ~header:[ "stack"; "Mops/s"; "frees"; "frames-live" ]
+          [
+            [ "vbr (immediate)"; fmt_mops vbr_mops; string_of_int vbr_frees;
+              string_of_int vbr_frames ];
+            [ "oa-ver (limbo)"; fmt_mops oa_mops; string_of_int oa_frees;
+              string_of_int oa_frames ];
+          ]);
+  }
+
+let all =
+  [
+    fig4a;
+    fig4b;
+    fig5a;
+    fig5b;
+    fig6a;
+    fig6b;
+    remap_strategies;
+    memory_release;
+    dwcas_leak;
+    micro_validate;
+    warnings_ablation;
+    limbo_sweep;
+    padding_ablation;
+    cache_sweep;
+    vbr_stack;
+  ]
+
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown experiment %S (known: %s)" id
+           (String.concat ", " (List.map (fun e -> e.id) all)))

@@ -1,0 +1,29 @@
+(** The experiment registry: one entry per table/figure of the paper's
+    evaluation plus the mechanism experiments and ablations (see DESIGN.md
+    for the index). *)
+
+type config = {
+  threads : int list;
+  horizon_cycles : int;
+  fig4_size : int;  (** paper: 5K list nodes; scaled default for runtime *)
+  fig6_size : int;  (** paper: 1M hash nodes; scaled default for runtime *)
+  schemes : string list;
+  seed : int;
+  csv_dir : string option;
+}
+
+val default_config : config
+val quick_config : config
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  expected : string;  (** the paper's expected shape, stated up front *)
+  run : config -> unit;
+}
+
+val all : t list
+
+val find : string -> t
+(** Raises [Invalid_argument] for unknown ids. *)

@@ -1,0 +1,94 @@
+(* Plain-text reporting: aligned tables, ASCII line charts (one per paper
+   figure) and optional CSV dumps for external plotting. *)
+
+let fprintf = Printf.printf
+
+(* --- tables ---------------------------------------------------------------- *)
+
+let table ~header rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let print_row row =
+    List.iteri
+      (fun i cell -> fprintf "%s%s  " cell (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    fprintf "\n"
+  in
+  print_row header;
+  List.iteri (fun i w -> ignore i; fprintf "%s  " (String.make w '-')) (Array.to_list widths);
+  fprintf "\n";
+  List.iter print_row rows
+
+(* --- ASCII chart ------------------------------------------------------------ *)
+
+(* Plot series of (x, y) points on a character grid; each series gets a
+   letter.  X positions are treated as ordinal (evenly spaced), matching the
+   paper's thread-count axes. *)
+let chart ?(width = 64) ?(height = 16) ~title ~xlabel ~ylabel ~xs series =
+  let nx = List.length xs in
+  if nx = 0 || series = [] then ()
+  else begin
+    let ymax =
+      List.fold_left
+        (fun acc (_, ys) -> List.fold_left max acc ys)
+        1e-9 series
+    in
+    let grid = Array.make_matrix height width ' ' in
+    let col_of i = if nx = 1 then 0 else i * (width - 1) / (nx - 1) in
+    let row_of y =
+      let r = int_of_float (y /. ymax *. float_of_int (height - 1)) in
+      height - 1 - max 0 (min (height - 1) r)
+    in
+    List.iteri
+      (fun si (_, ys) ->
+        let letter = Char.chr (Char.code 'A' + (si mod 26)) in
+        let pts = List.mapi (fun i y -> (col_of i, row_of y)) ys in
+        (* draw segments between consecutive points *)
+        let rec draw = function
+          | (c0, r0) :: ((c1, r1) :: _ as rest) ->
+              let steps = max 1 (c1 - c0) in
+              for s = 0 to steps do
+                let c = c0 + (s * (c1 - c0) / steps) in
+                let r = r0 + (s * (r1 - r0) / steps) in
+                if grid.(r).(c) = ' ' || s = 0 then grid.(r).(c) <- letter
+              done;
+              draw rest
+          | [ (c, r) ] -> grid.(r).(c) <- letter
+          | [] -> ()
+        in
+        draw pts)
+      series;
+    fprintf "\n  %s\n" title;
+    fprintf "  %s (max %.3f)\n" ylabel ymax;
+    Array.iter (fun row -> fprintf "  |%s|\n" (String.init width (Array.get row))) grid;
+    fprintf "  +%s+\n" (String.make width '-');
+    let xs_str = List.map string_of_int xs in
+    fprintf "   %s: %s\n" xlabel (String.concat " " xs_str);
+    List.iteri
+      (fun si (name, _) ->
+        fprintf "   %c = %s\n" (Char.chr (Char.code 'A' + (si mod 26))) name)
+      series;
+    fprintf "\n"
+  end
+
+(* --- CSV -------------------------------------------------------------------- *)
+
+let csv ~path ~header rows =
+  let oc = open_out path in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  fprintf "\n%s\n= %s =\n%s\n" bar title bar

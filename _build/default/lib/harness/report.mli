@@ -1,0 +1,17 @@
+(** Plain-text reporting: aligned tables, ASCII line charts and CSV. *)
+
+val table : header:string list -> string list list -> unit
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  xs:int list ->
+  (string * float list) list ->
+  unit
+(** One letter per series; x positions are ordinal (thread counts). *)
+
+val csv : path:string -> header:string list -> string list list -> unit
+val section : string -> unit

@@ -1,0 +1,65 @@
+(** One benchmark run: build a system, prefill the structure, churn to a
+    steady-state memory layout (warmup), then drive T simulated threads for
+    a fixed simulated-time horizon and report throughput plus per-subsystem
+    statistics. *)
+
+open Oamem_engine
+open Oamem_reclaim
+open Oamem_lrmalloc
+
+type structure = List_set | Hash_set
+
+val structure_name : structure -> string
+
+type spec = {
+  scheme : string;
+  threads : int;
+  structure : structure;
+  workload : Workload.t;
+  horizon_cycles : int;
+  warmup_ops : int;
+      (** operations before the measured window; 0 = auto (3x initial) *)
+  threshold : int;
+  remap : Config.remap_strategy;
+  sb_pages : int;
+  seed : int;
+  hazard_padded : bool;
+  cache_cfg : Hierarchy.config option;
+}
+
+val default_spec : spec
+
+type result = {
+  spec : spec;
+  ops : int;
+  searches : int;
+  inserts : int;
+  deletes : int;
+  sim_seconds : float;
+  throughput_mops : float;
+  scheme_stats : Scheme.stats;
+  engine_stats : Engine.stats;
+  usage : Oamem_vmem.Vmem.usage;
+  alloc_stats : Heap.stats;
+}
+
+type target = {
+  insert : Engine.ctx -> int -> bool;
+  delete : Engine.ctx -> int -> bool;
+  contains : Engine.ctx -> int -> bool;
+}
+
+val make_system : spec -> Oamem_core.System.t
+val build_target : Oamem_core.System.t -> spec -> target
+val run : spec -> result
+val pp_result : Format.formatter -> result -> unit
+
+type summary = {
+  trials : result list;
+  median_mops : float;
+  min_mops : float;
+  max_mops : float;
+}
+
+val run_trials : ?trials:int -> spec -> summary
+(** Independent trials with derived seeds; figures use the median. *)

@@ -1,0 +1,90 @@
+(* Benchmark workloads (paper §5.1).
+
+   Operations are drawn from a (search, insert, delete) percentage mix with
+   uniformly random keys.  The paper keeps insert:delete at 1:1 so the
+   structure size stays constant; prefilling half the key universe with even
+   keys puts the structure at its steady-state size immediately. *)
+
+open Oamem_engine
+
+type mix = { search_pct : int; insert_pct : int; delete_pct : int }
+
+let mix ~search ~insert ~delete =
+  if search + insert + delete <> 100 then
+    invalid_arg "Workload.mix: percentages must sum to 100";
+  { search_pct = search; insert_pct = insert; delete_pct = delete }
+
+(* The paper's two mixes. *)
+let update_only = mix ~search:0 ~insert:50 ~delete:50
+let balanced = mix ~search:50 ~insert:25 ~delete:25
+
+let mix_name m =
+  Printf.sprintf "%d%%s/%d%%i/%d%%d" m.search_pct m.insert_pct m.delete_pct
+
+type op = Search of int | Insert of int | Delete of int
+
+(* Key distributions: the paper draws keys uniformly; Zipf-skewed keys are
+   provided as a library extension for contention studies. *)
+type distribution = Uniform | Zipf of float
+
+type t = {
+  mix : mix;
+  universe : int;
+  initial : int;
+  distribution : distribution;
+  zipf_cdf : float array;  (* cumulative distribution when Zipf *)
+}
+
+let build_zipf_cdf ~universe theta =
+  if theta <= 0.0 then invalid_arg "Workload: Zipf skew must be positive";
+  let weights =
+    Array.init universe (fun i -> 1.0 /. (float_of_int (i + 1) ** theta))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let acc = ref 0.0 in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+(* [initial] nodes in a universe of twice that many keys. *)
+let make ?(distribution = Uniform) ~mix ~initial () =
+  let universe = 2 * initial in
+  {
+    mix;
+    universe;
+    initial;
+    distribution;
+    zipf_cdf =
+      (match distribution with
+      | Uniform -> [||]
+      | Zipf theta -> build_zipf_cdf ~universe theta);
+  }
+
+(* Steady-state prefill: the even keys. *)
+let prefill_keys t = List.init t.initial (fun i -> 2 * i)
+
+(* Binary search the cumulative table. *)
+let zipf_draw t rng =
+  let u = Prng.float rng in
+  let lo = ref 0 and hi = ref (t.universe - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.zipf_cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  (* scatter ranks over the key space so hot keys are not all adjacent *)
+  !lo * 0x9e3779b land (t.universe - 1)
+  |> fun k -> if k < t.universe then k else k mod t.universe
+
+let next_key t rng =
+  match t.distribution with
+  | Uniform -> Prng.int rng t.universe
+  | Zipf _ -> zipf_draw t rng
+
+let next_op t rng =
+  let k = next_key t rng in
+  let r = Prng.int rng 100 in
+  if r < t.mix.search_pct then Search k
+  else if r < t.mix.search_pct + t.mix.insert_pct then Insert k
+  else Delete k

@@ -1,0 +1,39 @@
+(** Benchmark workloads (paper §5.1): (search, insert, delete) mixes with
+    uniform keys over a universe of twice the initial size, so a 1:1
+    insert:delete ratio keeps the structure size constant. *)
+
+open Oamem_engine
+
+type mix = { search_pct : int; insert_pct : int; delete_pct : int }
+
+val mix : search:int -> insert:int -> delete:int -> mix
+(** Percentages must sum to 100. *)
+
+val update_only : mix
+(** 0/50/50 — the paper's "only modifying operations". *)
+
+val balanced : mix
+(** 50/25/25 — the paper's "more balanced set". *)
+
+val mix_name : mix -> string
+
+type op = Search of int | Insert of int | Delete of int
+
+type distribution =
+  | Uniform  (** the paper's key distribution *)
+  | Zipf of float  (** skewed keys with the given theta (library extension) *)
+
+type t = private {
+  mix : mix;
+  universe : int;
+  initial : int;
+  distribution : distribution;
+  zipf_cdf : float array;
+}
+
+val make : ?distribution:distribution -> mix:mix -> initial:int -> unit -> t
+val prefill_keys : t -> int list
+(** Steady-state prefill: the even keys. *)
+
+val next_key : t -> Prng.t -> int
+val next_op : t -> Prng.t -> op

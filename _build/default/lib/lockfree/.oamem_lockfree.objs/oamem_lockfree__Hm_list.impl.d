@@ -1,0 +1,1 @@
+lib/lockfree/hm_list.ml: Engine List Node Oamem_engine Oamem_reclaim Oamem_vmem Scheme Vmem

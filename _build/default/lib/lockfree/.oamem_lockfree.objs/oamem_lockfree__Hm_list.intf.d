@@ -1,0 +1,1 @@
+lib/lockfree/hm_list.mli: Engine Oamem_engine Oamem_reclaim Oamem_vmem Scheme Vmem

@@ -1,0 +1,1 @@
+lib/lockfree/michael_hash.ml: Array Hm_list List Node Oamem_lrmalloc Oamem_reclaim Oamem_vmem Scheme Vmem

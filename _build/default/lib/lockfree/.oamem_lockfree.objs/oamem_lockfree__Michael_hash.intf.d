@@ -1,0 +1,1 @@
+lib/lockfree/michael_hash.mli: Engine Oamem_engine Oamem_lrmalloc Oamem_reclaim Oamem_vmem Scheme Vmem

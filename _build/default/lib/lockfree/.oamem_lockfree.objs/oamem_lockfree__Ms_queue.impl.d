@@ -1,0 +1,1 @@
+lib/lockfree/ms_queue.ml: Engine List Node Oamem_engine Oamem_reclaim Oamem_vmem Scheme Vmem

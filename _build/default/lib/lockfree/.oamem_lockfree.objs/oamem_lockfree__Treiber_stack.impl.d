@@ -1,0 +1,1 @@
+lib/lockfree/treiber_stack.ml: Engine List Node Oamem_engine Oamem_reclaim Oamem_vmem Scheme Vmem

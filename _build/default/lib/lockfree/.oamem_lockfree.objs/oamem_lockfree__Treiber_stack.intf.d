@@ -1,0 +1,1 @@
+lib/lockfree/treiber_stack.mli: Engine Oamem_engine Oamem_reclaim Oamem_vmem Scheme Vmem

@@ -1,0 +1,1 @@
+lib/lockfree/vbr_stack.ml: Engine List Lrmalloc Node Oamem_engine Oamem_lrmalloc Oamem_vmem Vmem

@@ -1,0 +1,1 @@
+lib/lockfree/vbr_stack.mli: Engine Oamem_engine Oamem_lrmalloc

@@ -1,0 +1,333 @@
+(* Harris–Michael lock-free ordered linked list (Michael, SPAA 2002), the
+   paper's benchmark structure, written against the generic reclamation
+   interface so that the same code runs under NR, the original OA, OA-BIT,
+   OA-VER, hazard pointers and EBR.
+
+   Scheme hooks are placed exactly where each method's protocol demands:
+
+   - after every optimistic load: [read_check] (OA warning / version check);
+   - before dereferencing a traversal pointer: [traverse_protect]
+     (hazard-pointer publish + fence + re-verify; no-op for OA);
+   - before every CAS: [write_protect] on every node the CAS involves —
+     the node written to, the node being linked in — then one [validate]
+     (OA's single fence + warning check of §2.4).
+
+   Hazard slot assignment: slots 0/1 alternate between cur and its
+   predecessor during traversal (the classic two-pointer rotation), and
+   slots 2/3/4 are used for the write window, so publishing for a CAS never
+   momentarily unprotects a traversal pointer.
+
+   Operations are retried from the list head whenever the scheme raises
+   [Restart] — the optimistic-access restart contract. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_reclaim
+
+let slots_needed = 5
+
+type t = {
+  scheme : Scheme.ops;
+  vmem : Vmem.t;
+  head : int;  (* address of the word holding the first-node pointer *)
+  node_words : int;  (* 2 for sets, 3 for key-value maps *)
+}
+
+(* The head word must never be reclaimed; we take it from the scheme's own
+   allocator so OA-orig's pool discipline also covers it. *)
+let create_sized ctx ~scheme ~vmem ~node_words =
+  let head = scheme.Scheme.alloc ctx node_words in
+  Vmem.store vmem ctx head Node.null;
+  (* the spare words of the head block stay unused *)
+  { scheme; vmem; head; node_words }
+
+let create ctx ~scheme ~vmem =
+  create_sized ctx ~scheme ~vmem ~node_words:Node.words
+
+let create_kv ctx ~scheme ~vmem =
+  create_sized ctx ~scheme ~vmem ~node_words:Node.kv_words
+
+(* A list living at an externally owned head word (hash-table buckets). *)
+let at_head ?(node_words = Node.words) ~scheme ~vmem head =
+  { scheme; vmem; head; node_words }
+
+type found = {
+  prev : int;  (* address of the link word pointing to cur *)
+  prev_node : int;  (* node containing [prev], or 0 when it is the head *)
+  cur : int;  (* first node with key >= target, or 0 *)
+  cur_key : int;
+  next : int;  (* unmarked successor of cur *)
+}
+
+(* Traverse from the head to the first node with key >= [key], unlinking
+   logically deleted nodes on the way.  Raises [Scheme.Restart]. *)
+let find t ctx ~key =
+  let sch = t.scheme and vm = t.vmem in
+  let prev = ref t.head and prev_node = ref 0 in
+  let cur = ref (Vmem.load vm ctx t.head) in
+  sch.Scheme.read_check ctx;
+  let parity = ref 0 in
+  let rec loop () =
+    if !cur = Node.null then
+      { prev = !prev; prev_node = !prev_node; cur = 0; cur_key = 0; next = 0 }
+    else begin
+      let c = Node.unmark !cur in
+      (* hazard-pointer schemes publish c and re-verify the link *)
+      sch.Scheme.traverse_protect ctx ~slot:!parity ~addr:c ~verify:(fun () ->
+          Vmem.load vm ctx !prev = !cur);
+      let next = Vmem.load vm ctx (Node.next_of c) in
+      sch.Scheme.read_check ctx;
+      let ckey = Vmem.load vm ctx (Node.key_of c) in
+      sch.Scheme.read_check ctx;
+      if Node.is_marked next then begin
+        (* c is logically deleted: unlink it.  The CAS writes into
+           [prev_node] and links [next]; protect both, validate once. *)
+        let succ = Node.unmark next in
+        sch.Scheme.write_protect ctx ~slot:2
+          (if !prev_node = 0 then t.head else !prev_node);
+        sch.Scheme.write_protect ctx ~slot:3 c;
+        if succ <> 0 then sch.Scheme.write_protect ctx ~slot:4 succ;
+        sch.Scheme.validate ctx;
+        if Vmem.cas vm ctx !prev ~expect:!cur ~desired:succ then begin
+          sch.Scheme.retire ctx c;
+          cur := succ;
+          loop ()
+        end
+        else raise Scheme.Restart
+      end
+      else if ckey >= key then
+        { prev = !prev; prev_node = !prev_node; cur = c; cur_key = ckey; next }
+      else begin
+        prev_node := c;
+        prev := Node.next_of c;
+        cur := next;
+        parity := 1 - !parity;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Run [f] under the scheme's operation protocol, restarting on demand. *)
+let run_op t ctx f =
+  let sch = t.scheme in
+  let rec attempt () =
+    sch.Scheme.begin_op ctx;
+    match f () with
+    | r ->
+        sch.Scheme.clear ctx;
+        sch.Scheme.end_op ctx;
+        r
+    | exception Scheme.Restart ->
+        sch.Scheme.stats.Scheme.restarts <-
+          sch.Scheme.stats.Scheme.restarts + 1;
+        sch.Scheme.clear ctx;
+        sch.Scheme.end_op ctx;
+        Engine.pause ctx;
+        attempt ()
+  in
+  attempt ()
+
+let contains t ctx key =
+  run_op t ctx (fun () ->
+      let f = find t ctx ~key in
+      f.cur <> 0 && f.cur_key = key)
+
+(* Wait-free-style membership test that never helps with unlinking (the
+   search style Michael's hash tables use for read-mostly workloads):
+   marked nodes are skipped, not removed, so a pure lookup performs no CAS
+   at all.  Under hazard pointers this still publishes/validates each hop;
+   under the OA schemes it is read-checks only. *)
+let contains_readonly t ctx key =
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let prev = ref t.head in
+      let cur = ref (Vmem.load vm ctx t.head) in
+      sch.Scheme.read_check ctx;
+      let parity = ref 0 in
+      let rec loop () =
+        let c = Node.unmark !cur in
+        if c = Node.null then false
+        else begin
+          sch.Scheme.traverse_protect ctx ~slot:!parity ~addr:c
+            ~verify:(fun () -> Vmem.load vm ctx !prev = !cur);
+          let next = Vmem.load vm ctx (Node.next_of c) in
+          sch.Scheme.read_check ctx;
+          let ckey = Vmem.load vm ctx (Node.key_of c) in
+          sch.Scheme.read_check ctx;
+          if ckey > key then false
+          else if ckey = key then not (Node.is_marked next)
+          else begin
+            prev := Node.next_of c;
+            cur := next;
+            parity := 1 - !parity;
+            loop ()
+          end
+        end
+      in
+      loop ())
+
+let insert t ctx key =
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let f = find t ctx ~key in
+      if f.cur <> 0 && f.cur_key = key then false
+      else begin
+        let node = sch.Scheme.alloc ctx t.node_words in
+        Vmem.store vm ctx (Node.key_of node) key;
+        Vmem.store vm ctx (Node.next_of node) f.cur;
+        (* CAS writes into prev_node and links node; if validation demands a
+           restart the unpublished node must be returned, not leaked *)
+        match
+          sch.Scheme.write_protect ctx ~slot:2
+            (if f.prev_node = 0 then t.head else f.prev_node);
+          sch.Scheme.write_protect ctx ~slot:3 node;
+          sch.Scheme.validate ctx
+        with
+        | () ->
+            if Vmem.cas vm ctx f.prev ~expect:f.cur ~desired:node then true
+            else begin
+              sch.Scheme.cancel ctx node;
+              raise Scheme.Restart
+            end
+        | exception Scheme.Restart ->
+            sch.Scheme.cancel ctx node;
+            raise Scheme.Restart
+      end)
+
+(* Key-value operations (3-word nodes). *)
+
+(* [insert_kv] adds a binding; [false] (and no change) if the key exists. *)
+let insert_kv t ctx key value =
+  assert (t.node_words >= Node.kv_words);
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let f = find t ctx ~key in
+      if f.cur <> 0 && f.cur_key = key then false
+      else begin
+        let node = sch.Scheme.alloc ctx t.node_words in
+        Vmem.store vm ctx (Node.key_of node) key;
+        Vmem.store vm ctx (Node.value_of node) value;
+        Vmem.store vm ctx (Node.next_of node) f.cur;
+        match
+          sch.Scheme.write_protect ctx ~slot:2
+            (if f.prev_node = 0 then t.head else f.prev_node);
+          sch.Scheme.write_protect ctx ~slot:3 node;
+          sch.Scheme.validate ctx
+        with
+        | () ->
+            if Vmem.cas vm ctx f.prev ~expect:f.cur ~desired:node then true
+            else begin
+              sch.Scheme.cancel ctx node;
+              raise Scheme.Restart
+            end
+        | exception Scheme.Restart ->
+            sch.Scheme.cancel ctx node;
+            raise Scheme.Restart
+      end)
+
+(* Value bound to [key], if present.  The value read is validated like any
+   other optimistic read. *)
+let lookup t ctx key =
+  assert (t.node_words >= Node.kv_words);
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let f = find t ctx ~key in
+      if f.cur = 0 || f.cur_key <> key then None
+      else begin
+        let v = Vmem.load vm ctx (Node.value_of f.cur) in
+        sch.Scheme.read_check ctx;
+        Some v
+      end)
+
+(* Atomically replace the value of an existing binding; [None] if absent,
+   otherwise the previous value.  The CAS-loop on the value word makes
+   concurrent replacements linearizable. *)
+let replace t ctx key value =
+  assert (t.node_words >= Node.kv_words);
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let f = find t ctx ~key in
+      if f.cur = 0 || f.cur_key <> key then None
+      else begin
+        (* the CAS writes into cur: protect it, validate once *)
+        sch.Scheme.write_protect ctx ~slot:2 f.cur;
+        sch.Scheme.validate ctx;
+        let rec swap () =
+          let old = Vmem.load vm ctx (Node.value_of f.cur) in
+          sch.Scheme.read_check ctx;
+          if Vmem.cas vm ctx (Node.value_of f.cur) ~expect:old ~desired:value
+          then Some old
+          else begin
+            Engine.pause ctx;
+            swap ()
+          end
+        in
+        swap ()
+      end)
+
+let delete t ctx key =
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let f = find t ctx ~key in
+      if f.cur = 0 || f.cur_key <> key then false
+      else begin
+        (* logical deletion: mark cur's next.  The CAS writes into cur. *)
+        sch.Scheme.write_protect ctx ~slot:2 f.cur;
+        if f.next <> 0 then sch.Scheme.write_protect ctx ~slot:3 f.next;
+        sch.Scheme.validate ctx;
+        if
+          not
+            (Vmem.cas vm ctx (Node.next_of f.cur) ~expect:f.next
+               ~desired:(Node.mark f.next))
+        then raise Scheme.Restart
+        else begin
+          (* The marking succeeded, so the delete has taken effect; the
+             physical unlink below is best-effort and must never restart
+             the operation (a traversal will finish the unlink and retire
+             the node if we cannot). *)
+          (try
+             sch.Scheme.write_protect ctx ~slot:2
+               (if f.prev_node = 0 then t.head else f.prev_node);
+             sch.Scheme.write_protect ctx ~slot:3 f.cur;
+             if f.next <> 0 then sch.Scheme.write_protect ctx ~slot:4 f.next;
+             sch.Scheme.validate ctx;
+             if Vmem.cas vm ctx f.prev ~expect:f.cur ~desired:f.next then
+               sch.Scheme.retire ctx f.cur
+           with Scheme.Restart -> ());
+          true
+        end
+      end)
+
+(* Sequential bulk construction for setup/prefill phases: builds the chain
+   directly instead of paying O(n) traversal per insert.  The list must be
+   empty and the caller single-threaded (use an external/uncosted ctx for
+   benchmark prefills). *)
+let build_sorted t ctx keys =
+  let keys = List.sort_uniq compare keys in
+  let rec link prev_link = function
+    | [] -> Vmem.store t.vmem ctx prev_link Node.null
+    | k :: rest ->
+        let n = t.scheme.Scheme.alloc ctx t.node_words in
+        Vmem.store t.vmem ctx (Node.key_of n) k;
+        Vmem.store t.vmem ctx prev_link n;
+        link (Node.next_of n) rest
+  in
+  link t.head keys
+
+(* Uncosted sequential snapshot for tests: keys of unmarked nodes. *)
+let to_list t =
+  let rec go acc cur =
+    (* the walked value may carry a mark (a logically deleted node never
+       physically unlinked), including a marked null at the tail *)
+    let c = Node.unmark cur in
+    if c = Node.null then List.rev acc
+    else
+      let next = Vmem.peek t.vmem (Node.next_of c) in
+      let key = Vmem.peek t.vmem (Node.key_of c) in
+      if Node.is_marked next then go acc next
+      else go (key :: acc) next
+  in
+  go [] (Vmem.peek t.vmem t.head)
+
+let length t = List.length (to_list t)

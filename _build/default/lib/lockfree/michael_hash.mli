@@ -1,0 +1,46 @@
+(** Michael's lock-free hash table (SPAA 2002): a fixed bucket array (one
+    large allocation that lives as long as the table, §4 of the paper) of
+    independent Harris–Michael lists. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_reclaim
+
+type t
+
+val create :
+  Engine.ctx ->
+  scheme:Scheme.ops ->
+  vmem:Vmem.t ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  expected_size:int ->
+  load_factor:float ->
+  t
+(** A hash set (2-word nodes). *)
+
+val create_kv :
+  Engine.ctx ->
+  scheme:Scheme.ops ->
+  vmem:Vmem.t ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  expected_size:int ->
+  load_factor:float ->
+  t
+(** A hash map (3-word nodes); use the [_kv] operations. *)
+
+val insert : t -> Engine.ctx -> int -> bool
+val delete : t -> Engine.ctx -> int -> bool
+val contains : t -> Engine.ctx -> int -> bool
+val insert_kv : t -> Engine.ctx -> int -> int -> bool
+val lookup : t -> Engine.ctx -> int -> int option
+val replace : t -> Engine.ctx -> int -> int -> int option
+val nbuckets : t -> int
+
+val prefill : t -> Engine.ctx -> int list -> unit
+(** Sequential bulk construction for setup phases (empty table, one caller). *)
+
+val to_list : t -> int list
+(** Uncosted snapshot (quiescent state only). *)
+
+val length : t -> int
+val max_chain : t -> int

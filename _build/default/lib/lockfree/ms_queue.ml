@@ -1,0 +1,149 @@
+(* Michael & Scott's lock-free FIFO queue over simulated memory, reclaimed
+   through the generic scheme interface.
+
+   The queue keeps a sentinel node; [head] and [tail] live in one block
+   (words 0 and 1).  Dequeue retires the outgoing sentinel — under the
+   optimistic-access schemes the retired sentinel's memory flows back
+   through palloc like any other node, which the original OA's fixed pools
+   could not offer to the rest of the process.
+
+   Node layout: word 0 = value, word 1 = next. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_reclaim
+
+type t = {
+  scheme : Scheme.ops;
+  vmem : Vmem.t;
+  head : int;  (* word holding the sentinel pointer *)
+  tail : int;  (* word holding the tail hint *)
+}
+
+let create ctx ~scheme ~vmem =
+  let anchor = scheme.Scheme.alloc ctx Node.words in
+  let head = anchor and tail = anchor + 1 in
+  let sentinel = scheme.Scheme.alloc ctx Node.words in
+  Vmem.store vmem ctx (Node.next_of sentinel) Node.null;
+  Vmem.store vmem ctx head sentinel;
+  Vmem.store vmem ctx tail sentinel;
+  { scheme; vmem; head; tail }
+
+let run_op t ctx f =
+  let sch = t.scheme in
+  let rec attempt () =
+    sch.Scheme.begin_op ctx;
+    match f () with
+    | r ->
+        sch.Scheme.clear ctx;
+        sch.Scheme.end_op ctx;
+        r
+    | exception Scheme.Restart ->
+        sch.Scheme.stats.Scheme.restarts <-
+          sch.Scheme.stats.Scheme.restarts + 1;
+        sch.Scheme.clear ctx;
+        sch.Scheme.end_op ctx;
+        Engine.pause ctx;
+        attempt ()
+  in
+  attempt ()
+
+let enqueue t ctx value =
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let node = sch.Scheme.alloc ctx Node.words in
+      Vmem.store vm ctx node value;
+      Vmem.store vm ctx (Node.next_of node) Node.null;
+      let rec loop () =
+        let tl = Vmem.load vm ctx t.tail in
+        sch.Scheme.read_check ctx;
+        sch.Scheme.traverse_protect ctx ~slot:0 ~addr:tl ~verify:(fun () ->
+            Vmem.load vm ctx t.tail = tl);
+        let next = Vmem.load vm ctx (Node.next_of tl) in
+        sch.Scheme.read_check ctx;
+        if next = Node.null then begin
+          (* the CAS writes into tl and links the private node *)
+          sch.Scheme.write_protect ctx ~slot:2 tl;
+          sch.Scheme.validate ctx;
+          if Vmem.cas vm ctx (Node.next_of tl) ~expect:Node.null ~desired:node
+          then
+            (* swing the tail hint; losing this race is harmless *)
+            ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:node)
+          else begin
+            Engine.pause ctx;
+            loop ()
+          end
+        end
+        else begin
+          (* help a lagging enqueuer move the tail hint forward *)
+          sch.Scheme.write_protect ctx ~slot:2 tl;
+          sch.Scheme.write_protect ctx ~slot:3 next;
+          sch.Scheme.validate ctx;
+          ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:next);
+          Engine.pause ctx;
+          loop ()
+        end
+      in
+      loop ())
+
+let dequeue t ctx =
+  let sch = t.scheme and vm = t.vmem in
+  run_op t ctx (fun () ->
+      let rec loop () =
+        let hd = Vmem.load vm ctx t.head in
+        sch.Scheme.read_check ctx;
+        sch.Scheme.traverse_protect ctx ~slot:0 ~addr:hd ~verify:(fun () ->
+            Vmem.load vm ctx t.head = hd);
+        let tl = Vmem.load vm ctx t.tail in
+        sch.Scheme.read_check ctx;
+        let next = Vmem.load vm ctx (Node.next_of hd) in
+        sch.Scheme.read_check ctx;
+        if hd = tl then
+          if next = Node.null then None
+          else begin
+            (* tail is lagging: help before retrying *)
+            sch.Scheme.write_protect ctx ~slot:2 tl;
+            sch.Scheme.write_protect ctx ~slot:3 next;
+            sch.Scheme.validate ctx;
+            ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:next);
+            Engine.pause ctx;
+            loop ()
+          end
+        else begin
+          sch.Scheme.traverse_protect ctx ~slot:1 ~addr:next ~verify:(fun () ->
+              Vmem.load vm ctx (Node.next_of hd) = next);
+          let value = Vmem.load vm ctx next in
+          sch.Scheme.read_check ctx;
+          sch.Scheme.write_protect ctx ~slot:2 hd;
+          sch.Scheme.write_protect ctx ~slot:3 next;
+          sch.Scheme.validate ctx;
+          if Vmem.cas vm ctx t.head ~expect:hd ~desired:next then begin
+            (* the outgoing sentinel is ours to retire *)
+            sch.Scheme.retire ctx hd;
+            Some value
+          end
+          else begin
+            Engine.pause ctx;
+            loop ()
+          end
+        end
+      in
+      loop ())
+
+let is_empty t ctx =
+  let hd = Vmem.load t.vmem ctx t.head in
+  t.scheme.Scheme.read_check ctx;
+  let next = Vmem.load t.vmem ctx (Node.next_of hd) in
+  t.scheme.Scheme.read_check ctx;
+  next = Node.null
+
+(* Uncosted snapshot for tests (quiescent state only): front first. *)
+let to_list t =
+  let sentinel = Vmem.peek t.vmem t.head in
+  let rec go acc cur =
+    if cur = Node.null then List.rev acc
+    else go (Vmem.peek t.vmem cur :: acc) (Vmem.peek t.vmem (Node.next_of cur))
+  in
+  go [] (Vmem.peek t.vmem (Node.next_of sentinel))
+
+let length t = List.length (to_list t)

@@ -1,0 +1,19 @@
+(** Michael & Scott's lock-free FIFO queue over simulated memory, reclaimed
+    through the generic scheme interface (dequeue retires the outgoing
+    sentinel). *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_reclaim
+
+type t
+
+val create : Engine.ctx -> scheme:Scheme.ops -> vmem:Vmem.t -> t
+val enqueue : t -> Engine.ctx -> int -> unit
+val dequeue : t -> Engine.ctx -> int option
+val is_empty : t -> Engine.ctx -> bool
+
+val to_list : t -> int list
+(** Uncosted snapshot (quiescent state only), front first. *)
+
+val length : t -> int

@@ -1,0 +1,24 @@
+(* Node layout and pointer tagging for the lock-free structures.
+
+   A list node is two simulated words: word 0 holds the key, word 1 the next
+   pointer.  Block addresses are always even (size classes are even and
+   superblocks page-aligned), so bit 0 of a next pointer carries the
+   Harris-style logical-deletion mark.
+
+   Word 0 doubles as the allocator's free-list link once the node is freed —
+   the optimistic-access contract makes that safe: a reader that sees the
+   garbage key is guaranteed to hit a warning check before acting on it. *)
+
+let words = 2
+let kv_words = 3
+let key_of addr = addr
+let next_of addr = addr + 1
+
+(* key-value nodes add a value word after the next pointer *)
+let value_of addr = addr + 2
+
+let is_marked v = v land 1 = 1
+let mark v = v lor 1
+let unmark v = v land lnot 1
+
+let null = 0

@@ -1,0 +1,18 @@
+(** Node layout and pointer tagging for the lock-free structures.
+
+    Nodes are two simulated words: word 0 key/value, word 1 next pointer.
+    Block addresses are always even, so bit 0 of a next pointer carries the
+    Harris-style logical-deletion mark. *)
+
+val words : int
+val kv_words : int
+val key_of : int -> int
+val next_of : int -> int
+
+val value_of : int -> int
+(** Value word of a key-value node (3-word layout). *)
+
+val is_marked : int -> bool
+val mark : int -> int
+val unmark : int -> int
+val null : int

@@ -1,0 +1,19 @@
+(** Treiber's lock-free stack over simulated memory, reclaimed through the
+    generic scheme interface; a minimal exerciser of the ABA protections the
+    reclamation contract provides. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_reclaim
+
+type t
+
+val create : Engine.ctx -> scheme:Scheme.ops -> vmem:Vmem.t -> t
+val push : t -> Engine.ctx -> int -> unit
+val pop : t -> Engine.ctx -> int option
+val is_empty : t -> Engine.ctx -> bool
+
+val to_list : t -> int list
+(** Uncosted snapshot (quiescent state only), top first. *)
+
+val length : t -> int

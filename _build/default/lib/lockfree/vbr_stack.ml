@@ -1,0 +1,108 @@
+(* A version-based-reclamation (VBR) Treiber stack — the paper's §6 future
+   work, realised on top of the extended allocator.
+
+   VBR (Sheffi, Herlihy & Petrank, SPAA 2021) replaces grace periods with
+   versioned pointers: the stack top is a (pointer, version) pair updated by
+   double-width CAS, and a popped node is freed *immediately*.  A racing
+   thread that still holds the stale pointer may read the freed node — safe,
+   because the node came from [palloc] and its range stays readable — and
+   its subsequent DWCAS is guaranteed to fail on the version word, so stale
+   state is never installed.
+
+   This is exactly the combination the paper says its extended LRMalloc
+   enables ("we leave it to future work the simplification and adaptation of
+   VBR in order to also make it able to release memory back to the memory
+   allocator/operating system", §6): no recycling pool, no limbo list, no
+   warnings — retirement IS the free.  The §3.2 caveat applies too: under
+   the madvise remap strategy a failing DWCAS on an already-remapped page
+   still faults a frame in (footnote 2); the shared-mapping strategy avoids
+   the leak.  [Vbr_probe] and experiment E9 measure that effect.
+
+   Simplifications vs. full VBR: only the top pointer is versioned (a stack
+   has a single mutable hot spot), and nodes carry no birth-era word —
+   enough for the stack, not a general VBR implementation.  The DWCAS is
+   atomic under the simulation engine (single runner domain). *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_lrmalloc
+
+type t = {
+  alloc : Lrmalloc.t;
+  vmem : Vmem.t;
+  top : int;  (* even-aligned pair: [top] = pointer, [top+1] = version *)
+  mutable frees : int;  (* immediate frees (statistics) *)
+}
+
+let create ctx ~alloc =
+  let vmem = Lrmalloc.vmem alloc in
+  (* block addresses are even, so the pair is DWCAS-aligned *)
+  let top = Lrmalloc.palloc alloc ctx 2 in
+  Vmem.store vmem ctx top Node.null;
+  Vmem.store vmem ctx (top + 1) 1;
+  { alloc; vmem; top; frees = 0 }
+
+let push t ctx value =
+  let vm = t.vmem in
+  let node = Lrmalloc.palloc t.alloc ctx Node.words in
+  Vmem.store vm ctx node value;
+  let rec loop () =
+    (* the pair may tear between the two loads; the DWCAS then fails *)
+    let head = Vmem.load vm ctx t.top in
+    let ver = Vmem.load vm ctx (t.top + 1) in
+    Vmem.store vm ctx (Node.next_of node) head;
+    if
+      Vmem.dwcas vm ctx t.top ~expect0:head ~expect1:ver ~desired0:node
+        ~desired1:(ver + 1)
+    then ()
+    else begin
+      Engine.pause ctx;
+      loop ()
+    end
+  in
+  loop ()
+
+let pop t ctx =
+  let vm = t.vmem in
+  let rec loop () =
+    let head = Vmem.load vm ctx t.top in
+    let ver = Vmem.load vm ctx (t.top + 1) in
+    if head = Node.null then
+      (* confirm emptiness against a stable version *)
+      if Vmem.load vm ctx t.top = Node.null then None else loop ()
+    else begin
+      (* optimistic reads: [head] may already be freed and reused — its
+         range stays readable (palloc) and the DWCAS below rejects stale
+         versions, so garbage here is harmless *)
+      let next = Vmem.load vm ctx (Node.next_of head) in
+      let value = Vmem.load vm ctx head in
+      if
+        Vmem.dwcas vm ctx t.top ~expect0:head ~expect1:ver ~desired0:next
+          ~desired1:(ver + 1)
+      then begin
+        (* VBR's point: free immediately, no grace period *)
+        Lrmalloc.free t.alloc ctx head;
+        t.frees <- t.frees + 1;
+        Some value
+      end
+      else begin
+        Engine.pause ctx;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let is_empty t ctx = Vmem.load t.vmem ctx t.top = Node.null
+let immediate_frees t = t.frees
+
+(* Uncosted snapshot for tests (quiescent state only), top first. *)
+let to_list t =
+  let rec go acc cur =
+    if cur = Node.null then List.rev acc
+    else
+      go (Vmem.peek t.vmem cur :: acc) (Vmem.peek t.vmem (Node.next_of cur))
+  in
+  go [] (Vmem.peek t.vmem t.top)
+
+let length t = List.length (to_list t)

@@ -1,0 +1,21 @@
+(** Version-based-reclamation Treiber stack (the paper's §6 future work):
+    a versioned top pointer updated by double-width CAS over [palloc]'d
+    nodes, so popped nodes are freed *immediately* — no pools, no limbo, no
+    warnings.  Simulation-engine only (DWCAS atomicity). *)
+
+open Oamem_engine
+
+type t
+
+val create : Engine.ctx -> alloc:Oamem_lrmalloc.Lrmalloc.t -> t
+val push : t -> Engine.ctx -> int -> unit
+val pop : t -> Engine.ctx -> int option
+val is_empty : t -> Engine.ctx -> bool
+
+val immediate_frees : t -> int
+(** Nodes freed with zero grace period so far. *)
+
+val to_list : t -> int list
+(** Uncosted snapshot (quiescent state only), top first. *)
+
+val length : t -> int

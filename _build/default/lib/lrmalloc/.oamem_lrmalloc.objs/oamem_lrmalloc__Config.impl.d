@@ -1,0 +1,1 @@
+lib/lrmalloc/config.ml: Fmt Oamem_engine

@@ -1,0 +1,1 @@
+lib/lrmalloc/config.mli: Format Oamem_engine

@@ -1,0 +1,1 @@
+lib/lrmalloc/desc_list.ml: Cell Descriptor Engine List Oamem_engine

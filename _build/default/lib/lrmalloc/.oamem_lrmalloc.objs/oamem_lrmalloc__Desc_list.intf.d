@@ -1,0 +1,1 @@
+lib/lrmalloc/desc_list.mli: Cell Descriptor Engine Oamem_engine

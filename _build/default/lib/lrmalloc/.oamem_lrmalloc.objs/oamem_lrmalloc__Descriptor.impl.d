@@ -1,0 +1,1 @@
+lib/lrmalloc/descriptor.ml: Cell Fmt Oamem_engine

@@ -1,0 +1,1 @@
+lib/lrmalloc/descriptor.mli: Cell Engine Format Oamem_engine

@@ -1,0 +1,1 @@
+lib/lrmalloc/heap.ml: Array Cell Config Desc_list Descriptor Engine Geometry List Mutex Oamem_engine Oamem_vmem Option Page_table Pagemap Size_class Vmem

@@ -1,0 +1,1 @@
+lib/lrmalloc/heap.mli: Cell Config Descriptor Engine Oamem_engine Oamem_vmem Pagemap Size_class Vmem

@@ -1,0 +1,1 @@
+lib/lrmalloc/lrmalloc.ml: Config Descriptor Engine Geometry Heap List Oamem_engine Oamem_vmem Size_class Thread_cache Vmem

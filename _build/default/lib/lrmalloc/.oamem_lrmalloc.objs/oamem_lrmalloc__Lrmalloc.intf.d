@@ -1,0 +1,1 @@
+lib/lrmalloc/lrmalloc.mli: Cell Config Engine Heap Oamem_engine Oamem_vmem Size_class Vmem

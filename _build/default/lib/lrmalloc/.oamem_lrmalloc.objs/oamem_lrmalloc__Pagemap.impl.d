@@ -1,0 +1,1 @@
+lib/lrmalloc/pagemap.ml: Array Atomic Engine Geometry Oamem_engine

@@ -1,0 +1,1 @@
+lib/lrmalloc/pagemap.mli: Engine Geometry Oamem_engine

@@ -1,0 +1,1 @@
+lib/lrmalloc/size_class.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/lrmalloc/thread_cache.ml: Array Cell Config Engine Fun Geometry List Oamem_engine Size_class

@@ -1,0 +1,1 @@
+lib/lrmalloc/thread_cache.mli: Cell Config Engine Geometry Oamem_engine Size_class

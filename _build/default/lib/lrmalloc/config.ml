@@ -1,0 +1,39 @@
+(* Allocator configuration.
+
+   [remap_strategy] selects what happens when a *persistent* superblock
+   becomes empty (paper §3.1 vs the two methods of §3.2):
+
+   - [Keep_resident]: the superblock never reaches the empty state; its
+     blocks stay available for future allocations but its frames are never
+     released (§3.1).
+   - [Madvise]: the range is advised away — frames are released and the
+     range reverts to copy-on-write zero, ready for immediate reuse
+     (§3.2 method 1).
+   - [Shared_map]: the range is remapped onto the small shared region —
+     frames are released; reuse needs one remap syscall (§3.2 method 2). *)
+
+type remap_strategy = Keep_resident | Madvise | Shared_map
+
+let remap_strategy_name = function
+  | Keep_resident -> "keep"
+  | Madvise -> "madvise"
+  | Shared_map -> "shared"
+
+type t = {
+  sb_pages : int;  (** pages per size-class superblock *)
+  remap : remap_strategy;
+  cache_blocks : int;
+      (** target blocks transferred per cache fill (capped by the
+          superblock's block count); the cache holds twice this many *)
+  cache_multiplier : int;
+      (** thread-cache capacity in units of fill batches *)
+}
+
+let default =
+  { sb_pages = 64; remap = Madvise; cache_blocks = 256; cache_multiplier = 2 }
+
+let sb_words geom t = t.sb_pages * Oamem_engine.Geometry.page_words geom
+
+let pp ppf t =
+  Fmt.pf ppf "lrmalloc{sb=%dp remap=%s cachex%d}" t.sb_pages
+    (remap_strategy_name t.remap) t.cache_multiplier

@@ -1,0 +1,28 @@
+(** Allocator configuration, including the strategy applied when a
+    persistent superblock becomes empty (paper §3.1 vs §3.2). *)
+
+type remap_strategy =
+  | Keep_resident
+      (** never release: persistent superblocks never reach Empty (§3.1) *)
+  | Madvise
+      (** madvise(MADV_DONTNEED): frames released, range reverts to
+          copy-on-write zero, immediately reusable (§3.2 method 1) *)
+  | Shared_map
+      (** remap onto the shared region: frames released; reuse needs one
+          remap syscall; Linux-style RSS stays inflated (§3.2 method 2) *)
+
+val remap_strategy_name : remap_strategy -> string
+
+type t = {
+  sb_pages : int;  (** pages per size-class superblock *)
+  remap : remap_strategy;
+  cache_blocks : int;
+      (** target blocks transferred per thread-cache fill (capped by the
+          superblock's block count) *)
+  cache_multiplier : int;
+      (** thread-cache capacity in units of fill batches *)
+}
+
+val default : t
+val sb_words : Oamem_engine.Geometry.t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Superblock descriptors with the packed atomic anchor
+    (state, free-list head, free count, ABA tag) updated by single CAS. *)
+
+open Oamem_engine
+
+type state = Full | Partial | Empty
+
+type anchor = { state : state; avail : int; count : int; tag : int }
+
+val pack : anchor -> int
+val unpack : int -> anchor
+
+type t = {
+  id : int;
+  anchor : Cell.t;
+  next : Cell.t;
+  mutable sb_start : int;  (** base word address; 0 = none attached *)
+  mutable size_class : int;  (** class index; -1 = large allocation *)
+  mutable block_words : int;
+  mutable max_count : int;
+  mutable persistent : bool;
+  mutable pages : int;
+}
+
+val make : Cell.heap -> id:int -> t
+val read_anchor : Engine.ctx -> t -> anchor
+val cas_anchor : Engine.ctx -> t -> expect:anchor -> desired:anchor -> bool
+
+val set_anchor_unlogged : t -> anchor -> unit
+(** Initialisation while the descriptor is privately owned. *)
+
+val peek_anchor : t -> anchor
+val block_addr : t -> int -> int
+val block_index : t -> int -> int
+val is_large : t -> bool
+val pp : Format.formatter -> t -> unit

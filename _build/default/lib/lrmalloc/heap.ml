@@ -1,0 +1,419 @@
+(* The LRMalloc heap: superblock management (paper §2.3, §3, §4).
+
+   Superblocks are carved into blocks of one size class and tracked by
+   descriptors.  A new superblock is born Full — all its blocks go straight
+   into the requesting thread's cache.  Cache flushes return blocks one by
+   one through [free_block], whose anchor CAS moves the superblock between
+   Full, Partial and Empty exactly as in Fig. 2 of the paper:
+
+   - non-persistent superblocks that become Empty are unmapped and their
+     descriptor goes to the *generic* pool;
+   - persistent superblocks under [Keep_resident] never reach Empty (the
+     §3.1 design): they simply stay Partial with every block free;
+   - persistent superblocks under [Madvise]/[Shared_map] are remapped — the
+     physical frames are released while the virtual range stays readable —
+     and the descriptor, still carrying its range, goes to the *persistent*
+     pool (§3.2), from which new superblocks are built by priority (§4).
+
+   Release protocol.  A descriptor is pushed onto its partial list exactly
+   once per Full→Partial transition and removed only by [take_partial].
+   When the popper finds the superblock already Empty (every block was
+   freed back), the popper performs the release; when a superblock becomes
+   Empty while still linked, release is deferred to the eventual pop (or to
+   an explicit [trim]).  This keeps the lists free of recycled descriptors
+   without extra synchronisation, at the price of empty superblocks being
+   reclaimed lazily. *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type stats = {
+  mutable sb_fresh : int;  (** superblocks built on a fresh virtual range *)
+  mutable sb_range_reused : int;  (** built on a recycled persistent range *)
+  mutable sb_released : int;  (** non-persistent: unmapped *)
+  mutable sb_remapped : int;  (** persistent: madvise / shared remap *)
+  mutable large_allocs : int;
+  mutable large_frees : int;
+}
+
+type t = {
+  geom : Geometry.t;
+  cfg : Config.t;
+  classes : Size_class.t;
+  vmem : Vmem.t;
+  meta : Cell.heap;
+  pagemap : Pagemap.t;
+  mutable descs : Descriptor.t array;
+  mutable ndescs : int;
+  registry_lock : Mutex.t;
+  mutable partial : Desc_list.t array;
+      (* index: class * 2 + (persistent as int) *)
+  mutable persistent_pool : Desc_list.t;
+      (* descriptors keeping their range (§3.2) *)
+  mutable generic_pool : Desc_list.t;  (* plain recycled descriptors *)
+  stats : stats;
+}
+
+let get_desc t id = t.descs.(id)
+
+let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
+    () =
+  let geom = Vmem.geometry vmem in
+  let max_pages = Page_table.max_pages (Vmem.page_table vmem) in
+  let dummy = Desc_list.create meta ~get:(fun _ -> assert false) in
+  let t =
+    {
+      geom;
+      cfg;
+      classes;
+      vmem;
+      meta;
+      pagemap = Pagemap.create ~geom ~max_pages;
+      descs = Array.make 64 (Descriptor.make meta ~id:(-1));
+      ndescs = 0;
+      registry_lock = Mutex.create ();
+      partial = [||];
+      persistent_pool = dummy;
+      generic_pool = dummy;
+      stats =
+        {
+          sb_fresh = 0;
+          sb_range_reused = 0;
+          sb_released = 0;
+          sb_remapped = 0;
+          large_allocs = 0;
+          large_frees = 0;
+        };
+    }
+  in
+  let get id = get_desc t id in
+  t.partial <-
+    Array.init
+      (2 * Size_class.count classes)
+      (fun _ -> Desc_list.create meta ~get);
+  t.persistent_pool <- Desc_list.create meta ~get;
+  t.generic_pool <- Desc_list.create meta ~get;
+  t
+
+let sb_words t = Config.sb_words t.geom t.cfg
+let sb_pages t = t.cfg.Config.sb_pages
+
+let partial_list t ~cls ~persistent =
+  t.partial.((2 * cls) + if persistent then 1 else 0)
+
+(* Fresh descriptor; never reclaimed, as in the paper. *)
+let new_descriptor t =
+  Mutex.lock t.registry_lock;
+  let id = t.ndescs in
+  if id >= Array.length t.descs then begin
+    let bigger = Array.make (2 * Array.length t.descs) t.descs.(0) in
+    Array.blit t.descs 0 bigger 0 t.ndescs;
+    t.descs <- bigger
+  end;
+  let d = Descriptor.make t.meta ~id in
+  t.descs.(id) <- d;
+  t.ndescs <- id + 1;
+  Mutex.unlock t.registry_lock;
+  d
+
+let descriptor_count t = t.ndescs
+
+(* --- superblock acquisition (§4 priority order) -------------------------- *)
+
+(* Attach a fresh virtual range to [d]. *)
+let attach_fresh_range t ctx d npages =
+  let addr = Vmem.reserve t.vmem ~npages in
+  Vmem.map_anon t.vmem ctx ~vpage:(Geometry.page_of_addr t.geom addr) ~npages;
+  d.Descriptor.sb_start <- addr;
+  d.Descriptor.pages <- npages;
+  t.stats.sb_fresh <- t.stats.sb_fresh + 1
+
+(* Target number of blocks per cache fill for a class. *)
+let fill_batch t cls =
+  min
+    (Size_class.blocks_per_superblock t.classes ~sb_words:(sb_words t) cls)
+    t.cfg.Config.cache_blocks
+
+(* Build a superblock for size class [cls] and return its first [batch]
+   blocks for the requesting cache; the remainder is carved into the
+   superblock's free list and the superblock is published as partial.
+   Descriptor priority: persistent pool (range attached and size-class
+   compatible), then generic pool, then a fresh descriptor (§4). *)
+let acquire_superblock t ctx ~cls ~persistent =
+  let npages = sb_pages t in
+  let d =
+    match Desc_list.pop t.persistent_pool ctx with
+    | Some d ->
+        assert (d.Descriptor.pages = npages);
+        (match t.cfg.Config.remap with
+        | Config.Shared_map ->
+            (* take the range back from the shared region *)
+            Vmem.remap_private t.vmem ctx
+              ~vpage:(Geometry.page_of_addr t.geom d.Descriptor.sb_start)
+              ~npages
+        | Config.Madvise | Config.Keep_resident -> ());
+        t.stats.sb_range_reused <- t.stats.sb_range_reused + 1;
+        d
+    | None -> (
+        match Desc_list.pop t.generic_pool ctx with
+        | Some d ->
+            attach_fresh_range t ctx d npages;
+            d
+        | None ->
+            let d = new_descriptor t in
+            attach_fresh_range t ctx d npages;
+            d)
+  in
+  let bw = Size_class.block_words t.classes cls in
+  d.Descriptor.size_class <- cls;
+  d.Descriptor.block_words <- bw;
+  d.Descriptor.max_count <-
+    Size_class.blocks_per_superblock t.classes ~sb_words:(sb_words t) cls;
+  d.Descriptor.persistent <- persistent;
+  Pagemap.set_range t.pagemap ctx
+    ~vpage:(Geometry.page_of_addr t.geom d.Descriptor.sb_start)
+    ~npages ~desc_id:d.Descriptor.id;
+  let batch = min (fill_batch t cls) d.Descriptor.max_count in
+  let blocks = List.init batch (fun i -> Descriptor.block_addr d i) in
+  let tag = (Descriptor.peek_anchor d).Descriptor.tag + 1 in
+  if batch = d.Descriptor.max_count then
+    (* born Full: every block goes to the caller's cache *)
+    Cell.set ctx d.Descriptor.anchor
+      (Descriptor.pack
+         { Descriptor.state = Descriptor.Full; avail = 0; count = 0; tag })
+  else begin
+    (* carve the remainder into the free list and publish as partial *)
+    for i = batch to d.Descriptor.max_count - 1 do
+      Vmem.store t.vmem ctx (Descriptor.block_addr d i) (i + 1)
+    done;
+    Cell.set ctx d.Descriptor.anchor
+      (Descriptor.pack
+         {
+           Descriptor.state = Descriptor.Partial;
+           avail = batch;
+           count = d.Descriptor.max_count - batch;
+           tag;
+         });
+    Desc_list.push (partial_list t ~cls ~persistent) ctx d
+  end;
+  (d, blocks)
+
+(* --- release ------------------------------------------------------------- *)
+
+(* Release an Empty superblock.  Persistent ranges stay readable: they are
+   remapped rather than unmapped, and keep their descriptor's range for the
+   persistent pool. *)
+let release_superblock t ctx d =
+  let vpage = Geometry.page_of_addr t.geom d.Descriptor.sb_start in
+  let npages = d.Descriptor.pages in
+  Pagemap.clear_range t.pagemap ctx ~vpage ~npages;
+  if d.Descriptor.persistent then begin
+    (match t.cfg.Config.remap with
+    | Config.Madvise -> Vmem.madvise_dontneed t.vmem ctx ~vpage ~npages
+    | Config.Shared_map -> Vmem.map_shared t.vmem ctx ~vpage ~npages
+    | Config.Keep_resident ->
+        (* free_block never creates Empty persistent superblocks here *)
+        assert false);
+    t.stats.sb_remapped <- t.stats.sb_remapped + 1;
+    Desc_list.push t.persistent_pool ctx d
+  end
+  else begin
+    Vmem.unmap t.vmem ctx ~vpage ~npages;
+    d.Descriptor.sb_start <- 0;
+    t.stats.sb_released <- t.stats.sb_released + 1;
+    Desc_list.push t.generic_pool ctx d
+  end
+
+(* --- block free (anchor state machine, Fig. 2) --------------------------- *)
+
+let rec free_block t ctx (d : Descriptor.t) addr =
+  let idx = Descriptor.block_index d addr in
+  let a = Descriptor.read_anchor ctx d in
+  (* Thread the block onto the free list: its first word stores the index
+     of the previous head.  Writing before the CAS is safe: the block is
+     not visible to any allocator until the CAS succeeds, and optimistic
+     readers ignore what they read here (the paper's §3.1 contract). *)
+  Vmem.store t.vmem ctx addr a.Descriptor.avail;
+  let new_count = a.Descriptor.count + 1 in
+  assert (new_count <= d.Descriptor.max_count);
+  assert (a.Descriptor.state <> Descriptor.Empty);
+  let keep_resident =
+    d.Descriptor.persistent && t.cfg.Config.remap = Config.Keep_resident
+  in
+  let becomes_empty = new_count = d.Descriptor.max_count && not keep_resident in
+  let desired =
+    {
+      Descriptor.state =
+        (if becomes_empty then Descriptor.Empty else Descriptor.Partial);
+      avail = idx;
+      count = new_count;
+      tag = a.Descriptor.tag + 1;
+    }
+  in
+  if Descriptor.cas_anchor ctx d ~expect:a ~desired then begin
+    if becomes_empty then
+      (* If the descriptor is currently linked in its partial list the
+         release is deferred to the popper; an unlinked descriptor can only
+         become Empty through the popper itself (see take_partial), so
+         releasing here is correct exactly when it was never re-linked,
+         i.e. when the previous state was Full. *)
+      (if a.Descriptor.state = Descriptor.Full then release_superblock t ctx d)
+    else if a.Descriptor.state = Descriptor.Full then
+      Desc_list.push
+        (partial_list t ~cls:d.Descriptor.size_class
+           ~persistent:d.Descriptor.persistent)
+        ctx d
+  end
+  else begin
+    Engine.pause ctx;
+    free_block t ctx d addr
+  end
+
+(* --- partial reservation -------------------------------------------------- *)
+
+(* Pop a partial superblock of [cls] and reserve up to [max_blocks] of its
+   free blocks: walk that many free-list links from the observed head, then
+   CAS the anchor past them.  A concurrent free or reservation changes the
+   anchor tag and fails the CAS, in which case the walk is redone — the
+   links themselves are stable while the anchor still matches, because a
+   block's link is only rewritten once the block has been taken through an
+   anchor transition.  Returns the reserved block addresses (head first).
+   Empty superblocks encountered here are released on the spot. *)
+let rec take_partial t ctx ~cls ~persistent ~max_blocks =
+  let list = partial_list t ~cls ~persistent in
+  match Desc_list.pop list ctx with
+  | None -> None
+  | Some d ->
+      let rec reserve () =
+        let a = Descriptor.read_anchor ctx d in
+        match a.Descriptor.state with
+        | Descriptor.Empty ->
+            release_superblock t ctx d;
+            take_partial t ctx ~cls ~persistent ~max_blocks
+        | Descriptor.Full ->
+            (* lost every block to races before we got here; drop it, it
+               will be re-pushed on the next Full->Partial transition *)
+            take_partial t ctx ~cls ~persistent ~max_blocks
+        | Descriptor.Partial ->
+            assert (a.Descriptor.count > 0);
+            let k = min a.Descriptor.count max_blocks in
+            (* Collect k blocks and the link past the last one.  A racing
+               owner may rewrite a link we read (making it garbage); any
+               such race also bumps the anchor tag, so the CAS below fails
+               and we retry — the range check merely keeps the stale walk
+               from crashing. *)
+            let rec walk n idx acc =
+              if idx < 0 || idx >= d.Descriptor.max_count then None
+              else if n = 0 then Some (List.rev acc, idx)
+              else
+                let addr = Descriptor.block_addr d idx in
+                walk (n - 1) (Vmem.load t.vmem ctx addr) (addr :: acc)
+            in
+            let walked =
+              if k = a.Descriptor.count then
+                (* taking everything: the trailing link is irrelevant *)
+                walk (k - 1) a.Descriptor.avail []
+                |> Option.map (fun (blocks, last) ->
+                       (blocks @ [ Descriptor.block_addr d last ], 0))
+              else walk k a.Descriptor.avail []
+            in
+            (match walked with
+            | None ->
+                Engine.pause ctx;
+                reserve ()
+            | Some (blocks, next_avail) ->
+                let desired =
+                  if k = a.Descriptor.count then
+                    {
+                      Descriptor.state = Descriptor.Full;
+                      avail = 0;
+                      count = 0;
+                      tag = a.Descriptor.tag + 1;
+                    }
+                  else
+                    {
+                      Descriptor.state = Descriptor.Partial;
+                      avail = next_avail;
+                      count = a.Descriptor.count - k;
+                      tag = a.Descriptor.tag + 1;
+                    }
+                in
+                if Descriptor.cas_anchor ctx d ~expect:a ~desired then begin
+                  (* still partial: make it findable again *)
+                  if desired.Descriptor.state = Descriptor.Partial then
+                    Desc_list.push list ctx d;
+                  Some blocks
+                end
+                else begin
+                  Engine.pause ctx;
+                  reserve ()
+                end)
+      in
+      reserve ()
+
+(* Release every Empty superblock still sitting in the partial lists.
+   Used at teardown and by the memory-release experiments. *)
+let trim t ctx =
+  Array.iter
+    (fun list ->
+      let rec drain keep =
+        match Desc_list.pop list ctx with
+        | None -> keep
+        | Some d -> (
+            match (Descriptor.read_anchor ctx d).Descriptor.state with
+            | Descriptor.Empty ->
+                release_superblock t ctx d;
+                drain keep
+            | Descriptor.Full | Descriptor.Partial -> drain (d :: keep))
+      in
+      let keep = drain [] in
+      List.iter (fun d -> Desc_list.push list ctx d) keep)
+    t.partial
+
+(* --- large allocations (§4) ----------------------------------------------- *)
+
+let alloc_large t ctx size =
+  let pw = Geometry.page_words t.geom in
+  let npages = (size + pw - 1) / pw in
+  let d =
+    match Desc_list.pop t.generic_pool ctx with
+    | Some d -> d
+    | None -> new_descriptor t
+  in
+  attach_fresh_range t ctx d npages;
+  d.Descriptor.size_class <- -1;
+  d.Descriptor.block_words <- size;
+  d.Descriptor.max_count <- 1;
+  d.Descriptor.persistent <- false;
+  Pagemap.set_range t.pagemap ctx
+    ~vpage:(Geometry.page_of_addr t.geom d.Descriptor.sb_start)
+    ~npages ~desc_id:d.Descriptor.id;
+  let tag = (Descriptor.peek_anchor d).Descriptor.tag + 1 in
+  Cell.set ctx d.Descriptor.anchor
+    (Descriptor.pack { Descriptor.state = Descriptor.Full; avail = 0; count = 0; tag });
+  t.stats.large_allocs <- t.stats.large_allocs + 1;
+  d.Descriptor.sb_start
+
+let free_large t ctx (d : Descriptor.t) =
+  let vpage = Geometry.page_of_addr t.geom d.Descriptor.sb_start in
+  Pagemap.clear_range t.pagemap ctx ~vpage ~npages:d.Descriptor.pages;
+  Vmem.unmap t.vmem ctx ~vpage ~npages:d.Descriptor.pages;
+  d.Descriptor.sb_start <- 0;
+  let tag = (Descriptor.peek_anchor d).Descriptor.tag + 1 in
+  Cell.set ctx d.Descriptor.anchor
+    (Descriptor.pack { Descriptor.state = Descriptor.Empty; avail = 0; count = 0; tag });
+  t.stats.large_frees <- t.stats.large_frees + 1;
+  Desc_list.push t.generic_pool ctx d
+
+(* --- lookups -------------------------------------------------------------- *)
+
+let lookup_desc t ctx addr =
+  Option.map (get_desc t) (Pagemap.lookup t.pagemap ctx addr)
+
+let stats t = t.stats
+let vmem t = t.vmem
+let classes t = t.classes
+let config t = t.cfg
+let pagemap t = t.pagemap
+let persistent_pool_size t = List.length (Desc_list.peek_ids t.persistent_pool)
+let generic_pool_size t = List.length (Desc_list.peek_ids t.generic_pool)

@@ -1,0 +1,71 @@
+(** The LRMalloc heap: superblock management (paper §2.3, §3, §4).
+
+    Tracks superblocks through descriptors whose packed anchors implement
+    the Full/Partial/Empty state machine of Fig. 2.  Empty non-persistent
+    superblocks are unmapped; empty persistent superblocks are remapped
+    according to the configured strategy and their descriptors — still
+    carrying their virtual range — go to the *persistent* recycling pool,
+    which has priority when building new superblocks (§4). *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type stats = {
+  mutable sb_fresh : int;  (** superblocks built on a fresh virtual range *)
+  mutable sb_range_reused : int;  (** built on a recycled persistent range *)
+  mutable sb_released : int;  (** non-persistent: unmapped *)
+  mutable sb_remapped : int;  (** persistent: madvise / shared remap *)
+  mutable large_allocs : int;
+  mutable large_frees : int;
+}
+
+type t
+
+val create :
+  ?cfg:Config.t -> ?classes:Size_class.t -> vmem:Vmem.t -> meta:Cell.heap ->
+  unit -> t
+
+val sb_words : t -> int
+val sb_pages : t -> int
+
+val fill_batch : t -> int -> int
+(** Target number of blocks per cache fill for a class. *)
+
+val acquire_superblock :
+  t -> Engine.ctx -> cls:int -> persistent:bool -> Descriptor.t * int list
+(** Build a superblock and return its first fill batch; the rest is carved
+    into the superblock's free list and published as partial. *)
+
+val take_partial :
+  t ->
+  Engine.ctx ->
+  cls:int ->
+  persistent:bool ->
+  max_blocks:int ->
+  int list option
+(** Reserve up to [max_blocks] blocks from a partial superblock.  Empty
+    superblocks found on the way are released. *)
+
+val free_block : t -> Engine.ctx -> Descriptor.t -> int -> unit
+(** Return one block (the Fig. 2 anchor state machine). *)
+
+val release_superblock : t -> Engine.ctx -> Descriptor.t -> unit
+val trim : t -> Engine.ctx -> unit
+(** Release every empty superblock still sitting in the partial lists. *)
+
+val alloc_large : t -> Engine.ctx -> int -> int
+val free_large : t -> Engine.ctx -> Descriptor.t -> unit
+
+val lookup_desc : t -> Engine.ctx -> int -> Descriptor.t option
+(** Descriptor owning an address, via the pagemap (charged). *)
+
+val get_desc : t -> int -> Descriptor.t
+val descriptor_count : t -> int
+val persistent_pool_size : t -> int
+val generic_pool_size : t -> int
+
+val stats : t -> stats
+val vmem : t -> Vmem.t
+val classes : t -> Size_class.t
+val config : t -> Config.t
+val pagemap : t -> Pagemap.t

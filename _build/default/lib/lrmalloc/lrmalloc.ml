@@ -1,0 +1,110 @@
+(* LRMalloc public interface: malloc / free / palloc (paper §2.3 + §3).
+
+   [palloc] is the paper's contribution: it allocates exactly like [malloc]
+   but marks the superblock persistent, guaranteeing the block's address
+   range stays readable for the rest of the process lifetime even after the
+   block is freed — precisely the contract the optimistic-access reclaimers
+   need.  Persistent allocation is restricted to size-class sizes (§4).
+
+   Persistent and regular blocks never share a superblock (a palloc'd block
+   must come from a persistent superblock even when served from a cache), so
+   thread caches and partial lists are keyed by (class, persistence).  Freed
+   persistent blocks are reusable by *any* thread and any future [palloc] of
+   that class — the cross-process-part reuse the paper gains over the
+   original OA recycling pools. *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type t = {
+  heap : Heap.t;
+  caches : Thread_cache.t;
+  classes : Size_class.t;
+  geom : Geometry.t;
+}
+
+let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
+    ~nthreads () =
+  let geom = Vmem.geometry vmem in
+  let heap = Heap.create ~cfg ~classes ~vmem ~meta () in
+  let caches = Thread_cache.create ~meta ~geom ~classes ~cfg ~nthreads in
+  { heap; caches; classes; geom }
+
+let heap t = t.heap
+let vmem t = Heap.vmem t.heap
+let config t = Heap.config t.heap
+
+(* Fill an empty cache stack with one batch of blocks: from a partial
+   superblock's free list if one exists, otherwise from a fresh superblock.
+   Blocks are pushed in reverse so they pop in the order the heap returned
+   them (ascending addresses for a fresh superblock — good locality). *)
+let fill_cache t ctx ~cls ~persistent st =
+  let batch = Heap.fill_batch t.heap cls in
+  let blocks =
+    match Heap.take_partial t.heap ctx ~cls ~persistent ~max_blocks:batch with
+    | Some blocks -> blocks
+    | None ->
+        let _d, blocks = Heap.acquire_superblock t.heap ctx ~cls ~persistent in
+        blocks
+  in
+  List.iter
+    (fun addr -> Thread_cache.push t.caches ctx st addr)
+    (List.rev blocks)
+
+let alloc_class t ctx ~cls ~persistent =
+  let st = Thread_cache.get t.caches ~tid:ctx.Engine.tid ~cls ~persistent in
+  match Thread_cache.pop t.caches ctx st with
+  | Some addr -> addr
+  | None ->
+      fill_cache t ctx ~cls ~persistent st;
+      (match Thread_cache.pop t.caches ctx st with
+      | Some addr -> addr
+      | None -> assert false)
+
+let malloc t ctx size =
+  match Size_class.of_size t.classes size with
+  | Some cls -> alloc_class t ctx ~cls ~persistent:false
+  | None -> Heap.alloc_large t.heap ctx size
+
+(* Persistent allocation: the block's address range survives free (§3). *)
+let palloc t ctx size =
+  match Size_class.of_size t.classes size with
+  | Some cls -> alloc_class t ctx ~cls ~persistent:true
+  | None ->
+      invalid_arg
+        "Lrmalloc.palloc: persistent allocation is restricted to size-class \
+         sizes (paper, section 4)"
+
+let flush_stack t ctx st =
+  Thread_cache.drain t.caches ctx st (fun addr ->
+      match Heap.lookup_desc t.heap ctx addr with
+      | Some d -> Heap.free_block t.heap ctx d addr
+      | None -> assert false)
+
+let free t ctx addr =
+  match Heap.lookup_desc t.heap ctx addr with
+  | None -> invalid_arg "Lrmalloc.free: not an allocated block"
+  | Some d ->
+      if Descriptor.is_large d then Heap.free_large t.heap ctx d
+      else begin
+        let st =
+          Thread_cache.get t.caches ~tid:ctx.Engine.tid
+            ~cls:d.Descriptor.size_class ~persistent:d.Descriptor.persistent
+        in
+        if Thread_cache.is_full st then flush_stack t ctx st;
+        Thread_cache.push t.caches ctx st addr
+      end
+
+(* Return every cached block of thread [tid] to the heap. *)
+let flush_thread_cache t ctx =
+  List.iter (flush_stack t ctx)
+    (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid)
+
+(* Teardown helper: flush all threads' caches (with their own tids encoded
+   in the given contexts) and release lingering empty superblocks. *)
+let flush_all t ctxs =
+  List.iter (fun ctx -> flush_thread_cache t ctx) ctxs;
+  match ctxs with [] -> () | ctx :: _ -> Heap.trim t.heap ctx
+
+let stats t = Heap.stats t.heap
+let usage t = Vmem.usage (Heap.vmem t.heap)

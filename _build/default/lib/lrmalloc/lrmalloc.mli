@@ -1,0 +1,50 @@
+(** LRMalloc public interface: [malloc] / [free] / [palloc].
+
+    [palloc] is the paper's contribution (§3): it allocates exactly like
+    [malloc] but from superblocks marked *persistent*, guaranteeing that the
+    block's address range stays readable for the rest of the process
+    lifetime even after the block is freed — the contract optimistic-access
+    reclamation needs.  Freed persistent blocks are reusable by any thread
+    and any future [palloc]; their physical frames are released according to
+    the configured {!Config.remap_strategy}.
+
+    Persistent allocation is restricted to size-class sizes (§4). *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type t
+
+val create :
+  ?cfg:Config.t ->
+  ?classes:Size_class.t ->
+  vmem:Vmem.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  unit ->
+  t
+
+val heap : t -> Heap.t
+val vmem : t -> Vmem.t
+val config : t -> Config.t
+
+val malloc : t -> Engine.ctx -> int -> int
+(** Allocate [size] words; sizes above the largest class use the
+    large-allocation path (§4). *)
+
+val palloc : t -> Engine.ctx -> int -> int
+(** Persistent allocation (§3).  Raises [Invalid_argument] for sizes above
+    the largest size class. *)
+
+val free : t -> Engine.ctx -> int -> unit
+(** Return a block.  Raises [Invalid_argument] for unknown addresses. *)
+
+val flush_thread_cache : t -> Engine.ctx -> unit
+(** Return every block cached by the calling thread to the heap. *)
+
+val flush_all : t -> Engine.ctx list -> unit
+(** Teardown helper: flush the given threads' caches (each ctx carries its
+    tid) and release lingering empty superblocks. *)
+
+val stats : t -> Heap.stats
+val usage : t -> Vmem.usage

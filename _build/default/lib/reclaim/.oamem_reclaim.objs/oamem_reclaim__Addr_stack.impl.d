@@ -1,0 +1,1 @@
+lib/reclaim/addr_stack.ml: Cell Engine Oamem_engine Oamem_vmem Vmem

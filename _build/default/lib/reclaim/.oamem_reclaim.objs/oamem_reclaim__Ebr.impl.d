@@ -1,0 +1,1 @@
+lib/reclaim/ebr.ml: Array Cell Engine Limbo Oamem_engine Oamem_lrmalloc Oamem_vmem Scheme

@@ -1,0 +1,1 @@
+lib/reclaim/ebr.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

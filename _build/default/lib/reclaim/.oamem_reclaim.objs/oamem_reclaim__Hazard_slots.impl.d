@@ -1,0 +1,1 @@
+lib/reclaim/hazard_slots.ml: Array Cell Engine List Oamem_engine

@@ -1,0 +1,1 @@
+lib/reclaim/hazard_slots.mli: Cell Engine Oamem_engine

@@ -1,0 +1,1 @@
+lib/reclaim/hp.ml: Array Engine Hazard_slots Limbo Oamem_engine Oamem_lrmalloc Oamem_vmem Scheme

@@ -1,0 +1,1 @@
+lib/reclaim/hp.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

@@ -1,0 +1,1 @@
+lib/reclaim/ibr.ml: Array Cell Engine Limbo List Oamem_engine Oamem_lrmalloc Oamem_vmem Scheme Vmem

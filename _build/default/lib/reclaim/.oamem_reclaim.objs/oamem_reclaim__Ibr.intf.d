@@ -1,0 +1,1 @@
+lib/reclaim/ibr.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

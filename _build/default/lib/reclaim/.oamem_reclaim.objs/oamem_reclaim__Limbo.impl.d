@@ -1,0 +1,1 @@
+lib/reclaim/limbo.ml: Array Cell Engine Geometry Oamem_engine

@@ -1,0 +1,1 @@
+lib/reclaim/limbo.mli: Cell Engine Geometry Oamem_engine

@@ -1,0 +1,1 @@
+lib/reclaim/nr.ml: Cell Oamem_engine Oamem_lrmalloc Scheme

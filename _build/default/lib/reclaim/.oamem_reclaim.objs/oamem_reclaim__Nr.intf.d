@@ -1,0 +1,1 @@
+lib/reclaim/nr.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

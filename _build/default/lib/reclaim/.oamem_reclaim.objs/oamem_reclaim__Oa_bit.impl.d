@@ -1,0 +1,1 @@
+lib/reclaim/oa_bit.ml: Array Cell Engine Hazard_slots Limbo Oamem_engine Oamem_lrmalloc Oamem_vmem Scheme

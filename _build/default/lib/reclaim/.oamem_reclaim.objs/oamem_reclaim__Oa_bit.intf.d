@@ -1,0 +1,1 @@
+lib/reclaim/oa_bit.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

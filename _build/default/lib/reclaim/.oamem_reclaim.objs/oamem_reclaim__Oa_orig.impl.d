@@ -1,0 +1,1 @@
+lib/reclaim/oa_orig.ml: Addr_stack Array Cell Engine Hazard_slots Oamem_engine Oamem_lrmalloc Scheme

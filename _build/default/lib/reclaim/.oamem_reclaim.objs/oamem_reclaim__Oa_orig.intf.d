@@ -1,0 +1,1 @@
+lib/reclaim/oa_orig.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

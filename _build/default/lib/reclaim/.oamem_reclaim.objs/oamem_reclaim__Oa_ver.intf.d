@@ -1,0 +1,1 @@
+lib/reclaim/oa_ver.mli: Cell Oamem_engine Oamem_lrmalloc Scheme

@@ -1,0 +1,1 @@
+lib/reclaim/registry.ml: Cell Ebr Hp Ibr List Nr Oa_bit Oa_orig Oa_ver Oamem_engine Oamem_lrmalloc Printf Scheme String

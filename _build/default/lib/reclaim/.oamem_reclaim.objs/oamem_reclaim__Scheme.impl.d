@@ -1,0 +1,1 @@
+lib/reclaim/scheme.ml: Engine Fmt Oamem_engine

@@ -1,0 +1,1 @@
+lib/reclaim/scheme.mli: Engine Format Oamem_engine

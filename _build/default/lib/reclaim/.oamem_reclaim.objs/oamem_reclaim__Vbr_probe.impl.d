@@ -1,0 +1,1 @@
+lib/reclaim/vbr_probe.ml: Fmt List Oamem_vmem Vmem

@@ -1,0 +1,1 @@
+lib/reclaim/vbr_probe.mli: Engine Format Oamem_engine Oamem_vmem Vmem

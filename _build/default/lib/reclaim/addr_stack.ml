@@ -1,0 +1,77 @@
+(* Lock-free Treiber stack of node addresses, linked through the nodes
+   themselves in simulated memory (word 0 of each node holds the next
+   address).  Used by the original OA method's shared recycling pools; the
+   contention on these heads is precisely the synchronisation cost the paper
+   measures against (§5.2).
+
+   The head cell packs (address, tag); node addresses fit in 40 bits with
+   the default geometry, leaving 20+ tag bits to defeat ABA. *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type t = { head : Cell.t; vmem : Vmem.t }
+
+let addr_bits = 40
+let addr_mask = (1 lsl addr_bits) - 1
+
+let pack ~addr ~tag = addr lor (tag lsl addr_bits)
+let head_addr w = w land addr_mask
+let head_tag w = w lsr addr_bits
+
+let create meta vmem = { head = Cell.make ~pad:true meta (pack ~addr:0 ~tag:0); vmem }
+
+let rec push t ctx addr =
+  assert (addr <> 0 && addr land lnot addr_mask = 0);
+  let h = Cell.get ctx t.head in
+  Vmem.store t.vmem ctx addr (head_addr h);
+  if not (Cell.cas ctx t.head ~expect:h ~desired:(pack ~addr ~tag:(head_tag h + 1)))
+  then begin
+    Engine.pause ctx;
+    push t ctx addr
+  end
+
+let rec pop t ctx =
+  let h = Cell.get ctx t.head in
+  match head_addr h with
+  | 0 -> None
+  | addr ->
+      let next = Vmem.load t.vmem ctx addr in
+      if Cell.cas ctx t.head ~expect:h ~desired:(pack ~addr:next ~tag:(head_tag h + 1))
+      then Some addr
+      else begin
+        Engine.pause ctx;
+        pop t ctx
+      end
+
+(* Detach the whole stack in one shot; returns the old head address.
+   Used by the recycling phase to move retire -> processing. *)
+let rec take_all t ctx =
+  let h = Cell.get ctx t.head in
+  if Cell.cas ctx t.head ~expect:h ~desired:(pack ~addr:0 ~tag:(head_tag h + 1))
+  then head_addr h
+  else begin
+    Engine.pause ctx;
+    take_all t ctx
+  end
+
+(* Walk a detached chain (exclusive access). *)
+let iter_chain t ctx head f =
+  let cur = ref head in
+  while !cur <> 0 do
+    let next = Vmem.load t.vmem ctx !cur in
+    f !cur;
+    cur := next
+  done
+
+let is_empty t = head_addr (Cell.peek t.head) = 0
+
+let peek_length t =
+  (* uncosted, test-only: requires no concurrent mutation *)
+  let n = ref 0 in
+  let cur = ref (head_addr (Cell.peek t.head)) in
+  while !cur <> 0 do
+    incr n;
+    cur := Vmem.peek t.vmem !cur
+  done;
+  !n

@@ -1,0 +1,20 @@
+(** Lock-free Treiber stack of node addresses linked through the nodes
+    themselves; the original OA method's shared recycling pools. *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type t
+
+val create : Cell.heap -> Vmem.t -> t
+val push : t -> Engine.ctx -> int -> unit
+val pop : t -> Engine.ctx -> int option
+
+val take_all : t -> Engine.ctx -> int
+(** Detach the whole stack; returns the chain head (0 if empty). *)
+
+val iter_chain : t -> Engine.ctx -> int -> (int -> unit) -> unit
+(** Walk a detached chain (exclusive access). *)
+
+val is_empty : t -> bool
+val peek_length : t -> int

@@ -1,0 +1,10 @@
+(** Reclamation scheme: epoch-based reclamation. *)
+
+open Oamem_engine
+
+val make :
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops

@@ -1,0 +1,10 @@
+(** Reclamation scheme: classic hazard pointers (Michael 2004). *)
+
+open Oamem_engine
+
+val make :
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops

@@ -1,0 +1,17 @@
+(** Reclamation scheme: 2GE interval-based reclamation (Wen et al. 2018).
+
+    Nodes carry hidden birth/retire-era headers; threads publish the era
+    interval their operation observed and extend it (no restarts) when the
+    global era advances.  A retired node is freed once no published
+    interval overlaps its lifetime. *)
+
+open Oamem_engine
+
+val header_words : int
+
+val make :
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops

@@ -1,0 +1,63 @@
+(* Per-thread limbo list of retired nodes awaiting reclamation.
+
+   A plain growable int buffer backed by a simulated address range so its
+   footprint is visible to the cache model.  Only its owning thread touches
+   it — the whole point of the paper's simplified schemes is that retirement
+   needs no shared pool. *)
+
+open Oamem_engine
+
+type t = {
+  geom : Geometry.t;
+  mutable arr : int array;
+  mutable len : int;
+  base_addr : int;
+  capacity_hint : int;
+}
+
+let create meta ~geom ~capacity_hint =
+  {
+    geom;
+    arr = Array.make (max 8 capacity_hint) 0;
+    len = 0;
+    base_addr = Cell.alloc_words meta ~pad:true (max 8 (2 * capacity_hint));
+    capacity_hint;
+  }
+
+let account t ctx i kind =
+  let paddr = t.base_addr + i in
+  Engine.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
+
+let size t = t.len
+
+let add t ctx addr =
+  if t.len >= Array.length t.arr then begin
+    let bigger = Array.make (2 * Array.length t.arr) 0 in
+    Array.blit t.arr 0 bigger 0 t.len;
+    t.arr <- bigger
+  end;
+  account t ctx t.len Engine.Store;
+  t.arr.(t.len) <- addr;
+  t.len <- t.len + 1
+
+(* Remove (and pass to [free]) every node not satisfying [protected];
+   returns how many were freed.  Each examined entry is charged. *)
+let sweep t ctx ~protected ~free =
+  let kept = ref 0 in
+  let freed = ref 0 in
+  for i = 0 to t.len - 1 do
+    account t ctx i Engine.Load;
+    let n = t.arr.(i) in
+    if protected n then begin
+      t.arr.(!kept) <- n;
+      incr kept
+    end
+    else begin
+      free n;
+      incr freed
+    end
+  done;
+  t.len <- !kept;
+  !freed
+
+let to_list t = Array.to_list (Array.sub t.arr 0 t.len)

@@ -1,0 +1,16 @@
+(** Per-thread limbo list of retired nodes awaiting reclamation, backed by a
+    simulated address range so its footprint is visible to the cache model. *)
+
+open Oamem_engine
+
+type t
+
+val create : Cell.heap -> geom:Geometry.t -> capacity_hint:int -> t
+val size : t -> int
+val add : t -> Engine.ctx -> int -> unit
+
+val sweep :
+  t -> Engine.ctx -> protected:(int -> bool) -> free:(int -> unit) -> int
+(** Free every unprotected node; returns how many were freed. *)
+
+val to_list : t -> int list

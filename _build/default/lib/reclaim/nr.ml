@@ -1,0 +1,28 @@
+(* NR — no reclamation (paper §5 baseline).
+
+   Memory is never reclaimed, reused or freed; allocation goes through the
+   regular malloc path.  All validation hooks are no-ops. *)
+
+open Oamem_engine
+
+let make (_cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t)
+    ~meta:(_ : Cell.heap) ~nthreads:(_ : int) : Scheme.ops =
+  let stats = Scheme.fresh_stats () in
+  {
+    Scheme.name = "nr";
+    alloc = (fun ctx size -> Oamem_lrmalloc.Lrmalloc.malloc lr ctx size);
+    retire =
+      (fun _ctx _addr ->
+        (* leak, deliberately *)
+        stats.Scheme.retired <- stats.Scheme.retired + 1);
+    cancel = (fun _ctx _addr -> ());
+    begin_op = (fun _ -> ());
+    end_op = (fun _ -> ());
+    read_check = (fun _ -> ());
+    traverse_protect = (fun _ctx ~slot:_ ~addr:_ ~verify:_ -> ());
+    write_protect = (fun _ctx ~slot:_ _ -> ());
+    validate = (fun _ -> ());
+    clear = (fun _ -> ());
+    flush = (fun _ -> ());
+    stats;
+  }

@@ -1,0 +1,10 @@
+(** Reclamation scheme: OA-BIT (Algorithm 1: per-thread warning bits over palloc). *)
+
+open Oamem_engine
+
+val make :
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops

@@ -1,0 +1,10 @@
+(** Reclamation scheme: the original OA method with fixed recycling pools (Cohen & Petrank 2015). *)
+
+open Oamem_engine
+
+val make :
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops

@@ -1,0 +1,10 @@
+(** Reclamation scheme: OA-VER (Algorithm 2: global monotonic clock with piggy-backing). *)
+
+open Oamem_engine
+
+val make :
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops

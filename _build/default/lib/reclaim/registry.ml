@@ -1,0 +1,34 @@
+(* Name -> reclamation-scheme factory, for the CLI and the harness. *)
+
+open Oamem_engine
+
+type factory =
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops
+
+let all : (string * factory) list =
+  [
+    ("nr", Nr.make);
+    ("oa", Oa_orig.make);
+    ("oa-bit", Oa_bit.make);
+    ("oa-ver", Oa_ver.make);
+    ("hp", Hp.make);
+    ("ebr", Ebr.make);
+    ("ibr", Ibr.make);
+  ]
+
+let names = List.map fst all
+
+let find name =
+  match List.assoc_opt name all with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown reclamation scheme %S (known: %s)" name
+           (String.concat ", " names))
+
+(* The four methods compared in the paper's evaluation, in its order. *)
+let paper_methods = [ "nr"; "oa"; "oa-bit"; "oa-ver" ]

@@ -1,0 +1,19 @@
+(** Name -> reclamation-scheme factory. *)
+
+open Oamem_engine
+
+type factory =
+  Scheme.config ->
+  alloc:Oamem_lrmalloc.Lrmalloc.t ->
+  meta:Cell.heap ->
+  nthreads:int ->
+  Scheme.ops
+
+val all : (string * factory) list
+val names : string list
+
+val find : string -> factory
+(** Raises [Invalid_argument] for unknown names. *)
+
+val paper_methods : string list
+(** [nr; oa; oa-bit; oa-ver] — the four methods of the paper's §5. *)

@@ -1,0 +1,93 @@
+(* Common interface of the memory-reclamation schemes.
+
+   A lock-free data structure drives a scheme through the [ops] record:
+
+   - [alloc]/[retire] replace malloc/free for nodes;
+   - [begin_op]/[end_op] bracket every data-structure operation;
+   - [read_check] is called after every optimistic load during a traversal;
+     it raises {!Restart} when the scheme detects that reclamation may have
+     invalidated what was just read (OA warning bit / version clock);
+   - [traverse_protect] is called before *dereferencing* a traversal
+     pointer; only hazard-pointer-style schemes do work here (publish the
+     pointer, fence, re-verify via [verify], raising {!Restart} on failure);
+   - [write_protect] + [validate] bracket a CAS: protect every node the CAS
+     involves with hazard pointers, then validate once (for OA this is the
+     single warning check + fence of §2.4);
+   - [cancel] returns a node that was never published (e.g. a failed
+     insert's fresh node) without a grace period;
+   - [clear] drops the thread's hazard pointers at the end of an operation;
+   - [flush] drains the thread's deferred frees at teardown.
+
+   The data structure catches {!Restart} and restarts the whole operation
+   from a location known to be valid (the paper's restart contract). *)
+
+open Oamem_engine
+
+exception Restart
+
+type stats = {
+  mutable retired : int;
+  mutable freed : int;
+  mutable restarts : int;
+  mutable warnings_fired : int;  (** warning-bit broadcasts / clock bumps *)
+  mutable warnings_piggybacked : int;  (** OA-VER: reclaims without a bump *)
+  mutable reclaim_phases : int;  (** limbo scans / recycling phases *)
+}
+
+let fresh_stats () =
+  {
+    retired = 0;
+    freed = 0;
+    restarts = 0;
+    warnings_fired = 0;
+    warnings_piggybacked = 0;
+    reclaim_phases = 0;
+  }
+
+let reset_stats s =
+  s.retired <- 0;
+  s.freed <- 0;
+  s.restarts <- 0;
+  s.warnings_fired <- 0;
+  s.warnings_piggybacked <- 0;
+  s.reclaim_phases <- 0
+
+type ops = {
+  name : string;
+  alloc : Engine.ctx -> int -> int;
+  retire : Engine.ctx -> int -> unit;
+  cancel : Engine.ctx -> int -> unit;
+  begin_op : Engine.ctx -> unit;
+  end_op : Engine.ctx -> unit;
+  read_check : Engine.ctx -> unit;
+  traverse_protect :
+    Engine.ctx -> slot:int -> addr:int -> verify:(unit -> bool) -> unit;
+  write_protect : Engine.ctx -> slot:int -> int -> unit;
+  validate : Engine.ctx -> unit;
+  clear : Engine.ctx -> unit;
+  flush : Engine.ctx -> unit;
+  stats : stats;
+}
+
+type config = {
+  threshold : int;  (** limbo-list length triggering reclamation *)
+  slots_per_thread : int;  (** hazard-pointer slots per thread *)
+  pool_nodes : int;  (** OA-orig: fixed recycling-pool size *)
+  node_words : int;  (** OA-orig: node size the pool is built for *)
+  hazard_padded : bool;  (** cache-line pad hazard slots (ablation hook) *)
+}
+
+let default_config =
+  {
+    threshold = 64;
+    slots_per_thread = 3;
+    pool_nodes = 4096;
+    node_words = 2;
+    hazard_padded = true;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "retired=%d freed=%d restarts=%d warnings=%d piggyback=%d phases=%d"
+    s.retired s.freed s.restarts s.warnings_fired s.warnings_piggybacked
+    s.reclaim_phases

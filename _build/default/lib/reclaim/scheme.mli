@@ -1,0 +1,57 @@
+(** Common interface of the memory-reclamation schemes.
+
+    A lock-free data structure drives a scheme through the {!ops} record;
+    the scheme raises {!Restart} from its validation hooks when the
+    operation must be retried from a safe location (the optimistic-access
+    restart contract).  See the implementation files for the per-scheme
+    semantics of each hook. *)
+
+open Oamem_engine
+
+exception Restart
+
+type stats = {
+  mutable retired : int;
+  mutable freed : int;
+  mutable restarts : int;  (** operation restarts (all causes) *)
+  mutable warnings_fired : int;  (** warning-bit sets / clock bumps *)
+  mutable warnings_piggybacked : int;  (** OA-VER reclaims without a bump *)
+  mutable reclaim_phases : int;  (** limbo sweeps / recycling phases *)
+}
+
+val fresh_stats : unit -> stats
+val reset_stats : stats -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+type ops = {
+  name : string;
+  alloc : Engine.ctx -> int -> int;  (** node allocation (palloc for OA) *)
+  retire : Engine.ctx -> int -> unit;  (** unlinked node: free when safe *)
+  cancel : Engine.ctx -> int -> unit;  (** return a never-published node *)
+  begin_op : Engine.ctx -> unit;
+  end_op : Engine.ctx -> unit;
+  read_check : Engine.ctx -> unit;
+      (** after every optimistic load; may raise {!Restart} *)
+  traverse_protect :
+    Engine.ctx -> slot:int -> addr:int -> verify:(unit -> bool) -> unit;
+      (** before dereferencing a traversal pointer (hazard-pointer schemes
+          publish + fence + re-verify; no-op for OA); may raise {!Restart} *)
+  write_protect : Engine.ctx -> slot:int -> int -> unit;
+      (** hazard-protect one node a CAS involves *)
+  validate : Engine.ctx -> unit;
+      (** one check covering all protected nodes (OA: fence + warning
+          check, §2.4); may raise {!Restart} *)
+  clear : Engine.ctx -> unit;  (** drop the thread's hazard pointers *)
+  flush : Engine.ctx -> unit;  (** teardown: drain deferred frees *)
+  stats : stats;
+}
+
+type config = {
+  threshold : int;  (** limbo-list length triggering reclamation *)
+  slots_per_thread : int;  (** hazard-pointer slots per thread *)
+  pool_nodes : int;  (** OA-orig: fixed recycling-pool size *)
+  node_words : int;  (** OA-orig: node size the pool is built for *)
+  hazard_padded : bool;  (** cache-line pad hazard slots (ablation hook) *)
+}
+
+val default_config : config

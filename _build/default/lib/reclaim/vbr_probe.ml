@@ -1,0 +1,50 @@
+(* VBR-style tagged-pointer DWCAS probe (paper §3.2 footnote 2 and §6).
+
+   Version-based reclamation performs double-width CAS operations on memory
+   that may already have been reclaimed: the tagged pointer guarantees the
+   DWCAS fails, but the operating system cannot know that and faults a frame
+   in under the madvise remapping method — leaking physical memory for
+   unallocated superblocks.  The shared-mapping method is immune.
+
+   This module packages that exact experiment: given a released address
+   range, hammer it with guaranteed-to-fail DWCAS operations and report how
+   many frames the failed CASes dragged in (experiment E9). *)
+
+open Oamem_vmem
+
+type result = {
+  attempts : int;
+  succeeded : int;  (** must stay 0: the tags guarantee failure *)
+  frames_before : int;
+  frames_after : int;
+  frames_leaked : int;
+  cow_cas_faults : int;
+}
+
+(* A tag value no allocation ever writes, making failure certain. *)
+let impossible_tag = 0x5f5f5f
+
+let run vmem ctx ~addrs =
+  let before = Vmem.usage vmem in
+  let succeeded = ref 0 in
+  List.iter
+    (fun addr ->
+      let addr = addr land lnot 1 in
+      if
+        Vmem.dwcas vmem ctx addr ~expect0:impossible_tag
+          ~expect1:impossible_tag ~desired0:0 ~desired1:0
+      then incr succeeded)
+    addrs;
+  let after = Vmem.usage vmem in
+  {
+    attempts = List.length addrs;
+    succeeded = !succeeded;
+    frames_before = before.Vmem.frames_live;
+    frames_after = after.Vmem.frames_live;
+    frames_leaked = after.Vmem.frames_live - before.Vmem.frames_live;
+    cow_cas_faults = after.Vmem.cow_cas_faults - before.Vmem.cow_cas_faults;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "dwcas attempts=%d succeeded=%d frames %d->%d (leaked %d)"
+    r.attempts r.succeeded r.frames_before r.frames_after r.frames_leaked

@@ -1,0 +1,20 @@
+(** VBR-style tagged-pointer DWCAS probe (paper §3.2 footnote 2): hammer a
+    released range with guaranteed-to-fail DWCAS operations and report the
+    frames faulted in — the madvise-method leak the shared-mapping method
+    avoids. *)
+
+open Oamem_engine
+open Oamem_vmem
+
+type result = {
+  attempts : int;
+  succeeded : int;  (** must stay 0: the tags guarantee failure *)
+  frames_before : int;
+  frames_after : int;
+  frames_leaked : int;
+  cow_cas_faults : int;
+}
+
+val impossible_tag : int
+val run : Vmem.t -> Engine.ctx -> addrs:int list -> result
+val pp_result : Format.formatter -> result -> unit

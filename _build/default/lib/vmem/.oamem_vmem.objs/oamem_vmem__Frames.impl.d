@@ -1,0 +1,1 @@
+lib/vmem/frames.ml: Array Atomic Geometry Mutex Oamem_engine

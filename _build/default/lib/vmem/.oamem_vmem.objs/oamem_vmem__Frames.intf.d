@@ -1,0 +1,1 @@
+lib/vmem/frames.mli: Atomic Geometry Oamem_engine

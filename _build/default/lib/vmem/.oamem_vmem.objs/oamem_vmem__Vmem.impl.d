@@ -1,0 +1,1 @@
+lib/vmem/vmem.ml: Array Atomic Engine Fmt Frames Geometry Oamem_engine Page_table

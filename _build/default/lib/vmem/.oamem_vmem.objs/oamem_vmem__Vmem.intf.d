@@ -1,0 +1,1 @@
+lib/vmem/vmem.mli: Engine Format Frames Geometry Oamem_engine Page_table

@@ -1,0 +1,34 @@
+(** Physical frame pool of the simulated machine.
+
+    Frame 0 is the pinned zero frame backing copy-on-write mappings. *)
+
+open Oamem_engine
+
+type t
+
+exception Out_of_frames
+
+val zero_frame : int
+
+val create : ?capacity:int -> Geometry.t -> t
+(** [capacity] bounds the number of distinct frames (default 2^20). *)
+
+val alloc : t -> int
+(** A zero-filled frame. *)
+
+val free : t -> int -> unit
+(** Recycle a frame.  The zero frame cannot be freed. *)
+
+val word : t -> frame:int -> off:int -> int Atomic.t
+(** Backing atomic of one word of a frame. *)
+
+val paddr : t -> frame:int -> off:int -> int
+(** Simulated physical address of a frame word (cache-simulator key). *)
+
+val live : t -> int
+(** Frames currently allocated, including the zero frame. *)
+
+val peak : t -> int
+
+val zero_frame_intact : t -> bool
+(** The zero frame must always read as zero (test hook). *)

@@ -1,0 +1,24 @@
+(** Per-address-space page table with atomically updatable entries. *)
+
+type entry =
+  | Unmapped
+  | Cow_zero  (** mapped, backed by the pinned zero frame until written *)
+  | Frame of int  (** private frame *)
+  | Shared of int  (** shared mapping; writes hit the shared frame *)
+
+type t
+
+val create : max_pages:int -> t
+val max_pages : t -> int
+val in_range : t -> int -> bool
+
+val get : t -> int -> entry
+(** Out-of-range pages read as [Unmapped]. *)
+
+val set : t -> int -> entry -> unit
+val cas : t -> int -> expect:entry -> desired:entry -> bool
+
+val fold_range :
+  t -> vpage:int -> npages:int -> init:'a -> f:('a -> int -> entry -> 'a) -> 'a
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,292 @@
+(* The simulated virtual-memory system (§2.1 and §3.2 of the paper).
+
+   An address space maps virtual pages onto simulated physical frames with
+   the same state machine modern kernels use for anonymous memory:
+
+   - [map_anon] makes a range valid by pointing every page at the pinned
+     copy-on-write zero frame; no physical memory is consumed.
+   - The first *write* to such a page faults in a private zero-filled frame
+     (charged as a minor fault).  Reads never fault: they read zeroes.
+   - [madvise_dontneed] releases the private frames of a range and reverts it
+     to the copy-on-write zero state — the paper's first remapping method.
+   - [map_shared] points a range at a small shared region (default one
+     frame), releasing private frames while keeping the range readable *and*
+     writable into the shared frame — the paper's second remapping method.
+     Chunked mappings model the syscalls-per-superblock trade-off of §3.2.
+   - [unmap] invalidates the range; later access raises {!Segfault}, the
+     simulated equivalent of the crash a real OA implementation would suffer
+     if freed memory were returned to the operating system.
+
+   A compare-and-swap on a copy-on-write page *faults a frame in even though
+   the CAS then fails* — exactly the behaviour footnote 2 of the paper
+   blames for memory leakage when VBR-style DWCAS hits reclaimed memory
+   under the madvise method.
+
+   Two resident-set metrics are exposed: [resident_pages] counts pages backed
+   by a private frame (the truth), while [linux_rss_pages] also counts every
+   page of a shared mapping (the "statistics go haywire" effect of §3.2). *)
+
+open Oamem_engine
+
+exception Segfault of int
+
+type t = {
+  geom : Geometry.t;
+  frames : Frames.t;
+  pt : Page_table.t;
+  mutable reserve_next : int;  (* next unreserved vpage *)
+  shared_region : int array;  (* frames backing the shared remap region *)
+  mutable minor_faults : int;
+  mutable cow_cas_faults : int;  (* faults triggered by CAS on a cow page *)
+}
+
+let create ?(max_pages = 1 lsl 20) ?frame_capacity ?(shared_region_pages = 1)
+    geom =
+  if shared_region_pages <= 0 then invalid_arg "Vmem.create: shared region";
+  let frames = Frames.create ?capacity:frame_capacity geom in
+  let shared_region = Array.init shared_region_pages (fun _ -> Frames.alloc frames) in
+  {
+    geom;
+    frames;
+    pt = Page_table.create ~max_pages;
+    (* Page 0 is never handed out so that address 0 can serve as a null
+       pointer and stray small integers fault. *)
+    reserve_next = 1;
+    shared_region;
+    minor_faults = 0;
+    cow_cas_faults = 0;
+  }
+
+let geometry t = t.geom
+let page_table t = t.pt
+let frames t = t.frames
+let shared_region_pages t = Array.length t.shared_region
+
+(* --- mapping calls ------------------------------------------------------- *)
+
+let check_range t ~vpage ~npages =
+  if npages <= 0 || vpage < 1 || vpage + npages > Page_table.max_pages t.pt
+  then invalid_arg "Vmem: bad page range"
+
+let reserve t ~npages =
+  if npages <= 0 then invalid_arg "Vmem.reserve";
+  let vpage = t.reserve_next in
+  if vpage + npages > Page_table.max_pages t.pt then
+    failwith "Vmem.reserve: virtual address space exhausted";
+  t.reserve_next <- vpage + npages;
+  Geometry.addr_of_page t.geom vpage
+
+let release_frame_of_entry t = function
+  | Page_table.Frame f -> Frames.free t.frames f
+  | Page_table.Unmapped | Page_table.Cow_zero | Page_table.Shared _ -> ()
+
+let map_anon t ctx ~vpage ~npages =
+  check_range t ~vpage ~npages;
+  Engine.event ctx Engine.Syscall;
+  for p = vpage to vpage + npages - 1 do
+    release_frame_of_entry t (Page_table.get t.pt p);
+    Page_table.set t.pt p Page_table.Cow_zero;
+    Engine.tlb_shootdown ctx p
+  done
+
+let unmap t ctx ~vpage ~npages =
+  check_range t ~vpage ~npages;
+  Engine.event ctx Engine.Syscall;
+  for p = vpage to vpage + npages - 1 do
+    release_frame_of_entry t (Page_table.get t.pt p);
+    Page_table.set t.pt p Page_table.Unmapped;
+    Engine.tlb_shootdown ctx p
+  done
+
+let madvise_dontneed t ctx ~vpage ~npages =
+  check_range t ~vpage ~npages;
+  Engine.event ctx Engine.Syscall;
+  for p = vpage to vpage + npages - 1 do
+    (match Page_table.get t.pt p with
+    | Page_table.Unmapped -> raise (Segfault (Geometry.addr_of_page t.geom p))
+    | e ->
+        release_frame_of_entry t e;
+        Page_table.set t.pt p Page_table.Cow_zero);
+    Engine.tlb_shootdown ctx p
+  done
+
+(* Map [npages] onto the shared region, page i to region page (i mod S).
+   One syscall per chunk of S pages, as in §3.2. *)
+let map_shared t ctx ~vpage ~npages =
+  check_range t ~vpage ~npages;
+  let s = Array.length t.shared_region in
+  let chunks = (npages + s - 1) / s in
+  for _ = 1 to chunks do
+    Engine.event ctx Engine.Syscall
+  done;
+  for i = 0 to npages - 1 do
+    let p = vpage + i in
+    release_frame_of_entry t (Page_table.get t.pt p);
+    Page_table.set t.pt p (Page_table.Shared t.shared_region.(i mod s));
+    Engine.tlb_shootdown ctx p
+  done
+
+(* mmap(MAP_FIXED | MAP_PRIVATE | MAP_ANON) over an existing range: one
+   syscall regardless of size.  Used to take a superblock back from the
+   shared region. *)
+let remap_private t ctx ~vpage ~npages =
+  check_range t ~vpage ~npages;
+  Engine.event ctx Engine.Syscall;
+  for p = vpage to vpage + npages - 1 do
+    release_frame_of_entry t (Page_table.get t.pt p);
+    Page_table.set t.pt p Page_table.Cow_zero;
+    Engine.tlb_shootdown ctx p
+  done
+
+(* --- word accesses ------------------------------------------------------- *)
+
+let split t addr =
+  (Geometry.page_of_addr t.geom addr, Geometry.offset_in_page t.geom addr)
+
+(* Frame to read from; never faults. *)
+let frame_for_read t addr vpage =
+  match Page_table.get t.pt vpage with
+  | Page_table.Unmapped -> raise (Segfault addr)
+  | Page_table.Cow_zero -> Frames.zero_frame
+  | Page_table.Frame f | Page_table.Shared f -> f
+
+(* Frame to write to, faulting in a private frame on a cow page. *)
+let rec frame_for_write t ctx addr vpage =
+  match Page_table.get t.pt vpage with
+  | Page_table.Unmapped -> raise (Segfault addr)
+  | Page_table.Frame f | Page_table.Shared f -> f
+  | Page_table.Cow_zero ->
+      let f = Frames.alloc t.frames in
+      if
+        Page_table.cas t.pt vpage ~expect:Page_table.Cow_zero
+          ~desired:(Page_table.Frame f)
+      then begin
+        t.minor_faults <- t.minor_faults + 1;
+        Engine.event ctx Engine.Minor_fault;
+        f
+      end
+      else begin
+        (* Lost a fault-in race; retry against the new entry. *)
+        Frames.free t.frames f;
+        frame_for_write t ctx addr vpage
+      end
+
+let load t ctx addr =
+  let vpage, off = split t addr in
+  let f = frame_for_read t addr vpage in
+  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+    ~kind:Engine.Load;
+  Atomic.get (Frames.word t.frames ~frame:f ~off)
+
+let store t ctx addr v =
+  let vpage, off = split t addr in
+  let f = frame_for_write t ctx addr vpage in
+  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+    ~kind:Engine.Store;
+  Atomic.set (Frames.word t.frames ~frame:f ~off) v
+
+let cas t ctx addr ~expect ~desired =
+  let vpage, off = split t addr in
+  (* The MMU cannot know the CAS will fail: a cow page faults in a frame
+     first (§3.2, footnote 2). *)
+  (match Page_table.get t.pt vpage with
+  | Page_table.Cow_zero -> t.cow_cas_faults <- t.cow_cas_faults + 1
+  | _ -> ());
+  let f = frame_for_write t ctx addr vpage in
+  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+    ~kind:Engine.Rmw;
+  Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect desired
+
+let fetch_and_add t ctx addr d =
+  let vpage, off = split t addr in
+  let f = frame_for_write t ctx addr vpage in
+  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+    ~kind:Engine.Rmw;
+  Atomic.fetch_and_add (Frames.word t.frames ~frame:f ~off) d
+
+(* Double-width CAS over two adjacent words (tagged-pointer ABA prevention,
+   as used by VBR).  [addr] must be even so both words share a cache line.
+   Atomic only under the simulation engine (single runner domain); real
+   domains must not use it concurrently. *)
+let dwcas t ctx addr ~expect0 ~expect1 ~desired0 ~desired1 =
+  if addr land 1 <> 0 then invalid_arg "Vmem.dwcas: addr must be even";
+  let vpage, off = split t addr in
+  (match Page_table.get t.pt vpage with
+  | Page_table.Cow_zero -> t.cow_cas_faults <- t.cow_cas_faults + 1
+  | _ -> ());
+  let f = frame_for_write t ctx addr vpage in
+  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+    ~kind:Engine.Rmw;
+  let w0 = Frames.word t.frames ~frame:f ~off in
+  let w1 = Frames.word t.frames ~frame:f ~off:(off + 1) in
+  if Atomic.get w0 = expect0 && Atomic.get w1 = expect1 then begin
+    Atomic.set w0 desired0;
+    Atomic.set w1 desired1;
+    true
+  end
+  else false
+
+(* --- uncosted accessors (test setup and oracles) ------------------------- *)
+
+let peek t addr =
+  let vpage, off = split t addr in
+  let f = frame_for_read t addr vpage in
+  Atomic.get (Frames.word t.frames ~frame:f ~off)
+
+let poke t addr v =
+  let vpage, off = split t addr in
+  let f = frame_for_write t (Engine.external_ctx ()) addr vpage in
+  Atomic.set (Frames.word t.frames ~frame:f ~off) v
+
+let mapped t addr =
+  let vpage, _ = split t addr in
+  match Page_table.get t.pt vpage with
+  | Page_table.Unmapped -> false
+  | Page_table.Cow_zero | Page_table.Frame _ | Page_table.Shared _ -> true
+
+(* --- metrics ------------------------------------------------------------- *)
+
+type usage = {
+  frames_live : int;  (** physical frames allocated, incl. zero + shared *)
+  frames_peak : int;
+  resident_pages : int;  (** pages backed by a private frame *)
+  linux_rss_pages : int;  (** Linux-style RSS: private + every shared page *)
+  mapped_pages : int;
+  cow_pages : int;
+  minor_faults : int;
+  cow_cas_faults : int;
+}
+
+let usage t =
+  let resident = ref 0 and rss = ref 0 and mapped = ref 0 and cow = ref 0 in
+  for p = 0 to Page_table.max_pages t.pt - 1 do
+    match Page_table.get t.pt p with
+    | Page_table.Unmapped -> ()
+    | Page_table.Cow_zero ->
+        incr mapped;
+        incr cow
+    | Page_table.Frame _ ->
+        incr mapped;
+        incr resident;
+        incr rss
+    | Page_table.Shared _ ->
+        incr mapped;
+        incr rss
+  done;
+  {
+    frames_live = Frames.live t.frames;
+    frames_peak = Frames.peak t.frames;
+    resident_pages = !resident;
+    linux_rss_pages = !rss;
+    mapped_pages = !mapped;
+    cow_pages = !cow;
+    minor_faults = t.minor_faults;
+    cow_cas_faults = t.cow_cas_faults;
+  }
+
+let pp_usage ppf u =
+  Fmt.pf ppf
+    "frames=%d peak=%d resident=%dp rss=%dp mapped=%dp cow=%dp faults=%d \
+     cas-faults=%d"
+    u.frames_live u.frames_peak u.resident_pages u.linux_rss_pages
+    u.mapped_pages u.cow_pages u.minor_faults u.cow_cas_faults

@@ -1,0 +1,89 @@
+(** Simulated virtual-memory system (paper §2.1, §3.2).
+
+    An address space of word-addressed pages over simulated physical frames,
+    with the anonymous-memory state machine of a modern kernel: copy-on-write
+    zero-frame backing, fault-in on first write, [madvise(MADV_DONTNEED)],
+    shared-region remapping and plain unmapping.  A CAS on a copy-on-write
+    page faults a frame in even though the CAS then fails (§3.2 footnote 2).
+
+    Access to an unmapped page raises {!Segfault} — the simulated equivalent
+    of the crash a real optimistic-access implementation would suffer if
+    freed memory were actually returned to the operating system. *)
+
+open Oamem_engine
+
+exception Segfault of int
+
+type t
+
+val create :
+  ?max_pages:int ->
+  ?frame_capacity:int ->
+  ?shared_region_pages:int ->
+  Geometry.t ->
+  t
+(** Page 0 is reserved so address 0 acts as a null pointer. *)
+
+val geometry : t -> Geometry.t
+val page_table : t -> Page_table.t
+val frames : t -> Frames.t
+val shared_region_pages : t -> int
+
+(** {2 Mapping calls} — each charges syscall costs and shoots down TLBs. *)
+
+val reserve : t -> npages:int -> int
+(** Reserve a fresh virtual range; returns its base word address.  The range
+    starts [Unmapped]. *)
+
+val map_anon : t -> Engine.ctx -> vpage:int -> npages:int -> unit
+val unmap : t -> Engine.ctx -> vpage:int -> npages:int -> unit
+val madvise_dontneed : t -> Engine.ctx -> vpage:int -> npages:int -> unit
+
+val map_shared : t -> Engine.ctx -> vpage:int -> npages:int -> unit
+(** Map a range onto the shared region (page [i] to region page
+    [i mod region_size]); one syscall per region-sized chunk. *)
+
+val remap_private : t -> Engine.ctx -> vpage:int -> npages:int -> unit
+(** [mmap(MAP_FIXED|MAP_PRIVATE|MAP_ANON)] over an existing range: one
+    syscall, range reverts to copy-on-write zero. *)
+
+(** {2 Word accesses} — each charges TLB + cache costs. *)
+
+val load : t -> Engine.ctx -> int -> int
+val store : t -> Engine.ctx -> int -> int -> unit
+val cas : t -> Engine.ctx -> int -> expect:int -> desired:int -> bool
+val fetch_and_add : t -> Engine.ctx -> int -> int -> int
+
+val dwcas :
+  t ->
+  Engine.ctx ->
+  int ->
+  expect0:int ->
+  expect1:int ->
+  desired0:int ->
+  desired1:int ->
+  bool
+(** Double-width CAS over two adjacent words ([addr] must be even).  Atomic
+    only under the simulation engine. *)
+
+(** {2 Uncosted accessors} (test setup and oracles) *)
+
+val peek : t -> int -> int
+val poke : t -> int -> int -> unit
+val mapped : t -> int -> bool
+
+(** {2 Metrics} *)
+
+type usage = {
+  frames_live : int;  (** physical frames allocated, incl. zero + shared *)
+  frames_peak : int;
+  resident_pages : int;  (** pages backed by a private frame *)
+  linux_rss_pages : int;  (** Linux-style RSS: private + every shared page *)
+  mapped_pages : int;
+  cow_pages : int;
+  minor_faults : int;
+  cow_cas_faults : int;  (** fault-ins triggered by CAS on a cow page *)
+}
+
+val usage : t -> usage
+val pp_usage : Format.formatter -> usage -> unit

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cache Cell Cost_model Engine Fun Geometry Hierarchy List Oamem_engine Printf Prng QCheck QCheck_alcotest Tlb

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Engine Explore Geometry Hm_list List Oamem_core Oamem_engine Oamem_lockfree Oamem_reclaim Oamem_vmem Printf Scheme String System Vmem

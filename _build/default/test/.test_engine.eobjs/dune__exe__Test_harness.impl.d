@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Experiments Filename Hashtbl List Oamem_engine Oamem_harness Oamem_reclaim Option Prng Report Runner String Sys Unix Workload

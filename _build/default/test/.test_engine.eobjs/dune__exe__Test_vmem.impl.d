@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Atomic Engine Frames Geometry Hashtbl List Oamem_engine Oamem_vmem Page_table QCheck QCheck_alcotest Vmem

@@ -1,0 +1,246 @@
+(* Cross-cutting integration tests:
+
+   - mixed structures sharing one system (list + hash + stack + queue over
+     the same allocator and scheme, concurrently);
+   - the end-to-end persistence guarantee (optimistic reads of freed memory
+     never fault while the structure churns under the OA schemes);
+   - failure injection: a stalled thread holding hazard pointers must block
+     reclamation of exactly its protected nodes and nothing else;
+   - a real Domain smoke test of the vmem layer (the simulated memory is
+     domain-safe; the engine itself is single-domain by design);
+   - long-churn footprint boundedness across every scheme that reclaims. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_core
+open Oamem_lockfree
+open Oamem_reclaim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(nthreads = 4) ?(threshold = 8) scheme =
+  System.create
+    {
+      System.default_config with
+      System.nthreads;
+      scheme;
+      max_pages = 1 lsl 16;
+      alloc_cfg =
+        { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages = 4 };
+      scheme_cfg =
+        {
+          Scheme.default_config with
+          Scheme.threshold;
+          slots_per_thread = Hm_list.slots_needed;
+          pool_nodes = 16384;
+        };
+    }
+
+(* --- mixed structures over one allocator ------------------------------------- *)
+
+let mixed_structures scheme () =
+  let nthreads = 4 in
+  let sys = mk ~nthreads scheme in
+  let parts = ref None in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      let h = System.hash_set sys ctx ~expected_size:128 in
+      let s =
+        Treiber_stack.create ctx ~scheme:(System.scheme sys)
+          ~vmem:(System.vmem sys)
+      in
+      let q =
+        Ms_queue.create ctx ~scheme:(System.scheme sys) ~vmem:(System.vmem sys)
+      in
+      parts := Some (l, h, s, q));
+  let l, h, s, q = Option.get !parts in
+  let lins = Atomic.make 0 and ldel = Atomic.make 0 in
+  let hins = Atomic.make 0 and hdel = Atomic.make 0 in
+  let pushes = Atomic.make 0 and pops = Atomic.make 0 in
+  let enq = Atomic.make 0 and deq = Atomic.make 0 in
+  for tid = 0 to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let rng = ctx.Engine.prng in
+        for _ = 1 to 200 do
+          let k = Prng.int rng 128 in
+          match Prng.int rng 8 with
+          | 0 -> if Hm_list.insert l ctx k then Atomic.incr lins
+          | 1 -> if Hm_list.delete l ctx k then Atomic.incr ldel
+          | 2 -> if Michael_hash.insert h ctx k then Atomic.incr hins
+          | 3 -> if Michael_hash.delete h ctx k then Atomic.incr hdel
+          | 4 ->
+              Treiber_stack.push s ctx k;
+              Atomic.incr pushes
+          | 5 -> if Treiber_stack.pop s ctx <> None then Atomic.incr pops
+          | 6 ->
+              Ms_queue.enqueue q ctx k;
+              Atomic.incr enq
+          | _ -> if Ms_queue.dequeue q ctx <> None then Atomic.incr deq
+        done)
+  done;
+  System.run sys;
+  check_int
+    (scheme ^ ": list accounting")
+    (Atomic.get lins - Atomic.get ldel)
+    (Hm_list.length l);
+  check_int
+    (scheme ^ ": hash accounting")
+    (Atomic.get hins - Atomic.get hdel)
+    (Michael_hash.length h);
+  check_int
+    (scheme ^ ": stack accounting")
+    (Atomic.get pushes - Atomic.get pops)
+    (Treiber_stack.length s);
+  check_int
+    (scheme ^ ": queue accounting")
+    (Atomic.get enq - Atomic.get deq)
+    (Ms_queue.length q)
+
+(* --- persistence guarantee under churn ---------------------------------------- *)
+
+(* While two threads churn an OA-reclaimed list, a third optimistically
+   re-reads addresses of nodes that were retired long ago: under palloc
+   those reads must never fault, whatever garbage they return. *)
+let test_reads_of_freed_memory_never_fault () =
+  let nthreads = 3 in
+  let sys = mk ~nthreads ~threshold:4 "oa-ver" in
+  let list = ref None in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      for k = 0 to 63 do
+        ignore (Hm_list.insert l ctx k)
+      done;
+      list := Some l);
+  let l = Option.get !list in
+  (* delete every key: all 64 nodes get retired and freed *)
+  System.run_on_thread0 sys (fun ctx ->
+      for k = 0 to 63 do
+        ignore (Hm_list.delete l ctx k)
+      done);
+  for tid = 0 to 1 do
+    System.spawn sys ~tid (fun ctx ->
+        for k = 0 to 400 do
+          ignore (Hm_list.insert l ctx (k mod 64));
+          ignore (Hm_list.delete l ctx (k mod 64))
+        done)
+  done;
+  (* thread 2 hammers reads over the first persistent superblock's whole
+     address range (pages 1..4, where every node lives under this config)
+     while churn frees and reuses it; none of these loads may fault *)
+  System.spawn sys ~tid:2 (fun ctx ->
+      let vm = System.vmem sys in
+      let g = Geometry.default in
+      let base = Geometry.addr_of_page g 1 in
+      let limit = Geometry.addr_of_page g 5 in
+      for round = 0 to 20 do
+        let a = ref (base + (round land 1)) in
+        while !a < limit do
+          ignore (Vmem.load vm ctx !a);
+          a := !a + 7
+        done;
+        Engine.pause ctx
+      done);
+  System.run sys;
+  check_bool "no segfault during optimistic re-reads" true true
+
+(* --- failure injection: stalled thread with hazard pointers ------------------- *)
+
+let test_stalled_hazard_blocks_only_its_nodes () =
+  let sys = mk ~nthreads:2 ~threshold:4 "oa-bit" in
+  let sch = System.scheme sys in
+  let vm = System.vmem sys in
+  let protected_addr = ref 0 in
+  System.run_on_thread0 sys (fun ctx ->
+      protected_addr := sch.Scheme.alloc ctx Node.words;
+      Vmem.store vm ctx !protected_addr 4242);
+  (* thread 1 parks a hazard pointer on the node and stalls *)
+  System.spawn sys ~tid:1 (fun ctx ->
+      sch.Scheme.write_protect ctx ~slot:0 !protected_addr;
+      for _ = 1 to 2000 do
+        Engine.pause ctx
+      done);
+  (* thread 0 retires the protected node plus many others, then drains *)
+  System.spawn sys ~tid:0 (fun ctx ->
+      sch.Scheme.retire ctx !protected_addr;
+      for _ = 1 to 50 do
+        let n = sch.Scheme.alloc ctx Node.words in
+        sch.Scheme.retire ctx n
+      done;
+      sch.Scheme.flush ctx);
+  System.run sys;
+  (* everything except the protected node was freed *)
+  check_int "exactly one node still in limbo" 50 sch.Scheme.stats.Scheme.freed;
+  check_int "its content is untouched" 4242 (Vmem.peek vm !protected_addr)
+
+(* --- real domains smoke test --------------------------------------------------- *)
+
+(* The vmem layer is domain-safe (atomic entries + atomic words); the engine
+   is single-domain by design, so domains use uncosted contexts. *)
+let test_vmem_under_real_domains () =
+  let g = Geometry.default in
+  let vm = Vmem.create ~max_pages:1024 g in
+  let ctx = Engine.external_ctx () in
+  let addr = Vmem.reserve vm ~npages:4 in
+  Vmem.map_anon vm ctx ~vpage:(Geometry.page_of_addr g addr) ~npages:4;
+  let n_domains = 4 and incs = 1000 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let ctx = Engine.external_ctx ~tid:d () in
+            for _ = 1 to incs do
+              ignore (Vmem.fetch_and_add vm ctx addr 1)
+            done))
+  in
+  List.iter Domain.join domains;
+  check_int "atomic increments across domains" (n_domains * incs)
+    (Vmem.peek vm addr)
+
+(* --- long churn footprint boundedness ------------------------------------------ *)
+
+let churn_footprint_bounded scheme () =
+  let sys = mk ~nthreads:2 ~threshold:32 scheme in
+  let list = ref None in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      for k = 0 to 99 do
+        ignore (Hm_list.insert l ctx k)
+      done;
+      list := Some l);
+  let l = Option.get !list in
+  let peak_early = ref 0 in
+  for round = 1 to 8 do
+    for tid = 0 to 1 do
+      System.spawn sys ~tid (fun ctx ->
+          for k = 0 to 99 do
+            ignore (Hm_list.delete l ctx ((100 * tid) + k));
+            ignore (Hm_list.insert l ctx ((100 * tid) + k))
+          done)
+    done;
+    System.run sys;
+    if round = 2 then peak_early := (System.usage sys).Vmem.frames_peak
+  done;
+  let peak_late = (System.usage sys).Vmem.frames_peak in
+  check_bool
+    (Printf.sprintf "%s: footprint flat after warm-up (early %d, late %d)"
+       scheme !peak_early peak_late)
+    true
+    (peak_late <= !peak_early + 4)
+
+let suite =
+  List.map
+    (fun s -> ("mixed structures (" ^ s ^ ")", `Quick, mixed_structures s))
+    [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+  @ [
+      ("freed memory reads never fault", `Quick,
+       test_reads_of_freed_memory_never_fault);
+      ("stalled hazard blocks one node", `Quick,
+       test_stalled_hazard_blocks_only_its_nodes);
+      ("vmem under real domains", `Quick, test_vmem_under_real_domains);
+      ("churn bounded (oa-bit)", `Quick, churn_footprint_bounded "oa-bit");
+      ("churn bounded (oa-ver)", `Quick, churn_footprint_bounded "oa-ver");
+      ("churn bounded (hp)", `Quick, churn_footprint_bounded "hp");
+      ("churn bounded (ebr)", `Quick, churn_footprint_bounded "ebr");
+    ]
+
+let () = Alcotest.run "integration" [ ("integration", suite) ]

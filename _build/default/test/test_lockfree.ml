@@ -1,0 +1,402 @@
+(* Tests for the Harris–Michael list and Michael hash table, run under every
+   reclamation scheme: sequential semantics against a model, concurrent
+   stress with operation accounting, race exploration under randomized
+   schedules, and memory-return checks.
+
+   Any optimistic access to genuinely unmapped memory raises
+   Vmem.Segfault and fails the test — the simulator doubles as a
+   use-after-release detector. *)
+
+open Oamem_engine
+open Oamem_core
+open Oamem_lockfree
+open Oamem_reclaim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+
+let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
+    ?(pool_nodes = 4096) ?(sb_pages = 4) scheme =
+  System.create
+    {
+      System.default_config with
+      System.nthreads;
+      policy;
+      scheme;
+      max_pages = 1 lsl 16;
+      alloc_cfg =
+        { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages };
+      scheme_cfg =
+        {
+          Scheme.threshold;
+          slots_per_thread = Hm_list.slots_needed;
+          pool_nodes;
+          (* large enough for both set (2-word) and kv (3-word) nodes *)
+          node_words = Node.kv_words;
+          hazard_padded = true;
+        };
+    }
+
+(* --- sequential semantics versus a model ------------------------------------ *)
+
+let sequential_list_semantics scheme () =
+  let sys = mk scheme in
+  let result = ref [] in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      check_bool "insert 5" true (Hm_list.insert l ctx 5);
+      check_bool "insert 3" true (Hm_list.insert l ctx 3);
+      check_bool "insert 8" true (Hm_list.insert l ctx 8);
+      check_bool "duplicate rejected" false (Hm_list.insert l ctx 5);
+      check_bool "contains 3" true (Hm_list.contains l ctx 3);
+      check_bool "not contains 4" false (Hm_list.contains l ctx 4);
+      check_bool "delete 3" true (Hm_list.delete l ctx 3);
+      check_bool "delete 3 again" false (Hm_list.delete l ctx 3);
+      check_bool "contains 3 gone" false (Hm_list.contains l ctx 3);
+      check_bool "reinsert 3" true (Hm_list.insert l ctx 3);
+      result := Hm_list.to_list l);
+  check_bool "sorted contents" true (!result = [ 3; 5; 8 ])
+
+let sequential_hash_semantics scheme () =
+  let sys = mk scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let h = System.hash_set sys ctx ~expected_size:64 in
+      for k = 1 to 50 do
+        check_bool "insert" true (Michael_hash.insert h ctx k)
+      done;
+      for k = 1 to 50 do
+        check_bool "present" true (Michael_hash.contains h ctx k)
+      done;
+      for k = 1 to 50 do
+        if k mod 2 = 0 then check_bool "delete" true (Michael_hash.delete h ctx k)
+      done;
+      for k = 1 to 50 do
+        check_bool "final membership" (k mod 2 = 1) (Michael_hash.contains h ctx k)
+      done;
+      check_int "size" 25 (Michael_hash.length h))
+
+(* qcheck: random op sequences match Stdlib.Set, for each scheme. *)
+module IntSet = Set.Make (Int)
+
+let model_prop scheme =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "list matches model (%s)" scheme)
+    ~count:20
+    QCheck.(list (pair (int_bound 2) (int_range 1 20)))
+    (fun ops ->
+      let sys = mk scheme in
+      let ok = ref true in
+      System.run_on_thread0 sys (fun ctx ->
+          let l = System.list_set sys ctx in
+          let model = ref IntSet.empty in
+          List.iter
+            (fun (op, k) ->
+              match op with
+              | 0 ->
+                  let expected = not (IntSet.mem k !model) in
+                  model := IntSet.add k !model;
+                  if Hm_list.insert l ctx k <> expected then ok := false
+              | 1 ->
+                  let expected = IntSet.mem k !model in
+                  model := IntSet.remove k !model;
+                  if Hm_list.delete l ctx k <> expected then ok := false
+              | _ ->
+                  if Hm_list.contains l ctx k <> IntSet.mem k !model then
+                    ok := false)
+            ops;
+          if Hm_list.to_list l <> IntSet.elements !model then ok := false);
+      !ok)
+
+(* --- concurrent stress with operation accounting ----------------------------- *)
+
+(* Each thread performs a random mix; successful inserts minus successful
+   deletes must equal the final size, and the final contents must be a
+   subset of the key universe.  Works for every scheme and both policies. *)
+let concurrent_stress ?(nthreads = 4) ~policy ~ops_per_thread scheme () =
+  let sys = mk ~nthreads ~policy scheme in
+  let universe = 64 in
+  let list = ref None in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      (* prefill every fourth key *)
+      for k = 0 to (universe / 4) - 1 do
+        ignore (Hm_list.insert l ctx (4 * k))
+      done;
+      list := Some l);
+  let l = Option.get !list in
+  let prefill = Hm_list.length l in
+  let inserts = Array.make nthreads 0 and deletes = Array.make nthreads 0 in
+  for tid = 0 to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let rng = ctx.Engine.prng in
+        for _ = 1 to ops_per_thread do
+          let k = Prng.int rng universe in
+          match Prng.int rng 4 with
+          | 0 | 1 -> if Hm_list.insert l ctx k then inserts.(tid) <- inserts.(tid) + 1
+          | 2 -> if Hm_list.delete l ctx k then deletes.(tid) <- deletes.(tid) + 1
+          | _ -> ignore (Hm_list.contains l ctx k)
+        done)
+  done;
+  System.run sys;
+  let total_ins = Array.fold_left ( + ) 0 inserts in
+  let total_del = Array.fold_left ( + ) 0 deletes in
+  let final = Hm_list.to_list l in
+  check_int
+    (Printf.sprintf "%s: size arithmetic" scheme)
+    (prefill + total_ins - total_del)
+    (List.length final);
+  check_bool "sorted and unique" true
+    (List.sort_uniq compare final = final);
+  check_bool "within universe" true
+    (List.for_all (fun k -> k >= 0 && k < universe) final)
+
+let concurrent_hash_stress scheme () =
+  let nthreads = 4 in
+  let sys = mk ~nthreads scheme in
+  let universe = 256 in
+  let table = ref None in
+  System.run_on_thread0 sys (fun ctx ->
+      let h = System.hash_set sys ctx ~expected_size:universe in
+      for k = 0 to (universe / 2) - 1 do
+        ignore (Michael_hash.insert h ctx (2 * k))
+      done;
+      table := Some h);
+  let h = Option.get !table in
+  let prefill = Michael_hash.length h in
+  let inserts = Array.make nthreads 0 and deletes = Array.make nthreads 0 in
+  for tid = 0 to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let rng = ctx.Engine.prng in
+        for _ = 1 to 400 do
+          let k = Prng.int rng universe in
+          match Prng.int rng 4 with
+          | 0 | 1 ->
+              if Michael_hash.insert h ctx k then inserts.(tid) <- inserts.(tid) + 1
+          | 2 ->
+              if Michael_hash.delete h ctx k then deletes.(tid) <- deletes.(tid) + 1
+          | _ -> ignore (Michael_hash.contains h ctx k)
+        done)
+  done;
+  System.run sys;
+  let total_ins = Array.fold_left ( + ) 0 inserts in
+  let total_del = Array.fold_left ( + ) 0 deletes in
+  check_int
+    (Printf.sprintf "%s: hash size arithmetic" scheme)
+    (prefill + total_ins - total_del)
+    (Michael_hash.length h)
+
+(* Race exploration: many random schedules, smaller op counts. *)
+let race_exploration scheme () =
+  for seed = 1 to 10 do
+    concurrent_stress ~nthreads:3 ~policy:(Engine.Random_order seed)
+      ~ops_per_thread:60 scheme ()
+  done
+
+(* --- key-value maps ------------------------------------------------------------ *)
+
+let sequential_kv_semantics scheme () =
+  let sys = mk scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let m = System.list_map sys ctx in
+      check_bool "bind 1" true (Hm_list.insert_kv m ctx 1 100);
+      check_bool "bind 2" true (Hm_list.insert_kv m ctx 2 200);
+      check_bool "rebind rejected" false (Hm_list.insert_kv m ctx 1 111);
+      check_bool "lookup 1" true (Hm_list.lookup m ctx 1 = Some 100);
+      check_bool "lookup 2" true (Hm_list.lookup m ctx 2 = Some 200);
+      check_bool "lookup missing" true (Hm_list.lookup m ctx 3 = None);
+      check_bool "replace returns old" true
+        (Hm_list.replace m ctx 1 101 = Some 100);
+      check_bool "replaced" true (Hm_list.lookup m ctx 1 = Some 101);
+      check_bool "replace missing" true (Hm_list.replace m ctx 9 0 = None);
+      check_bool "delete" true (Hm_list.delete m ctx 1);
+      check_bool "gone" true (Hm_list.lookup m ctx 1 = None))
+
+let sequential_hash_kv scheme () =
+  let sys = mk scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let m = System.hash_map sys ctx ~expected_size:64 in
+      for k = 1 to 40 do
+        check_bool "bind" true (Michael_hash.insert_kv m ctx k (10 * k))
+      done;
+      for k = 1 to 40 do
+        check_bool "lookup" true (Michael_hash.lookup m ctx k = Some (10 * k))
+      done;
+      for k = 1 to 40 do
+        if k mod 2 = 0 then
+          check_bool "replace" true
+            (Michael_hash.replace m ctx k (k + 1) = Some (10 * k))
+      done;
+      for k = 1 to 40 do
+        let expected = if k mod 2 = 0 then Some (k + 1) else Some (10 * k) in
+        check_bool "final" true (Michael_hash.lookup m ctx k = expected)
+      done)
+
+(* Concurrent replace linearizability: N threads each replace a shared key
+   with tagged values; the final value must be one of the tags, and every
+   successful replace must have returned a previously-written value. *)
+let concurrent_kv_replace scheme () =
+  let nthreads = 4 in
+  let sys = mk ~nthreads scheme in
+  let map = ref None in
+  System.run_on_thread0 sys (fun ctx ->
+      let m = System.list_map sys ctx in
+      ignore (Hm_list.insert_kv m ctx 7 0);
+      map := Some m);
+  let m = Option.get !map in
+  let observed = Array.make nthreads [] in
+  for tid = 0 to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        for i = 1 to 50 do
+          match Hm_list.replace m ctx 7 ((ctx.Engine.tid * 1000) + i) with
+          | Some old -> observed.(tid) <- old :: observed.(tid)
+          | None -> Alcotest.fail "key vanished"
+        done)
+  done;
+  System.run sys;
+  (* every observed old value is 0 or some thread's tagged write *)
+  Array.iter
+    (fun olds ->
+      List.iter
+        (fun v ->
+          check_bool
+            (scheme ^ ": observed value was written")
+            true
+            (v = 0 || (v / 1000 < nthreads && v mod 1000 >= 1 && v mod 1000 <= 50)))
+        olds)
+    observed;
+  (* total successful replaces = nthreads * 50; each returned a distinct
+     prior state: the union of observed ++ final covers all writes minus
+     the overwritten ones — at minimum, sizes must match *)
+  check_int
+    (scheme ^ ": every replace returned a value")
+    (nthreads * 50)
+    (Array.fold_left (fun acc l -> acc + List.length l) 0 observed)
+
+(* qcheck: kv list matches Stdlib Map on random op sequences. *)
+module IntMap = Map.Make (Int)
+
+let kv_model_prop scheme =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "kv list matches model (%s)" scheme)
+    ~count:15
+    QCheck.(list (pair (int_bound 3) (pair (int_range 1 15) (int_range 0 99))))
+    (fun ops ->
+      let sys = mk scheme in
+      let ok = ref true in
+      System.run_on_thread0 sys (fun ctx ->
+          let m = System.list_map sys ctx in
+          let model = ref IntMap.empty in
+          List.iter
+            (fun (op, (k, v)) ->
+              match op with
+              | 0 ->
+                  let expected = not (IntMap.mem k !model) in
+                  if expected then model := IntMap.add k v !model;
+                  if Hm_list.insert_kv m ctx k v <> expected then ok := false
+              | 1 ->
+                  let expected = IntMap.find_opt k !model in
+                  if expected <> None then model := IntMap.add k v !model;
+                  if Hm_list.replace m ctx k v <> expected then ok := false
+              | 2 ->
+                  let expected = IntMap.mem k !model in
+                  model := IntMap.remove k !model;
+                  if Hm_list.delete m ctx k <> expected then ok := false
+              | _ ->
+                  if Hm_list.lookup m ctx k <> IntMap.find_opt k !model then
+                    ok := false)
+            ops);
+      !ok)
+
+(* --- memory-return ------------------------------------------------------------ *)
+
+(* After heavy churn and teardown, the OA schemes must hand frames back:
+   peak footprint strictly above final footprint. *)
+let memory_returns scheme () =
+  let sys = mk ~nthreads:2 ~sb_pages:1 scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      (* grow, then delete everything, repeatedly *)
+      for round = 0 to 2 do
+        for k = 0 to 299 do
+          ignore (Hm_list.insert l ctx (k + (round * 300)))
+        done;
+        for k = 0 to 299 do
+          ignore (Hm_list.delete l ctx (k + (round * 300)))
+        done
+      done);
+  System.drain sys;
+  let u = System.usage sys in
+  check_bool
+    (Printf.sprintf "%s: frames returned (peak %d, now %d)" scheme
+       u.Oamem_vmem.Vmem.frames_peak u.Oamem_vmem.Vmem.frames_live)
+    true
+    (u.Oamem_vmem.Vmem.frames_live < u.Oamem_vmem.Vmem.frames_peak
+    && u.Oamem_vmem.Vmem.frames_live <= 10)
+
+(* NR, by contrast, must keep growing. *)
+let test_nr_leaks () =
+  let sys = mk ~nthreads:1 ~sb_pages:1 "nr" in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      for k = 0 to 999 do
+        ignore (Hm_list.insert l ctx k)
+      done;
+      for k = 0 to 999 do
+        ignore (Hm_list.delete l ctx k)
+      done);
+  System.drain sys;
+  let u = System.usage sys in
+  check_bool "nr holds its frames" true
+    (u.Oamem_vmem.Vmem.frames_live >= u.Oamem_vmem.Vmem.frames_peak - 2)
+
+(* The OA schemes' frees flow back through palloc: churn must not grow the
+   footprint without bound (reuse across the whole process, §3.1). *)
+let churn_bounded scheme () =
+  let sys = mk ~nthreads:2 ~threshold:16 scheme in
+  let peak_after_warmup = ref 0 in
+  System.run_on_thread0 sys (fun ctx ->
+      let l = System.list_set sys ctx in
+      for k = 0 to 63 do
+        ignore (Hm_list.insert l ctx k)
+      done;
+      for round = 1 to 10 do
+        for k = 0 to 63 do
+          ignore (Hm_list.delete l ctx k);
+          ignore (Hm_list.insert l ctx k)
+        done;
+        if round = 2 then
+          peak_after_warmup := (System.usage sys).Oamem_vmem.Vmem.frames_peak
+      done);
+  let u = System.usage sys in
+  check_bool
+    (Printf.sprintf "%s: churn does not grow footprint" scheme)
+    true
+    (u.Oamem_vmem.Vmem.frames_peak <= !peak_after_warmup + 4)
+
+let per_scheme name f = List.map (fun s -> (Printf.sprintf "%s (%s)" name s, `Quick, f s)) schemes
+
+let suite =
+  per_scheme "sequential list" (fun s -> sequential_list_semantics s)
+  @ per_scheme "sequential hash" (fun s -> sequential_hash_semantics s)
+  @ per_scheme "concurrent list" (fun s ->
+        concurrent_stress ~policy:Engine.Min_clock ~ops_per_thread:300 s)
+  @ per_scheme "concurrent hash" (fun s -> concurrent_hash_stress s)
+  @ per_scheme "race exploration" (fun s -> race_exploration s)
+  @ per_scheme "kv list sequential" (fun s -> sequential_kv_semantics s)
+  @ per_scheme "kv hash sequential" (fun s -> sequential_hash_kv s)
+  @ per_scheme "kv concurrent replace" (fun s -> concurrent_kv_replace s)
+  @ [
+      ("memory returns (oa-bit)", `Quick, memory_returns "oa-bit");
+      ("memory returns (oa-ver)", `Quick, memory_returns "oa-ver");
+      ("memory returns (hp)", `Quick, memory_returns "hp");
+      ("memory returns (ebr)", `Quick, memory_returns "ebr");
+      ("nr leaks", `Quick, test_nr_leaks);
+      ("churn bounded (oa-bit)", `Quick, churn_bounded "oa-bit");
+      ("churn bounded (oa-ver)", `Quick, churn_bounded "oa-ver");
+    ]
+  @ List.map QCheck_alcotest.to_alcotest (List.map model_prop schemes)
+  @ List.map QCheck_alcotest.to_alcotest (List.map kv_model_prop schemes)
+
+let () = Alcotest.run "lockfree" [ ("lockfree", suite) ]

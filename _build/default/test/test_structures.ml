@@ -1,0 +1,288 @@
+(* Tests for the Treiber stack and Michael–Scott queue across every
+   reclamation scheme: sequential semantics, concurrent accounting, FIFO
+   subsequence order, race exploration and memory return. *)
+
+open Oamem_engine
+open Oamem_core
+open Oamem_lockfree
+open Oamem_reclaim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+
+let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
+    ?(sb_pages = 4) scheme =
+  System.create
+    {
+      System.default_config with
+      System.nthreads;
+      policy;
+      scheme;
+      max_pages = 1 lsl 16;
+      alloc_cfg =
+        { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages };
+      scheme_cfg =
+        {
+          Scheme.default_config with
+          Scheme.threshold;
+          slots_per_thread = Hm_list.slots_needed;
+          pool_nodes = 8192;
+        };
+    }
+
+let stack_of sys ctx =
+  Treiber_stack.create ctx ~scheme:(System.scheme sys) ~vmem:(System.vmem sys)
+
+let queue_of sys ctx =
+  Ms_queue.create ctx ~scheme:(System.scheme sys) ~vmem:(System.vmem sys)
+
+(* --- stack ------------------------------------------------------------------ *)
+
+let stack_sequential scheme () =
+  let sys = mk scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let s = stack_of sys ctx in
+      check_bool "empty" true (Treiber_stack.is_empty s ctx);
+      check_bool "pop empty" true (Treiber_stack.pop s ctx = None);
+      Treiber_stack.push s ctx 1;
+      Treiber_stack.push s ctx 2;
+      Treiber_stack.push s ctx 3;
+      check_int "size" 3 (Treiber_stack.length s);
+      check_bool "lifo 3" true (Treiber_stack.pop s ctx = Some 3);
+      check_bool "lifo 2" true (Treiber_stack.pop s ctx = Some 2);
+      Treiber_stack.push s ctx 9;
+      check_bool "lifo 9" true (Treiber_stack.pop s ctx = Some 9);
+      check_bool "lifo 1" true (Treiber_stack.pop s ctx = Some 1);
+      check_bool "drained" true (Treiber_stack.pop s ctx = None))
+
+let stack_concurrent ?(policy = Engine.Min_clock) scheme () =
+  let nthreads = 4 in
+  let sys = mk ~nthreads ~policy scheme in
+  let stack = ref None in
+  System.run_on_thread0 sys (fun ctx -> stack := Some (stack_of sys ctx));
+  let s = Option.get !stack in
+  let pushed = Array.make nthreads 0 and popped = Array.make nthreads 0 in
+  for tid = 0 to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let rng = ctx.Engine.prng in
+        for i = 1 to 250 do
+          if Prng.bool rng then begin
+            Treiber_stack.push s ctx ((ctx.Engine.tid * 1_000_000) + i);
+            pushed.(tid) <- pushed.(tid) + 1
+          end
+          else
+            match Treiber_stack.pop s ctx with
+            | Some _ -> popped.(tid) <- popped.(tid) + 1
+            | None -> ()
+        done)
+  done;
+  System.run sys;
+  let total a = Array.fold_left ( + ) 0 a in
+  check_int
+    (Printf.sprintf "%s: push/pop accounting" scheme)
+    (total pushed - total popped)
+    (Treiber_stack.length s)
+
+(* --- queue ------------------------------------------------------------------ *)
+
+let queue_sequential scheme () =
+  let sys = mk scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let q = queue_of sys ctx in
+      check_bool "empty" true (Ms_queue.is_empty q ctx);
+      check_bool "dequeue empty" true (Ms_queue.dequeue q ctx = None);
+      Ms_queue.enqueue q ctx 1;
+      Ms_queue.enqueue q ctx 2;
+      Ms_queue.enqueue q ctx 3;
+      check_int "size" 3 (Ms_queue.length q);
+      check_bool "fifo 1" true (Ms_queue.dequeue q ctx = Some 1);
+      Ms_queue.enqueue q ctx 4;
+      check_bool "fifo 2" true (Ms_queue.dequeue q ctx = Some 2);
+      check_bool "fifo 3" true (Ms_queue.dequeue q ctx = Some 3);
+      check_bool "fifo 4" true (Ms_queue.dequeue q ctx = Some 4);
+      check_bool "drained" true (Ms_queue.dequeue q ctx = None);
+      check_bool "empty again" true (Ms_queue.is_empty q ctx))
+
+(* Producers enqueue increasing per-thread sequences; consumers must observe
+   each producer's values in order (FIFO per source). *)
+let queue_producer_consumer ?(policy = Engine.Min_clock) scheme () =
+  let producers = 2 and consumers = 2 in
+  let nthreads = producers + consumers in
+  let sys = mk ~nthreads ~policy scheme in
+  let queue = ref None in
+  System.run_on_thread0 sys (fun ctx -> queue := Some (queue_of sys ctx));
+  let q = Option.get !queue in
+  let per_producer = 150 in
+  let consumed = Array.make nthreads [] in
+  for tid = 0 to producers - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        for i = 1 to per_producer do
+          Ms_queue.enqueue q ctx ((ctx.Engine.tid * 1_000_000) + i)
+        done)
+  done;
+  let total_expected = producers * per_producer in
+  let taken = Atomic.make 0 in
+  for tid = producers to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        while Atomic.get taken < total_expected do
+          match Ms_queue.dequeue q ctx with
+          | Some v ->
+              Atomic.incr taken;
+              consumed.(ctx.Engine.tid) <- v :: consumed.(ctx.Engine.tid)
+          | None -> Engine.pause ctx
+        done)
+  done;
+  System.run sys;
+  check_int (scheme ^ ": everything consumed") total_expected (Atomic.get taken);
+  check_int "queue drained" 0 (Ms_queue.length q);
+  (* per-producer order must be increasing within each consumer's stream *)
+  Array.iter
+    (fun stream ->
+      let stream = List.rev stream in
+      for p = 0 to producers - 1 do
+        let mine = List.filter (fun v -> v / 1_000_000 = p) stream in
+        let rec increasing = function
+          | a :: (b :: _ as rest) -> a < b && increasing rest
+          | _ -> true
+        in
+        check_bool (scheme ^ ": per-producer fifo") true (increasing mine)
+      done)
+    consumed
+
+let queue_race scheme () =
+  for seed = 1 to 6 do
+    queue_producer_consumer ~policy:(Engine.Random_order seed) scheme ()
+  done
+
+let stack_race scheme () =
+  for seed = 1 to 6 do
+    stack_concurrent ~policy:(Engine.Random_order seed) scheme ()
+  done
+
+(* Queues churn sentinels constantly; the OA schemes must return that
+   memory. *)
+let queue_memory_returns scheme () =
+  let sys = mk ~nthreads:1 ~sb_pages:1 scheme in
+  System.run_on_thread0 sys (fun ctx ->
+      let q = queue_of sys ctx in
+      for round = 1 to 20 do
+        for i = 1 to 100 do
+          Ms_queue.enqueue q ctx ((round * 1000) + i)
+        done;
+        for _ = 1 to 100 do
+          ignore (Ms_queue.dequeue q ctx)
+        done
+      done);
+  System.drain sys;
+  let u = System.usage sys in
+  check_bool
+    (Printf.sprintf "%s: queue memory returned (peak %d, now %d)" scheme
+       u.Oamem_vmem.Vmem.frames_peak u.Oamem_vmem.Vmem.frames_live)
+    true
+    (u.Oamem_vmem.Vmem.frames_live <= 10)
+
+(* --- VBR stack (the paper's §6 future work) ---------------------------------- *)
+
+let vbr_stack_of sys ctx = Vbr_stack.create ctx ~alloc:(System.alloc sys)
+
+let test_vbr_stack_sequential () =
+  let sys = mk "nr" in
+  System.run_on_thread0 sys (fun ctx ->
+      let s = vbr_stack_of sys ctx in
+      check_bool "empty" true (Vbr_stack.is_empty s ctx);
+      check_bool "pop empty" true (Vbr_stack.pop s ctx = None);
+      Vbr_stack.push s ctx 1;
+      Vbr_stack.push s ctx 2;
+      Vbr_stack.push s ctx 3;
+      check_bool "lifo" true
+        (Vbr_stack.pop s ctx = Some 3
+        && Vbr_stack.pop s ctx = Some 2
+        && Vbr_stack.pop s ctx = Some 1
+        && Vbr_stack.pop s ctx = None);
+      (* the VBR selling point: every pop freed its node immediately *)
+      check_int "immediate frees" 3 (Vbr_stack.immediate_frees s))
+
+let vbr_stack_concurrent ?(policy = Engine.Min_clock) () =
+  let nthreads = 4 in
+  let sys = mk ~nthreads ~policy "nr" in
+  let stack = ref None in
+  System.run_on_thread0 sys (fun ctx -> stack := Some (vbr_stack_of sys ctx));
+  let s = Option.get !stack in
+  let pushed = Array.make nthreads 0 and popped = Array.make nthreads 0 in
+  for tid = 0 to nthreads - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let rng = ctx.Engine.prng in
+        for i = 1 to 250 do
+          if Prng.bool rng then begin
+            Vbr_stack.push s ctx ((ctx.Engine.tid * 1_000_000) + i);
+            pushed.(tid) <- pushed.(tid) + 1
+          end
+          else
+            match Vbr_stack.pop s ctx with
+            | Some _ -> popped.(tid) <- popped.(tid) + 1
+            | None -> ()
+        done)
+  done;
+  System.run sys;
+  let total a = Array.fold_left ( + ) 0 a in
+  check_int "vbr push/pop accounting" (total pushed - total popped)
+    (Vbr_stack.length s);
+  check_int "every pop freed immediately" (total popped)
+    (Vbr_stack.immediate_frees s)
+
+let test_vbr_stack_races () =
+  for seed = 1 to 8 do
+    vbr_stack_concurrent ~policy:(Engine.Random_order seed) ()
+  done
+
+(* Memory goes back with zero grace period: after popping everything, the
+   footprint is back near baseline without any drain/flush of limbo lists
+   (there are none). *)
+let test_vbr_stack_immediate_memory_return () =
+  let sys = mk ~nthreads:1 ~sb_pages:1 "nr" in
+  System.run_on_thread0 sys (fun ctx ->
+      let s = vbr_stack_of sys ctx in
+      for i = 1 to 2000 do
+        Vbr_stack.push s ctx i
+      done;
+      let full = (System.usage sys).Oamem_vmem.Vmem.frames_live in
+      for _ = 1 to 2000 do
+        ignore (Vbr_stack.pop s ctx)
+      done;
+      (* frames can only return to the OS once the caches flush, but the
+         allocator already has every node back *)
+      Oamem_lrmalloc.Lrmalloc.flush_thread_cache (System.alloc sys) ctx;
+      Oamem_lrmalloc.Heap.trim
+        (Oamem_lrmalloc.Lrmalloc.heap (System.alloc sys))
+        ctx;
+      let after = (System.usage sys).Oamem_vmem.Vmem.frames_live in
+      check_bool
+        (Printf.sprintf "frames returned without grace period (%d -> %d)" full
+           after)
+        true
+        (after < full && after <= 8))
+
+let per_scheme name f =
+  List.map (fun s -> (Printf.sprintf "%s (%s)" name s, `Quick, f s)) schemes
+
+let suite =
+  per_scheme "stack sequential" (fun s -> stack_sequential s)
+  @ per_scheme "stack concurrent" (fun s -> stack_concurrent s)
+  @ per_scheme "stack races" (fun s -> stack_race s)
+  @ per_scheme "queue sequential" (fun s -> queue_sequential s)
+  @ per_scheme "queue producer/consumer" (fun s -> queue_producer_consumer s)
+  @ per_scheme "queue races" (fun s -> queue_race s)
+  @ [
+      ("queue memory returns (oa-bit)", `Quick, queue_memory_returns "oa-bit");
+      ("queue memory returns (oa-ver)", `Quick, queue_memory_returns "oa-ver");
+      ("queue memory returns (hp)", `Quick, queue_memory_returns "hp");
+      ("vbr stack sequential", `Quick, test_vbr_stack_sequential);
+      ("vbr stack concurrent", `Quick, fun () -> vbr_stack_concurrent ());
+      ("vbr stack races", `Quick, test_vbr_stack_races);
+      ("vbr stack immediate memory return", `Quick,
+       test_vbr_stack_immediate_memory_return);
+    ]
+
+let () = Alcotest.run "structures" [ ("structures", suite) ]

@@ -1,0 +1,375 @@
+(* Tests for the virtual-memory simulator: frames, page table, mapping calls,
+   copy-on-write semantics, remapping strategies and metrics. *)
+
+open Oamem_engine
+open Oamem_vmem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let g = Geometry.default
+let pw = Geometry.page_words g
+let ctx = Engine.external_ctx ()
+
+let fresh ?(shared_region_pages = 1) () =
+  Vmem.create ~max_pages:4096 ~shared_region_pages g
+
+(* Map a fresh range and return its base address. *)
+let mapped_range ?(npages = 4) vm =
+  let addr = Vmem.reserve vm ~npages in
+  Vmem.map_anon vm ctx ~vpage:(Geometry.page_of_addr g addr) ~npages;
+  addr
+
+(* --- Frames -------------------------------------------------------------- *)
+
+let test_frames_alloc_free () =
+  let f = Frames.create g in
+  check_int "zero frame live" 1 (Frames.live f);
+  let a = Frames.alloc f in
+  let b = Frames.alloc f in
+  check_bool "distinct" true (a <> b);
+  check_int "live" 3 (Frames.live f);
+  Frames.free f a;
+  check_int "freed" 2 (Frames.live f);
+  let c = Frames.alloc f in
+  check_int "recycled id" a c;
+  check_int "peak" 3 (Frames.peak f)
+
+let test_frames_recycled_is_zeroed () =
+  let f = Frames.create g in
+  let a = Frames.alloc f in
+  Atomic.set (Frames.word f ~frame:a ~off:7) 99;
+  Frames.free f a;
+  let b = Frames.alloc f in
+  check_int "same frame" a b;
+  check_int "zeroed" 0 (Atomic.get (Frames.word f ~frame:b ~off:7))
+
+let test_frames_zero_frame_protected () =
+  let f = Frames.create g in
+  Alcotest.check_raises "no free of zero frame"
+    (Invalid_argument "Frames.free: cannot free the zero frame") (fun () ->
+      Frames.free f Frames.zero_frame);
+  check_bool "intact" true (Frames.zero_frame_intact f)
+
+let test_frames_capacity () =
+  let f = Frames.create ~capacity:3 g in
+  let _ = Frames.alloc f in
+  let _ = Frames.alloc f in
+  Alcotest.check_raises "out of frames" Frames.Out_of_frames (fun () ->
+      ignore (Frames.alloc f))
+
+let test_frames_paddr_distinct () =
+  let f = Frames.create g in
+  let a = Frames.alloc f in
+  let b = Frames.alloc f in
+  check_bool "paddrs disjoint" true
+    (Frames.paddr f ~frame:a ~off:0 <> Frames.paddr f ~frame:b ~off:0);
+  check_int "offset encoded"
+    (Frames.paddr f ~frame:a ~off:0 + 5)
+    (Frames.paddr f ~frame:a ~off:5)
+
+(* --- Page table ---------------------------------------------------------- *)
+
+let test_page_table_roundtrip () =
+  let pt = Page_table.create ~max_pages:16 in
+  List.iter
+    (fun e ->
+      Page_table.set pt 3 e;
+      check_bool "roundtrip" true (Page_table.get pt 3 = e))
+    [
+      Page_table.Unmapped;
+      Page_table.Cow_zero;
+      Page_table.Frame 7;
+      Page_table.Shared 9;
+      Page_table.Frame 0;
+    ]
+
+let test_page_table_cas () =
+  let pt = Page_table.create ~max_pages:4 in
+  Page_table.set pt 1 Page_table.Cow_zero;
+  check_bool "cas ok" true
+    (Page_table.cas pt 1 ~expect:Page_table.Cow_zero
+       ~desired:(Page_table.Frame 4));
+  check_bool "cas stale fails" false
+    (Page_table.cas pt 1 ~expect:Page_table.Cow_zero
+       ~desired:(Page_table.Frame 5));
+  check_bool "value" true (Page_table.get pt 1 = Page_table.Frame 4)
+
+let test_page_table_out_of_range () =
+  let pt = Page_table.create ~max_pages:4 in
+  check_bool "oob reads unmapped" true (Page_table.get pt 100 = Page_table.Unmapped)
+
+let page_table_encode_prop =
+  QCheck.Test.make ~name:"page-table entry encoding is injective" ~count:200
+    QCheck.(pair (int_bound 3) (int_bound 100000))
+    (fun (tag, f) ->
+      let e =
+        match tag with
+        | 0 -> Page_table.Unmapped
+        | 1 -> Page_table.Cow_zero
+        | 2 -> Page_table.Frame f
+        | _ -> Page_table.Shared f
+      in
+      let pt = Page_table.create ~max_pages:2 in
+      Page_table.set pt 0 e;
+      Page_table.get pt 0 = e)
+
+(* --- Mapping and access -------------------------------------------------- *)
+
+let test_unmapped_access_faults () =
+  let vm = fresh () in
+  let addr = Vmem.reserve vm ~npages:1 in
+  Alcotest.check_raises "segfault" (Vmem.Segfault addr) (fun () ->
+      ignore (Vmem.load vm ctx addr))
+
+let test_fresh_mapping_reads_zero () =
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  check_int "reads zero" 0 (Vmem.load vm ctx addr);
+  check_int "reads zero anywhere" 0 (Vmem.load vm ctx (addr + (3 * pw) + 17));
+  (* reads consume no frames *)
+  check_int "no private frames" 0 (Vmem.usage vm).Vmem.resident_pages
+
+let test_store_faults_in_one_frame () =
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  let before = (Vmem.usage vm).Vmem.frames_live in
+  Vmem.store vm ctx addr 42;
+  Vmem.store vm ctx (addr + 1) 43;
+  (* same page: one frame *)
+  let u = Vmem.usage vm in
+  check_int "one frame" (before + 1) u.Vmem.frames_live;
+  check_int "one fault" 1 u.Vmem.minor_faults;
+  check_int "read back" 42 (Vmem.load vm ctx addr);
+  check_int "read back 2" 43 (Vmem.load vm ctx (addr + 1));
+  (* a different page faults separately *)
+  Vmem.store vm ctx (addr + pw) 7;
+  check_int "two faults" 2 (Vmem.usage vm).Vmem.minor_faults
+
+let test_store_to_unmapped_faults () =
+  let vm = fresh () in
+  let addr = Vmem.reserve vm ~npages:1 in
+  Alcotest.check_raises "segfault" (Vmem.Segfault addr) (fun () ->
+      Vmem.store vm ctx addr 1)
+
+let test_unmap_releases_frames_and_faults_later () =
+  let vm = fresh () in
+  let addr = mapped_range vm ~npages:2 in
+  Vmem.store vm ctx addr 1;
+  Vmem.store vm ctx (addr + pw) 2;
+  let vpage = Geometry.page_of_addr g addr in
+  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  Vmem.unmap vm ctx ~vpage ~npages:2;
+  check_int "frames released" (live_before - 2) (Vmem.usage vm).Vmem.frames_live;
+  Alcotest.check_raises "segfault after unmap" (Vmem.Segfault addr) (fun () ->
+      ignore (Vmem.load vm ctx addr))
+
+let test_madvise_keeps_range_readable () =
+  let vm = fresh () in
+  let addr = mapped_range vm ~npages:2 in
+  Vmem.store vm ctx addr 99;
+  let vpage = Geometry.page_of_addr g addr in
+  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  Vmem.madvise_dontneed vm ctx ~vpage ~npages:2;
+  (* frame released but the range still reads (as zero) *)
+  check_int "frame released" (live_before - 1) (Vmem.usage vm).Vmem.frames_live;
+  check_int "reads zero again" 0 (Vmem.load vm ctx addr);
+  (* and can be written again, faulting in a fresh frame *)
+  Vmem.store vm ctx addr 5;
+  check_int "written" 5 (Vmem.load vm ctx addr)
+
+let test_map_shared_aliases_pages () =
+  let vm = fresh () in
+  let addr = mapped_range vm ~npages:4 in
+  let vpage = Geometry.page_of_addr g addr in
+  Vmem.map_shared vm ctx ~vpage ~npages:4;
+  (* all four pages alias the same shared frame: a write through one page is
+     visible through every other page at the same offset *)
+  Vmem.store vm ctx (addr + 3) 1234;
+  check_int "alias page 1" 1234 (Vmem.load vm ctx (addr + pw + 3));
+  check_int "alias page 3" 1234 (Vmem.load vm ctx (addr + (3 * pw) + 3))
+
+let test_map_shared_releases_frames_but_inflates_rss () =
+  let vm = fresh () in
+  let addr = mapped_range vm ~npages:4 in
+  let vpage = Geometry.page_of_addr g addr in
+  for p = 0 to 3 do
+    Vmem.store vm ctx (addr + (p * pw)) 1
+  done;
+  let before = Vmem.usage vm in
+  check_int "4 resident" 4 before.Vmem.resident_pages;
+  Vmem.map_shared vm ctx ~vpage ~npages:4;
+  let after = Vmem.usage vm in
+  check_int "private frames gone" (before.Vmem.frames_live - 4)
+    after.Vmem.frames_live;
+  check_int "no resident pages" 0 after.Vmem.resident_pages;
+  (* the haywire Linux statistic: all 4 pages still counted *)
+  check_int "linux rss counts shared pages" 4 after.Vmem.linux_rss_pages
+
+let test_map_shared_chunked_syscalls () =
+  (* shared region of 2 pages: mapping 8 pages costs 4 syscalls; remapping
+     private costs 1. *)
+  let eng = Engine.create ~nthreads:1 () in
+  let vm = Vmem.create ~max_pages:4096 ~shared_region_pages:2 g in
+  let addr = Vmem.reserve vm ~npages:8 in
+  let vpage = Geometry.page_of_addr g addr in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      Vmem.map_anon vm ctx ~vpage ~npages:8;
+      let s0 = (Engine.stats eng).Engine.syscalls in
+      Vmem.map_shared vm ctx ~vpage ~npages:8;
+      check_int "4 syscalls for 8 pages over 2-page region" (s0 + 4)
+        (Engine.stats eng).Engine.syscalls;
+      Vmem.remap_private vm ctx ~vpage ~npages:8;
+      check_int "remap is 1 syscall" (s0 + 5) (Engine.stats eng).Engine.syscalls);
+  Engine.run eng
+
+let test_remap_private_detaches_alias () =
+  let vm = fresh () in
+  let addr = mapped_range vm ~npages:2 in
+  let vpage = Geometry.page_of_addr g addr in
+  Vmem.map_shared vm ctx ~vpage ~npages:2;
+  Vmem.store vm ctx addr 77;
+  Vmem.remap_private vm ctx ~vpage ~npages:2;
+  check_int "fresh zero after remap" 0 (Vmem.load vm ctx addr);
+  Vmem.store vm ctx addr 5;
+  check_int "no alias" 0 (Vmem.load vm ctx (addr + pw))
+
+let test_cas_semantics () =
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  Vmem.store vm ctx addr 10;
+  check_bool "cas ok" true (Vmem.cas vm ctx addr ~expect:10 ~desired:11);
+  check_bool "cas stale" false (Vmem.cas vm ctx addr ~expect:10 ~desired:12);
+  check_int "value" 11 (Vmem.load vm ctx addr)
+
+let test_cas_on_cow_page_faults_in_frame () =
+  (* Footnote 2 of the paper: the failing CAS still consumes a frame. *)
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  let before = (Vmem.usage vm).Vmem.frames_live in
+  check_bool "cas fails" false (Vmem.cas vm ctx addr ~expect:555 ~desired:556);
+  let u = Vmem.usage vm in
+  check_int "frame leaked in" (before + 1) u.Vmem.frames_live;
+  check_int "counted as cow-cas fault" 1 u.Vmem.cow_cas_faults
+
+let test_cas_on_shared_page_does_not_fault () =
+  (* The shared-mapping method avoids the leak. *)
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  let vpage = Geometry.page_of_addr g addr in
+  Vmem.map_shared vm ctx ~vpage ~npages:4;
+  let before = (Vmem.usage vm).Vmem.frames_live in
+  check_bool "cas fails" false (Vmem.cas vm ctx addr ~expect:555 ~desired:556);
+  let u = Vmem.usage vm in
+  check_int "no frame consumed" before u.Vmem.frames_live;
+  check_int "no cow-cas fault" 0 u.Vmem.cow_cas_faults
+
+let test_fetch_and_add () =
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  check_int "faa from zero" 0 (Vmem.fetch_and_add vm ctx addr 5);
+  check_int "faa again" 5 (Vmem.fetch_and_add vm ctx addr 3);
+  check_int "total" 8 (Vmem.load vm ctx addr)
+
+let test_dwcas () =
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  let addr = addr land lnot 1 in
+  Vmem.store vm ctx addr 1;
+  Vmem.store vm ctx (addr + 1) 2;
+  check_bool "dwcas ok" true
+    (Vmem.dwcas vm ctx addr ~expect0:1 ~expect1:2 ~desired0:3 ~desired1:4);
+  check_int "w0" 3 (Vmem.load vm ctx addr);
+  check_int "w1" 4 (Vmem.load vm ctx (addr + 1));
+  check_bool "dwcas stale tag fails" false
+    (Vmem.dwcas vm ctx addr ~expect0:3 ~expect1:9 ~desired0:0 ~desired1:0);
+  Alcotest.check_raises "odd addr rejected"
+    (Invalid_argument "Vmem.dwcas: addr must be even") (fun () ->
+      ignore
+        (Vmem.dwcas vm ctx (addr + 1) ~expect0:0 ~expect1:0 ~desired0:0
+           ~desired1:0))
+
+let test_null_page_reserved () =
+  let vm = fresh () in
+  Alcotest.check_raises "null deref faults" (Vmem.Segfault 0) (fun () ->
+      ignore (Vmem.load vm ctx 0))
+
+let test_zero_frame_never_written () =
+  let vm = fresh () in
+  let addr = mapped_range vm in
+  ignore (Vmem.load vm ctx addr);
+  Vmem.store vm ctx addr 1;
+  ignore (Vmem.cas vm ctx (addr + pw) ~expect:0 ~desired:3);
+  check_bool "zero frame intact" true (Frames.zero_frame_intact (Vmem.frames vm))
+
+let test_reserve_disjoint () =
+  let vm = fresh () in
+  let a = Vmem.reserve vm ~npages:3 in
+  let b = Vmem.reserve vm ~npages:2 in
+  check_bool "disjoint" true (b >= a + (3 * pw))
+
+(* Model-based property: random stores and loads against a Hashtbl oracle. *)
+let vmem_model_prop =
+  QCheck.Test.make ~name:"vmem load/store matches flat-memory model" ~count:30
+    QCheck.(list (pair (int_bound 2047) small_int))
+    (fun writes ->
+      let vm = fresh () in
+      let addr0 = mapped_range vm ~npages:4 in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (off, v) ->
+          Vmem.store vm ctx (addr0 + off) v;
+          Hashtbl.replace model off v)
+        writes;
+      List.for_all
+        (fun (off, _) -> Vmem.load vm ctx (addr0 + off) = Hashtbl.find model off)
+        writes)
+
+(* Frame accounting conservation under random madvise/unmap cycles. *)
+let vmem_frames_conservation_prop =
+  QCheck.Test.make ~name:"frames released by madvise equal frames faulted in"
+    ~count:30
+    QCheck.(list (int_bound 7))
+    (fun pages ->
+      let vm = fresh () in
+      let addr0 = mapped_range vm ~npages:8 in
+      let vpage = Geometry.page_of_addr g addr0 in
+      let baseline = (Vmem.usage vm).Vmem.frames_live in
+      List.iter (fun p -> Vmem.store vm ctx (addr0 + (p * pw)) 1) pages;
+      Vmem.madvise_dontneed vm ctx ~vpage ~npages:8;
+      (Vmem.usage vm).Vmem.frames_live = baseline)
+
+let suite =
+  [
+    ("frames alloc/free", `Quick, test_frames_alloc_free);
+    ("frames recycled zeroed", `Quick, test_frames_recycled_is_zeroed);
+    ("frames zero protected", `Quick, test_frames_zero_frame_protected);
+    ("frames capacity", `Quick, test_frames_capacity);
+    ("frames paddr", `Quick, test_frames_paddr_distinct);
+    ("page table roundtrip", `Quick, test_page_table_roundtrip);
+    ("page table cas", `Quick, test_page_table_cas);
+    ("page table oob", `Quick, test_page_table_out_of_range);
+    ("unmapped access faults", `Quick, test_unmapped_access_faults);
+    ("fresh mapping reads zero", `Quick, test_fresh_mapping_reads_zero);
+    ("store faults in", `Quick, test_store_faults_in_one_frame);
+    ("store unmapped faults", `Quick, test_store_to_unmapped_faults);
+    ("unmap releases", `Quick, test_unmap_releases_frames_and_faults_later);
+    ("madvise keeps readable", `Quick, test_madvise_keeps_range_readable);
+    ("shared aliases", `Quick, test_map_shared_aliases_pages);
+    ("shared releases + rss haywire", `Quick,
+     test_map_shared_releases_frames_but_inflates_rss);
+    ("shared chunked syscalls", `Quick, test_map_shared_chunked_syscalls);
+    ("remap private detaches", `Quick, test_remap_private_detaches_alias);
+    ("cas", `Quick, test_cas_semantics);
+    ("cas cow leak", `Quick, test_cas_on_cow_page_faults_in_frame);
+    ("cas shared no leak", `Quick, test_cas_on_shared_page_does_not_fault);
+    ("faa", `Quick, test_fetch_and_add);
+    ("dwcas", `Quick, test_dwcas);
+    ("null page", `Quick, test_null_page_reserved);
+    ("zero frame never written", `Quick, test_zero_frame_never_written);
+    ("reserve disjoint", `Quick, test_reserve_disjoint);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ page_table_encode_prop; vmem_model_prop; vmem_frames_conservation_prop ]
+
+let () = Alcotest.run "vmem" [ ("vmem", suite) ]
