@@ -1,0 +1,24 @@
+.PHONY: all build test check clean repro quick
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# CI entry point: full build + every test suite.
+check:
+	dune build
+	dune runtest
+
+# Reproduce the paper's evaluation (quick preset).
+quick:
+	dune exec bin/repro.exe -- all --quick
+
+repro:
+	dune exec bin/repro.exe -- all
+
+clean:
+	dune clean

@@ -20,6 +20,7 @@ type config = {
   geom : Geometry.t;
   max_pages : int;
   frame_capacity : int option;
+  frame_quota : int option;  (** cap on live frames (memory pressure) *)
   shared_region_pages : int;
   alloc_cfg : Config.t;
   scheme : string;  (** one of {!Oamem_reclaim.Registry.names} *)
@@ -35,6 +36,7 @@ let default_config =
     geom = Geometry.default;
     max_pages = 1 lsl 18;
     frame_capacity = None;
+    frame_quota = None;
     shared_region_pages = 1;
     alloc_cfg = Config.default;
     scheme = "oa-ver";
@@ -58,7 +60,7 @@ let create (config : config) =
   in
   let vmem =
     Vmem.create ~max_pages:config.max_pages
-      ?frame_capacity:config.frame_capacity
+      ?frame_capacity:config.frame_capacity ?frame_quota:config.frame_quota
       ~shared_region_pages:config.shared_region_pages config.geom
   in
   let meta = Cell.heap config.geom in
@@ -100,6 +102,11 @@ let hash_map t ctx ~expected_size =
 let spawn t ~tid f = Engine.spawn t.engine ~tid f
 let run ?max_steps t = Engine.run ?max_steps t.engine
 
+(* {2 Fault injection} *)
+
+let set_fault_plan t plan = Engine.set_fault_plan t.engine plan
+let crashed t ~tid = Engine.crashed t.engine ~tid
+
 (* Run [f] once on thread 0 to completion (setup/prefill phases). *)
 let run_on_thread0 t f =
   spawn t ~tid:0 f;
@@ -108,12 +115,15 @@ let run_on_thread0 t f =
 (* {2 Teardown and metrics} *)
 
 (* Drain limbo lists and thread caches from every thread slot, then release
-   lingering empty superblocks, so memory metrics reflect steady state. *)
+   lingering empty superblocks, so memory metrics reflect steady state.
+   Crashed slots cannot run: whatever they pinned stays pinned — which is
+   precisely what the robustness experiments measure. *)
 let drain t =
   for tid = 0 to t.config.nthreads - 1 do
-    spawn t ~tid (fun ctx ->
-        t.scheme.Scheme.flush ctx;
-        Lrmalloc.flush_thread_cache t.alloc ctx)
+    if not (crashed t ~tid) then
+      spawn t ~tid (fun ctx ->
+          t.scheme.Scheme.flush ctx;
+          Lrmalloc.flush_thread_cache t.alloc ctx)
   done;
   run t;
   run_on_thread0 t (fun ctx -> Oamem_lrmalloc.Heap.trim (Lrmalloc.heap t.alloc) ctx)

@@ -15,6 +15,10 @@ type config = {
   geom : Geometry.t;
   max_pages : int;
   frame_capacity : int option;
+  frame_quota : int option;
+      (** cap on live frames (simulated memory pressure); exceeding it makes
+          fault-ins raise [Frames.Out_of_frames], which the allocator
+          answers with its pressure-recovery path *)
   shared_region_pages : int;
   alloc_cfg : Config.t;
   scheme : string;  (** one of {!Oamem_reclaim.Registry.names} *)
@@ -52,11 +56,20 @@ val spawn : t -> tid:int -> (Engine.ctx -> unit) -> unit
 val run : ?max_steps:int -> t -> unit
 val run_on_thread0 : t -> (Engine.ctx -> unit) -> unit
 
+(** {2 Fault injection} *)
+
+val set_fault_plan : t -> Fault_plan.t -> unit
+(** Install a stall/crash/jitter plan on the engine (see
+    {!Oamem_engine.Fault_plan}). *)
+
+val crashed : t -> tid:int -> bool
+
 (** {2 Teardown and metrics} *)
 
 val drain : t -> unit
-(** Drain limbo lists and thread caches on every slot, then release
-    lingering empty superblocks. *)
+(** Drain limbo lists and thread caches on every non-crashed slot, then
+    release lingering empty superblocks.  Crashed slots keep whatever they
+    pinned — the robustness experiments measure exactly that. *)
 
 val usage : t -> Vmem.usage
 val engine_stats : t -> Engine.stats

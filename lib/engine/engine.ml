@@ -44,6 +44,14 @@ type outcome =
   | Done
   | Yielded of request * (unit, outcome) Effect.Deep.continuation
 
+type fault_stats = {
+  mutable yields : int;
+  mutable stalls_injected : int;
+  mutable stall_cycles : int;
+  mutable jitter_cycles : int;
+  mutable crashed : bool;
+}
+
 type t = {
   cost : Cost_model.t;
   geom : Geometry.t;
@@ -53,6 +61,7 @@ type t = {
   mutable slots : slot array;
   policy : policy;
   sched_rng : Prng.t;
+  mutable plan : Fault_plan.t;
   mutable accesses : int;
   mutable fences : int;
   mutable faults : int;
@@ -63,14 +72,25 @@ and slot = {
   ctx : ctx;
   mutable clock : int;
   mutable pending : pending;
+  fstats : fault_stats;
 }
 
 and pending =
   | Idle
   | Start of (ctx -> unit)
   | Blocked of request * (unit, outcome) Effect.Deep.continuation
+  | Crashed  (* fault-injected fail-stop; the slot is permanently dead *)
 
 and ctx = { tid : int; eng : t option; prng : Prng.t }
+
+let fresh_fault_stats () =
+  {
+    yields = 0;
+    stalls_injected = 0;
+    stall_cycles = 0;
+    jitter_cycles = 0;
+    crashed = false;
+  }
 
 let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
     ?(geom = Geometry.default) ?cache_cfg ?(tlb_slots = 64) ~nthreads () =
@@ -90,6 +110,7 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
       slots = [||];
       policy;
       sched_rng = Prng.create sched_seed;
+      plan = Fault_plan.none;
       accesses = 0;
       fences = 0;
       faults = 0;
@@ -102,6 +123,7 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
           ctx = { tid; eng = Some t; prng = Prng.create (0x9e37 + tid) };
           clock = 0;
           pending = Idle;
+          fstats = fresh_fault_stats ();
         });
   t
 
@@ -172,8 +194,16 @@ let spawn t ~tid f =
   let slot = t.slots.(tid) in
   (match slot.pending with
   | Idle -> ()
-  | Start _ | Blocked _ -> invalid_arg "Engine.spawn: slot busy");
+  | Start _ | Blocked _ -> invalid_arg "Engine.spawn: slot busy"
+  | Crashed -> invalid_arg "Engine.spawn: slot crashed");
   slot.pending <- Start f
+
+(* --- fault injection ------------------------------------------------------ *)
+
+let set_fault_plan t plan = t.plan <- plan
+let fault_plan t = t.plan
+let fault_stats t ~tid = t.slots.(tid).fstats
+let crashed t ~tid = t.slots.(tid).fstats.crashed
 
 let start_thread ctx f =
   Effect.Deep.match_with f ctx
@@ -197,7 +227,7 @@ let pick t =
   let runnable = ref 0 in
   for tid = 0 to t.nthreads - 1 do
     match t.slots.(tid).pending with
-    | Idle -> ()
+    | Idle | Crashed -> ()
     | Start _ | Blocked _ ->
         incr runnable;
         if !best < 0 || t.slots.(tid).clock < t.slots.(!best).clock then
@@ -208,7 +238,7 @@ let pick t =
     let seen = ref 0 in
     for tid = 0 to t.nthreads - 1 do
       (match t.slots.(tid).pending with
-      | Idle -> ()
+      | Idle | Crashed -> ()
       | Start _ | Blocked _ ->
           if !seen = n && !chosen < 0 then chosen := tid;
           incr seen)
@@ -245,26 +275,41 @@ let run ?max_steps t =
         | Some limit when !steps > limit -> raise Step_limit_exceeded
         | _ -> ());
         let slot = t.slots.(tid) in
-        let outcome =
-          match slot.pending with
-          | Idle -> assert false
-          | Start f ->
-              slot.pending <- Idle;
+        let settle = function
+          | Done -> slot.pending <- Idle
+          | Yielded (r, k) -> slot.pending <- Blocked (r, k)
+        in
+        (match slot.pending with
+        | Idle | Crashed -> assert false
+        | Start f ->
+            slot.pending <- Idle;
+            settle
               (try start_thread slot.ctx f
                with e ->
                  slot.pending <- Idle;
                  raise e)
-          | Blocked (request, k) ->
-              slot.pending <- Idle;
-              slot.clock <- slot.clock + cost_of_request t ~tid request;
-              (try Effect.Deep.continue k ()
-               with e ->
-                 slot.pending <- Idle;
-                 raise e)
-        in
-        (match outcome with
-        | Done -> slot.pending <- Idle
-        | Yielded (r, k) -> slot.pending <- Blocked (r, k));
+        | Blocked (request, k) -> (
+            slot.pending <- Idle;
+            let fs = slot.fstats in
+            fs.yields <- fs.yields + 1;
+            match Fault_plan.on_yield t.plan ~tid ~yield:fs.yields with
+            | Fault_plan.Kill ->
+                (* fail-stop: drop the continuation, never resume the slot *)
+                fs.crashed <- true;
+                slot.pending <- Crashed
+            | Fault_plan.Delay { stall; jitter } ->
+                if stall > 0 then begin
+                  fs.stalls_injected <- fs.stalls_injected + 1;
+                  fs.stall_cycles <- fs.stall_cycles + stall
+                end;
+                if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
+                slot.clock <-
+                  slot.clock + cost_of_request t ~tid request + stall + jitter;
+                settle
+                  (try Effect.Deep.continue k ()
+                   with e ->
+                     slot.pending <- Idle;
+                     raise e)));
         loop ()
   in
   loop ()

@@ -83,8 +83,34 @@ val spawn : t -> tid:int -> (ctx -> unit) -> unit
 exception Step_limit_exceeded
 
 val run : ?max_steps:int -> t -> unit
-(** Run until every spawned thread finishes.  Exceptions raised by thread
-    bodies propagate (the raising slot is marked idle). *)
+(** Run until every spawned thread finishes or crashes.  Exceptions raised
+    by thread bodies propagate (the raising slot is marked idle). *)
+
+(** {2 Fault injection}
+
+    The engine consults a {!Fault_plan.t} at every yield point, under every
+    scheduling policy: stalls add cycles to the thread's clock (so it is not
+    rescheduled until the simulated stall has passed), crashes remove the
+    thread from the runnable set permanently mid-operation, jitter perturbs
+    every yield with a seeded random delay.  Crashed slots are dead: they
+    are never resumed, [spawn] on them raises, and {!run} returns once only
+    crashed slots remain. *)
+
+val set_fault_plan : t -> Fault_plan.t -> unit
+val fault_plan : t -> Fault_plan.t
+
+type fault_stats = {
+  mutable yields : int;  (** yield points executed by this thread *)
+  mutable stalls_injected : int;
+  mutable stall_cycles : int;
+  mutable jitter_cycles : int;
+  mutable crashed : bool;
+}
+
+val fault_stats : t -> tid:int -> fault_stats
+(** Live per-thread record (not a copy). *)
+
+val crashed : t -> tid:int -> bool
 
 (** {2 Clocks and stats} *)
 

@@ -1,0 +1,92 @@
+(* Scheduler-level fault injection.
+
+   A plan describes adversarial scheduling events that the engine honours at
+   yield points (every simulated memory access, fence or OS event):
+
+   - [Stall]: at thread [tid]'s [at_yield]-th yield point, add [cycles] to
+     its clock.  Under [Min_clock] the thread is then not scheduled again
+     until every other thread's clock has passed the stall — the simulated
+     equivalent of a thread preempted (or swapped out) for [cycles] cycles.
+   - [Crash]: at the [at_yield]-th yield point the thread is removed from
+     the runnable set permanently, mid-operation, holding whatever hazard
+     pointers / epoch announcements / warning state it had.  This is the
+     fail-stop adversary of the paper's robustness argument.
+   - [Jitter]: every yield of every thread gets an extra delay drawn
+     uniformly from [0, max_cycles) by a seeded PRNG, perturbing the
+     interleaving deterministically.
+
+   Yield counts are 1-based and per-thread, so a plan is deterministic
+   under a deterministic scheduler: the k-th yield of thread t is the same
+   program point on every run with the same seed.
+
+   A plan carries mutable PRNG state (jitter), so one plan instance should
+   drive one engine run. *)
+
+type event =
+  | Stall of { tid : int; at_yield : int; cycles : int }
+  | Crash of { tid : int; at_yield : int }
+  | Jitter of { seed : int; max_cycles : int }
+
+type decision = Kill | Delay of { stall : int; jitter : int }
+
+type t = {
+  events : event list;
+  stalls : (int * int, int) Hashtbl.t;  (* (tid, yield) -> cycles *)
+  crashes : (int * int, unit) Hashtbl.t;
+  jitter : (Prng.t * int) option;
+  trivial : bool;  (* fast path: no events at all *)
+}
+
+let none =
+  {
+    events = [];
+    stalls = Hashtbl.create 1;
+    crashes = Hashtbl.create 1;
+    jitter = None;
+    trivial = true;
+  }
+
+let make events =
+  let stalls = Hashtbl.create 8 and crashes = Hashtbl.create 8 in
+  let jitter = ref None in
+  List.iter
+    (function
+      | Stall { tid; at_yield; cycles } ->
+          if tid < 0 || at_yield < 1 || cycles < 0 then
+            invalid_arg "Fault_plan.make: bad stall";
+          Hashtbl.replace stalls (tid, at_yield) cycles
+      | Crash { tid; at_yield } ->
+          if tid < 0 || at_yield < 1 then invalid_arg "Fault_plan.make: bad crash";
+          Hashtbl.replace crashes (tid, at_yield) ()
+      | Jitter { seed; max_cycles } ->
+          if max_cycles < 1 then invalid_arg "Fault_plan.make: bad jitter";
+          jitter := Some (Prng.create seed, max_cycles))
+    events;
+  { events; stalls; crashes; jitter = !jitter; trivial = events = [] }
+
+let events t = t.events
+let is_trivial t = t.trivial
+
+let no_delay = Delay { stall = 0; jitter = 0 }
+
+let on_yield t ~tid ~yield =
+  if t.trivial then no_delay
+  else if Hashtbl.mem t.crashes (tid, yield) then Kill
+  else
+    let stall =
+      Option.value ~default:0 (Hashtbl.find_opt t.stalls (tid, yield))
+    in
+    let jitter =
+      match t.jitter with None -> 0 | Some (rng, max) -> Prng.int rng max
+    in
+    if stall = 0 && jitter = 0 then no_delay else Delay { stall; jitter }
+
+let pp ppf t =
+  let pp_event ppf = function
+    | Stall { tid; at_yield; cycles } ->
+        Fmt.pf ppf "stall(t%d@%d,+%d)" tid at_yield cycles
+    | Crash { tid; at_yield } -> Fmt.pf ppf "crash(t%d@%d)" tid at_yield
+    | Jitter { seed; max_cycles } ->
+        Fmt.pf ppf "jitter(seed=%d,<%d)" seed max_cycles
+  in
+  Fmt.pf ppf "faults[%a]" (Fmt.list ~sep:(Fmt.any ";") pp_event) t.events

@@ -1,0 +1,32 @@
+(** Scheduler-level fault injection: stalls, fail-stop crashes and jitter,
+    honoured by the engine at every yield point under every scheduling
+    policy.  Yield counts are 1-based and per-thread, so plans are
+    deterministic and replayable under a fixed scheduler seed. *)
+
+type event =
+  | Stall of { tid : int; at_yield : int; cycles : int }
+      (** at the thread's [at_yield]-th yield, add [cycles] to its clock *)
+  | Crash of { tid : int; at_yield : int }
+      (** remove the thread from the runnable set permanently, mid-operation *)
+  | Jitter of { seed : int; max_cycles : int }
+      (** every yield of every thread gets a delay in [0, max_cycles) from a
+          seeded PRNG *)
+
+type decision = Kill | Delay of { stall : int; jitter : int }
+
+type t
+
+val none : t
+(** The empty plan (the engine default). *)
+
+val make : event list -> t
+(** Raises [Invalid_argument] on negative tids/cycles or yields < 1.  A plan
+    carries mutable PRNG state (jitter): one instance per engine run. *)
+
+val events : t -> event list
+val is_trivial : t -> bool
+
+val on_yield : t -> tid:int -> yield:int -> decision
+(** Consulted by the engine at each yield; draws jitter as a side effect. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(* Garbage-growth monitor: a dedicated simulated thread that samples the
+   reclamation scheme's retired-but-unreclaimed node count (and the live
+   frame count) at a fixed simulated-time interval.  Under [Min_clock] the
+   monitor interleaves with the workload in simulated-time order, so the
+   samples are a faithful time series of how much garbage a stalled or
+   crashed thread pins — bounded for HP and the optimistic-access schemes,
+   unbounded for EBR. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_reclaim
+open Oamem_core
+
+type sample = {
+  at_cycles : int;
+  unreclaimed : int;  (** retired - freed nodes at this instant *)
+  limbo_bytes : int;  (** unreclaimed scaled to simulated bytes *)
+  frames_live : int;
+}
+
+type t = {
+  node_words : int;
+  mutable rev_samples : sample list;
+}
+
+let create ?(node_words = 2) () = { node_words; rev_samples = [] }
+
+(* The monitor occupies thread slot [tid]; the workload must not use it.
+   Sampling itself is uncosted (an observer, not a participant): the thread
+   only charges [interval] cycles per sample, plus the pause that yields. *)
+let spawn t sys ~tid ~horizon ~interval =
+  if interval <= 0 then invalid_arg "Monitor.spawn: interval must be positive";
+  let frames = Vmem.frames (System.vmem sys) in
+  let stats = System.scheme_stats sys in
+  System.spawn sys ~tid (fun ctx ->
+      while Engine.now ctx < horizon do
+        let unreclaimed = Scheme.unreclaimed stats in
+        t.rev_samples <-
+          {
+            at_cycles = Engine.now ctx;
+            unreclaimed;
+            limbo_bytes = unreclaimed * t.node_words * 8;
+            frames_live = Frames.live frames;
+          }
+          :: t.rev_samples;
+        Engine.charge ctx interval;
+        Engine.pause ctx
+      done)
+
+let samples t = List.rev t.rev_samples
+
+let max_unreclaimed t =
+  List.fold_left (fun m s -> max m s.unreclaimed) 0 t.rev_samples
+
+let final_unreclaimed t =
+  match t.rev_samples with [] -> 0 | s :: _ -> s.unreclaimed

@@ -1,0 +1,27 @@
+(** Garbage-growth monitor: a dedicated simulated thread sampling the
+    scheme's retired-but-unreclaimed node count over simulated time. *)
+
+open Oamem_core
+
+type sample = {
+  at_cycles : int;
+  unreclaimed : int;  (** retired - freed nodes at this instant *)
+  limbo_bytes : int;  (** unreclaimed scaled to simulated bytes *)
+  frames_live : int;
+}
+
+type t
+
+val create : ?node_words:int -> unit -> t
+(** [node_words] (default 2) scales node counts to [limbo_bytes]. *)
+
+val spawn : t -> System.t -> tid:int -> horizon:int -> interval:int -> unit
+(** Occupy thread slot [tid] with a sampler that records one {!sample}
+    every [interval] simulated cycles until [horizon].  The slot must not
+    be used by the workload.  Call before {!System.run}. *)
+
+val samples : t -> sample list
+(** In simulated-time order. *)
+
+val max_unreclaimed : t -> int
+val final_unreclaimed : t -> int

@@ -1,0 +1,87 @@
+(* Frame-pool exhaustion scenario: a single thread churns through several
+   rounds of persistent allocation under a tight live-frame quota, each
+   round in a different size class so each needs a fresh superblock, and
+   touching every block so the pages actually fault in.
+
+   Earlier rounds' blocks sit freed-but-cached in the thread cache, and
+   their superblocks' frames are therefore still resident — exactly the
+   hoarded memory the allocator's pressure-recovery path can give back.
+   With a releasing remap strategy ([Madvise] / [Shared_map]) the run hits
+   the quota, recovers (flush cache, release empty persistent superblocks)
+   and completes; with [Keep_resident] nothing can be released, recovery
+   makes no progress, and the run ends in a typed [Out_of_memory] instead
+   of an abort.
+
+   Default arithmetic (page = 512 words, [sb_pages] = 4 so a superblock is
+   2048 words, [blocks] = 256 = one fill batch): rounds use classes 2, 4
+   and 8 words, whose fills + touches fault 4 frames each; on top of the
+   zero frame and the shared-region frame, the third round crosses a quota
+   of 11 while two released-but-cached superblocks (8 frames) are
+   reclaimable.  Deterministic: one thread, [Min_clock]. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_lrmalloc
+
+type result = {
+  rounds_completed : int;
+  oom : bool;  (** the run ended in [Lrmalloc.Out_of_memory] *)
+  recoveries : int;
+  failures : int;
+  frames_live : int;
+  frames_peak : int;
+  sb_remapped : int;  (** persistent superblocks whose frames were released *)
+}
+
+let round_sizes = [| 2; 4; 8 |]
+
+let run ?(remap = Config.Madvise) ?(quota = 11) ?(sb_pages = 4) ?(rounds = 3)
+    ?(blocks = 256) () =
+  if rounds < 1 || rounds > Array.length round_sizes then
+    invalid_arg "Pressure.run: rounds out of range";
+  let geom = Geometry.default in
+  let vmem = Vmem.create ~max_pages:(1 lsl 16) ~frame_quota:quota geom in
+  let meta = Cell.heap geom in
+  let cfg = { Config.default with Config.sb_pages; remap } in
+  let engine = Engine.create ~geom ~nthreads:1 () in
+  let alloc = Lrmalloc.create ~cfg ~vmem ~meta ~nthreads:1 () in
+  let completed = ref 0 in
+  let oom = ref false in
+  Engine.spawn engine ~tid:0 (fun ctx ->
+      try
+        for round = 0 to rounds - 1 do
+          let size = round_sizes.(round) in
+          let addrs =
+            List.init blocks (fun _ -> Lrmalloc.palloc alloc ctx size)
+          in
+          (* Touching a fresh block faults its page in, so the touch needs
+             the same recovery net the allocator uses internally. *)
+          List.iter
+            (fun addr ->
+              Lrmalloc.with_pressure_recovery alloc ctx (fun () ->
+                  Vmem.store vmem ctx addr (addr lxor 0x5a5a)))
+            addrs;
+          List.iter (Lrmalloc.free alloc ctx) addrs;
+          incr completed
+        done
+      with Lrmalloc.Out_of_memory -> oom := true);
+  Engine.run engine;
+  let hs = Lrmalloc.stats alloc in
+  let frames = Vmem.frames vmem in
+  {
+    rounds_completed = !completed;
+    oom = !oom;
+    recoveries = hs.Heap.pressure_recoveries;
+    failures = hs.Heap.pressure_failures;
+    frames_live = Frames.live frames;
+    frames_peak = Frames.peak frames;
+    sb_remapped = hs.Heap.sb_remapped;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "rounds=%d/%s oom=%b recoveries=%d failures=%d frames=%d peak=%d \
+     remapped=%d"
+    r.rounds_completed
+    (if r.oom then "oom" else "ok")
+    r.oom r.recoveries r.failures r.frames_live r.frames_peak r.sb_remapped

@@ -1,0 +1,31 @@
+(** Frame-pool exhaustion scenario: persistent-allocation churn under a
+    tight live-frame quota.  With a releasing remap strategy the run hits
+    the quota, recovers (cache flush + superblock release) and completes;
+    with [Keep_resident] recovery cannot free anything and the run ends in
+    a typed [Lrmalloc.Out_of_memory] instead of an abort. *)
+
+open Oamem_lrmalloc
+
+type result = {
+  rounds_completed : int;
+  oom : bool;  (** the run ended in [Lrmalloc.Out_of_memory] *)
+  recoveries : int;  (** successful pressure recoveries *)
+  failures : int;  (** recoveries that could not free enough *)
+  frames_live : int;
+  frames_peak : int;
+  sb_remapped : int;  (** persistent superblocks whose frames were released *)
+}
+
+val run :
+  ?remap:Config.remap_strategy ->
+  ?quota:int ->
+  ?sb_pages:int ->
+  ?rounds:int ->
+  ?blocks:int ->
+  unit ->
+  result
+(** Deterministic (one thread, [Min_clock]).  Defaults are sized so the
+    third round crosses the quota with two cached superblocks
+    reclaimable; see the implementation for the arithmetic. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,16 @@
+(* Canned fault plans for the robustness experiments and tests.  These are
+   thin wrappers over {!Fault_plan.make}; their value is naming the three
+   scenarios the paper's robustness story needs: a thread that stalls
+   mid-operation (the EBR killer), a thread that fail-stops, and background
+   scheduling noise. *)
+
+open Oamem_engine
+
+let stall_one ~tid ~at_yield ~cycles =
+  Fault_plan.make [ Fault_plan.Stall { tid; at_yield; cycles } ]
+
+let crash_one ~tid ~at_yield =
+  Fault_plan.make [ Fault_plan.Crash { tid; at_yield } ]
+
+let jittery ~seed ~max_cycles =
+  Fault_plan.make [ Fault_plan.Jitter { seed; max_cycles } ]

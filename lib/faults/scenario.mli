@@ -1,0 +1,15 @@
+(** Canned fault plans for the robustness experiments and tests. *)
+
+open Oamem_engine
+
+val stall_one : tid:int -> at_yield:int -> cycles:int -> Fault_plan.t
+(** One thread stalls for [cycles] simulated cycles at its [at_yield]-th
+    yield — with high probability mid-operation, which is what pins an EBR
+    epoch. *)
+
+val crash_one : tid:int -> at_yield:int -> Fault_plan.t
+(** One thread fail-stops at its [at_yield]-th yield and never runs again. *)
+
+val jittery : seed:int -> max_cycles:int -> Fault_plan.t
+(** Every yield of every thread is delayed by a seeded-PRNG amount in
+    [0, max_cycles) — deterministic scheduling noise. *)

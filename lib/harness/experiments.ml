@@ -683,6 +683,146 @@ let vbr_stack =
           ]);
   }
 
+(* --- E13: fault injection and graceful degradation --------------------------- *)
+
+let robustness =
+  {
+    id = "robustness";
+    title = "Garbage growth under a stalled thread + frame-pool exhaustion recovery";
+    paper_ref = "Section 1 (robustness motivation) + Section 5 (memory release)";
+    expected =
+      "EBR garbage grows with the healthy threads' work once one thread \
+       stalls mid-operation; HP and the OA schemes stay under a constant \
+       bound; under a frame quota the releasing remap strategies recover \
+       while Keep_resident ends in a typed Out_of_memory";
+    run =
+      (fun cfg ->
+        Report.section
+          "robustness — stalled-thread garbage growth (stalled vs control)";
+        let spec =
+          {
+            Robustness.default_spec with
+            Robustness.horizon_cycles = cfg.horizon_cycles;
+            sample_interval = max 1 (cfg.horizon_cycles / 40);
+            seed = cfg.seed;
+          }
+        in
+        let bound = Robustness.robust_bound spec in
+        Printf.printf
+          "Thread 0 stalls at its %d-th yield for longer than the run; %d \
+           healthy workers keep updating a hash set.  Robust bound: %d nodes.\n\n"
+          spec.Robustness.stall_at_yield spec.Robustness.workers bound;
+        let schemes = [ "nr"; "ebr"; "ibr"; "hp"; "oa-bit"; "oa-ver" ] in
+        let pairs =
+          List.map
+            (fun scheme ->
+              (scheme, Robustness.run_pair { spec with Robustness.scheme }))
+            schemes
+        in
+        let verdict scheme (s : Robustness.result) (c : Robustness.result) =
+          if scheme = "nr" then "leaks in both (by design)"
+          else if
+            s.Robustness.final_unreclaimed > 2 * bound
+            && s.Robustness.final_unreclaimed
+               > 2 * max 1 c.Robustness.final_unreclaimed
+          then "grows with healthy work"
+          else if s.Robustness.max_unreclaimed <= bound then "bounded"
+          else "bounded by live-at-stall"
+        in
+        Report.table
+          ~header:
+            [
+              "scheme"; "stalled max"; "stalled final"; "control final";
+              "bound"; "verdict";
+            ]
+          (List.map
+             (fun (scheme, (s, c)) ->
+               [
+                 scheme;
+                 string_of_int s.Robustness.max_unreclaimed;
+                 string_of_int s.Robustness.final_unreclaimed;
+                 string_of_int c.Robustness.final_unreclaimed;
+                 string_of_int bound;
+                 verdict scheme s c;
+               ])
+             pairs);
+        (* Garbage-over-time chart for the stalled variant (NR excluded: its
+           monotone leak would flatten every other series). *)
+        let charted =
+          List.filter (fun (scheme, _) -> scheme <> "nr") pairs
+        in
+        let series =
+          List.map
+            (fun (scheme, ((s : Robustness.result), _)) ->
+              ( scheme,
+                List.map
+                  (fun smp ->
+                    float_of_int smp.Oamem_faults.Monitor.unreclaimed)
+                  s.Robustness.samples ))
+            charted
+        in
+        let npoints =
+          List.fold_left (fun acc (_, ys) -> min acc (List.length ys))
+            max_int series
+        in
+        let truncate n l = List.filteri (fun i _ -> i < n) l in
+        let xs =
+          match charted with
+          | (_, (s, _)) :: _ ->
+              truncate npoints
+                (List.map
+                   (fun smp -> smp.Oamem_faults.Monitor.at_cycles / 1000)
+                   s.Robustness.samples)
+          | [] -> []
+        in
+        Report.chart ~title:"unreclaimed nodes over time (stalled thread 0)"
+          ~xlabel:"kcycles" ~ylabel:"unreclaimed nodes" ~xs
+          (List.map (fun (name, ys) -> (name, truncate npoints ys)) series);
+        maybe_csv cfg ~id:"robustness"
+          ~header:[ "scheme"; "variant"; "at_cycles"; "unreclaimed" ]
+          (List.concat_map
+             (fun (scheme, (s, c)) ->
+               List.concat_map
+                 (fun (variant, (r : Robustness.result)) ->
+                   List.map
+                     (fun smp ->
+                       [
+                         scheme; variant;
+                         string_of_int smp.Oamem_faults.Monitor.at_cycles;
+                         string_of_int smp.Oamem_faults.Monitor.unreclaimed;
+                       ])
+                     r.Robustness.samples)
+                 [ ("stalled", s); ("control", c) ])
+             pairs);
+        Report.section "robustness — frame-pool exhaustion under a quota";
+        Printf.printf
+          "Persistent-allocation churn under a live-frame quota: recovery \
+           flushes the thread cache and releases empty persistent \
+           superblocks before retrying.\n\n";
+        let pressure_rows =
+          List.map
+            (fun remap ->
+              let r = Oamem_faults.Pressure.run ~remap () in
+              [
+                Config.remap_strategy_name remap;
+                Printf.sprintf "%d" r.Oamem_faults.Pressure.rounds_completed;
+                (if r.Oamem_faults.Pressure.oom then "yes" else "no");
+                string_of_int r.Oamem_faults.Pressure.recoveries;
+                string_of_int r.Oamem_faults.Pressure.failures;
+                string_of_int r.Oamem_faults.Pressure.sb_remapped;
+                string_of_int r.Oamem_faults.Pressure.frames_peak;
+              ])
+            [ Config.Madvise; Config.Shared_map; Config.Keep_resident ]
+        in
+        Report.table
+          ~header:
+            [
+              "remap"; "rounds"; "oom"; "recoveries"; "failures";
+              "sb released"; "frames peak";
+            ]
+          pressure_rows);
+  }
+
 let all =
   [
     fig4a;
@@ -700,6 +840,7 @@ let all =
     padding_ablation;
     cache_sweep;
     vbr_stack;
+    robustness;
   ]
 
 let find id =

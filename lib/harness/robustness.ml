@@ -1,0 +1,133 @@
+(* Robustness runs: garbage growth under a stalled thread.
+
+   One run drives [workers] simulated threads over a hash set with an
+   update-only workload while a dedicated monitor thread samples the
+   scheme's retired-but-unreclaimed node count over simulated time.  In the
+   stalled variant, thread 0 is suspended mid-operation (at its
+   [stall_at_yield]-th yield) for longer than the whole run.
+
+   The point is the schemes' robustness contrast: EBR cannot advance its
+   epoch past a thread parked inside an operation, so every retirement
+   after the stall accumulates — garbage grows linearly with the work the
+   healthy threads do.  Hazard pointers and the optimistic-access schemes
+   reclaim independently of the stalled thread (it pins at most its own
+   protected nodes / forces at most one extra limbo round), so their
+   garbage stays bounded by a constant independent of the run length.  IBR
+   sits in between: the stalled thread pins only nodes whose lifetime
+   overlaps its fixed reservation interval — bounded by what was live at
+   the stall.  NR frees nothing in either variant (leak by design). *)
+
+open Oamem_engine
+open Oamem_core
+open Oamem_lockfree
+open Oamem_reclaim
+open Oamem_faults
+
+type spec = {
+  scheme : string;
+  workers : int;  (** workload threads; the monitor adds one more slot *)
+  initial : int;
+  horizon_cycles : int;
+  stall_at_yield : int;
+  sample_interval : int;
+  threshold : int;
+  seed : int;
+  stall : bool;  (** inject the stall, or run the healthy control *)
+}
+
+let default_spec =
+  {
+    scheme = "ebr";
+    workers = 4;
+    initial = 256;
+    horizon_cycles = 400_000;
+    stall_at_yield = 2_000;
+    sample_interval = 10_000;
+    threshold = 32;
+    seed = 7;
+    stall = true;
+  }
+
+type result = {
+  spec : spec;
+  samples : Monitor.sample list;
+  max_unreclaimed : int;
+  final_unreclaimed : int;
+  ops : int;  (** completed by the healthy workers *)
+  stalls_injected : int;
+}
+
+(* Garbage bound the robust schemes must respect under a stalled thread:
+   each thread's limbo can hold a threshold's worth plus the in-flight
+   retirements of one reclamation round. *)
+let robust_bound spec = (spec.workers + 1) * (spec.threshold + 16)
+
+let run spec =
+  let sys =
+    System.create
+      {
+        System.default_config with
+        System.nthreads = spec.workers + 1;
+        scheme = spec.scheme;
+        max_pages = 1 lsl 16;
+        (* Small superblocks: with the default 64-page geometry a fresh
+           node-class superblock carves ~16K free-list links, parking the
+           first allocating threads for longer than the whole horizon. *)
+        alloc_cfg =
+          {
+            Oamem_lrmalloc.Config.default with
+            Oamem_lrmalloc.Config.sb_pages = 4;
+            cache_blocks = 64;
+          };
+        scheme_cfg =
+          {
+            Scheme.default_config with
+            Scheme.threshold = spec.threshold;
+            slots_per_thread = Hm_list.slots_needed;
+            pool_nodes = spec.initial + (8 * (spec.workers + 1) * spec.threshold);
+            node_words = Node.words;
+          };
+      }
+  in
+  let workload =
+    Workload.make ~mix:Workload.update_only ~initial:spec.initial ()
+  in
+  let setup_ctx = Engine.external_ctx () in
+  let h = System.hash_set sys setup_ctx ~expected_size:spec.initial in
+  Michael_hash.prefill h setup_ctx (Workload.prefill_keys workload);
+  System.reset_measurement sys;
+  if spec.stall then
+    System.set_fault_plan sys
+      (Scenario.stall_one ~tid:0 ~at_yield:spec.stall_at_yield
+         ~cycles:(4 * spec.horizon_cycles));
+  let ops = Array.make spec.workers 0 in
+  let op_base = (Engine.cost_model (System.engine sys)).Cost_model.op_base in
+  for tid = 0 to spec.workers - 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let rng = Prng.create (spec.seed + (1000 * tid)) in
+        while Engine.now ctx < spec.horizon_cycles do
+          Engine.charge ctx op_base;
+          (match Workload.next_op workload rng with
+          | Workload.Search k -> ignore (Michael_hash.contains h ctx k)
+          | Workload.Insert k -> ignore (Michael_hash.insert h ctx k)
+          | Workload.Delete k -> ignore (Michael_hash.delete h ctx k));
+          ops.(tid) <- ops.(tid) + 1
+        done)
+  done;
+  let monitor = Monitor.create ~node_words:Node.words () in
+  Monitor.spawn monitor sys ~tid:spec.workers ~horizon:spec.horizon_cycles
+    ~interval:spec.sample_interval;
+  System.run sys;
+  let fs = Engine.fault_stats (System.engine sys) ~tid:0 in
+  {
+    spec;
+    samples = Monitor.samples monitor;
+    max_unreclaimed = Monitor.max_unreclaimed monitor;
+    final_unreclaimed = Monitor.final_unreclaimed monitor;
+    ops = Array.fold_left ( + ) 0 ops;
+    stalls_injected = fs.Engine.stalls_injected;
+  }
+
+(* Stalled run and healthy control of the same spec. *)
+let run_pair spec =
+  (run { spec with stall = true }, run { spec with stall = false })

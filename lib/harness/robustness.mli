@@ -1,0 +1,40 @@
+(** Robustness runs: garbage growth under a stalled thread.
+
+    EBR garbage grows with the healthy threads' work once one thread is
+    parked mid-operation; hazard pointers and the optimistic-access schemes
+    keep it bounded; IBR is bounded by what was live at the stall; NR leaks
+    in both variants. *)
+
+open Oamem_faults
+
+type spec = {
+  scheme : string;
+  workers : int;  (** workload threads; the monitor adds one more slot *)
+  initial : int;
+  horizon_cycles : int;
+  stall_at_yield : int;  (** thread 0 stalls at this (1-based) yield *)
+  sample_interval : int;  (** cycles between garbage samples *)
+  threshold : int;
+  seed : int;
+  stall : bool;  (** inject the stall, or run the healthy control *)
+}
+
+val default_spec : spec
+
+type result = {
+  spec : spec;
+  samples : Monitor.sample list;
+  max_unreclaimed : int;
+  final_unreclaimed : int;
+  ops : int;  (** completed by the healthy workers *)
+  stalls_injected : int;
+}
+
+val robust_bound : spec -> int
+(** Unreclaimed-node bound the stall-robust schemes must respect. *)
+
+val run : spec -> result
+(** Deterministic under a fixed [seed] ([Min_clock]). *)
+
+val run_pair : spec -> result * result
+(** [(stalled, control)] of the same spec. *)

@@ -27,10 +27,25 @@ type t = {
           superblock's block count); the cache holds twice this many *)
   cache_multiplier : int;
       (** thread-cache capacity in units of fill batches *)
+  pressure_reserve_frames : int;
+      (** extra frames the quota is lifted by while the allocator runs its
+          memory-pressure recovery (cache flush + superblock release), so
+          recovery itself can fault pages in — the analogue of a kernel's
+          reclaim reserve *)
+  pressure_max_retries : int;
+      (** recovery attempts (with exponential backoff) before giving up
+          with [Out_of_memory] *)
 }
 
 let default =
-  { sb_pages = 64; remap = Madvise; cache_blocks = 256; cache_multiplier = 2 }
+  {
+    sb_pages = 64;
+    remap = Madvise;
+    cache_blocks = 256;
+    cache_multiplier = 2;
+    pressure_reserve_frames = 8;
+    pressure_max_retries = 4;
+  }
 
 let sb_words geom t = t.sb_pages * Oamem_engine.Geometry.page_words geom
 

@@ -21,6 +21,12 @@ type t = {
           superblock's block count) *)
   cache_multiplier : int;
       (** thread-cache capacity in units of fill batches *)
+  pressure_reserve_frames : int;
+      (** extra frames the quota is lifted by during memory-pressure
+          recovery, so the recovery path itself can fault pages in *)
+  pressure_max_retries : int;
+      (** recovery attempts (with exponential backoff) before
+          [Lrmalloc.Out_of_memory] *)
 }
 
 val default : t

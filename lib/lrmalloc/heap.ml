@@ -34,6 +34,9 @@ type stats = {
   mutable sb_remapped : int;  (** persistent: madvise / shared remap *)
   mutable large_allocs : int;
   mutable large_frees : int;
+  mutable pressure_recoveries : int;
+      (** Out_of_frames events recovered by cache flush + trim *)
+  mutable pressure_failures : int;  (** recoveries that ended in Out_of_memory *)
 }
 
 type t = {
@@ -83,6 +86,8 @@ let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
           sb_remapped = 0;
           large_allocs = 0;
           large_frees = 0;
+          pressure_recoveries = 0;
+          pressure_failures = 0;
         };
     }
   in

@@ -17,6 +17,10 @@ type stats = {
   mutable sb_remapped : int;  (** persistent: madvise / shared remap *)
   mutable large_allocs : int;
   mutable large_frees : int;
+  mutable pressure_recoveries : int;
+      (** [Out_of_frames] events recovered by cache flush + trim *)
+  mutable pressure_failures : int;
+      (** recoveries that ended in [Lrmalloc.Out_of_memory] *)
 }
 
 type t

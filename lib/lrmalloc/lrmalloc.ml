@@ -51,7 +51,7 @@ let fill_cache t ctx ~cls ~persistent st =
     (fun addr -> Thread_cache.push t.caches ctx st addr)
     (List.rev blocks)
 
-let alloc_class t ctx ~cls ~persistent =
+let alloc_class_raw t ctx ~cls ~persistent =
   let st = Thread_cache.get t.caches ~tid:ctx.Engine.tid ~cls ~persistent in
   match Thread_cache.pop t.caches ctx st with
   | Some addr -> addr
@@ -61,10 +61,76 @@ let alloc_class t ctx ~cls ~persistent =
       | Some addr -> addr
       | None -> assert false)
 
+let flush_stack t ctx st =
+  Thread_cache.drain t.caches ctx st (fun addr ->
+      match Heap.lookup_desc t.heap ctx addr with
+      | Some d -> Heap.free_block t.heap ctx d addr
+      | None -> assert false)
+
+(* Return every cached block of thread [tid] to the heap. *)
+let flush_thread_cache t ctx =
+  List.iter (flush_stack t ctx)
+    (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid)
+
+(* --- memory-pressure recovery --------------------------------------------- *)
+
+exception Out_of_memory
+
+(* When the frame pool runs dry, the allocator holds two kinds of hoarded
+   memory it can give back: the calling thread's cached blocks, and empty
+   persistent superblocks whose frames the configured remap strategy can
+   release.  Flush both and retry.  The quota is lifted by a small reserve
+   while recovery runs, because returning a cached block writes a free-list
+   link into the block — which can itself fault a frame in on a page the
+   original carve never touched.  Kernels solve the same bootstrapping
+   problem with a reclaim reserve. *)
+let recover_pressure t ctx =
+  let frames = Vmem.frames (Heap.vmem t.heap) in
+  let cfg = Heap.config t.heap in
+  let saved = Frames.quota frames in
+  Fun.protect
+    ~finally:(fun () -> Frames.set_quota frames saved)
+    (fun () ->
+      Option.iter
+        (fun q ->
+          Frames.set_quota frames (Some (q + cfg.Config.pressure_reserve_frames)))
+        saved;
+      flush_thread_cache t ctx;
+      Heap.trim t.heap ctx);
+  let hs = Heap.stats t.heap in
+  hs.Heap.pressure_recoveries <- hs.Heap.pressure_recoveries + 1
+
+let with_pressure_recovery t ctx f =
+  let cfg = Heap.config t.heap in
+  let fail () =
+    let hs = Heap.stats t.heap in
+    hs.Heap.pressure_failures <- hs.Heap.pressure_failures + 1;
+    raise Out_of_memory
+  in
+  let rec go attempt =
+    try f () with
+    | Frames.Out_of_frames when attempt < cfg.Config.pressure_max_retries -> (
+        match recover_pressure t ctx with
+        | () ->
+            (* backoff: give other threads simulated time to free blocks *)
+            for _ = 1 to 1 lsl attempt do
+              Engine.pause ctx
+            done;
+            go (attempt + 1)
+        | exception Frames.Out_of_frames -> fail ())
+    | Frames.Out_of_frames -> fail ()
+  in
+  go 0
+
+let alloc_class t ctx ~cls ~persistent =
+  with_pressure_recovery t ctx (fun () ->
+      alloc_class_raw t ctx ~cls ~persistent)
+
 let malloc t ctx size =
   match Size_class.of_size t.classes size with
   | Some cls -> alloc_class t ctx ~cls ~persistent:false
-  | None -> Heap.alloc_large t.heap ctx size
+  | None ->
+      with_pressure_recovery t ctx (fun () -> Heap.alloc_large t.heap ctx size)
 
 (* Persistent allocation: the block's address range survives free (§3). *)
 let palloc t ctx size =
@@ -74,12 +140,6 @@ let palloc t ctx size =
       invalid_arg
         "Lrmalloc.palloc: persistent allocation is restricted to size-class \
          sizes (paper, section 4)"
-
-let flush_stack t ctx st =
-  Thread_cache.drain t.caches ctx st (fun addr ->
-      match Heap.lookup_desc t.heap ctx addr with
-      | Some d -> Heap.free_block t.heap ctx d addr
-      | None -> assert false)
 
 let free t ctx addr =
   match Heap.lookup_desc t.heap ctx addr with
@@ -91,14 +151,12 @@ let free t ctx addr =
           Thread_cache.get t.caches ~tid:ctx.Engine.tid
             ~cls:d.Descriptor.size_class ~persistent:d.Descriptor.persistent
         in
-        if Thread_cache.is_full st then flush_stack t ctx st;
+        (* A full-cache flush writes free-list links, which can fault frames
+           in — run it under the recovery net too. *)
+        if Thread_cache.is_full st then
+          with_pressure_recovery t ctx (fun () -> flush_stack t ctx st);
         Thread_cache.push t.caches ctx st addr
       end
-
-(* Return every cached block of thread [tid] to the heap. *)
-let flush_thread_cache t ctx =
-  List.iter (flush_stack t ctx)
-    (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid)
 
 (* Teardown helper: flush all threads' caches (with their own tids encoded
    in the given contexts) and release lingering empty superblocks. *)

@@ -28,9 +28,24 @@ val heap : t -> Heap.t
 val vmem : t -> Vmem.t
 val config : t -> Config.t
 
+exception Out_of_memory
+(** Allocation failed even after memory-pressure recovery: on
+    {!Frames.Out_of_frames} the allocator flushes the calling thread's
+    cache, releases empty persistent superblocks via the configured
+    {!Config.remap_strategy} and retries with exponential backoff
+    ({!Config.t.pressure_max_retries} attempts) before raising this. *)
+
+val with_pressure_recovery : t -> Engine.ctx -> (unit -> 'a) -> 'a
+(** Run [f] under the allocator's recovery net: on [Frames.Out_of_frames],
+    flush + release + backoff, then retry [f] (so [f] must tolerate being
+    rerun).  [malloc]/[palloc]/[free] are already wrapped; use this around
+    application code that writes into fresh blocks and can therefore fault
+    frames in itself. *)
+
 val malloc : t -> Engine.ctx -> int -> int
 (** Allocate [size] words; sizes above the largest class use the
-    large-allocation path (§4). *)
+    large-allocation path (§4).  Raises {!Out_of_memory} if the frame
+    quota cannot be satisfied even after pressure recovery. *)
 
 val palloc : t -> Engine.ctx -> int -> int
 (** Persistent allocation (§3).  Raises [Invalid_argument] for sizes above

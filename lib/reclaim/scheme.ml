@@ -44,6 +44,9 @@ let fresh_stats () =
     reclaim_phases = 0;
   }
 
+(* Retired-but-unreclaimed nodes: the garbage a stalled thread can pin. *)
+let unreclaimed s = s.retired - s.freed
+
 let reset_stats s =
   s.retired <- 0;
   s.freed <- 0;

@@ -23,6 +23,10 @@ val fresh_stats : unit -> stats
 val reset_stats : stats -> unit
 val pp_stats : Format.formatter -> stats -> unit
 
+val unreclaimed : stats -> int
+(** [retired - freed]: nodes sitting in limbo lists / retirement pools —
+    the garbage a stalled or crashed thread can pin (robustness metric). *)
+
 type ops = {
   name : string;
   alloc : Engine.ctx -> int -> int;  (** node allocation (palloc for OA) *)

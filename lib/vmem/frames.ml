@@ -19,6 +19,7 @@ type t = {
   mutable free_ids : int list;
   mutable next_id : int;
   capacity : int;
+  mutable quota : int option;  (* cap on live frames (memory pressure) *)
   mutable live : int;
   mutable peak : int;
   lock : Mutex.t;
@@ -28,7 +29,7 @@ let zero_frame = 0
 
 let fresh_frame geom = Array.init (Geometry.page_words geom) (fun _ -> Atomic.make 0)
 
-let create ?(capacity = 1 lsl 20) geom =
+let create ?(capacity = 1 lsl 20) ?quota geom =
   let t =
     {
       geom;
@@ -36,6 +37,7 @@ let create ?(capacity = 1 lsl 20) geom =
       free_ids = [];
       next_id = 0;
       capacity;
+      quota;
       live = 0;
       peak = 0;
       lock = Mutex.create ();
@@ -57,9 +59,21 @@ let grow t needed =
 
 exception Out_of_frames
 
+let set_quota t quota =
+  Mutex.lock t.lock;
+  t.quota <- quota;
+  Mutex.unlock t.lock
+
+let quota t = t.quota
+
 (* Allocate a zero-filled frame. *)
 let alloc t =
   Mutex.lock t.lock;
+  (match t.quota with
+  | Some q when t.live >= q ->
+      Mutex.unlock t.lock;
+      raise Out_of_frames
+  | _ -> ());
   let id =
     match t.free_ids with
     | id :: rest ->

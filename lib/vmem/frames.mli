@@ -7,14 +7,25 @@ open Oamem_engine
 type t
 
 exception Out_of_frames
+(** Raised by {!alloc} when the frame quota or the pool capacity is
+    exhausted — simulated physical memory pressure.  Typed so callers
+    (the allocator's recovery path, the fault-injection harness) can
+    recover instead of aborting. *)
 
 val zero_frame : int
 
-val create : ?capacity:int -> Geometry.t -> t
-(** [capacity] bounds the number of distinct frames (default 2^20). *)
+val create : ?capacity:int -> ?quota:int -> Geometry.t -> t
+(** [capacity] bounds the number of distinct frames (default 2^20);
+    [quota] caps *live* frames (recycled frames count against it),
+    modelling a machine under memory pressure. *)
+
+val set_quota : t -> int option -> unit
+(** Adjust the live-frame quota at runtime ([None] removes it). *)
+
+val quota : t -> int option
 
 val alloc : t -> int
-(** A zero-filled frame. *)
+(** A zero-filled frame.  Raises {!Out_of_frames} at the quota/capacity. *)
 
 val free : t -> int -> unit
 (** Recycle a frame.  The zero frame cannot be freed. *)

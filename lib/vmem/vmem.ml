@@ -29,6 +29,7 @@
 open Oamem_engine
 
 exception Segfault of int
+exception Address_space_exhausted
 
 type t = {
   geom : Geometry.t;
@@ -40,10 +41,10 @@ type t = {
   mutable cow_cas_faults : int;  (* faults triggered by CAS on a cow page *)
 }
 
-let create ?(max_pages = 1 lsl 20) ?frame_capacity ?(shared_region_pages = 1)
-    geom =
+let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
+    ?(shared_region_pages = 1) geom =
   if shared_region_pages <= 0 then invalid_arg "Vmem.create: shared region";
-  let frames = Frames.create ?capacity:frame_capacity geom in
+  let frames = Frames.create ?capacity:frame_capacity ?quota:frame_quota geom in
   let shared_region = Array.init shared_region_pages (fun _ -> Frames.alloc frames) in
   {
     geom;
@@ -60,6 +61,7 @@ let create ?(max_pages = 1 lsl 20) ?frame_capacity ?(shared_region_pages = 1)
 let geometry t = t.geom
 let page_table t = t.pt
 let frames t = t.frames
+let set_frame_quota t quota = Frames.set_quota t.frames quota
 let shared_region_pages t = Array.length t.shared_region
 
 (* --- mapping calls ------------------------------------------------------- *)
@@ -72,7 +74,7 @@ let reserve t ~npages =
   if npages <= 0 then invalid_arg "Vmem.reserve";
   let vpage = t.reserve_next in
   if vpage + npages > Page_table.max_pages t.pt then
-    failwith "Vmem.reserve: virtual address space exhausted";
+    raise Address_space_exhausted;
   t.reserve_next <- vpage + npages;
   Geometry.addr_of_page t.geom vpage
 

@@ -14,19 +14,30 @@ open Oamem_engine
 
 exception Segfault of int
 
+exception Address_space_exhausted
+(** Raised by {!reserve} when the virtual address space is spent.  Typed
+    (rather than a [Failure]) so exhaustion is recoverable and testable. *)
+
 type t
 
 val create :
   ?max_pages:int ->
   ?frame_capacity:int ->
+  ?frame_quota:int ->
   ?shared_region_pages:int ->
   Geometry.t ->
   t
-(** Page 0 is reserved so address 0 acts as a null pointer. *)
+(** Page 0 is reserved so address 0 acts as a null pointer.  [frame_quota]
+    caps live physical frames (see {!Frames.create}), simulating memory
+    pressure: once reached, any fault-in raises {!Frames.Out_of_frames}. *)
 
 val geometry : t -> Geometry.t
 val page_table : t -> Page_table.t
 val frames : t -> Frames.t
+
+val set_frame_quota : t -> int option -> unit
+(** Adjust the live-frame quota at runtime ([None] removes it). *)
+
 val shared_region_pages : t -> int
 
 (** {2 Mapping calls} — each charges syscall costs and shoots down TLBs. *)
