@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick
+.PHONY: all build test check clean repro quick metrics
 
 all: build
 
@@ -19,6 +19,11 @@ quick:
 
 repro:
 	dune exec bin/repro.exe -- all
+
+# Machine-readable metrics baseline: a small E1-style sweep with the full
+# metrics snapshot per run.  CI archives the JSON as an artifact.
+metrics:
+	dune exec bench/main.exe -- --metrics-only --out BENCH_E1.json
 
 clean:
 	dune clean

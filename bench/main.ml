@@ -132,16 +132,82 @@ let run_bechamel () =
     tests;
   Printf.printf "%!"
 
-(* --- Part 2: the paper reproduction ------------------------------------------ *)
+(* --- Part 2: machine-readable metrics dump (BENCH_*.json) -------------------- *)
+
+(* `bench --metrics-only [--out PATH]` runs a small E1-style sweep (hash set,
+   update-only) and writes one JSON document per run with the full metrics
+   snapshot — the regression-tracking baseline CI archives as BENCH_E1.json. *)
+
+module Json = Oamem_obs.Json
+module Export = Oamem_obs.Export
+
+let run_metrics_dump ~out =
+  let schemes = Oamem_reclaim.Registry.paper_methods in
+  let threads = [ 1; 4 ] in
+  let results =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun t ->
+            let r =
+              Runner.run
+                {
+                  Runner.default_spec with
+                  Runner.scheme;
+                  threads = t;
+                  structure = Runner.Hash_set;
+                  workload =
+                    Workload.make ~mix:Workload.update_only ~initial:1_000 ();
+                  horizon_cycles = 100_000;
+                }
+            in
+            Json.Obj
+              [
+                ("scheme", Json.String scheme);
+                ("threads", Json.Int t);
+                ("throughput_mops", Json.Float r.Runner.throughput_mops);
+                ("metrics", Export.metrics_json r.Runner.metrics);
+              ])
+          threads)
+      schemes
+  in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "E1");
+        ("structure", Json.String "hash-set");
+        ("results", Json.List results);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d runs)\n%!" out (List.length results)
+
+(* --- Part 3: the paper reproduction ------------------------------------------ *)
 
 let () =
-  let quick = Array.exists (( = ) "--quick") Sys.argv in
-  run_bechamel ();
-  let cfg =
-    if quick then Experiments.quick_config else Experiments.default_config
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let metrics_only = List.mem "--metrics-only" argv in
+  let out =
+    let rec find = function
+      | "--out" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_E1.json"
+    in
+    find argv
   in
-  Printf.printf
-    "\n\
-     == paper reproduction (simulated cycles; see EXPERIMENTS.md for the \
-     paper-vs-measured record) ==\n";
-  List.iter (fun e -> e.Experiments.run cfg) Experiments.all
+  if metrics_only then run_metrics_dump ~out
+  else begin
+    run_bechamel ();
+    let cfg =
+      if quick then Experiments.quick_config else Experiments.default_config
+    in
+    Printf.printf
+      "\n\
+       == paper reproduction (simulated cycles; see EXPERIMENTS.md for the \
+       paper-vs-measured record) ==\n";
+    List.iter (fun e -> e.Experiments.run cfg) Experiments.all
+  end

@@ -63,12 +63,27 @@ let csv_arg =
   let doc = "Directory to write per-experiment CSV files into." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of the designated run (last scheme at \
+     the highest thread count) to $(docv); load it in chrome://tracing or \
+     Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the designated run's metrics snapshot (counters, gauges, \
+     histograms) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let quick_arg =
   let doc = "Use the quick preset (fewer thread counts, shorter horizon)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
 let config_term =
-  let make threads horizon fig4 fig6 full schemes seed csv quick =
+  let make threads horizon fig4 fig6 full schemes seed csv quick trace metrics =
     let base =
       if quick then Experiments.quick_config else Experiments.default_config
     in
@@ -94,11 +109,13 @@ let config_term =
       schemes;
       seed;
       csv_dir = csv;
+      trace_out = trace;
+      metrics_out = metrics;
     }
   in
   Term.(
     const make $ threads_arg $ horizon_arg $ fig4_arg $ fig6_arg $ full_arg
-    $ schemes_arg $ seed_arg $ csv_arg $ quick_arg)
+    $ schemes_arg $ seed_arg $ csv_arg $ quick_arg $ trace_arg $ metrics_arg)
 
 let list_cmd =
   let run () =

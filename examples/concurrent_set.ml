@@ -20,17 +20,14 @@ let universe = 512
 let () =
   let sys =
     System.create
-      {
-        System.default_config with
-        System.nthreads;
-        scheme = "oa-ver";
-        scheme_cfg =
-          {
-            Scheme.default_config with
-            Scheme.threshold = 32;
-            slots_per_thread = Hm_list.slots_needed;
-          };
-      }
+      (System.Config.make ~nthreads ~scheme:"oa-ver"
+         ~scheme_cfg:
+           {
+             Scheme.default_config with
+             Scheme.threshold = 32;
+             slots_per_thread = Hm_list.slots_needed;
+           }
+         ())
   in
   let set = ref None in
   System.run_on_thread0 sys (fun ctx ->
@@ -64,9 +61,10 @@ let () =
     (prefill + total_ins - total_del)
     final
     (if prefill + total_ins - total_del = final then "OK" else "MISMATCH!");
-  Fmt.pr "reclamation: %a@." Scheme.pp_stats (System.scheme_stats sys);
+  Fmt.pr "reclamation: %a@." Scheme.pp_stats (System.scheme sys).Scheme.stats;
   Fmt.pr "simulated time: %.3f ms across %d threads@."
     (Engine.elapsed_seconds (System.engine sys) *. 1e3)
     nthreads;
   System.drain sys;
-  Fmt.pr "after drain: %a@." Oamem_vmem.Vmem.pp_usage (System.usage sys)
+  Fmt.pr "after drain: %a@." Oamem_vmem.Vmem.pp_usage
+    (Oamem_vmem.Vmem.usage (System.vmem sys))

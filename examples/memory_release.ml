@@ -24,29 +24,25 @@ let size = 20_000
 let run_strategy remap =
   let sys =
     System.create
-      {
-        System.default_config with
-        System.nthreads = 2;
-        scheme = "oa-ver";
-        alloc_cfg =
-          { Config.default with Config.sb_pages = 16; remap };
-        scheme_cfg =
-          {
-            Scheme.default_config with
-            Scheme.threshold = 64;
-            slots_per_thread = Hm_list.slots_needed;
-          };
-      }
+      (System.Config.make ~nthreads:2 ~scheme:"oa-ver"
+         ~alloc_cfg:{ Config.default with Config.sb_pages = 16; remap }
+         ~scheme_cfg:
+           {
+             Scheme.default_config with
+             Scheme.threshold = 64;
+             slots_per_thread = Hm_list.slots_needed;
+           }
+         ())
   in
   let setup = Engine.external_ctx () in
   let h = System.hash_set sys setup ~expected_size:size in
   let keys = List.init size (fun i -> i) in
   Michael_hash.prefill h setup keys;
-  let before = System.usage sys in
+  let before = Vmem.usage (System.vmem sys) in
   System.run_on_thread0 sys (fun ctx ->
       List.iter (fun k -> ignore (Michael_hash.delete h ctx k)) keys);
   System.drain sys;
-  let after = System.usage sys in
+  let after = Vmem.usage (System.vmem sys) in
   (before, after)
 
 let () =

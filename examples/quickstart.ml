@@ -13,7 +13,7 @@ open Oamem_core
 
 let () =
   let sys =
-    System.create { System.default_config with System.nthreads = 1 }
+    System.create (System.Config.make ~nthreads:1 ())
   in
   let alloc = System.alloc sys in
   let vm = System.vmem sys in

@@ -24,18 +24,15 @@ let sessions_per_round = 2_000
 let () =
   let sys =
     System.create
-      {
-        System.default_config with
-        System.nthreads;
-        scheme = "oa-ver";
-        alloc_cfg = { Config.default with Config.sb_pages = 16 };
-        scheme_cfg =
-          {
-            Scheme.default_config with
-            Scheme.threshold = 64;
-            slots_per_thread = Hm_list.slots_needed;
-          };
-      }
+      (System.Config.make ~nthreads ~scheme:"oa-ver"
+         ~alloc_cfg:{ Config.default with Config.sb_pages = 16 }
+         ~scheme_cfg:
+           {
+             Scheme.default_config with
+             Scheme.threshold = 64;
+             slots_per_thread = Hm_list.slots_needed;
+           }
+         ())
   in
   let setup = Engine.external_ctx () in
   let store = System.hash_set sys setup ~expected_size:sessions_per_round in
@@ -59,14 +56,20 @@ let () =
           done)
     done;
     System.run sys;
-    let u = System.usage sys in
+    let u = Vmem.usage (System.vmem sys) in
     Fmt.pr "round %d: live sessions=%d frames=%d (peak %d)@." round
       (Michael_hash.length store) u.Vmem.frames_live u.Vmem.frames_peak
   done;
 
   System.drain sys;
-  let u = System.usage sys in
+  let u = Vmem.usage (System.vmem sys) in
   Fmt.pr "@.steady state: footprint bounded despite %d total sessions — %a@."
     (rounds * sessions_per_round)
     Vmem.pp_usage u;
-  Fmt.pr "reclamation: %a@." Scheme.pp_stats (System.scheme_stats sys)
+  Fmt.pr "reclamation: %a@." Scheme.pp_stats (System.scheme sys).Scheme.stats;
+  (* the same counters through the unified metrics registry *)
+  let m = System.metrics sys in
+  Fmt.pr "metrics: retired=%d freed=%d frames released=%d@."
+    (Oamem_obs.Metrics.find m "scheme.retired")
+    (Oamem_obs.Metrics.find m "scheme.freed")
+    (Oamem_obs.Metrics.find m "vmem.frames_released")

@@ -5,12 +5,20 @@
    A [t] owns one simulated multicore (engine), one address space, one
    allocator instance and one reclamation scheme instance; data structures
    are then created against it and driven from simulated threads spawned
-   with [spawn]/[run]. *)
+   with [spawn]/[run].
+
+   Observability: every [t] also owns one event trace (shared by the
+   engine, virtual memory, allocator and scheme — see {!Oamem_obs.Trace})
+   and one metrics registry giving a single named view over all the
+   per-subsystem stats records ({!Oamem_obs.Metrics}). *)
 
 open Oamem_engine
 open Oamem_vmem
 open Oamem_lrmalloc
 open Oamem_reclaim
+module Alloc_config = Oamem_lrmalloc.Config
+module Metrics = Oamem_obs.Metrics
+module Trace = Oamem_obs.Trace
 
 type config = {
   nthreads : int;
@@ -22,26 +30,41 @@ type config = {
   frame_capacity : int option;
   frame_quota : int option;  (** cap on live frames (memory pressure) *)
   shared_region_pages : int;
-  alloc_cfg : Config.t;
+  alloc_cfg : Alloc_config.t;
   scheme : string;  (** one of {!Oamem_reclaim.Registry.names} *)
   scheme_cfg : Scheme.config;
+  trace : bool;  (** start with event tracing enabled *)
+  trace_capacity : int;  (** ring capacity per thread *)
 }
 
-let default_config =
-  {
-    nthreads = 4;
-    policy = Engine.Min_clock;
-    cost = Cost_model.opteron_6274;
-    cache_cfg = None;
-    geom = Geometry.default;
-    max_pages = 1 lsl 18;
-    frame_capacity = None;
-    frame_quota = None;
-    shared_region_pages = 1;
-    alloc_cfg = Config.default;
-    scheme = "oa-ver";
-    scheme_cfg = Scheme.default_config;
-  }
+module Config = struct
+  type t = config
+
+  let make ?(nthreads = 4) ?(policy = Engine.Min_clock)
+      ?(cost = Cost_model.opteron_6274) ?cache_cfg ?(geom = Geometry.default)
+      ?(max_pages = 1 lsl 18) ?frame_capacity ?frame_quota
+      ?(shared_region_pages = 1) ?(alloc_cfg = Alloc_config.default)
+      ?(scheme = "oa-ver") ?(scheme_cfg = Scheme.default_config)
+      ?(trace = false) ?(trace_capacity = 8192) () =
+    {
+      nthreads;
+      policy;
+      cost;
+      cache_cfg;
+      geom;
+      max_pages;
+      frame_capacity;
+      frame_quota;
+      shared_region_pages;
+      alloc_cfg;
+      scheme;
+      scheme_cfg;
+      trace;
+      trace_capacity;
+    }
+end
+
+let default_config = Config.make ()
 
 type t = {
   config : config;
@@ -50,7 +73,80 @@ type t = {
   meta : Cell.heap;
   alloc : Lrmalloc.t;
   scheme : Scheme.ops;
+  metrics : Metrics.t;
+  trace : Trace.t;
 }
+
+(* One named view over every subsystem's stats record.  Counters reset with
+   the registry (measurement reset); gauges are instantaneous readings.
+   The page-table-scanning gauges share one usage reading computed per
+   snapshot via the [on_snapshot] hook. *)
+let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) =
+  let reg ?reset name kind read = Metrics.register m ?reset ~name ~kind read in
+  (* engine: accesses, fences, faults, syscalls + cache/TLB detail; one
+     shared reset closure zeroes all of them *)
+  let ereset () = Engine.reset_stats engine in
+  let e field = reg ~reset:ereset ("engine." ^ field) Metrics.Counter in
+  e "accesses" (fun () -> (Engine.stats engine).Engine.accesses);
+  e "fences" (fun () -> (Engine.stats engine).Engine.fences);
+  e "faults" (fun () -> (Engine.stats engine).Engine.faults);
+  e "syscalls" (fun () -> (Engine.stats engine).Engine.syscalls);
+  let cache () = (Engine.stats engine).Engine.cache in
+  e "cache.l1_misses" (fun () -> (cache ()).Hierarchy.l1.Cache.misses);
+  e "cache.l2_misses" (fun () -> (cache ()).Hierarchy.l2.Cache.misses);
+  e "cache.l3_misses" (fun () -> (cache ()).Hierarchy.l3.Cache.misses);
+  e "cache.remote_invalidations" (fun () ->
+      (cache ()).Hierarchy.remote_invalidations);
+  let tlb () = (Engine.stats engine).Engine.tlb in
+  e "tlb.hits" (fun () -> (tlb ()).Tlb.hits);
+  e "tlb.misses" (fun () -> (tlb ()).Tlb.misses);
+  e "tlb.shootdowns" (fun () -> (tlb ()).Tlb.shootdowns);
+  (* reclamation scheme *)
+  let ss = scheme.Scheme.stats in
+  let sreset () = Scheme.reset_stats ss in
+  let s field = reg ~reset:sreset ("scheme." ^ field) Metrics.Counter in
+  s "retired" (fun () -> ss.Scheme.retired);
+  s "freed" (fun () -> ss.Scheme.freed);
+  s "restarts" (fun () -> ss.Scheme.restarts);
+  s "warnings_fired" (fun () -> ss.Scheme.warnings_fired);
+  s "warnings_piggybacked" (fun () -> ss.Scheme.warnings_piggybacked);
+  s "reclaim_phases" (fun () -> ss.Scheme.reclaim_phases);
+  reg "scheme.unreclaimed" Metrics.Gauge (fun () -> Scheme.unreclaimed ss);
+  scheme.Scheme.sink.Scheme.reclaim_hist <-
+    Some (Metrics.histogram m "scheme.reclaim_batch");
+  (* allocator *)
+  let heap = Lrmalloc.heap alloc in
+  let hs = Heap.stats heap in
+  let hreset () = Heap.reset_stats heap in
+  let a field = reg ~reset:hreset ("alloc." ^ field) Metrics.Counter in
+  a "sb_fresh" (fun () -> hs.Heap.sb_fresh);
+  a "sb_range_reused" (fun () -> hs.Heap.sb_range_reused);
+  a "sb_released" (fun () -> hs.Heap.sb_released);
+  a "sb_remapped" (fun () -> hs.Heap.sb_remapped);
+  a "large_allocs" (fun () -> hs.Heap.large_allocs);
+  a "large_frees" (fun () -> hs.Heap.large_frees);
+  a "pressure_recoveries" (fun () -> hs.Heap.pressure_recoveries);
+  a "pressure_failures" (fun () -> hs.Heap.pressure_failures);
+  (* virtual memory: the page-table scan is done once per snapshot *)
+  let usage = ref None in
+  Metrics.on_snapshot m (fun () -> usage := Some (Vmem.usage vmem));
+  let u read () =
+    match !usage with Some u -> read u | None -> read (Vmem.usage vmem)
+  in
+  let g field read = reg ("vmem." ^ field) Metrics.Gauge (u read) in
+  g "frames_live" (fun u -> u.Vmem.frames_live);
+  g "frames_peak" (fun u -> u.Vmem.frames_peak);
+  g "resident_pages" (fun u -> u.Vmem.resident_pages);
+  g "linux_rss_pages" (fun u -> u.Vmem.linux_rss_pages);
+  g "mapped_pages" (fun u -> u.Vmem.mapped_pages);
+  g "cow_pages" (fun u -> u.Vmem.cow_pages);
+  let vreset () = Vmem.reset_counters vmem in
+  reg ~reset:vreset "vmem.minor_faults" Metrics.Counter
+    (u (fun u -> u.Vmem.minor_faults));
+  reg ~reset:vreset "vmem.cow_cas_faults" Metrics.Counter
+    (u (fun u -> u.Vmem.cow_cas_faults));
+  reg ~reset:vreset "vmem.frames_released" Metrics.Counter (fun () ->
+      Frames.freed_total (Vmem.frames vmem))
 
 let create (config : config) =
   let engine =
@@ -72,7 +168,17 @@ let create (config : config) =
     (Registry.find config.scheme) config.scheme_cfg ~alloc ~meta
       ~nthreads:config.nthreads
   in
-  { config; engine; vmem; meta; alloc; scheme }
+  let trace =
+    Trace.create ~capacity:config.trace_capacity ~nthreads:config.nthreads ()
+  in
+  Trace.set_enabled trace config.trace;
+  Engine.set_trace engine trace;
+  Vmem.set_trace vmem trace;
+  Heap.set_trace (Lrmalloc.heap alloc) trace;
+  scheme.Scheme.sink.Scheme.trace <- trace;
+  let metrics = Metrics.create () in
+  register_metrics metrics ~engine ~vmem ~alloc ~scheme;
+  { config; engine; vmem; meta; alloc; scheme; metrics; trace }
 
 let engine t = t.engine
 let vmem t = t.vmem
@@ -128,6 +234,13 @@ let drain t =
   run t;
   run_on_thread0 t (fun ctx -> Oamem_lrmalloc.Heap.trim (Lrmalloc.heap t.alloc) ctx)
 
+let metrics_registry t = t.metrics
+let metrics t = Metrics.snapshot t.metrics
+let trace t = t.trace
+let set_tracing t on = Trace.set_enabled t.trace on
+
+(* Deprecated per-subsystem accessors, kept as aliases over the metrics
+   view's underlying records. *)
 let usage t = Vmem.usage t.vmem
 let engine_stats t = Engine.stats t.engine
 let scheme_stats t = t.scheme.Scheme.stats
@@ -135,4 +248,5 @@ let alloc_stats t = Lrmalloc.stats t.alloc
 
 let reset_measurement t =
   Engine.reset_clocks t.engine;
-  Engine.reset_stats t.engine
+  Metrics.reset t.metrics;
+  Trace.clear t.trace

@@ -1,6 +1,11 @@
 (** The assembled system: simulated multicore + virtual memory + LRMalloc +
     one reclamation scheme — the façade applications and experiments build
-    on. *)
+    on.
+
+    Observability: every system owns one event trace shared by all its
+    subsystems ({!trace}, see {!Oamem_obs.Trace}) and one metrics registry
+    giving a single named view over every per-subsystem stats record
+    ({!metrics}, see {!Oamem_obs.Metrics}). *)
 
 open Oamem_engine
 open Oamem_vmem
@@ -23,10 +28,38 @@ type config = {
   alloc_cfg : Config.t;
   scheme : string;  (** one of {!Oamem_reclaim.Registry.names} *)
   scheme_cfg : Scheme.config;
+  trace : bool;  (** start with event tracing enabled (default off) *)
+  trace_capacity : int;  (** trace ring capacity per thread *)
 }
 
+(** Configuration builder: [Config.make ()] is the default configuration
+    (4 threads, Min_clock, Opteron cost model, OA-VER, tracing off);
+    keyword arguments override individual fields without spelling out the
+    record. *)
+module Config : sig
+  type t = config
+
+  val make :
+    ?nthreads:int ->
+    ?policy:Engine.policy ->
+    ?cost:Cost_model.t ->
+    ?cache_cfg:Hierarchy.config ->
+    ?geom:Geometry.t ->
+    ?max_pages:int ->
+    ?frame_capacity:int ->
+    ?frame_quota:int ->
+    ?shared_region_pages:int ->
+    ?alloc_cfg:Oamem_lrmalloc.Config.t ->
+    ?scheme:string ->
+    ?scheme_cfg:Scheme.config ->
+    ?trace:bool ->
+    ?trace_capacity:int ->
+    unit ->
+    config
+end
+
 val default_config : config
-(** 4 threads, Min_clock, Opteron cost model, OA-VER. *)
+(** [Config.make ()]. *)
 
 type t
 
@@ -64,17 +97,52 @@ val set_fault_plan : t -> Fault_plan.t -> unit
 
 val crashed : t -> tid:int -> bool
 
-(** {2 Teardown and metrics} *)
+(** {2 Teardown} *)
 
 val drain : t -> unit
 (** Drain limbo lists and thread caches on every non-crashed slot, then
     release lingering empty superblocks.  Crashed slots keep whatever they
     pinned — the robustness experiments measure exactly that. *)
 
-val usage : t -> Vmem.usage
-val engine_stats : t -> Engine.stats
-val scheme_stats : t -> Scheme.stats
-val alloc_stats : t -> Heap.stats
+(** {2 Observability} *)
+
+val metrics : t -> Oamem_obs.Metrics.snapshot
+(** One coherent snapshot over every subsystem: [engine.*] (accesses,
+    fences, faults, syscalls, cache and TLB detail), [scheme.*] (retired,
+    freed, restarts, warnings, reclaim phases + the [unreclaimed] gauge and
+    the [reclaim_batch] histogram), [alloc.*] (superblock lifecycle,
+    pressure recovery) and [vmem.*] (frame and page gauges, fault and
+    release counters). *)
+
+val metrics_registry : t -> Oamem_obs.Metrics.t
+
+val trace : t -> Oamem_obs.Trace.t
+(** The system-wide event trace (enabled via the [trace] config field or
+    {!set_tracing}). *)
+
+val set_tracing : t -> bool -> unit
 
 val reset_measurement : t -> unit
-(** Reset clocks and engine counters (cache/TLB contents are preserved). *)
+(** Start a fresh measurement window: reset thread clocks, zero every
+    counter in the metrics registry (engine, scheme, allocator and vmem
+    counters alike — gauges such as peak frames are kept) and drop all
+    buffered trace events.  Cache and TLB *contents* are preserved, so a
+    warmed-up system stays warm. *)
+
+(** {2 Deprecated stats accessors}
+
+    The four parallel per-subsystem records are superseded by {!metrics};
+    these aliases read the same underlying counters. *)
+
+val usage : t -> Vmem.usage
+[@@ocaml.deprecated "Use System.metrics (vmem.* entries) or Vmem.usage."]
+
+val engine_stats : t -> Engine.stats
+[@@ocaml.deprecated "Use System.metrics (engine.* entries) or Engine.stats."]
+
+val scheme_stats : t -> Scheme.stats
+[@@ocaml.deprecated
+  "Use System.metrics (scheme.* entries) or (System.scheme t).Scheme.stats."]
+
+val alloc_stats : t -> Heap.stats
+[@@ocaml.deprecated "Use System.metrics (alloc.* entries) or Heap.stats."]

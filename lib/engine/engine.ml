@@ -62,6 +62,7 @@ type t = {
   policy : policy;
   sched_rng : Prng.t;
   mutable plan : Fault_plan.t;
+  mutable trace : Oamem_obs.Trace.t;
   mutable accesses : int;
   mutable fences : int;
   mutable faults : int;
@@ -111,6 +112,7 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
       policy;
       sched_rng = Prng.create sched_seed;
       plan = Fault_plan.none;
+      trace = Oamem_obs.Trace.null;
       accesses = 0;
       fences = 0;
       faults = 0;
@@ -202,6 +204,8 @@ let spawn t ~tid f =
 
 let set_fault_plan t plan = t.plan <- plan
 let fault_plan t = t.plan
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
 let fault_stats t ~tid = t.slots.(tid).fstats
 let crashed t ~tid = t.slots.(tid).fstats.crashed
 
@@ -296,11 +300,17 @@ let run ?max_steps t =
             | Fault_plan.Kill ->
                 (* fail-stop: drop the continuation, never resume the slot *)
                 fs.crashed <- true;
-                slot.pending <- Crashed
+                slot.pending <- Crashed;
+                if Oamem_obs.Trace.enabled t.trace then
+                  Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+                    Oamem_obs.Trace.Crash
             | Fault_plan.Delay { stall; jitter } ->
                 if stall > 0 then begin
                   fs.stalls_injected <- fs.stalls_injected + 1;
-                  fs.stall_cycles <- fs.stall_cycles + stall
+                  fs.stall_cycles <- fs.stall_cycles + stall;
+                  if Oamem_obs.Trace.enabled t.trace then
+                    Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+                      (Oamem_obs.Trace.Stall { cycles = stall })
                 end;
                 if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
                 slot.clock <-

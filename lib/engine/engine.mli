@@ -99,6 +99,15 @@ val run : ?max_steps:int -> t -> unit
 val set_fault_plan : t -> Fault_plan.t -> unit
 val fault_plan : t -> Fault_plan.t
 
+(** {2 Tracing}
+
+    The engine emits [Stall] and [Crash] events into an attached
+    {!Oamem_obs.Trace.t} (default {!Oamem_obs.Trace.null}); other
+    subsystems attach to the same trace via their own [set_trace]. *)
+
+val set_trace : t -> Oamem_obs.Trace.t -> unit
+val trace : t -> Oamem_obs.Trace.t
+
 type fault_stats = {
   mutable yields : int;  (** yield points executed by this thread *)
   mutable stalls_injected : int;

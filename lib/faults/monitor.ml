@@ -31,7 +31,7 @@ let create ?(node_words = 2) () = { node_words; rev_samples = [] }
 let spawn t sys ~tid ~horizon ~interval =
   if interval <= 0 then invalid_arg "Monitor.spawn: interval must be positive";
   let frames = Vmem.frames (System.vmem sys) in
-  let stats = System.scheme_stats sys in
+  let stats = (System.scheme sys).Scheme.stats in
   System.spawn sys ~tid (fun ctx ->
       while Engine.now ctx < horizon do
         let unreclaimed = Scheme.unreclaimed stats in
@@ -48,6 +48,19 @@ let spawn t sys ~tid ~horizon ~interval =
       done)
 
 let samples t = List.rev t.rev_samples
+
+let to_csv t path =
+  Oamem_obs.Export.write_csv path
+    ~header:[ "at_cycles"; "unreclaimed"; "limbo_bytes"; "frames_live" ]
+    (List.map
+       (fun s ->
+         [
+           string_of_int s.at_cycles;
+           string_of_int s.unreclaimed;
+           string_of_int s.limbo_bytes;
+           string_of_int s.frames_live;
+         ])
+       (samples t))
 
 let max_unreclaimed t =
   List.fold_left (fun m s -> max m s.unreclaimed) 0 t.rev_samples

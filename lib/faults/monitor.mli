@@ -23,5 +23,9 @@ val spawn : t -> System.t -> tid:int -> horizon:int -> interval:int -> unit
 val samples : t -> sample list
 (** In simulated-time order. *)
 
+val to_csv : t -> string -> unit
+(** Write the samples as a CSV time series
+    ([at_cycles,unreclaimed,limbo_bytes,frames_live]). *)
+
 val max_unreclaimed : t -> int
 val final_unreclaimed : t -> int

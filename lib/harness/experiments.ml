@@ -10,6 +10,9 @@ open Oamem_lrmalloc
 open Oamem_reclaim
 open Oamem_core
 open Oamem_lockfree
+module Metrics = Oamem_obs.Metrics
+module Export = Oamem_obs.Export
+module Json = Oamem_obs.Json
 
 type config = {
   threads : int list;
@@ -19,6 +22,11 @@ type config = {
   schemes : string list;
   seed : int;
   csv_dir : string option;
+  trace_out : string option;
+      (** write a Chrome trace of the designated run (last scheme at the
+          highest thread count) of throughput figures *)
+  metrics_out : string option;
+      (** write the designated run's metrics snapshot as JSON *)
 }
 
 let default_config =
@@ -30,6 +38,8 @@ let default_config =
     schemes = Registry.paper_methods;
     seed = 7;
     csv_dir = None;
+    trace_out = None;
+    metrics_out = None;
   }
 
 (* A faster preset for smoke runs. *)
@@ -67,12 +77,22 @@ let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
     Report.section (Printf.sprintf "%s — %s" id title);
     Printf.printf "Paper: %s\nExpected shape: %s\n\n" paper_ref expected;
     let initial = initial cfg in
+    (* the designated run for --trace/--metrics export: the last scheme at
+       the highest thread count *)
+    let max_threads = List.fold_left max 1 cfg.threads in
+    let export_scheme =
+      match List.rev cfg.schemes with s :: _ -> s | [] -> ""
+    in
     let results =
       List.map
         (fun scheme ->
           let per_thread =
             List.map
               (fun threads ->
+                let traced =
+                  cfg.trace_out <> None && scheme = export_scheme
+                  && threads = max_threads
+                in
                 let summary =
                   Runner.run_trials ~trials
                     {
@@ -84,6 +104,7 @@ let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
                       horizon_cycles = horizon_mult * cfg.horizon_cycles;
                       threshold;
                       seed = cfg.seed;
+                      trace = traced;
                     }
                 in
                 (* report the median trial (lists are noisy at small scale) *)
@@ -120,19 +141,43 @@ let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
       (List.map
          (fun (scheme, rs) ->
            let last = List.nth rs (List.length rs - 1) in
-           let s = last.Runner.scheme_stats in
+           let m = last.Runner.metrics in
            [
              scheme;
-             string_of_int s.Scheme.restarts;
-             string_of_int s.Scheme.warnings_fired;
-             string_of_int s.Scheme.warnings_piggybacked;
-             string_of_int s.Scheme.reclaim_phases;
-             string_of_int last.Runner.usage.Vmem.frames_peak;
+             string_of_int (Metrics.find m "scheme.restarts");
+             string_of_int (Metrics.find m "scheme.warnings_fired");
+             string_of_int (Metrics.find m "scheme.warnings_piggybacked");
+             string_of_int (Metrics.find m "scheme.reclaim_phases");
+             string_of_int (Metrics.find m "vmem.frames_peak");
            ])
          results);
     maybe_csv cfg ~id
       ~header:("scheme" :: List.map string_of_int cfg.threads)
-      rows
+      rows;
+    if cfg.trace_out <> None || cfg.metrics_out <> None then
+      match List.assoc_opt export_scheme results with
+      | None -> ()
+      | Some rs ->
+          let r = List.nth rs (List.length rs - 1) in
+          (match cfg.trace_out with
+          | Some path ->
+              Export.write_chrome_trace path r.Runner.trace;
+              Printf.printf "Chrome trace (%s, %d threads) -> %s\n"
+                export_scheme max_threads path
+          | None -> ());
+          (match cfg.metrics_out with
+          | Some path ->
+              Export.write_metrics path r.Runner.metrics
+                ~extra:
+                  [
+                    ("experiment", Json.String id);
+                    ("scheme", Json.String export_scheme);
+                    ("threads", Json.Int max_threads);
+                    ("throughput_mops", Json.Float r.Runner.throughput_mops);
+                  ];
+              Printf.printf "Metrics JSON (%s, %d threads) -> %s\n"
+                export_scheme max_threads path
+          | None -> ())
   in
   { id; title; paper_ref; expected; run }
 
@@ -271,19 +316,21 @@ let memory_release =
               let h = System.hash_set sys setup ~expected_size:10_000 in
               let keys = List.init 10_000 (fun i -> 2 * i) in
               Michael_hash.prefill h setup keys;
-              let peak = (System.usage sys).Vmem.frames_live in
+              let peak =
+                Metrics.find (System.metrics sys) "vmem.frames_live"
+              in
               (* delete every key from a simulated thread, then drain *)
               System.run_on_thread0 sys (fun ctx ->
                   List.iter (fun k -> ignore (Michael_hash.delete h ctx k)) keys);
               System.drain sys;
-              let u = System.usage sys in
+              let m = System.metrics sys in
               [
                 Config.remap_strategy_name remap;
                 string_of_int peak;
-                string_of_int u.Vmem.frames_live;
-                string_of_int u.Vmem.resident_pages;
-                string_of_int u.Vmem.linux_rss_pages;
-                string_of_int (System.engine_stats sys).Engine.syscalls;
+                string_of_int (Metrics.find m "vmem.frames_live");
+                string_of_int (Metrics.find m "vmem.resident_pages");
+                string_of_int (Metrics.find m "vmem.linux_rss_pages");
+                string_of_int (Metrics.find m "engine.syscalls");
               ])
             strategies
         in
@@ -362,24 +409,14 @@ let micro_validate =
         Report.section "micro-validate — simulated cycles per primitive";
         let measure scheme_name f =
           let sys =
-            System.create
-              {
-                System.default_config with
-                System.nthreads = 1;
-                scheme = scheme_name;
-              }
+            System.create (System.Config.make ~nthreads:1 ~scheme:scheme_name ())
           in
           let iters = 2_000 in
           System.run_on_thread0 sys (fun ctx ->
               (* warm-up *)
               f sys ctx 64);
           let sys =
-            System.create
-              {
-                System.default_config with
-                System.nthreads = 1;
-                scheme = scheme_name;
-              }
+            System.create (System.Config.make ~nthreads:1 ~scheme:scheme_name ())
           in
           let cycles = ref 0 in
           System.run_on_thread0 sys (fun ctx ->
@@ -450,14 +487,14 @@ let warnings_ablation =
                     seed = cfg.seed;
                   }
               in
-              let s = r.Runner.scheme_stats in
+              let m = r.Runner.metrics in
               [
                 scheme;
                 fmt_mops r.Runner.throughput_mops;
-                string_of_int s.Scheme.warnings_fired;
-                string_of_int s.Scheme.warnings_piggybacked;
-                string_of_int s.Scheme.restarts;
-                string_of_int s.Scheme.reclaim_phases;
+                string_of_int (Metrics.find m "scheme.warnings_fired");
+                string_of_int (Metrics.find m "scheme.warnings_piggybacked");
+                string_of_int (Metrics.find m "scheme.restarts");
+                string_of_int (Metrics.find m "scheme.reclaim_phases");
               ])
             [ "oa-bit"; "oa-ver" ]
         in
@@ -499,8 +536,8 @@ let limbo_sweep =
               [
                 string_of_int threshold;
                 fmt_mops r.Runner.throughput_mops;
-                string_of_int r.Runner.scheme_stats.Scheme.reclaim_phases;
-                string_of_int r.Runner.usage.Vmem.frames_peak;
+                string_of_int (Metrics.find r.Runner.metrics "scheme.reclaim_phases");
+                string_of_int (Metrics.find r.Runner.metrics "vmem.frames_peak");
               ])
             [ 4; 16; 64; 256; 1024 ]
         in
@@ -540,8 +577,8 @@ let padding_ablation =
                 (if padded then "padded" else "unpadded");
                 fmt_mops r.Runner.throughput_mops;
                 string_of_int
-                  r.Runner.engine_stats.Engine.cache.Hierarchy
-                  .remote_invalidations;
+                  (Metrics.find r.Runner.metrics
+                     "engine.cache.remote_invalidations");
               ])
             [ true; false ]
         in
@@ -623,19 +660,15 @@ let vbr_stack =
         let run_stack which =
           let sys =
             System.create
-              {
-                System.default_config with
-                System.nthreads;
-                scheme = "oa-ver";
-                alloc_cfg =
-                  { Config.default with Config.sb_pages = 8 };
-                scheme_cfg =
-                  {
-                    Scheme.default_config with
-                    Scheme.threshold = 64;
-                    slots_per_thread = Hm_list.slots_needed;
-                  };
-              }
+              (System.Config.make ~nthreads ~scheme:"oa-ver"
+                 ~alloc_cfg:{ Config.default with Config.sb_pages = 8 }
+                 ~scheme_cfg:
+                   {
+                     Scheme.default_config with
+                     Scheme.threshold = 64;
+                     slots_per_thread = Hm_list.slots_needed;
+                   }
+                 ())
           in
           let setup = Engine.external_ctx () in
           let push, pop, frees_after =
@@ -652,8 +685,7 @@ let vbr_stack =
                 in
                 ( Treiber_stack.push s,
                   (fun ctx -> ignore (Treiber_stack.pop s ctx)),
-                  fun () ->
-                    (System.scheme_stats sys).Scheme.freed )
+                  fun () -> (System.scheme sys).Scheme.stats.Scheme.freed )
           in
           for tid = 0 to nthreads - 1 do
             System.spawn sys ~tid (fun ctx ->
@@ -668,7 +700,9 @@ let vbr_stack =
             float_of_int (nthreads * ops_per_thread)
             /. Engine.elapsed_seconds eng /. 1e6
           in
-          let frames_busy = (System.usage sys).Vmem.frames_live in
+          let frames_busy =
+            Metrics.find (System.metrics sys) "vmem.frames_live"
+          in
           (mops, frees_after (), frames_busy)
         in
         let vbr_mops, vbr_frees, vbr_frames = run_stack `Vbr in

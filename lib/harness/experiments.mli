@@ -10,6 +10,12 @@ type config = {
   schemes : string list;
   seed : int;
   csv_dir : string option;
+  trace_out : string option;
+      (** throughput figures: write a Chrome trace_event JSON of the
+          designated run (last scheme at the highest thread count) *)
+  metrics_out : string option;
+      (** throughput figures: write the designated run's metrics snapshot
+          as JSON *)
 }
 
 val default_config : config

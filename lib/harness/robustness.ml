@@ -65,29 +65,29 @@ let robust_bound spec = (spec.workers + 1) * (spec.threshold + 16)
 let run spec =
   let sys =
     System.create
-      {
-        System.default_config with
-        System.nthreads = spec.workers + 1;
-        scheme = spec.scheme;
-        max_pages = 1 lsl 16;
-        (* Small superblocks: with the default 64-page geometry a fresh
-           node-class superblock carves ~16K free-list links, parking the
-           first allocating threads for longer than the whole horizon. *)
-        alloc_cfg =
-          {
-            Oamem_lrmalloc.Config.default with
-            Oamem_lrmalloc.Config.sb_pages = 4;
-            cache_blocks = 64;
-          };
-        scheme_cfg =
-          {
-            Scheme.default_config with
-            Scheme.threshold = spec.threshold;
-            slots_per_thread = Hm_list.slots_needed;
-            pool_nodes = spec.initial + (8 * (spec.workers + 1) * spec.threshold);
-            node_words = Node.words;
-          };
-      }
+      (System.Config.make
+         ~nthreads:(spec.workers + 1)
+         ~scheme:spec.scheme
+         ~max_pages:(1 lsl 16)
+         (* Small superblocks: with the default 64-page geometry a fresh
+            node-class superblock carves ~16K free-list links, parking the
+            first allocating threads for longer than the whole horizon. *)
+         ~alloc_cfg:
+           {
+             Oamem_lrmalloc.Config.default with
+             Oamem_lrmalloc.Config.sb_pages = 4;
+             cache_blocks = 64;
+           }
+         ~scheme_cfg:
+           {
+             Scheme.default_config with
+             Scheme.threshold = spec.threshold;
+             slots_per_thread = Hm_list.slots_needed;
+             pool_nodes =
+               spec.initial + (8 * (spec.workers + 1) * spec.threshold);
+             node_words = Node.words;
+           }
+         ())
   in
   let workload =
     Workload.make ~mix:Workload.update_only ~initial:spec.initial ()

@@ -28,6 +28,7 @@ type spec = {
   seed : int;
   hazard_padded : bool;  (* cache-line padding of hazard slots (ablation) *)
   cache_cfg : Hierarchy.config option;  (* cache-geometry sensitivity *)
+  trace : bool;  (* record events into the system trace during the run *)
 }
 
 let default_spec =
@@ -44,6 +45,7 @@ let default_spec =
     seed = 7;
     hazard_padded = true;
     cache_cfg = None;
+    trace = false;
   }
 
 type result = {
@@ -54,10 +56,11 @@ type result = {
   deletes : int;
   sim_seconds : float;
   throughput_mops : float;
-  scheme_stats : Scheme.stats;
-  engine_stats : Engine.stats;
-  usage : Oamem_vmem.Vmem.usage;
-  alloc_stats : Heap.stats;
+  metrics : Oamem_obs.Metrics.snapshot;
+      (* one named view over every subsystem's counters *)
+  trace : Oamem_obs.Trace.t;
+      (* the system trace; holds the measured window's events when
+         [spec.trace] was set, and is empty (and disabled) otherwise *)
 }
 
 (* Generic view over the two structures. *)
@@ -75,27 +78,23 @@ let make_system spec =
     + max 512 (2 * spec.threads * spec.threshold)
   in
   System.create
-    {
-      System.default_config with
-      System.nthreads = spec.threads;
-      scheme = spec.scheme;
-      cache_cfg = spec.cache_cfg;
-      max_pages = 1 lsl 16;
-      alloc_cfg =
-        {
-          Config.default with
-          Config.sb_pages = spec.sb_pages;
-          remap = spec.remap;
-        };
-      scheme_cfg =
-        {
-          Scheme.threshold = spec.threshold;
-          slots_per_thread = Hm_list.slots_needed;
-          pool_nodes;
-          node_words = Node.words;
-          hazard_padded = spec.hazard_padded;
-        };
-    }
+    (System.Config.make ~nthreads:spec.threads ~scheme:spec.scheme
+       ?cache_cfg:spec.cache_cfg ~max_pages:(1 lsl 16)
+       ~alloc_cfg:
+         {
+           Config.default with
+           Config.sb_pages = spec.sb_pages;
+           remap = spec.remap;
+         }
+       ~scheme_cfg:
+         {
+           Scheme.threshold = spec.threshold;
+           slots_per_thread = Hm_list.slots_needed;
+           pool_nodes;
+           node_words = Node.words;
+           hazard_padded = spec.hazard_padded;
+         }
+       ~trace:spec.trace ())
 
 let build_target sys spec =
   let setup_ctx = Engine.external_ctx () in
@@ -181,8 +180,9 @@ let run spec =
   if warmup_ops > 0 then begin
     run_phase sys spec target ~stop:(Until_ops warmup_ops) ~searches ~inserts
       ~deletes ~seed_base:(spec.seed + 17);
+    (* resets every metrics counter (scheme stats included) and drops
+       warmup trace events *)
     System.reset_measurement sys;
-    Oamem_reclaim.Scheme.reset_stats (System.scheme sys).Scheme.stats;
     Array.fill searches 0 spec.threads 0;
     Array.fill inserts 0 spec.threads 0;
     Array.fill deletes 0 spec.threads 0
@@ -201,10 +201,8 @@ let run spec =
     deletes = total deletes;
     sim_seconds;
     throughput_mops = float_of_int ops /. sim_seconds /. 1e6;
-    scheme_stats = System.scheme_stats sys;
-    engine_stats = System.engine_stats sys;
-    usage = System.usage sys;
-    alloc_stats = System.alloc_stats sys;
+    metrics = System.metrics sys;
+    trace = System.trace sys;
   }
 
 let pp_result ppf r =

@@ -4,7 +4,6 @@
     statistics. *)
 
 open Oamem_engine
-open Oamem_reclaim
 open Oamem_lrmalloc
 
 type structure = List_set | Hash_set
@@ -25,6 +24,7 @@ type spec = {
   seed : int;
   hazard_padded : bool;
   cache_cfg : Hierarchy.config option;
+  trace : bool;  (** record events into the system trace during the run *)
 }
 
 val default_spec : spec
@@ -37,10 +37,12 @@ type result = {
   deletes : int;
   sim_seconds : float;
   throughput_mops : float;
-  scheme_stats : Scheme.stats;
-  engine_stats : Engine.stats;
-  usage : Oamem_vmem.Vmem.usage;
-  alloc_stats : Heap.stats;
+  metrics : Oamem_obs.Metrics.snapshot;
+      (** one named view over every subsystem's counters (measured window
+          only — warmup is reset away) *)
+  trace : Oamem_obs.Trace.t;
+      (** the system trace: the measured window's events when [spec.trace]
+          was set, empty and disabled otherwise *)
 }
 
 type target = {

@@ -119,8 +119,7 @@ let run_op t ctx f =
         sch.Scheme.end_op ctx;
         r
     | exception Scheme.Restart ->
-        sch.Scheme.stats.Scheme.restarts <-
-          sch.Scheme.stats.Scheme.restarts + 1;
+        Scheme.note_restart sch.Scheme.sink ctx;
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
         Engine.pause ctx;

@@ -21,6 +21,7 @@ type state = Full | Partial | Empty
 
 let state_to_int = function Full -> 0 | Partial -> 1 | Empty -> 2
 let state_of_int = function 0 -> Full | 1 -> Partial | _ -> Empty
+let state_name = function Full -> "full" | Partial -> "partial" | Empty -> "empty"
 
 let field_bits = 20
 let field_mask = (1 lsl field_bits) - 1

@@ -5,6 +5,9 @@ open Oamem_engine
 
 type state = Full | Partial | Empty
 
+val state_name : state -> string
+(** ["full"] / ["partial"] / ["empty"] — trace and log labels. *)
+
 type anchor = { state : state; avail : int; count : int; tag : int }
 
 val pack : anchor -> int

@@ -26,6 +26,7 @@
 
 open Oamem_engine
 open Oamem_vmem
+module Trace = Oamem_obs.Trace
 
 type stats = {
   mutable sb_fresh : int;  (** superblocks built on a fresh virtual range *)
@@ -55,6 +56,7 @@ type t = {
       (* descriptors keeping their range (§3.2) *)
   mutable generic_pool : Desc_list.t;  (* plain recycled descriptors *)
   stats : stats;
+  mutable trace : Trace.t;
 }
 
 let get_desc t id = t.descs.(id)
@@ -89,6 +91,7 @@ let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
           pressure_recoveries = 0;
           pressure_failures = 0;
         };
+      trace = Trace.null;
     }
   in
   let get id = get_desc t id in
@@ -102,6 +105,15 @@ let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
 
 let sb_words t = Config.sb_words t.geom t.cfg
 let sb_pages t = t.cfg.Config.sb_pages
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
+
+(* Superblock lifecycle trace events: "fresh", "range_reused", "released",
+   "remapped" (pool transitions) plus the anchor state names. *)
+let emit_transition t ctx (d : Descriptor.t) state =
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~tid:ctx.Engine.tid ~at:(Engine.now ctx)
+      (Trace.Superblock_transition { desc = d.Descriptor.id; state })
 
 let partial_list t ~cls ~persistent =
   t.partial.((2 * cls) + if persistent then 1 else 0)
@@ -131,7 +143,8 @@ let attach_fresh_range t ctx d npages =
   Vmem.map_anon t.vmem ctx ~vpage:(Geometry.page_of_addr t.geom addr) ~npages;
   d.Descriptor.sb_start <- addr;
   d.Descriptor.pages <- npages;
-  t.stats.sb_fresh <- t.stats.sb_fresh + 1
+  t.stats.sb_fresh <- t.stats.sb_fresh + 1;
+  emit_transition t ctx d "fresh"
 
 (* Target number of blocks per cache fill for a class. *)
 let fill_batch t cls =
@@ -158,6 +171,7 @@ let acquire_superblock t ctx ~cls ~persistent =
               ~npages
         | Config.Madvise | Config.Keep_resident -> ());
         t.stats.sb_range_reused <- t.stats.sb_range_reused + 1;
+        emit_transition t ctx d "range_reused";
         d
     | None -> (
         match Desc_list.pop t.generic_pool ctx with
@@ -220,12 +234,14 @@ let release_superblock t ctx d =
         (* free_block never creates Empty persistent superblocks here *)
         assert false);
     t.stats.sb_remapped <- t.stats.sb_remapped + 1;
+    emit_transition t ctx d "remapped";
     Desc_list.push t.persistent_pool ctx d
   end
   else begin
     Vmem.unmap t.vmem ctx ~vpage ~npages;
     d.Descriptor.sb_start <- 0;
     t.stats.sb_released <- t.stats.sb_released + 1;
+    emit_transition t ctx d "released";
     Desc_list.push t.generic_pool ctx d
   end
 
@@ -256,6 +272,9 @@ let rec free_block t ctx (d : Descriptor.t) addr =
     }
   in
   if Descriptor.cas_anchor ctx d ~expect:a ~desired then begin
+    if desired.Descriptor.state <> a.Descriptor.state then
+      emit_transition t ctx d
+        (Descriptor.state_name desired.Descriptor.state);
     if becomes_empty then
       (* If the descriptor is currently linked in its partial list the
          release is deferred to the popper; an unlinked descriptor can only
@@ -416,6 +435,18 @@ let lookup_desc t ctx addr =
   Option.map (get_desc t) (Pagemap.lookup t.pagemap ctx addr)
 
 let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.sb_fresh <- 0;
+  s.sb_range_reused <- 0;
+  s.sb_released <- 0;
+  s.sb_remapped <- 0;
+  s.large_allocs <- 0;
+  s.large_frees <- 0;
+  s.pressure_recoveries <- 0;
+  s.pressure_failures <- 0
+
 let vmem t = t.vmem
 let classes t = t.classes
 let config t = t.cfg

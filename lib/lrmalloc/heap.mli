@@ -69,6 +69,15 @@ val persistent_pool_size : t -> int
 val generic_pool_size : t -> int
 
 val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero all heap counters (measurement reset). *)
+
+val set_trace : t -> Oamem_obs.Trace.t -> unit
+(** Attach an event trace: superblock lifecycle transitions are emitted as
+    [Superblock_transition] events. *)
+
+val trace : t -> Oamem_obs.Trace.t
 val vmem : t -> Vmem.t
 val classes : t -> Size_class.t
 val config : t -> Config.t

@@ -15,6 +15,7 @@
 
 open Oamem_engine
 open Oamem_vmem
+module Trace = Oamem_obs.Trace
 
 type t = {
   heap : Heap.t;
@@ -33,6 +34,11 @@ let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
 let heap t = t.heap
 let vmem t = Heap.vmem t.heap
 let config t = Heap.config t.heap
+
+let emit t ctx kind =
+  let tr = Heap.trace t.heap in
+  if Trace.enabled tr then
+    Trace.emit tr ~tid:ctx.Engine.tid ~at:(Engine.now ctx) kind
 
 (* Fill an empty cache stack with one batch of blocks: from a partial
    superblock's free list if one exists, otherwise from a fresh superblock.
@@ -127,15 +133,23 @@ let alloc_class t ctx ~cls ~persistent =
       alloc_class_raw t ctx ~cls ~persistent)
 
 let malloc t ctx size =
-  match Size_class.of_size t.classes size with
-  | Some cls -> alloc_class t ctx ~cls ~persistent:false
-  | None ->
-      with_pressure_recovery t ctx (fun () -> Heap.alloc_large t.heap ctx size)
+  let addr =
+    match Size_class.of_size t.classes size with
+    | Some cls -> alloc_class t ctx ~cls ~persistent:false
+    | None ->
+        with_pressure_recovery t ctx (fun () ->
+            Heap.alloc_large t.heap ctx size)
+  in
+  emit t ctx (Trace.Alloc { addr; words = size });
+  addr
 
 (* Persistent allocation: the block's address range survives free (§3). *)
 let palloc t ctx size =
   match Size_class.of_size t.classes size with
-  | Some cls -> alloc_class t ctx ~cls ~persistent:true
+  | Some cls ->
+      let addr = alloc_class t ctx ~cls ~persistent:true in
+      emit t ctx (Trace.Alloc { addr; words = size });
+      addr
   | None ->
       invalid_arg
         "Lrmalloc.palloc: persistent allocation is restricted to size-class \
@@ -145,6 +159,7 @@ let free t ctx addr =
   match Heap.lookup_desc t.heap ctx addr with
   | None -> invalid_arg "Lrmalloc.free: not an allocated block"
   | Some d ->
+      emit t ctx (Trace.Free { addr });
       if Descriptor.is_large d then Heap.free_large t.heap ctx d
       else begin
         let st =

@@ -1,0 +1,118 @@
+let args_of_kind (k : Trace.kind) : (string * Json.t) list =
+  match k with
+  | Alloc { addr; words } -> [ ("addr", Int addr); ("words", Int words) ]
+  | Free { addr } | Retire { addr } -> [ ("addr", Int addr) ]
+  | Reclaim_phase { freed } -> [ ("freed", Int freed) ]
+  | Warning { piggybacked } -> [ ("piggybacked", Bool piggybacked) ]
+  | Fault_in { vpage } -> [ ("vpage", Int vpage) ]
+  | Frames_released { count } -> [ ("count", Int count) ]
+  | Superblock_transition { desc; state } ->
+      [ ("desc", Int desc); ("state", String state) ]
+  | Stall { cycles } -> [ ("cycles", Int cycles) ]
+  | Restart | Crash -> []
+
+let category_of_kind (k : Trace.kind) =
+  match k with
+  | Alloc _ | Free _ -> "alloc"
+  | Retire _ | Reclaim_phase _ | Warning _ | Restart -> "reclaim"
+  | Fault_in _ | Frames_released _ -> "vmem"
+  | Superblock_transition _ -> "superblock"
+  | Stall _ | Crash -> "fault"
+
+let chrome_event (e : Trace.event) : Json.t =
+  let common =
+    [
+      ("name", Json.String (Trace.kind_name e.kind));
+      ("cat", Json.String (category_of_kind e.kind));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.tid);
+      ("ts", Json.Int e.at);
+    ]
+  in
+  let shape =
+    match e.kind with
+    | Stall { cycles } ->
+        [ ("ph", Json.String "X"); ("dur", Json.Int cycles) ]
+    | _ -> [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+  in
+  let args = args_of_kind e.kind in
+  Json.Obj
+    (common @ shape
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let chrome_trace tr =
+  let events = Trace.events tr in
+  let name_threads =
+    List.init (Trace.nthreads tr) (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "sim-thread-%d" tid)) ]);
+          ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (name_threads @ List.map chrome_event events));
+      ("displayTimeUnit", Json.String "ns");
+      ("otherData",
+       Json.Obj
+         [
+           ("recorded", Json.Int (Trace.recorded tr));
+           ("dropped", Json.Int (Trace.dropped tr));
+         ]);
+    ]
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc s;
+      output_char oc '\n')
+
+let write_chrome_trace path tr = write_file path (Json.to_string (chrome_trace tr))
+
+let metrics_json ?(extra = []) (s : Metrics.snapshot) =
+  let split kind =
+    List.filter_map
+      (fun (name, k, v) -> if k = kind then Some (name, Json.Int v) else None)
+      s.values
+  in
+  let histograms =
+    List.map
+      (fun (h : Metrics.hist_snapshot) ->
+        Json.Obj
+          [
+            ("name", Json.String h.hname);
+            ("count", Json.Int h.count);
+            ("sum", Json.Int h.sum);
+            ("max", Json.Int h.max_value);
+            ("buckets",
+             Json.List
+               (List.map
+                  (fun (le, n) -> Json.Obj [ ("le", Json.Int le); ("count", Json.Int n) ])
+                  h.buckets));
+          ])
+      s.histograms
+  in
+  Json.Obj
+    (extra
+    @ [
+        ("counters", Json.Obj (split Metrics.Counter));
+        ("gauges", Json.Obj (split Metrics.Gauge));
+        ("histograms", Json.List histograms);
+      ])
+
+let write_metrics ?extra path s = write_file path (Json.to_string (metrics_json ?extra s))
+
+let write_csv path ~header rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," row);
+          output_char oc '\n')
+        rows)

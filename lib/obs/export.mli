@@ -1,0 +1,28 @@
+(** Exporters: trace → Chrome trace_event JSON, metrics → JSON, and a small
+    CSV writer for time series.
+
+    Chrome traces load in [chrome://tracing] / Perfetto ("load legacy
+    trace"): simulated cycles map to microseconds, threads map to Chrome
+    thread lanes, stalls render as duration slices and everything else as
+    instant events. *)
+
+val chrome_trace : Trace.t -> Json.t
+(** The trace as a Chrome trace_event document:
+    [{"traceEvents": [...], "displayTimeUnit": "ns", ...}].  One event per
+    buffered {!Trace.event}; [Stall] becomes a complete ("ph":"X") slice of
+    its duration, every other kind an instant ("ph":"i").  Event arguments
+    (addresses, counts, states) land in ["args"]. *)
+
+val write_chrome_trace : string -> Trace.t -> unit
+(** Write {!chrome_trace} to a file. *)
+
+val metrics_json : ?extra:(string * Json.t) list -> Metrics.snapshot -> Json.t
+(** The snapshot as
+    [{"counters": {...}, "gauges": {...}, "histograms": [...], ...extra}].
+    [extra] fields (experiment name, scheme, throughput) are prepended. *)
+
+val write_metrics : ?extra:(string * Json.t) list -> string -> Metrics.snapshot -> unit
+
+val write_csv : string -> header:string list -> string list list -> unit
+(** Plain CSV with a header row; cells are written verbatim (callers pass
+    numbers and bare identifiers, nothing needing quoting). *)

@@ -1,0 +1,232 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      (* keep output valid JSON: no nan/inf, always a decimal point *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | String s -> escape buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let skip_ws p =
+  while
+    p.pos < String.length p.src
+    && match p.src.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> p.pos <- p.pos + 1
+  | Some c' -> fail "expected %c at offset %d, got %c" c p.pos c'
+  | None -> fail "expected %c at offset %d, got end of input" c p.pos
+
+let literal p word v =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else fail "invalid literal at offset %d" p.pos
+
+let parse_string_body p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail "unterminated string at offset %d" p.pos
+    | Some '"' -> p.pos <- p.pos + 1
+    | Some '\\' -> (
+        p.pos <- p.pos + 1;
+        match peek p with
+        | None -> fail "unterminated escape at offset %d" p.pos
+        | Some c ->
+            p.pos <- p.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if p.pos + 4 > String.length p.src then
+                  fail "truncated \\u escape at offset %d" p.pos;
+                let hex = String.sub p.src p.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape at offset %d" p.pos
+                in
+                p.pos <- p.pos + 4;
+                (* ASCII only; anything else becomes '?' — fine for our
+                   machine-generated documents *)
+                Buffer.add_char buf
+                  (if code < 0x80 then Char.chr code else '?')
+            | c -> fail "bad escape \\%c at offset %d" c p.pos);
+            go ())
+    | Some c ->
+        p.pos <- p.pos + 1;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while p.pos < String.length p.src && is_num_char p.src.[p.pos] do
+    p.pos <- p.pos + 1
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail "bad number %S at offset %d" s start)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail "unexpected end of input at offset %d" p.pos
+  | Some '{' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws p;
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          fields := (k, v) :: !fields;
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              members ()
+          | _ -> expect p '}'
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value p in
+          items := v :: !items;
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              elements ()
+          | _ -> expect p ']'
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some '"' -> String (parse_string_body p)
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> fail "unexpected character %c at offset %d" c p.pos
+
+let parse s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail "trailing garbage at offset %d" p.pos;
+  v
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | _ -> fail "member %S: not an object" key
+
+let to_list = function
+  | List xs -> xs
+  | _ -> fail "to_list: not a list"
+
+let to_int = function
+  | Int n -> n
+  | _ -> fail "to_int: not an integer"
+
+let to_str = function
+  | String s -> s
+  | _ -> fail "to_str: not a string"

@@ -1,0 +1,34 @@
+(** Minimal JSON: enough to emit exporter output and to parse it back in
+    tests and tooling.  Not a general-purpose JSON library — integers only
+    (the simulator has no float-valued metrics except throughput, which
+    exporters format themselves), no unicode escapes beyond [\uXXXX]
+    pass-through on parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Recursive-descent parse of a complete JSON document.  Raises
+    {!Parse_error} on malformed input or trailing garbage. *)
+
+(** {2 Accessors} — all raise {!Parse_error} on shape mismatch. *)
+
+val member : string -> t -> t
+(** Field of an object; [Null] if absent. *)
+
+val to_list : t -> t list
+val to_int : t -> int
+val to_str : t -> string

@@ -1,0 +1,79 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    One registry per assembled system replaces the per-subsystem stats
+    records as the *interface*: subsystems keep their cheap mutable
+    counters on the hot path and register read callbacks here, so a
+    {!snapshot} is one coherent, named view over every layer (engine,
+    caches, TLB, virtual memory, allocator, reclamation scheme).
+
+    Counters are monotone and reset with {!reset}; gauges are instantaneous
+    readings (live frames, resident pages) that reset leaves alone.
+    Histograms are owned by the registry and observed directly. *)
+
+type kind = Counter | Gauge
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> ?reset:(unit -> unit) -> name:string -> kind:kind -> (unit -> int) -> unit
+(** Register a named metric read through a callback.  [reset] (typically
+    shared by all metrics of a subsystem; called once per {!reset} no matter
+    how many metrics name it) zeroes the underlying counter.  Raises
+    [Invalid_argument] on a duplicate name. *)
+
+val on_snapshot : t -> (unit -> unit) -> unit
+(** Run a hook before every {!snapshot} — lets a subsystem compute one
+    expensive reading (e.g. a full page-table scan) shared by several
+    gauges. *)
+
+val on_reset : t -> (unit -> unit) -> unit
+(** Run a hook on every {!reset} (subsystem counter resets). *)
+
+(** {2 Registry-owned instruments} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** A registry-owned counter (registered as [Counter], reset to 0). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** A power-of-two-bucketed histogram of non-negative integers. *)
+
+val observe : histogram -> int -> unit
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  hname : string;
+  count : int;
+  sum : int;
+  max_value : int;
+  buckets : (int * int) list;
+      (** (inclusive upper bound, count) for non-empty buckets, ascending *)
+}
+
+type snapshot = {
+  values : (string * kind * int) list;  (** sorted by name *)
+  histograms : hist_snapshot list;
+}
+
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+(** Zero every counter (via the registered reset callbacks) and histogram.
+    Gauges, being instantaneous, are unaffected. *)
+
+val find : snapshot -> string -> int
+(** Raises [Not_found]. *)
+
+val find_opt : snapshot -> string -> int option
+val names : t -> string list
+val pp : Format.formatter -> snapshot -> unit

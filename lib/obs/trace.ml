@@ -1,0 +1,117 @@
+(* Structured event tracing: one ring buffer of typed events per thread.
+
+   The hot path is [emit]; when the trace is disabled it is a single load
+   and branch, and callers guard event construction behind [enabled] so the
+   disabled path allocates nothing at all.  Rings overwrite their oldest
+   entry when full (counting the overwrites), so a long run with a small
+   capacity degrades to "the most recent window" instead of unbounded
+   memory. *)
+
+type kind =
+  | Alloc of { addr : int; words : int }
+  | Free of { addr : int }
+  | Retire of { addr : int }
+  | Reclaim_phase of { freed : int }
+  | Warning of { piggybacked : bool }
+  | Restart
+  | Fault_in of { vpage : int }
+  | Frames_released of { count : int }
+  | Superblock_transition of { desc : int; state : string }
+  | Stall of { cycles : int }
+  | Crash
+
+type event = { tid : int; at : int; kind : kind }
+
+(* [next] is the slot the next event lands in; once [len = capacity] the
+   ring wraps and [next] doubles as the index of the oldest event. *)
+type ring = {
+  buf : event array;
+  mutable len : int;
+  mutable next : int;
+  mutable dropped : int;
+}
+
+type t = { mutable enabled : bool; rings : ring array; capacity : int }
+
+let dummy = { tid = -1; at = 0; kind = Restart }
+
+let create ?(capacity = 8192) ~nthreads () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    enabled = false;
+    rings =
+      Array.init (max 0 nthreads) (fun _ ->
+          { buf = Array.make capacity dummy; len = 0; next = 0; dropped = 0 });
+    capacity;
+  }
+
+let null = { enabled = false; rings = [||]; capacity = 0 }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+let nthreads t = Array.length t.rings
+let capacity t = t.capacity
+
+let emit t ~tid ~at kind =
+  if t.enabled && tid >= 0 && tid < Array.length t.rings then begin
+    let r = t.rings.(tid) in
+    r.buf.(r.next) <- { tid; at; kind };
+    r.next <- (r.next + 1) mod t.capacity;
+    if r.len < t.capacity then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+  end
+
+let clear t =
+  Array.iter
+    (fun r ->
+      r.len <- 0;
+      r.next <- 0;
+      r.dropped <- 0)
+    t.rings
+
+let recorded t = Array.fold_left (fun acc r -> acc + r.len) 0 t.rings
+let dropped t = Array.fold_left (fun acc r -> acc + r.dropped) 0 t.rings
+
+let thread_events t ~tid =
+  if tid < 0 || tid >= Array.length t.rings then []
+  else
+    let r = t.rings.(tid) in
+    let start = if r.len < t.capacity then 0 else r.next in
+    List.init r.len (fun i -> r.buf.((start + i) mod t.capacity))
+
+let events t =
+  let all =
+    List.concat
+      (List.init (Array.length t.rings) (fun tid -> thread_events t ~tid))
+  in
+  List.stable_sort
+    (fun a b ->
+      let c = compare a.at b.at in
+      if c <> 0 then c else compare a.tid b.tid)
+    all
+
+let kind_name = function
+  | Alloc _ -> "alloc"
+  | Free _ -> "free"
+  | Retire _ -> "retire"
+  | Reclaim_phase _ -> "reclaim_phase"
+  | Warning _ -> "warning"
+  | Restart -> "restart"
+  | Fault_in _ -> "fault_in"
+  | Frames_released _ -> "frames_released"
+  | Superblock_transition _ -> "superblock_transition"
+  | Stall _ -> "stall"
+  | Crash -> "crash"
+
+let pp_event ppf e =
+  Fmt.pf ppf "[%d@%d] %s" e.tid e.at (kind_name e.kind);
+  match e.kind with
+  | Alloc { addr; words } -> Fmt.pf ppf " addr=%d words=%d" addr words
+  | Free { addr } | Retire { addr } -> Fmt.pf ppf " addr=%d" addr
+  | Reclaim_phase { freed } -> Fmt.pf ppf " freed=%d" freed
+  | Warning { piggybacked } -> Fmt.pf ppf " piggybacked=%b" piggybacked
+  | Fault_in { vpage } -> Fmt.pf ppf " vpage=%d" vpage
+  | Frames_released { count } -> Fmt.pf ppf " count=%d" count
+  | Superblock_transition { desc; state } ->
+      Fmt.pf ppf " desc=%d state=%s" desc state
+  | Stall { cycles } -> Fmt.pf ppf " cycles=%d" cycles
+  | Restart | Crash -> ()

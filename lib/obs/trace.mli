@@ -1,0 +1,70 @@
+(** Structured event tracing over simulated time.
+
+    Every subsystem of the assembled system emits typed events into one
+    shared trace: per-thread ring buffers of {!event} records stamped with
+    the emitting thread's simulated clock.  Tracing is off by default and
+    the disabled path is allocation-free — emitters are expected to guard
+    event construction with {!enabled}:
+
+    {[ if Trace.enabled tr then Trace.emit tr ~tid ~at (Alloc { ... }) ]}
+
+    Rings keep the most recent [capacity] events per thread and count what
+    they overwrote, so a trace never grows without bound on long runs. *)
+
+type kind =
+  | Alloc of { addr : int; words : int }  (** allocator handed out a block *)
+  | Free of { addr : int }  (** block returned to the allocator *)
+  | Retire of { addr : int }  (** node unlinked, awaiting safe reclamation *)
+  | Reclaim_phase of { freed : int }  (** limbo sweep / recycling phase *)
+  | Warning of { piggybacked : bool }
+      (** warning-bit set / clock bump ([piggybacked] = reused another
+          thread's warning, OA-VER) *)
+  | Restart  (** an operation restarted from a safe location *)
+  | Fault_in of { vpage : int }  (** first write faulted a frame in *)
+  | Frames_released of { count : int }
+      (** unmap / madvise / shared-remap gave frames back *)
+  | Superblock_transition of { desc : int; state : string }
+      (** superblock lifecycle: built fresh, range reused, released,
+          remapped *)
+  | Stall of { cycles : int }  (** fault injection parked the thread *)
+  | Crash  (** fault injection killed the thread *)
+
+type event = { tid : int; at : int; kind : kind }
+(** [at] is the emitting thread's simulated clock, in cycles. *)
+
+type t
+
+val create : ?capacity:int -> nthreads:int -> unit -> t
+(** A disabled trace with one ring of [capacity] events (default 8192) per
+    thread slot. *)
+
+val null : t
+(** A shared zero-thread sink that is never enabled; the default wiring of
+    every subsystem, so emit paths need no option check. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val nthreads : t -> int
+val capacity : t -> int
+
+val emit : t -> tid:int -> at:int -> kind -> unit
+(** No-op when disabled or [tid] has no ring (e.g. an external context on a
+    [null] trace). *)
+
+val clear : t -> unit
+(** Drop every buffered event (the measurement-reset path). *)
+
+val recorded : t -> int
+(** Events currently buffered, over all threads. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around since the last {!clear}. *)
+
+val thread_events : t -> tid:int -> event list
+(** One thread's buffered events, oldest first — monotone in [at]. *)
+
+val events : t -> event list
+(** All threads merged, sorted by [(at, tid)]. *)
+
+val kind_name : kind -> string
+val pp_event : Format.formatter -> event -> unit

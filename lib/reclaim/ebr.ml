@@ -27,7 +27,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
                 Limbo.create meta ~geom ~capacity_hint:cfg.Scheme.threshold);
         })
   in
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   let my ctx = threads.(ctx.Engine.tid) in
   (* Free the bucket holding nodes retired in epoch [e - 2]: once the
      global epoch has reached [e], every operation that could still hold a
@@ -41,8 +41,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           ~protected:(fun _ -> false)
           ~free:(fun n -> Oamem_lrmalloc.Lrmalloc.free lr ctx n)
       in
-      stats.Scheme.freed <- stats.Scheme.freed + freed;
-      stats.Scheme.reclaim_phases <- stats.Scheme.reclaim_phases + 1
+      Scheme.note_reclaim_phase sink ctx ~freed
     end
   in
   let try_advance ctx =
@@ -55,7 +54,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       announces;
     if !all_current then
       if Cell.cas ctx global_epoch ~expect:e ~desired:(e + 1) then
-        stats.Scheme.warnings_fired <- stats.Scheme.warnings_fired + 1
+        Scheme.note_warning sink ctx ~piggybacked:false
   in
   {
     Scheme.name = "ebr";
@@ -68,7 +67,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         free_old_bucket ctx e;
         let b = t.buckets.(e mod 3) in
         Limbo.add b ctx addr;
-        stats.Scheme.retired <- stats.Scheme.retired + 1;
+        Scheme.note_retired sink ctx addr;
         if Limbo.size b >= cfg.Scheme.threshold then try_advance ctx);
     cancel = (fun ctx addr -> Oamem_lrmalloc.Lrmalloc.free lr ctx addr);
     begin_op =
@@ -93,7 +92,8 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
                 ~protected:(fun _ -> false)
                 ~free:(fun n -> Oamem_lrmalloc.Lrmalloc.free lr ctx n)
             in
-            stats.Scheme.freed <- stats.Scheme.freed + freed)
+            Scheme.note_freed sink freed)
           t.buckets);
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

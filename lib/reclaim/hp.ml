@@ -20,7 +20,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     Array.init nthreads (fun _ ->
         { limbo = Limbo.create meta ~geom ~capacity_hint:cfg.Scheme.threshold })
   in
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   let my ctx = threads.(ctx.Engine.tid) in
   let scan ctx =
     let t = my ctx in
@@ -31,8 +31,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         ~protected:(fun n -> Hazard_slots.protects snapshot n)
         ~free:(fun n -> Oamem_lrmalloc.Lrmalloc.free lr ctx n)
     in
-    stats.Scheme.freed <- stats.Scheme.freed + freed;
-    stats.Scheme.reclaim_phases <- stats.Scheme.reclaim_phases + 1
+    Scheme.note_reclaim_phase sink ctx ~freed
   in
   {
     Scheme.name = "hp";
@@ -41,7 +40,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       (fun ctx addr ->
         let t = my ctx in
         Limbo.add t.limbo ctx addr;
-        stats.Scheme.retired <- stats.Scheme.retired + 1;
+        Scheme.note_retired sink ctx addr;
         if Limbo.size t.limbo >= cfg.Scheme.threshold then scan ctx);
     cancel = (fun ctx addr -> Oamem_lrmalloc.Lrmalloc.free lr ctx addr);
     begin_op = (fun _ -> ());
@@ -60,5 +59,6 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       (fun ctx ->
         let t = my ctx in
         if Limbo.size t.limbo > 0 then scan ctx);
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

@@ -38,7 +38,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           limbo = Limbo.create meta ~geom ~capacity_hint:cfg.Scheme.threshold;
         })
   in
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   let my ctx = threads.(ctx.Engine.tid) in
   (* bump the era every [threshold] retirements: the 2GE amortization *)
   let retire_count = ref 0 in
@@ -61,8 +61,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           List.exists (fun (lo, hi) -> birth <= hi && retired >= lo) intervals)
         ~free:(fun header -> Oamem_lrmalloc.Lrmalloc.free lr ctx header)
     in
-    stats.Scheme.freed <- stats.Scheme.freed + freed;
-    stats.Scheme.reclaim_phases <- stats.Scheme.reclaim_phases + 1
+    Scheme.note_reclaim_phase sink ctx ~freed
   in
   {
     Scheme.name = "ibr";
@@ -78,11 +77,11 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         let header = addr - header_words in
         Vmem.store vmem ctx (header + 1) (Cell.get ctx era);
         Limbo.add t.limbo ctx header;
-        stats.Scheme.retired <- stats.Scheme.retired + 1;
+        Scheme.note_retired sink ctx addr;
         incr retire_count;
         if !retire_count mod cfg.Scheme.threshold = 0 then begin
           ignore (Cell.fetch_and_add ctx era 1);
-          stats.Scheme.warnings_fired <- stats.Scheme.warnings_fired + 1
+          Scheme.note_warning sink ctx ~piggybacked:false
         end;
         if Limbo.size t.limbo >= cfg.Scheme.threshold then sweep ctx);
     cancel =
@@ -119,5 +118,6 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           ignore (Cell.fetch_and_add ctx era 1);
           sweep ctx
         end);
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

@@ -7,14 +7,14 @@ open Oamem_engine
 
 let make (_cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t)
     ~meta:(_ : Cell.heap) ~nthreads:(_ : int) : Scheme.ops =
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   {
     Scheme.name = "nr";
     alloc = (fun ctx size -> Oamem_lrmalloc.Lrmalloc.malloc lr ctx size);
     retire =
-      (fun _ctx _addr ->
+      (fun ctx addr ->
         (* leak, deliberately *)
-        stats.Scheme.retired <- stats.Scheme.retired + 1);
+        Scheme.note_retired sink ctx addr);
     cancel = (fun _ctx _addr -> ());
     begin_op = (fun _ -> ());
     end_op = (fun _ -> ());
@@ -24,5 +24,6 @@ let make (_cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t)
     validate = (fun _ -> ());
     clear = (fun _ -> ());
     flush = (fun _ -> ());
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

@@ -30,7 +30,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           limbo = Limbo.create meta ~geom ~capacity_hint:cfg.Scheme.threshold;
         })
   in
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   let my ctx = threads.(ctx.Engine.tid) in
   (* One optimistic-read validation: a load of the thread's own bit (cache
      hit unless someone warned us) behind a compiler-only barrier (TSO). *)
@@ -49,7 +49,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
        make the warnings visible *)
     for tid = 0 to nthreads - 1 do
       Cell.set ctx threads.(tid).warning 1;
-      stats.Scheme.warnings_fired <- stats.Scheme.warnings_fired + 1
+      Scheme.note_warning sink ctx ~piggybacked:false
     done;
     Engine.fence ctx Engine.Full;
     let snapshot = Hazard_slots.snapshot ctx hazards in
@@ -58,8 +58,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         ~protected:(fun n -> Hazard_slots.protects snapshot n)
         ~free:(fun n -> Oamem_lrmalloc.Lrmalloc.free lr ctx n)
     in
-    stats.Scheme.freed <- stats.Scheme.freed + freed;
-    stats.Scheme.reclaim_phases <- stats.Scheme.reclaim_phases + 1
+    Scheme.note_reclaim_phase sink ctx ~freed
   in
   {
     Scheme.name = "oa-bit";
@@ -68,7 +67,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       (fun ctx addr ->
         let t = my ctx in
         Limbo.add t.limbo ctx addr;
-        stats.Scheme.retired <- stats.Scheme.retired + 1;
+        Scheme.note_retired sink ctx addr;
         if Limbo.size t.limbo >= cfg.Scheme.threshold then reclaim ctx);
     cancel = (fun ctx addr -> Oamem_lrmalloc.Lrmalloc.free lr ctx addr);
     begin_op = (fun _ -> ());
@@ -86,5 +85,6 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       (fun ctx ->
         let t = my ctx in
         if Limbo.size t.limbo > 0 then reclaim ctx);
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

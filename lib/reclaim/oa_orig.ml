@@ -38,7 +38,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   (* the "processing pool" is the chain detached from [retire_pool] during a
      phase; the phase owner walks it exclusively *)
   let phase_flag = Cell.make ~pad:true meta 0 in
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   (* Build the fixed memory pool before the benchmark begins, with the
      regular allocator (uncosted, as in the paper's methodology §5.1). *)
   let () =
@@ -59,22 +59,23 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   (* One recycling phase; the caller holds the phase flag. *)
   let run_phase ctx =
-    stats.Scheme.reclaim_phases <- stats.Scheme.reclaim_phases + 1;
     let head = Addr_stack.take_all retire_pool ctx in
     for tid = 0 to nthreads - 1 do
       if tid <> ctx.Engine.tid then begin
         Cell.set ctx threads.(tid).warning 1;
-        stats.Scheme.warnings_fired <- stats.Scheme.warnings_fired + 1
+        Scheme.note_warning sink ctx ~piggybacked:false
       end
     done;
     Engine.fence ctx Engine.Full;
     let snapshot = Hazard_slots.snapshot ctx hazards in
+    let freed = ref 0 in
     Addr_stack.iter_chain retire_pool ctx head (fun n ->
         if Hazard_slots.protects snapshot n then Addr_stack.push retire_pool ctx n
         else begin
           Addr_stack.push ready ctx n;
-          stats.Scheme.freed <- stats.Scheme.freed + 1
-        end)
+          incr freed
+        end);
+    Scheme.note_reclaim_phase sink ctx ~freed:!freed
   in
   let rec alloc ctx size =
     if size > cfg.Scheme.node_words then
@@ -101,7 +102,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     retire =
       (fun ctx addr ->
         Addr_stack.push retire_pool ctx addr;
-        stats.Scheme.retired <- stats.Scheme.retired + 1);
+        Scheme.note_retired sink ctx addr);
     cancel = (fun ctx addr -> Addr_stack.push ready ctx addr);
     begin_op = (fun _ -> ());
     end_op = (fun _ -> ());
@@ -114,5 +115,6 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         read_check ctx);
     clear = (fun ctx -> Hazard_slots.clear ctx hazards);
     flush = (fun _ -> ());
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

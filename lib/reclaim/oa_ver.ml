@@ -34,7 +34,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           last_retire_time = 0;
         })
   in
-  let stats = Scheme.fresh_stats () in
+  let sink = Scheme.fresh_sink () in
   let my ctx = threads.(ctx.Engine.tid) in
   let read_check ctx =
     Engine.fence ctx Engine.Compiler;
@@ -54,8 +54,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         ~protected:(fun n -> Hazard_slots.protects snapshot n)
         ~free:(fun n -> Oamem_lrmalloc.Lrmalloc.free lr ctx n)
     in
-    stats.Scheme.freed <- stats.Scheme.freed + freed;
-    stats.Scheme.reclaim_phases <- stats.Scheme.reclaim_phases + 1
+    Scheme.note_reclaim_phase sink ctx ~freed
   in
   (* Algorithm 2, with one refinement found by the race tests: the paper's
      pseudocode records [LastRetireTime <- LocalClock], but [LocalClock] can
@@ -76,15 +75,11 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         if
           Cell.cas ctx global_clock ~expect:t.local_clock
             ~desired:(t.local_clock + 1)
-        then stats.Scheme.warnings_fired <- stats.Scheme.warnings_fired + 1
-        else
-          stats.Scheme.warnings_piggybacked <-
-            stats.Scheme.warnings_piggybacked + 1;
+        then Scheme.note_warning sink ctx ~piggybacked:false
+        else Scheme.note_warning sink ctx ~piggybacked:true;
         t.local_clock <- Cell.get ctx global_clock
       end
-      else
-        stats.Scheme.warnings_piggybacked <-
-          stats.Scheme.warnings_piggybacked + 1
+      else Scheme.note_warning sink ctx ~piggybacked:true
     end;
     if
       t.last_retire_time < t.local_clock
@@ -93,7 +88,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     (* fresh read: the retirement is stamped against the real clock *)
     t.last_retire_time <- Cell.get ctx global_clock;
     Limbo.add t.limbo ctx addr;
-    stats.Scheme.retired <- stats.Scheme.retired + 1
+    Scheme.note_retired sink ctx addr
   in
   {
     Scheme.name = "oa-ver";
@@ -121,10 +116,11 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           ignore
             (Cell.cas ctx global_clock ~expect:t.local_clock
                ~desired:(t.local_clock + 1));
-          stats.Scheme.warnings_fired <- stats.Scheme.warnings_fired + 1;
+          Scheme.note_warning sink ctx ~piggybacked:false;
           t.local_clock <- Cell.get ctx global_clock;
           do_reclaim ctx;
           t.last_retire_time <- t.local_clock
         end);
-    stats;
+    stats = sink.Scheme.stats;
+    sink;
   }

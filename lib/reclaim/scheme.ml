@@ -22,6 +22,8 @@
    from a location known to be valid (the paper's restart contract). *)
 
 open Oamem_engine
+module Trace = Oamem_obs.Trace
+module Metrics = Oamem_obs.Metrics
 
 exception Restart
 
@@ -55,6 +57,50 @@ let reset_stats s =
   s.warnings_piggybacked <- 0;
   s.reclaim_phases <- 0
 
+(* The shared emit path: every scheme (and the data structures driving one)
+   reports reclamation activity through a sink, which bumps the stats record
+   and mirrors the event into the attached trace / histogram.  The trace
+   defaults to [Trace.null] so the disabled path is a dead branch. *)
+type sink = {
+  stats : stats;
+  mutable trace : Trace.t;
+  mutable reclaim_hist : Metrics.histogram option;
+      (** batch-size distribution of reclaim phases *)
+}
+
+let fresh_sink () =
+  { stats = fresh_stats (); trace = Trace.null; reclaim_hist = None }
+
+let emit sink ctx kind =
+  if Trace.enabled sink.trace then
+    Trace.emit sink.trace ~tid:ctx.Engine.tid ~at:(Engine.now ctx) kind
+
+let note_retired sink ctx addr =
+  sink.stats.retired <- sink.stats.retired + 1;
+  emit sink ctx (Trace.Retire { addr })
+
+(* Frees outside a reclaim phase (immediate frees, teardown flushes). *)
+let note_freed sink n = sink.stats.freed <- sink.stats.freed + n
+
+let note_reclaim_phase sink ctx ~freed =
+  let s = sink.stats in
+  s.freed <- s.freed + freed;
+  s.reclaim_phases <- s.reclaim_phases + 1;
+  (match sink.reclaim_hist with
+  | Some h -> Metrics.observe h freed
+  | None -> ());
+  emit sink ctx (Trace.Reclaim_phase { freed })
+
+let note_warning sink ctx ~piggybacked =
+  let s = sink.stats in
+  if piggybacked then s.warnings_piggybacked <- s.warnings_piggybacked + 1
+  else s.warnings_fired <- s.warnings_fired + 1;
+  emit sink ctx (Trace.Warning { piggybacked })
+
+let note_restart sink ctx =
+  sink.stats.restarts <- sink.stats.restarts + 1;
+  emit sink ctx Trace.Restart
+
 type ops = {
   name : string;
   alloc : Engine.ctx -> int -> int;
@@ -70,6 +116,7 @@ type ops = {
   clear : Engine.ctx -> unit;
   flush : Engine.ctx -> unit;
   stats : stats;
+  sink : sink;  (* stats == sink.stats; the sink adds the emit path *)
 }
 
 type config = {

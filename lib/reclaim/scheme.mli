@@ -7,6 +7,8 @@
     semantics of each hook. *)
 
 open Oamem_engine
+module Trace = Oamem_obs.Trace
+module Metrics = Oamem_obs.Metrics
 
 exception Restart
 
@@ -26,6 +28,35 @@ val pp_stats : Format.formatter -> stats -> unit
 val unreclaimed : stats -> int
 (** [retired - freed]: nodes sitting in limbo lists / retirement pools —
     the garbage a stalled or crashed thread can pin (robustness metric). *)
+
+(** {2 The shared emit path}
+
+    Schemes and the data structures driving them report reclamation
+    activity through a {!sink}: each [note_*] bumps the stats record and
+    mirrors the event into the attached trace (and, for reclaim phases,
+    the batch-size histogram).  With no trace attached the mirror is a
+    dead branch, so the hot path stays a plain field increment. *)
+
+type sink = {
+  stats : stats;
+  mutable trace : Trace.t;
+  mutable reclaim_hist : Metrics.histogram option;
+      (** batch-size distribution of reclaim phases *)
+}
+
+val fresh_sink : unit -> sink
+
+val note_retired : sink -> Engine.ctx -> int -> unit
+(** One node retired (argument: its address). *)
+
+val note_freed : sink -> int -> unit
+(** [n] nodes freed outside a reclaim phase (immediate frees, teardown). *)
+
+val note_reclaim_phase : sink -> Engine.ctx -> freed:int -> unit
+(** One limbo sweep / recycling phase that freed [freed] nodes. *)
+
+val note_warning : sink -> Engine.ctx -> piggybacked:bool -> unit
+val note_restart : sink -> Engine.ctx -> unit
 
 type ops = {
   name : string;
@@ -47,7 +78,8 @@ type ops = {
           check, §2.4); may raise {!Restart} *)
   clear : Engine.ctx -> unit;  (** drop the thread's hazard pointers *)
   flush : Engine.ctx -> unit;  (** teardown: drain deferred frees *)
-  stats : stats;
+  stats : stats;  (** == [sink.stats]; kept as a direct field for readers *)
+  sink : sink;
 }
 
 type config = {

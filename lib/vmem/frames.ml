@@ -22,6 +22,7 @@ type t = {
   mutable quota : int option;  (* cap on live frames (memory pressure) *)
   mutable live : int;
   mutable peak : int;
+  mutable freed_total : int;
   lock : Mutex.t;
 }
 
@@ -40,6 +41,7 @@ let create ?(capacity = 1 lsl 20) ?quota geom =
       quota;
       live = 0;
       peak = 0;
+      freed_total = 0;
       lock = Mutex.create ();
     }
   in
@@ -102,6 +104,7 @@ let free t id =
   Mutex.lock t.lock;
   t.free_ids <- id :: t.free_ids;
   t.live <- t.live - 1;
+  t.freed_total <- t.freed_total + 1;
   Mutex.unlock t.lock
 
 let word t ~frame ~off =
@@ -112,6 +115,8 @@ let paddr t ~frame ~off = (frame lsl t.geom.Geometry.page_bits) lor off
 
 let live t = t.live
 let peak t = t.peak
+let freed_total t = t.freed_total
+let reset_freed_total t = t.freed_total <- 0
 
 (* The zero frame must never be written: reads through copy-on-write
    mappings rely on it.  Test hook. *)

@@ -41,5 +41,11 @@ val live : t -> int
 
 val peak : t -> int
 
+val freed_total : t -> int
+(** Frames returned to the pool since creation (or the last
+    {!reset_freed_total}) — the "memory actually given back" counter. *)
+
+val reset_freed_total : t -> unit
+
 val zero_frame_intact : t -> bool
 (** The zero frame must always read as zero (test hook). *)

@@ -27,6 +27,7 @@
    page of a shared mapping (the "statistics go haywire" effect of §3.2). *)
 
 open Oamem_engine
+module Trace = Oamem_obs.Trace
 
 exception Segfault of int
 exception Address_space_exhausted
@@ -39,6 +40,7 @@ type t = {
   shared_region : int array;  (* frames backing the shared remap region *)
   mutable minor_faults : int;
   mutable cow_cas_faults : int;  (* faults triggered by CAS on a cow page *)
+  mutable trace : Trace.t;
 }
 
 let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
@@ -56,6 +58,7 @@ let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
     shared_region;
     minor_faults = 0;
     cow_cas_faults = 0;
+    trace = Trace.null;
   }
 
 let geometry t = t.geom
@@ -63,6 +66,11 @@ let page_table t = t.pt
 let frames t = t.frames
 let set_frame_quota t quota = Frames.set_quota t.frames quota
 let shared_region_pages t = Array.length t.shared_region
+let set_trace t tr = t.trace <- tr
+
+let emit t ctx kind =
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~tid:ctx.Engine.tid ~at:(Engine.now ctx) kind
 
 (* --- mapping calls ------------------------------------------------------- *)
 
@@ -78,39 +86,52 @@ let reserve t ~npages =
   t.reserve_next <- vpage + npages;
   Geometry.addr_of_page t.geom vpage
 
+(* Returns the number of frames given back (0 or 1) so mapping calls can
+   report how much physical memory each syscall released. *)
 let release_frame_of_entry t = function
-  | Page_table.Frame f -> Frames.free t.frames f
-  | Page_table.Unmapped | Page_table.Cow_zero | Page_table.Shared _ -> ()
+  | Page_table.Frame f ->
+      Frames.free t.frames f;
+      1
+  | Page_table.Unmapped | Page_table.Cow_zero | Page_table.Shared _ -> 0
+
+let note_released t ctx released =
+  if released > 0 then emit t ctx (Trace.Frames_released { count = released })
 
 let map_anon t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   Engine.event ctx Engine.Syscall;
+  let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
-    release_frame_of_entry t (Page_table.get t.pt p);
+    released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p Page_table.Cow_zero;
     Engine.tlb_shootdown ctx p
-  done
+  done;
+  note_released t ctx !released
 
 let unmap t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   Engine.event ctx Engine.Syscall;
+  let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
-    release_frame_of_entry t (Page_table.get t.pt p);
+    released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p Page_table.Unmapped;
     Engine.tlb_shootdown ctx p
-  done
+  done;
+  note_released t ctx !released
 
 let madvise_dontneed t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   Engine.event ctx Engine.Syscall;
+  let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
     (match Page_table.get t.pt p with
     | Page_table.Unmapped -> raise (Segfault (Geometry.addr_of_page t.geom p))
     | e ->
-        release_frame_of_entry t e;
+        released := !released + release_frame_of_entry t e;
         Page_table.set t.pt p Page_table.Cow_zero);
     Engine.tlb_shootdown ctx p
-  done
+  done;
+  note_released t ctx !released
 
 (* Map [npages] onto the shared region, page i to region page (i mod S).
    One syscall per chunk of S pages, as in §3.2. *)
@@ -121,12 +142,14 @@ let map_shared t ctx ~vpage ~npages =
   for _ = 1 to chunks do
     Engine.event ctx Engine.Syscall
   done;
+  let released = ref 0 in
   for i = 0 to npages - 1 do
     let p = vpage + i in
-    release_frame_of_entry t (Page_table.get t.pt p);
+    released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p (Page_table.Shared t.shared_region.(i mod s));
     Engine.tlb_shootdown ctx p
-  done
+  done;
+  note_released t ctx !released
 
 (* mmap(MAP_FIXED | MAP_PRIVATE | MAP_ANON) over an existing range: one
    syscall regardless of size.  Used to take a superblock back from the
@@ -134,11 +157,13 @@ let map_shared t ctx ~vpage ~npages =
 let remap_private t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   Engine.event ctx Engine.Syscall;
+  let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
-    release_frame_of_entry t (Page_table.get t.pt p);
+    released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p Page_table.Cow_zero;
     Engine.tlb_shootdown ctx p
-  done
+  done;
+  note_released t ctx !released
 
 (* --- word accesses ------------------------------------------------------- *)
 
@@ -165,6 +190,7 @@ let rec frame_for_write t ctx addr vpage =
       then begin
         t.minor_faults <- t.minor_faults + 1;
         Engine.event ctx Engine.Minor_fault;
+        emit t ctx (Trace.Fault_in { vpage });
         f
       end
       else begin
@@ -285,6 +311,14 @@ let usage t =
     minor_faults = t.minor_faults;
     cow_cas_faults = t.cow_cas_faults;
   }
+
+(* Measurement reset: zero the monotone fault/release counters.  Peak frame
+   usage is deliberately kept — it is an instantaneous high-water mark, not a
+   per-phase rate. *)
+let reset_counters (t : t) =
+  t.minor_faults <- 0;
+  t.cow_cas_faults <- 0;
+  Frames.reset_freed_total t.frames
 
 let pp_usage ppf u =
   Fmt.pf ppf

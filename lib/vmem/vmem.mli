@@ -40,6 +40,10 @@ val set_frame_quota : t -> int option -> unit
 
 val shared_region_pages : t -> int
 
+val set_trace : t -> Oamem_obs.Trace.t -> unit
+(** Attach an event trace: fault-ins and frame releases are emitted as
+    [Fault_in] / [Frames_released] events (see {!Oamem_obs.Trace}). *)
+
 (** {2 Mapping calls} — each charges syscall costs and shoots down TLBs. *)
 
 val reserve : t -> npages:int -> int
@@ -98,3 +102,7 @@ type usage = {
 
 val usage : t -> usage
 val pp_usage : Format.formatter -> usage -> unit
+
+val reset_counters : t -> unit
+(** Zero the monotone counters ([minor_faults], [cow_cas_faults], frames
+    released); peak frame usage is kept. *)

@@ -78,19 +78,16 @@ let list_scenario scheme =
   let make () =
     let sys =
       System.create
-        {
-          System.default_config with
-          System.nthreads = 2;
-          scheme;
-          max_pages = 1 lsl 14;
-          scheme_cfg =
-            {
-              Scheme.default_config with
-              Scheme.threshold = 1;
-              slots_per_thread = Hm_list.slots_needed;
-              pool_nodes = 64;
-            };
-        }
+        (System.Config.make ~nthreads:2 ~scheme
+           ~max_pages:(1 lsl 14)
+           ~scheme_cfg:
+             {
+               Scheme.default_config with
+               Scheme.threshold = 1;
+               slots_per_thread = Hm_list.slots_needed;
+               pool_nodes = 64;
+             }
+           ())
     in
     let setup_ctx = Engine.external_ctx () in
     let l = System.list_set sys setup_ctx in

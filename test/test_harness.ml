@@ -132,7 +132,7 @@ let test_runner_warmup_resets_counters () =
       { (small_spec "oa-ver") with Runner.warmup_ops = 2_000; horizon_cycles = 2_000 }
   in
   check_bool "measured retires small" true
-    (r.Runner.scheme_stats.Oamem_reclaim.Scheme.retired < 200)
+    (Oamem_obs.Metrics.find r.Runner.metrics "scheme.retired" < 200)
 
 let test_runner_trials () =
   let s = Runner.run_trials ~trials:3 (small_spec "oa-ver") in

@@ -21,21 +21,18 @@ let check_bool = Alcotest.(check bool)
 
 let mk ?(nthreads = 4) ?(threshold = 8) scheme =
   System.create
-    {
-      System.default_config with
-      System.nthreads;
-      scheme;
-      max_pages = 1 lsl 16;
-      alloc_cfg =
-        { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages = 4 };
-      scheme_cfg =
-        {
-          Scheme.default_config with
-          Scheme.threshold;
-          slots_per_thread = Hm_list.slots_needed;
-          pool_nodes = 16384;
-        };
-    }
+    (System.Config.make ~nthreads ~scheme
+       ~max_pages:(1 lsl 16)
+       ~alloc_cfg:
+         { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages = 4 }
+       ~scheme_cfg:
+         {
+           Scheme.default_config with
+           Scheme.threshold;
+           slots_per_thread = Hm_list.slots_needed;
+           pool_nodes = 16384;
+         }
+       ())
 
 (* --- mixed structures over one allocator ------------------------------------- *)
 
@@ -218,9 +215,10 @@ let churn_footprint_bounded scheme () =
           done)
     done;
     System.run sys;
-    if round = 2 then peak_early := (System.usage sys).Vmem.frames_peak
+    if round = 2 then
+      peak_early := (Vmem.usage (System.vmem sys)).Vmem.frames_peak
   done;
-  let peak_late = (System.usage sys).Vmem.frames_peak in
+  let peak_late = (Vmem.usage (System.vmem sys)).Vmem.frames_peak in
   check_bool
     (Printf.sprintf "%s: footprint flat after warm-up (early %d, late %d)"
        scheme !peak_early peak_late)

@@ -20,24 +20,20 @@ let schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
 let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
     ?(pool_nodes = 4096) ?(sb_pages = 4) scheme =
   System.create
-    {
-      System.default_config with
-      System.nthreads;
-      policy;
-      scheme;
-      max_pages = 1 lsl 16;
-      alloc_cfg =
-        { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages };
-      scheme_cfg =
-        {
-          Scheme.threshold;
-          slots_per_thread = Hm_list.slots_needed;
-          pool_nodes;
-          (* large enough for both set (2-word) and kv (3-word) nodes *)
-          node_words = Node.kv_words;
-          hazard_padded = true;
-        };
-    }
+    (System.Config.make ~nthreads ~policy ~scheme
+       ~max_pages:(1 lsl 16)
+       ~alloc_cfg:
+         { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages }
+       ~scheme_cfg:
+         {
+           Scheme.threshold;
+           slots_per_thread = Hm_list.slots_needed;
+           pool_nodes;
+           (* large enough for both set (2-word) and kv (3-word) nodes *)
+           node_words = Node.kv_words;
+           hazard_padded = true;
+         }
+       ())
 
 (* --- sequential semantics versus a model ------------------------------------ *)
 
@@ -327,7 +323,7 @@ let memory_returns scheme () =
         done
       done);
   System.drain sys;
-  let u = System.usage sys in
+  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
   check_bool
     (Printf.sprintf "%s: frames returned (peak %d, now %d)" scheme
        u.Oamem_vmem.Vmem.frames_peak u.Oamem_vmem.Vmem.frames_live)
@@ -347,7 +343,7 @@ let test_nr_leaks () =
         ignore (Hm_list.delete l ctx k)
       done);
   System.drain sys;
-  let u = System.usage sys in
+  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
   check_bool "nr holds its frames" true
     (u.Oamem_vmem.Vmem.frames_live >= u.Oamem_vmem.Vmem.frames_peak - 2)
 
@@ -367,9 +363,9 @@ let churn_bounded scheme () =
           ignore (Hm_list.insert l ctx k)
         done;
         if round = 2 then
-          peak_after_warmup := (System.usage sys).Oamem_vmem.Vmem.frames_peak
+          peak_after_warmup := (Oamem_vmem.Vmem.usage (System.vmem sys)).Oamem_vmem.Vmem.frames_peak
       done);
-  let u = System.usage sys in
+  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
   check_bool
     (Printf.sprintf "%s: churn does not grow footprint" scheme)
     true

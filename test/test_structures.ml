@@ -15,22 +15,18 @@ let schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
 let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
     ?(sb_pages = 4) scheme =
   System.create
-    {
-      System.default_config with
-      System.nthreads;
-      policy;
-      scheme;
-      max_pages = 1 lsl 16;
-      alloc_cfg =
-        { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages };
-      scheme_cfg =
-        {
-          Scheme.default_config with
-          Scheme.threshold;
-          slots_per_thread = Hm_list.slots_needed;
-          pool_nodes = 8192;
-        };
-    }
+    (System.Config.make ~nthreads ~policy ~scheme
+       ~max_pages:(1 lsl 16)
+       ~alloc_cfg:
+         { Oamem_lrmalloc.Config.default with Oamem_lrmalloc.Config.sb_pages }
+       ~scheme_cfg:
+         {
+           Scheme.default_config with
+           Scheme.threshold;
+           slots_per_thread = Hm_list.slots_needed;
+           pool_nodes = 8192;
+         }
+       ())
 
 let stack_of sys ctx =
   Treiber_stack.create ctx ~scheme:(System.scheme sys) ~vmem:(System.vmem sys)
@@ -176,7 +172,7 @@ let queue_memory_returns scheme () =
         done
       done);
   System.drain sys;
-  let u = System.usage sys in
+  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
   check_bool
     (Printf.sprintf "%s: queue memory returned (peak %d, now %d)" scheme
        u.Oamem_vmem.Vmem.frames_peak u.Oamem_vmem.Vmem.frames_live)
@@ -247,7 +243,7 @@ let test_vbr_stack_immediate_memory_return () =
       for i = 1 to 2000 do
         Vbr_stack.push s ctx i
       done;
-      let full = (System.usage sys).Oamem_vmem.Vmem.frames_live in
+      let full = (Oamem_vmem.Vmem.usage (System.vmem sys)).Oamem_vmem.Vmem.frames_live in
       for _ = 1 to 2000 do
         ignore (Vbr_stack.pop s ctx)
       done;
@@ -257,7 +253,7 @@ let test_vbr_stack_immediate_memory_return () =
       Oamem_lrmalloc.Heap.trim
         (Oamem_lrmalloc.Lrmalloc.heap (System.alloc sys))
         ctx;
-      let after = (System.usage sys).Oamem_vmem.Vmem.frames_live in
+      let after = (Oamem_vmem.Vmem.usage (System.vmem sys)).Oamem_vmem.Vmem.frames_live in
       check_bool
         (Printf.sprintf "frames returned without grace period (%d -> %d)" full
            after)
