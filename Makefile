@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick metrics
+.PHONY: all build test check clean repro quick metrics fuzz
 
 all: build
 
@@ -24,6 +24,16 @@ repro:
 # metrics snapshot per run.  CI archives the JSON as an artifact.
 metrics:
 	dune exec bench/main.exe -- --metrics-only --out BENCH_E1.json
+
+# Nightly schedule fuzzing: random schedules through every scenario with the
+# lifecycle sanitizer on; failing schedules are shrunk and written to
+# fuzz-out/ as replayable JSON (`repro replay fuzz-out/FILE.json`).
+# Override e.g. FUZZ_SECONDS=60 for a quick local run.
+FUZZ_SECONDS ?= 600
+FUZZ_RUNS ?= 2000
+fuzz:
+	dune exec bin/repro.exe -- fuzz --seconds $(FUZZ_SECONDS) \
+	  --max-runs $(FUZZ_RUNS) --out fuzz-out
 
 clean:
 	dune clean

@@ -3,12 +3,15 @@
      repro list                          enumerate experiments
      repro run fig4a [options]           run one experiment
      repro all [options]                 run every experiment
+     repro fuzz [options]                randomized schedule fuzzing
+     repro replay FILE                   replay a fuzz repro JSON
 
    Options select thread counts, the simulated-time horizon, the figure-6
    structure size, reclamation schemes and CSV output. *)
 
 open Cmdliner
 open Oamem_harness
+module Explore = Oamem_engine.Explore
 
 let threads_arg =
   let doc = "Comma-separated simulated thread counts." in
@@ -152,9 +155,164 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every experiment.")
     Term.(const run $ config_term)
 
+(* --- schedule fuzzing ------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Fuzzer seed.")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "max-runs" ] ~docv:"N"
+          ~doc:"Random schedules per scenario and scheme.")
+  in
+  let seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~docv:"S"
+          ~doc:"Total wall-clock time box over all scenarios.")
+  in
+  let scenarios_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "scenarios" ] ~docv:"NAME,..."
+          ~doc:"Scenarios to fuzz (default: all).")
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "s"; "schemes" ] ~docv:"NAME,..."
+          ~doc:"Restrict to these reclamation schemes.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for repro JSON files.")
+  in
+  let include_expected_arg =
+    Arg.(
+      value & flag
+      & info [ "include-expected" ]
+          ~doc:
+            "Also fuzz the seeded-bug scenarios (their findings do not fail \
+             the run; *not* finding their bug does).")
+  in
+  let run seed max_runs seconds scenarios schemes out include_expected =
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
+    let expired () =
+      match deadline with
+      | None -> false
+      | Some d -> Unix.gettimeofday () > d
+    in
+    let wanted =
+      List.filter
+        (fun (sc : Fuzz.scenario) ->
+          (include_expected || not sc.Fuzz.expect_fail)
+          &&
+          match scenarios with
+          | None -> true
+          | Some names -> List.mem sc.Fuzz.name names)
+        Fuzz.scenarios
+    in
+    (if not (Sys.file_exists out) then Sys.mkdir out 0o755);
+    let unexpected = ref 0 and missed = ref 0 and total_runs = ref 0 in
+    List.iter
+      (fun (sc : Fuzz.scenario) ->
+        let scheme_list =
+          match schemes with
+          | None -> sc.Fuzz.schemes
+          | Some ss -> List.filter (fun s -> List.mem s ss) sc.Fuzz.schemes
+        in
+        List.iter
+          (fun scheme ->
+            if not (expired ()) then begin
+              let finding, stats =
+                Fuzz.fuzz_scenario ~max_runs ~stop:expired ~seed sc ~scheme
+              in
+              total_runs :=
+                !total_runs + stats.Explore.fuzz_runs
+                + stats.Explore.shrink_runs;
+              match finding with
+              | None ->
+                  if sc.Fuzz.expect_fail then begin
+                    incr missed;
+                    Printf.printf
+                      "MISSED  %s/%s: seeded bug not found in %d runs\n%!"
+                      sc.Fuzz.name scheme stats.Explore.fuzz_runs
+                  end
+                  else
+                    Printf.printf "ok      %s/%s: %d schedules clean\n%!"
+                      sc.Fuzz.name scheme stats.Explore.fuzz_runs
+              | Some f ->
+                  let file =
+                    Filename.concat out
+                      (Printf.sprintf "fuzz-%s-%s.json" sc.Fuzz.name scheme)
+                  in
+                  Fuzz.save file f;
+                  if not sc.Fuzz.expect_fail then incr unexpected;
+                  Printf.printf
+                    "%s  %s/%s: failing schedule (%d decisions, shrunk in %d \
+                     replays) -> %s\n        %s\n%!"
+                    (if sc.Fuzz.expect_fail then "seeded" else "FAIL  ")
+                    sc.Fuzz.name scheme
+                    (Array.length f.Fuzz.prefix)
+                    stats.Explore.shrink_runs file f.Fuzz.error
+            end)
+          scheme_list)
+      wanted;
+    Printf.printf
+      "fuzz: %d replays total; %d unexpected failure(s), %d seeded bug(s) \
+       missed\n%!"
+      !total_runs !unexpected !missed;
+    if !unexpected > 0 || !missed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomized schedule fuzzing with the lifecycle sanitizer enabled; \
+          failing schedules are shrunk and written as replayable repro JSON.")
+    Term.(
+      const run $ seed_arg $ max_runs_arg $ seconds_arg $ scenarios_arg
+      $ schemes_arg $ out_arg $ include_expected_arg)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Repro JSON written by `repro fuzz'.")
+  in
+  let run file =
+    let f = Fuzz.load file in
+    Printf.printf "replaying %s/%s (%d decisions, seed %d)\n%!"
+      f.Fuzz.scenario f.Fuzz.scheme
+      (Array.length f.Fuzz.prefix)
+      f.Fuzz.seed;
+    match Fuzz.replay f with
+    | Some err ->
+        Printf.printf "reproduced: %s\n%!" err;
+        if err <> f.Fuzz.error then
+          Printf.printf "(recorded error was: %s)\n%!" f.Fuzz.error
+    | None ->
+        Printf.printf "did NOT reproduce (recorded error: %s)\n%!"
+          f.Fuzz.error;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Deterministically replay a fuzz repro file.")
+    Term.(const run $ file_arg)
+
 let () =
   let doc =
     "Reproduction of 'Releasing Memory with Optimistic Access' (SPAA 2023) \
      on a simulated multicore."
   in
-  exit (Cmd.eval (Cmd.group (Cmd.info "repro" ~doc) [ list_cmd; run_cmd; all_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "repro" ~doc)
+          [ list_cmd; run_cmd; all_cmd; fuzz_cmd; replay_cmd ]))

@@ -19,6 +19,7 @@ open Oamem_reclaim
 module Alloc_config = Oamem_lrmalloc.Config
 module Metrics = Oamem_obs.Metrics
 module Trace = Oamem_obs.Trace
+module Sanitizer = Oamem_sanitize.Sanitizer
 
 type config = {
   nthreads : int;
@@ -35,6 +36,7 @@ type config = {
   scheme_cfg : Scheme.config;
   trace : bool;  (** start with event tracing enabled *)
   trace_capacity : int;  (** ring capacity per thread *)
+  sanitize : bool;  (** enable the memory-lifecycle sanitizer *)
 }
 
 module Config = struct
@@ -45,7 +47,7 @@ module Config = struct
       ?(max_pages = 1 lsl 18) ?frame_capacity ?frame_quota
       ?(shared_region_pages = 1) ?(alloc_cfg = Alloc_config.default)
       ?(scheme = "oa-ver") ?(scheme_cfg = Scheme.default_config)
-      ?(trace = false) ?(trace_capacity = 8192) () =
+      ?(trace = false) ?(trace_capacity = 8192) ?(sanitize = false) () =
     {
       nthreads;
       policy;
@@ -61,6 +63,7 @@ module Config = struct
       scheme_cfg;
       trace;
       trace_capacity;
+      sanitize;
     }
 end
 
@@ -75,6 +78,7 @@ type t = {
   scheme : Scheme.ops;
   metrics : Metrics.t;
   trace : Trace.t;
+  sanitizer : Sanitizer.t option;
 }
 
 (* One named view over every subsystem's stats record.  Counters reset with
@@ -164,9 +168,30 @@ let create (config : config) =
     Lrmalloc.create ~cfg:config.alloc_cfg ~vmem ~meta
       ~nthreads:config.nthreads ()
   in
+  (* The sanitizer's allocator hooks go in *before* the scheme is built so
+     recycling pools allocated during scheme construction are shadowed. *)
+  let sanitizer =
+    if not config.sanitize then None
+    else begin
+      let s =
+        Sanitizer.create ~vmem ~nthreads:config.nthreads
+          (Sanitizer.policy_of_scheme config.scheme)
+      in
+      Vmem.set_access_hook vmem (Some (Sanitizer.on_access s));
+      Lrmalloc.set_lifecycle alloc (Some (Sanitizer.lifecycle s));
+      Heap.set_range_hook (Lrmalloc.heap alloc)
+        (Some (Sanitizer.range_hook s));
+      Some s
+    end
+  in
   let scheme =
     (Registry.find config.scheme) config.scheme_cfg ~alloc ~meta
       ~nthreads:config.nthreads
+  in
+  let scheme =
+    match sanitizer with
+    | Some s -> Scheme.observe (Sanitizer.observer s) scheme
+    | None -> scheme
   in
   let trace =
     Trace.create ~capacity:config.trace_capacity ~nthreads:config.nthreads ()
@@ -176,9 +201,15 @@ let create (config : config) =
   Vmem.set_trace vmem trace;
   Heap.set_trace (Lrmalloc.heap alloc) trace;
   scheme.Scheme.sink.Scheme.trace <- trace;
+  Option.iter (fun s -> Sanitizer.set_trace s trace) sanitizer;
   let metrics = Metrics.create () in
   register_metrics metrics ~engine ~vmem ~alloc ~scheme;
-  { config; engine; vmem; meta; alloc; scheme; metrics; trace }
+  Option.iter
+    (fun s ->
+      Metrics.register metrics ~name:"sanitizer.violations"
+        ~kind:Metrics.Gauge (fun () -> Sanitizer.violation_count s))
+    sanitizer;
+  { config; engine; vmem; meta; alloc; scheme; metrics; trace; sanitizer }
 
 let engine t = t.engine
 let vmem t = t.vmem
@@ -186,6 +217,13 @@ let alloc t = t.alloc
 let scheme t = t.scheme
 let meta t = t.meta
 let nthreads t = t.config.nthreads
+let sanitizer t = t.sanitizer
+
+let check_sanitizer t =
+  Option.iter (fun s -> Sanitizer.check s) t.sanitizer
+
+let check_sanitizer_quiescent t =
+  Option.iter (fun s -> Sanitizer.check_quiescent s) t.sanitizer
 
 (* {2 Data structures} *)
 

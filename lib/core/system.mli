@@ -30,6 +30,10 @@ type config = {
   scheme_cfg : Scheme.config;
   trace : bool;  (** start with event tracing enabled (default off) *)
   trace_capacity : int;  (** trace ring capacity per thread *)
+  sanitize : bool;
+      (** enable the memory-lifecycle sanitizer (default off): shadow-state
+          checking of every block on every simulated access — see
+          {!Oamem_sanitize.Sanitizer} *)
 }
 
 (** Configuration builder: [Config.make ()] is the default configuration
@@ -54,6 +58,7 @@ module Config : sig
     ?scheme_cfg:Scheme.config ->
     ?trace:bool ->
     ?trace_capacity:int ->
+    ?sanitize:bool ->
     unit ->
     config
 end
@@ -121,6 +126,20 @@ val trace : t -> Oamem_obs.Trace.t
     {!set_tracing}). *)
 
 val set_tracing : t -> bool -> unit
+
+(** {2 Lifecycle sanitizer} *)
+
+val sanitizer : t -> Oamem_sanitize.Sanitizer.t option
+(** The sanitizer instance, when the [sanitize] config field was set. *)
+
+val check_sanitizer : t -> unit
+(** Raise {!Oamem_sanitize.Sanitizer.Violation} with the first recorded
+    violation, if any; no-op when the sanitizer is off. *)
+
+val check_sanitizer_quiescent : t -> unit
+(** Quiescence check: additionally flags retired-but-never-reclaimed blocks
+    (unless the scheme leaks by design — NR, the original OA pools).  Call
+    after {!drain}. *)
 
 val reset_measurement : t -> unit
 (** Start a fresh measurement window: reset thread clocks, zero every

@@ -95,3 +95,102 @@ let check ?(max_runs = 20_000) ?(max_steps = 200_000) ~nthreads ~depth make =
                failing schedule prefix = [%s]; first error: %s"
               !violations !runs trace (Printexc.to_string e)))
   | None -> { runs = !runs; violations = !violations; max_depth_reached = !deepest }
+
+(* --- randomized schedule fuzzing ------------------------------------------ *)
+
+(* Bounded enumeration covers every interleaving of a *tiny* prefix; the
+   fuzzer trades completeness for depth, sampling long random schedule
+   prefixes instead.  The caller supplies [run], which replays one schedule
+   prefix (typically by building a [Scripted] engine) and returns
+   [Some error] when the oracle failed.  A failing prefix is then shrunk:
+
+   1. binary search on the prefix length (a failing prefix usually keeps
+      failing when truncated, because entries past the decisive race only
+      schedule the aftermath);
+   2. a zeroing pass that rewrites each surviving entry to 0 (= "first
+      runnable", the deterministic default) when the failure persists;
+   3. trailing zeroes are dropped outright — an entry 0 is exactly what the
+      scripted policy does past the end of its prefix, so they never change
+      the schedule.
+
+   Shrinking is best-effort and budget-bound: schedules are not monotone in
+   general, so every candidate is re-validated and rejected candidates are
+   simply kept un-shrunk. *)
+
+type repro = {
+  seed : int;  (** PRNG seed the failing prefix was drawn from *)
+  prefix : int array;  (** shrunk failing schedule prefix *)
+  error : string;  (** oracle error reproduced by [prefix] *)
+}
+
+type fuzz_stats = {
+  fuzz_runs : int;  (** random schedules executed *)
+  shrink_runs : int;  (** extra replays spent shrinking *)
+  repro : repro option;  (** [None]: every schedule passed the oracle *)
+}
+
+let drop_trailing_zeros prefix =
+  let n = ref (Array.length prefix) in
+  while !n > 0 && prefix.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub prefix 0 !n
+
+let shrink ?(budget = 2_000) fails prefix =
+  let attempts = ref 0 in
+  let try_ p = !attempts < budget && (incr attempts; fails p) in
+  (* phase 1: binary-search the shortest failing truncation *)
+  let best = ref prefix in
+  let lo = ref 0 and hi = ref (Array.length prefix) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cand = Array.sub prefix 0 mid in
+    if try_ cand then begin
+      best := cand;
+      hi := mid
+    end
+    else lo := mid + 1
+  done;
+  (* phase 2: zero entries one at a time *)
+  let cur = Array.copy !best in
+  for i = 0 to Array.length cur - 1 do
+    if cur.(i) <> 0 then begin
+      let saved = cur.(i) in
+      cur.(i) <- 0;
+      if not (try_ (Array.copy cur)) then cur.(i) <- saved
+    end
+  done;
+  drop_trailing_zeros cur
+
+let fuzz ?(max_runs = 500) ?(prefix_len = 512) ?(shrink_budget = 2_000)
+    ?(stop = fun () -> false) ~seed run =
+  let prng = Prng.create seed in
+  let runs = ref 0 in
+  let failure = ref None in
+  while !runs < max_runs && !failure = None && not (stop ()) do
+    (* entries are taken modulo the runnable count at replay time, so any
+       non-negative value is a valid decision *)
+    let prefix = Array.init prefix_len (fun _ -> Prng.int prng 4096) in
+    incr runs;
+    match run prefix with
+    | None -> ()
+    | Some err -> failure := Some (prefix, err)
+  done;
+  match !failure with
+  | None -> { fuzz_runs = !runs; shrink_runs = 0; repro = None }
+  | Some (prefix, err) ->
+      let shrink_runs = ref 0 in
+      let fails p =
+        incr shrink_runs;
+        run p <> None
+      in
+      let shrunk = shrink ~budget:shrink_budget fails prefix in
+      (* re-derive the error from the shrunk prefix (it may differ from the
+         original failure when shrinking found a different bug) *)
+      incr shrink_runs;
+      let error = match run shrunk with Some e -> e | None -> err in
+      {
+        fuzz_runs = !runs;
+        shrink_runs = !shrink_runs;
+        repro = Some { seed; prefix = shrunk; error };
+      }

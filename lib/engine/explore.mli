@@ -22,3 +22,43 @@ val check :
   stats
 (** Raises [Failure] describing the first failing schedule if any oracle
     violation is found; raises {!Budget_exhausted} past [max_runs]. *)
+
+(** {2 Randomized schedule fuzzing}
+
+    Beyond the reach of bounded enumeration: sample long random schedule
+    prefixes, then shrink a failing prefix to a minimal replayable one.
+    The caller supplies the replay function — typically it builds a fresh
+    scenario on a [Scripted] engine and returns [Some error] when the
+    oracle failed.  Replays must be deterministic in the prefix. *)
+
+type repro = {
+  seed : int;  (** PRNG seed the failing prefix was drawn from *)
+  prefix : int array;  (** shrunk failing schedule prefix *)
+  error : string;  (** oracle error reproduced by [prefix] *)
+}
+
+type fuzz_stats = {
+  fuzz_runs : int;  (** random schedules executed *)
+  shrink_runs : int;  (** extra replays spent shrinking *)
+  repro : repro option;  (** [None]: every schedule passed the oracle *)
+}
+
+val fuzz :
+  ?max_runs:int ->
+  ?prefix_len:int ->
+  ?shrink_budget:int ->
+  ?stop:(unit -> bool) ->
+  seed:int ->
+  (int array -> string option) ->
+  fuzz_stats
+(** Run up to [max_runs] random schedules of [prefix_len] decisions each
+    (entries are taken modulo the runnable count at replay time); on the
+    first failure, shrink it with at most [shrink_budget] extra replays.
+    [stop] is polled between runs for external time-boxing. *)
+
+val shrink : ?budget:int -> (int array -> bool) -> int array -> int array
+(** [shrink fails prefix] minimises a failing schedule prefix: binary
+    search on the length, then a pass rewriting entries to the
+    deterministic default 0, keeping only changes under which [fails]
+    still holds; trailing zeroes are dropped (they cannot change the
+    schedule).  [prefix] itself must satisfy [fails]. *)

@@ -1,0 +1,218 @@
+(* Randomized schedule fuzzing over whole assembled systems.
+
+   Each scenario builds a fresh [System] per run with the [Scripted]
+   scheduling policy and the sanitizer enabled, so a run is a pure function
+   of its schedule prefix: the fuzzer (Explore.fuzz) samples random
+   prefixes, the oracle is "data-structure invariants hold AND the
+   sanitizer stayed silent through run, drain and quiescence", and any
+   failing prefix shrinks to a minimal one that is serialized as a JSON
+   repro file.  [replay] rebuilds the identical system from the file and
+   re-runs the prefix — deterministically, because nothing in a simulated
+   run reads wall-clock time or OS randomness. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_core
+open Oamem_lockfree
+open Oamem_reclaim
+module Json = Oamem_obs.Json
+
+type scenario = {
+  name : string;
+  descr : string;
+  nthreads : int;
+  schemes : string list;  (** schemes the scenario is meaningful under *)
+  expect_fail : bool;
+      (** a seeded-bug scenario: the fuzzer *should* find a failure (used
+          by tests and excluded from the CI fuzz run) *)
+  build : System.t -> unit -> unit;
+      (** prefill + spawn threads; returns the post-run oracle *)
+}
+
+let scheme_cfg =
+  {
+    Scheme.default_config with
+    Scheme.threshold = 1;  (* reclaim aggressively: most lifecycle churn *)
+    slots_per_thread = Hm_list.slots_needed;
+    pool_nodes = 64;
+  }
+
+(* One run: returns [Some error] when the oracle or the sanitizer failed. *)
+let run_once sc ~scheme prefix =
+  let scripted = { Engine.prefix; factors = []; steps = 0 } in
+  let sys =
+    System.create
+      (System.Config.make ~nthreads:sc.nthreads
+         ~policy:(Engine.Scripted scripted) ~scheme ~sanitize:true
+         ~max_pages:(1 lsl 14) ~scheme_cfg ())
+  in
+  match
+    let verify = sc.build sys in
+    System.run ~max_steps:500_000 sys;
+    verify ();
+    System.check_sanitizer sys;
+    System.drain sys;
+    System.check_sanitizer_quiescent sys
+  with
+  | () -> None
+  | exception e -> Some (Printexc.to_string e)
+
+(* --- the scenario registry ------------------------------------------------ *)
+
+let all_schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+
+let list_insert_delete =
+  {
+    name = "list-insert-delete";
+    descr = "concurrent insert+delete on a prefilled Harris-Michael list";
+    nthreads = 2;
+    schemes = all_schemes;
+    expect_fail = false;
+    build =
+      (fun sys ->
+        let setup_ctx = Engine.external_ctx () in
+        let l = System.list_set sys setup_ctx in
+        Hm_list.build_sorted l setup_ctx [ 10; 20; 30 ];
+        let r0 = ref false and r1 = ref false in
+        System.spawn sys ~tid:0 (fun ctx -> r0 := Hm_list.delete l ctx 20);
+        System.spawn sys ~tid:1 (fun ctx -> r1 := Hm_list.insert l ctx 25);
+        fun () ->
+          if not (!r0 && !r1) then failwith "operation failed unexpectedly";
+          let final = Hm_list.to_list l in
+          if final <> [ 10; 25; 30 ] then
+            failwith
+              (Printf.sprintf "bad final state: [%s]"
+                 (String.concat ";" (List.map string_of_int final))));
+  }
+
+let list_mixed =
+  {
+    name = "list-mixed";
+    descr = "two threads each deleting one key and inserting another";
+    nthreads = 2;
+    schemes = all_schemes;
+    expect_fail = false;
+    build =
+      (fun sys ->
+        let setup_ctx = Engine.external_ctx () in
+        let l = System.list_set sys setup_ctx in
+        Hm_list.build_sorted l setup_ctx [ 10; 20; 30 ];
+        let ok = Array.make 4 false in
+        System.spawn sys ~tid:0 (fun ctx ->
+            ok.(0) <- Hm_list.delete l ctx 10;
+            ok.(1) <- Hm_list.insert l ctx 5);
+        System.spawn sys ~tid:1 (fun ctx ->
+            ok.(2) <- Hm_list.delete l ctx 30;
+            ok.(3) <- Hm_list.insert l ctx 35);
+        fun () ->
+          if not (Array.for_all Fun.id ok) then
+            failwith "operation failed unexpectedly";
+          let final = Hm_list.to_list l in
+          if final <> [ 5; 20; 35 ] then
+            failwith
+              (Printf.sprintf "bad final state: [%s]"
+                 (String.concat ";" (List.map string_of_int final))));
+  }
+
+(* A seeded bug: a non-atomic read-modify-write.  Most schedules pass; the
+   fuzzer must find one that loses an update, shrink it, and the repro must
+   replay.  Used by the tests and `repro fuzz --include-expected'. *)
+let buggy_counter =
+  {
+    name = "buggy-counter";
+    descr = "two racing non-atomic increments (seeded bug, must be found)";
+    nthreads = 2;
+    schemes = [ "nr" ];
+    expect_fail = true;
+    build =
+      (fun sys ->
+        let vm = System.vmem sys in
+        let geom = Vmem.geometry vm in
+        let addr = Vmem.reserve vm ~npages:1 in
+        Vmem.map_anon vm (Engine.external_ctx ())
+          ~vpage:(Geometry.page_of_addr geom addr)
+          ~npages:1;
+        for tid = 0 to 1 do
+          System.spawn sys ~tid (fun ctx ->
+              let v = Vmem.load vm ctx addr in
+              Vmem.store vm ctx addr (v + 1))
+        done;
+        fun () -> if Vmem.peek vm addr <> 2 then failwith "lost update");
+  }
+
+let scenarios = [ list_insert_delete; list_mixed; buggy_counter ]
+
+let find_scenario name =
+  match List.find_opt (fun s -> s.name = name) scenarios with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fuzz.find_scenario: unknown scenario %S" name)
+
+(* --- findings and repro files --------------------------------------------- *)
+
+type finding = {
+  scenario : string;
+  scheme : string;
+  seed : int;
+  prefix : int array;
+  error : string;
+}
+
+let fuzz_scenario ?(max_runs = 200) ?stop ~seed sc ~scheme =
+  let stats =
+    Explore.fuzz ~max_runs ?stop ~seed (fun prefix ->
+        run_once sc ~scheme prefix)
+  in
+  let finding =
+    Option.map
+      (fun (r : Explore.repro) ->
+        {
+          scenario = sc.name;
+          scheme;
+          seed = r.Explore.seed;
+          prefix = r.Explore.prefix;
+          error = r.Explore.error;
+        })
+      stats.Explore.repro
+  in
+  (finding, stats)
+
+let to_json f =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("scenario", Json.String f.scenario);
+      ("scheme", Json.String f.scheme);
+      ("seed", Json.Int f.seed);
+      ( "prefix",
+        Json.List (List.map (fun c -> Json.Int c) (Array.to_list f.prefix)) );
+      ("error", Json.String f.error);
+    ]
+
+let of_json j =
+  {
+    scenario = Json.to_str (Json.member "scenario" j);
+    scheme = Json.to_str (Json.member "scheme" j);
+    seed = Json.to_int (Json.member "seed" j);
+    prefix =
+      Array.of_list (List.map Json.to_int (Json.to_list (Json.member "prefix" j)));
+    error = Json.to_str (Json.member "error" j);
+  }
+
+let save file f =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json f));
+      output_char oc '\n')
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_json (Json.parse (In_channel.input_all ic)))
+
+(* Replay a repro: [Some error] when the failure reproduces. *)
+let replay f = run_once (find_scenario f.scenario) ~scheme:f.scheme f.prefix

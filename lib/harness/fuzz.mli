@@ -1,0 +1,56 @@
+(** Randomized schedule fuzzing over whole assembled systems, with
+    shrinking and JSON repro files (the `repro fuzz' / `repro replay'
+    workflow, run nightly in CI).
+
+    A scenario rebuilds a fresh {!Oamem_core.System} per run under the
+    [Scripted] scheduling policy with the sanitizer enabled; the oracle is
+    "invariants hold and the sanitizer stayed silent through run, drain and
+    quiescence".  Runs are pure functions of the schedule prefix, so a
+    shrunk failing prefix replays deterministically from its repro file. *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  nthreads : int;
+  schemes : string list;  (** schemes the scenario is meaningful under *)
+  expect_fail : bool;
+      (** a seeded-bug scenario the fuzzer is *supposed* to fail (used by
+          tests; excluded from the CI fuzz run by default) *)
+  build : Oamem_core.System.t -> unit -> unit;
+      (** prefill + spawn threads; returns the post-run oracle *)
+}
+
+val scenarios : scenario list
+val find_scenario : string -> scenario
+(** Raises [Invalid_argument] for unknown names. *)
+
+val run_once : scenario -> scheme:string -> int array -> string option
+(** Replay one schedule prefix; [Some error] when the oracle or sanitizer
+    failed. *)
+
+type finding = {
+  scenario : string;
+  scheme : string;
+  seed : int;
+  prefix : int array;  (** shrunk failing schedule prefix *)
+  error : string;
+}
+
+val fuzz_scenario :
+  ?max_runs:int ->
+  ?stop:(unit -> bool) ->
+  seed:int ->
+  scenario ->
+  scheme:string ->
+  finding option * Oamem_engine.Explore.fuzz_stats
+(** Fuzz one scenario under one scheme (see {!Oamem_engine.Explore.fuzz});
+    the finding, if any, carries the shrunk prefix. *)
+
+val to_json : finding -> Oamem_obs.Json.t
+val of_json : Oamem_obs.Json.t -> finding
+
+val save : string -> finding -> unit
+val load : string -> finding
+
+val replay : finding -> string option
+(** Re-run a finding's prefix; [Some error] when the failure reproduces. *)

@@ -57,7 +57,15 @@ type t = {
   mutable generic_pool : Desc_list.t;  (* plain recycled descriptors *)
   stats : stats;
   mutable trace : Trace.t;
+  mutable range_hook : (base:int -> npages:int -> event:range_event -> unit) option;
+      (* observer for superblock range transitions (lifecycle sanitizer) *)
 }
+
+and range_event =
+  | Range_carved  (** a fresh or recycled range was attached to a superblock *)
+  | Range_released  (** non-persistent range unmapped (or a large free) *)
+  | Range_remapped
+      (** persistent range remapped: frames released, range stays readable *)
 
 let get_desc t id = t.descs.(id)
 
@@ -92,6 +100,7 @@ let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
           pressure_failures = 0;
         };
       trace = Trace.null;
+      range_hook = None;
     }
   in
   let get id = get_desc t id in
@@ -107,6 +116,12 @@ let sb_words t = Config.sb_words t.geom t.cfg
 let sb_pages t = t.cfg.Config.sb_pages
 let set_trace t tr = t.trace <- tr
 let trace t = t.trace
+let set_range_hook t h = t.range_hook <- h
+
+let notify_range t ~base ~npages event =
+  match t.range_hook with
+  | None -> ()
+  | Some f -> f ~base ~npages ~event
 
 (* Superblock lifecycle trace events: "fresh", "range_reused", "released",
    "remapped" (pool transitions) plus the anchor state names. *)
@@ -144,6 +159,7 @@ let attach_fresh_range t ctx d npages =
   d.Descriptor.sb_start <- addr;
   d.Descriptor.pages <- npages;
   t.stats.sb_fresh <- t.stats.sb_fresh + 1;
+  notify_range t ~base:addr ~npages Range_carved;
   emit_transition t ctx d "fresh"
 
 (* Target number of blocks per cache fill for a class. *)
@@ -171,6 +187,7 @@ let acquire_superblock t ctx ~cls ~persistent =
               ~npages
         | Config.Madvise | Config.Keep_resident -> ());
         t.stats.sb_range_reused <- t.stats.sb_range_reused + 1;
+        notify_range t ~base:d.Descriptor.sb_start ~npages Range_carved;
         emit_transition t ctx d "range_reused";
         d
     | None -> (
@@ -223,7 +240,8 @@ let acquire_superblock t ctx ~cls ~persistent =
    remapped rather than unmapped, and keep their descriptor's range for the
    persistent pool. *)
 let release_superblock t ctx d =
-  let vpage = Geometry.page_of_addr t.geom d.Descriptor.sb_start in
+  let base = d.Descriptor.sb_start in
+  let vpage = Geometry.page_of_addr t.geom base in
   let npages = d.Descriptor.pages in
   Pagemap.clear_range t.pagemap ctx ~vpage ~npages;
   if d.Descriptor.persistent then begin
@@ -234,6 +252,7 @@ let release_superblock t ctx d =
         (* free_block never creates Empty persistent superblocks here *)
         assert false);
     t.stats.sb_remapped <- t.stats.sb_remapped + 1;
+    notify_range t ~base ~npages Range_remapped;
     emit_transition t ctx d "remapped";
     Desc_list.push t.persistent_pool ctx d
   end
@@ -241,6 +260,7 @@ let release_superblock t ctx d =
     Vmem.unmap t.vmem ctx ~vpage ~npages;
     d.Descriptor.sb_start <- 0;
     t.stats.sb_released <- t.stats.sb_released + 1;
+    notify_range t ~base ~npages Range_released;
     emit_transition t ctx d "released";
     Desc_list.push t.generic_pool ctx d
   end
@@ -419,9 +439,11 @@ let alloc_large t ctx size =
   d.Descriptor.sb_start
 
 let free_large t ctx (d : Descriptor.t) =
-  let vpage = Geometry.page_of_addr t.geom d.Descriptor.sb_start in
+  let base = d.Descriptor.sb_start in
+  let vpage = Geometry.page_of_addr t.geom base in
   Pagemap.clear_range t.pagemap ctx ~vpage ~npages:d.Descriptor.pages;
   Vmem.unmap t.vmem ctx ~vpage ~npages:d.Descriptor.pages;
+  notify_range t ~base ~npages:d.Descriptor.pages Range_released;
   d.Descriptor.sb_start <- 0;
   let tag = (Descriptor.peek_anchor d).Descriptor.tag + 1 in
   Cell.set ctx d.Descriptor.anchor

@@ -25,6 +25,12 @@ type stats = {
 
 type t
 
+type range_event =
+  | Range_carved  (** a fresh or recycled range was attached to a superblock *)
+  | Range_released  (** non-persistent range unmapped (or a large free) *)
+  | Range_remapped
+      (** persistent range remapped: frames released, range stays readable *)
+
 val create :
   ?cfg:Config.t -> ?classes:Size_class.t -> vmem:Vmem.t -> meta:Cell.heap ->
   unit -> t
@@ -76,6 +82,13 @@ val reset_stats : t -> unit
 val set_trace : t -> Oamem_obs.Trace.t -> unit
 (** Attach an event trace: superblock lifecycle transitions are emitted as
     [Superblock_transition] events. *)
+
+val set_range_hook :
+  t -> (base:int -> npages:int -> event:range_event -> unit) option -> unit
+(** Install an observer for superblock range transitions: carving (fresh
+    range or recycled persistent range), release (unmap) and remapping
+    (madvise / shared map).  Used by the lifecycle sanitizer to reset or
+    keep its shadow state for the range; [None] uninstalls. *)
 
 val trace : t -> Oamem_obs.Trace.t
 val vmem : t -> Vmem.t

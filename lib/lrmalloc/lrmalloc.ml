@@ -17,11 +17,23 @@ open Oamem_engine
 open Oamem_vmem
 module Trace = Oamem_obs.Trace
 
+(* Lifecycle observer (the sanitizer): block hand-out / hand-back plus
+   internal-section brackets.  Allocator internals write bookkeeping words
+   (free-list links) *into* blocks; [enter]/[leave] bracket those sections so
+   an access observer can tell them apart from application accesses. *)
+type lifecycle = {
+  block_alloc : Engine.ctx -> addr:int -> words:int -> persistent:bool -> unit;
+  block_free : Engine.ctx -> addr:int -> words:int -> unit;
+  enter : Engine.ctx -> unit;  (** entering allocator-internal code *)
+  leave : Engine.ctx -> unit;  (** leaving allocator-internal code *)
+}
+
 type t = {
   heap : Heap.t;
   caches : Thread_cache.t;
   classes : Size_class.t;
   geom : Geometry.t;
+  mutable lifecycle : lifecycle option;
 }
 
 let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
@@ -29,11 +41,20 @@ let create ?(cfg = Config.default) ?(classes = Size_class.default) ~vmem ~meta
   let geom = Vmem.geometry vmem in
   let heap = Heap.create ~cfg ~classes ~vmem ~meta () in
   let caches = Thread_cache.create ~meta ~geom ~classes ~cfg ~nthreads in
-  { heap; caches; classes; geom }
+  { heap; caches; classes; geom; lifecycle = None }
 
 let heap t = t.heap
 let vmem t = Heap.vmem t.heap
 let config t = Heap.config t.heap
+let set_lifecycle t h = t.lifecycle <- h
+
+(* Run [f] as an allocator-internal section for the observer. *)
+let with_internal t ctx f =
+  match t.lifecycle with
+  | None -> f ()
+  | Some h ->
+      h.enter ctx;
+      Fun.protect ~finally:(fun () -> h.leave ctx) f
 
 let emit t ctx kind =
   let tr = Heap.trace t.heap in
@@ -75,8 +96,9 @@ let flush_stack t ctx st =
 
 (* Return every cached block of thread [tid] to the heap. *)
 let flush_thread_cache t ctx =
-  List.iter (flush_stack t ctx)
-    (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid)
+  with_internal t ctx (fun () ->
+      List.iter (flush_stack t ctx)
+        (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid))
 
 (* --- memory-pressure recovery --------------------------------------------- *)
 
@@ -132,14 +154,30 @@ let alloc_class t ctx ~cls ~persistent =
   with_pressure_recovery t ctx (fun () ->
       alloc_class_raw t ctx ~cls ~persistent)
 
+(* The observer is told the block's *real* extent (the size-class block
+   size, not the requested size) so its shadow state covers every word the
+   block owns. *)
+let notify_alloc t ctx ~addr ~size ~persistent =
+  match t.lifecycle with
+  | None -> ()
+  | Some h ->
+      let words =
+        match Size_class.of_size t.classes size with
+        | Some cls -> Size_class.block_words t.classes cls
+        | None -> size
+      in
+      h.block_alloc ctx ~addr ~words ~persistent
+
 let malloc t ctx size =
   let addr =
-    match Size_class.of_size t.classes size with
-    | Some cls -> alloc_class t ctx ~cls ~persistent:false
-    | None ->
-        with_pressure_recovery t ctx (fun () ->
-            Heap.alloc_large t.heap ctx size)
+    with_internal t ctx (fun () ->
+        match Size_class.of_size t.classes size with
+        | Some cls -> alloc_class t ctx ~cls ~persistent:false
+        | None ->
+            with_pressure_recovery t ctx (fun () ->
+                Heap.alloc_large t.heap ctx size))
   in
+  notify_alloc t ctx ~addr ~size ~persistent:false;
   emit t ctx (Trace.Alloc { addr; words = size });
   addr
 
@@ -147,7 +185,10 @@ let malloc t ctx size =
 let palloc t ctx size =
   match Size_class.of_size t.classes size with
   | Some cls ->
-      let addr = alloc_class t ctx ~cls ~persistent:true in
+      let addr =
+        with_internal t ctx (fun () -> alloc_class t ctx ~cls ~persistent:true)
+      in
+      notify_alloc t ctx ~addr ~size ~persistent:true;
       emit t ctx (Trace.Alloc { addr; words = size });
       addr
   | None ->
@@ -159,19 +200,24 @@ let free t ctx addr =
   match Heap.lookup_desc t.heap ctx addr with
   | None -> invalid_arg "Lrmalloc.free: not an allocated block"
   | Some d ->
+      (match t.lifecycle with
+      | None -> ()
+      | Some h -> h.block_free ctx ~addr ~words:d.Descriptor.block_words);
       emit t ctx (Trace.Free { addr });
-      if Descriptor.is_large d then Heap.free_large t.heap ctx d
-      else begin
-        let st =
-          Thread_cache.get t.caches ~tid:ctx.Engine.tid
-            ~cls:d.Descriptor.size_class ~persistent:d.Descriptor.persistent
-        in
-        (* A full-cache flush writes free-list links, which can fault frames
-           in — run it under the recovery net too. *)
-        if Thread_cache.is_full st then
-          with_pressure_recovery t ctx (fun () -> flush_stack t ctx st);
-        Thread_cache.push t.caches ctx st addr
-      end
+      with_internal t ctx (fun () ->
+          if Descriptor.is_large d then Heap.free_large t.heap ctx d
+          else begin
+            let st =
+              Thread_cache.get t.caches ~tid:ctx.Engine.tid
+                ~cls:d.Descriptor.size_class
+                ~persistent:d.Descriptor.persistent
+            in
+            (* A full-cache flush writes free-list links, which can fault
+               frames in — run it under the recovery net too. *)
+            if Thread_cache.is_full st then
+              with_pressure_recovery t ctx (fun () -> flush_stack t ctx st);
+            Thread_cache.push t.caches ctx st addr
+          end)
 
 (* Teardown helper: flush all threads' caches (with their own tids encoded
    in the given contexts) and release lingering empty superblocks. *)

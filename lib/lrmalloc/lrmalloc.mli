@@ -28,6 +28,25 @@ val heap : t -> Heap.t
 val vmem : t -> Vmem.t
 val config : t -> Config.t
 
+(** {2 Lifecycle observation} (the sanitizer hook) *)
+
+type lifecycle = {
+  block_alloc : Engine.ctx -> addr:int -> words:int -> persistent:bool -> unit;
+      (** a block was handed out; [words] is the block's real extent (the
+          size-class block size, not the requested size) *)
+  block_free : Engine.ctx -> addr:int -> words:int -> unit;
+      (** a block was returned via {!free} *)
+  enter : Engine.ctx -> unit;  (** entering allocator-internal code *)
+  leave : Engine.ctx -> unit;  (** leaving allocator-internal code *)
+}
+
+val set_lifecycle : t -> lifecycle option -> unit
+(** Install a lifecycle observer.  [enter]/[leave] bracket
+    {!malloc}/{!palloc}/{!free}/{!flush_thread_cache} bodies (they nest;
+    observers should keep a per-thread depth), so an access observer can
+    distinguish the allocator's own bookkeeping stores into blocks
+    (free-list links) from application accesses.  [None] uninstalls. *)
+
 exception Out_of_memory
 (** Allocation failed even after memory-pressure recovery: on
     {!Frames.Out_of_frames} the allocator flushes the calling thread's

@@ -136,6 +136,60 @@ let default_config =
     hazard_padded = true;
   }
 
+(* --- observation wrapper (the sanitizer hook) ----------------------------- *)
+
+(* An observer sees the scheme-level lifecycle events the allocator cannot:
+   retirement, hazard publication, per-operation hazard clears, and the
+   addresses the scheme hands out (which, for the original OA recycling
+   pools, never pass through the allocator at all).  Scheme entry points
+   that may free or recycle memory internally (alloc, retire, cancel,
+   flush) are bracketed as internal sections, mirroring the allocator's
+   [enter]/[leave] contract. *)
+type observer = {
+  obs_alloc : Engine.ctx -> addr:int -> words:int -> unit;
+  obs_retire : Engine.ctx -> addr:int -> unit;
+  obs_cancel : Engine.ctx -> addr:int -> unit;
+  obs_hazard : Engine.ctx -> slot:int -> addr:int -> unit;
+  obs_clear : Engine.ctx -> unit;
+  obs_enter : Engine.ctx -> unit;  (** entering scheme-internal code *)
+  obs_leave : Engine.ctx -> unit;  (** leaving scheme-internal code *)
+}
+
+let observe o (ops : ops) =
+  let internal ctx f =
+    o.obs_enter ctx;
+    Fun.protect ~finally:(fun () -> o.obs_leave ctx) f
+  in
+  {
+    ops with
+    alloc =
+      (fun ctx size ->
+        let addr = internal ctx (fun () -> ops.alloc ctx size) in
+        o.obs_alloc ctx ~addr ~words:size;
+        addr);
+    retire =
+      (fun ctx addr ->
+        o.obs_retire ctx ~addr;
+        internal ctx (fun () -> ops.retire ctx addr));
+    cancel =
+      (fun ctx addr ->
+        o.obs_cancel ctx ~addr;
+        internal ctx (fun () -> ops.cancel ctx addr));
+    traverse_protect =
+      (fun ctx ~slot ~addr ~verify ->
+        o.obs_hazard ctx ~slot ~addr;
+        ops.traverse_protect ctx ~slot ~addr ~verify);
+    write_protect =
+      (fun ctx ~slot addr ->
+        o.obs_hazard ctx ~slot ~addr;
+        ops.write_protect ctx ~slot addr);
+    clear =
+      (fun ctx ->
+        o.obs_clear ctx;
+        ops.clear ctx);
+    flush = (fun ctx -> internal ctx (fun () -> ops.flush ctx));
+  }
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "retired=%d freed=%d restarts=%d warnings=%d piggyback=%d phases=%d"

@@ -91,3 +91,26 @@ type config = {
 }
 
 val default_config : config
+
+(** {2 Observation wrapper} (the sanitizer hook) *)
+
+type observer = {
+  obs_alloc : Engine.ctx -> addr:int -> words:int -> unit;
+      (** the scheme handed out a node ([words] = requested size); for the
+          original OA recycling pools this is the only allocation signal —
+          recycled nodes never pass through the allocator *)
+  obs_retire : Engine.ctx -> addr:int -> unit;
+  obs_cancel : Engine.ctx -> addr:int -> unit;
+  obs_hazard : Engine.ctx -> slot:int -> addr:int -> unit;
+      (** hazard published via [traverse_protect] or [write_protect] *)
+  obs_clear : Engine.ctx -> unit;  (** the thread dropped its hazards *)
+  obs_enter : Engine.ctx -> unit;  (** entering scheme-internal code *)
+  obs_leave : Engine.ctx -> unit;  (** leaving scheme-internal code *)
+}
+
+val observe : observer -> ops -> ops
+(** Wrap an [ops] record so every lifecycle-relevant call is reported to
+    the observer first.  [alloc]/[retire]/[cancel]/[flush] delegate inside
+    an [obs_enter]/[obs_leave] bracket (they may free or recycle memory and
+    write bookkeeping words into nodes); [stats]/[sink] are shared with the
+    wrapped scheme. *)

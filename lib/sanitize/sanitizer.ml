@@ -1,0 +1,395 @@
+(* Memory-lifecycle sanitizer (shadow state machine).
+
+   Every block the system hands out is shadowed word by word in a side
+   table; the layers report lifecycle transitions through the hooks below
+   and every simulated word access is checked against the shadow state:
+
+     absent ("unallocated")
+        --alloc-->  Allocated
+        --retire->  Retired      (unlinked, awaiting safe reclamation)
+        --free--->  Freed        (returned to the allocator)
+        --alloc-->  Allocated    (reuse; Retired->Allocated only for the
+                                  original OA recycling pools)
+
+   The optimistic-access premise is asymmetric: *loads* of retired or freed
+   memory are exactly what the paper makes safe, so they are never flagged;
+   *stores and RMWs* are flagged when the scheme's write contract requires
+   a published hazard over the block and the accessing thread holds none.
+   Accesses to unmapped pages are always flagged — the vmem hook runs
+   before address translation, so the report (with lifecycle context)
+   precedes the simulated Segfault.
+
+   Allocator and scheme internals legitimately write bookkeeping words into
+   blocks (free-list links, recycling-pool links, IBR era headers); their
+   entry points bracket those sections via enter/leave callbacks and a
+   per-thread depth counter mutes the store checks inside.  The unmapped
+   check stays live even there: allocator code has no business touching an
+   unmapped page either. *)
+
+open Oamem_engine
+module Vmem = Oamem_vmem.Vmem
+module Heap = Oamem_lrmalloc.Heap
+module Lrmalloc = Oamem_lrmalloc.Lrmalloc
+module Scheme = Oamem_reclaim.Scheme
+module Trace = Oamem_obs.Trace
+
+type policy = {
+  hazard_writes : bool;
+  recycles_retired : bool;
+  leaks_by_design : bool;
+}
+
+(* What each registered scheme promises.  The OA family and HP publish
+   hazards before every write to a node a CAS involves; EBR/IBR rely on
+   grace periods instead (no per-access write contract to check); NR never
+   reclaims and the original OA pools never return memory, so both leak at
+   quiescence by design. *)
+let policy_of_scheme = function
+  | "nr" ->
+      { hazard_writes = false; recycles_retired = false; leaks_by_design = true }
+  | "oa" ->
+      { hazard_writes = true; recycles_retired = true; leaks_by_design = true }
+  | "oa-bit" | "oa-ver" | "hp" ->
+      {
+        hazard_writes = true;
+        recycles_retired = false;
+        leaks_by_design = false;
+      }
+  | "ebr" | "ibr" ->
+      {
+        hazard_writes = false;
+        recycles_retired = false;
+        leaks_by_design = false;
+      }
+  | _ ->
+      { hazard_writes = false; recycles_retired = true; leaks_by_design = true }
+
+type kind =
+  | Double_retire of { addr : int; first_tid : int; first_cycle : int }
+  | Retire_invalid of { addr : int; state : string }
+  | Double_free of { addr : int }
+  | Store_retired of {
+      addr : int;
+      base : int;
+      retired_by : int;
+      retired_at : int;
+    }
+  | Store_freed of { addr : int; base : int }
+  | Access_unmapped of { addr : int; access : string }
+  | Alloc_retired of { addr : int }
+  | Retired_leak of {
+      base : int;
+      words : int;
+      retired_by : int;
+      retired_at : int;
+    }
+
+type violation = {
+  kind : kind;
+  tid : int;
+  cycle : int;
+  excerpt : Trace.event list;
+}
+
+exception Violation of violation
+
+type state = Allocated | Retired | Freed
+
+type block = {
+  base : int;
+  words : int;
+  mutable st : state;
+  mutable retired_by : int;
+  mutable retired_at : int;
+}
+
+type t = {
+  vmem : Vmem.t;
+  policy : policy;
+  blocks : (int, block) Hashtbl.t;  (* every word of a block -> its block *)
+  hazards : (int, int) Hashtbl.t array;  (* per tid: slot -> published addr *)
+  internal : int array;  (* per tid: allocator/scheme-internal nesting depth *)
+  fail_fast : bool;
+  max_reports : int;
+  mutable reports : violation list;  (* newest first *)
+  mutable nviolations : int;
+  mutable trace : Trace.t;
+}
+
+let create ?(fail_fast = false) ?(max_reports = 64) ~vmem ~nthreads policy =
+  {
+    vmem;
+    policy;
+    blocks = Hashtbl.create 1024;
+    hazards = Array.init nthreads (fun _ -> Hashtbl.create 8);
+    internal = Array.make nthreads 0;
+    fail_fast;
+    max_reports;
+    reports = [];
+    nviolations = 0;
+    trace = Trace.null;
+  }
+
+let set_trace t tr = t.trace <- tr
+
+(* External contexts default to tid 0; clamp anything out of range so a
+   stray tid cannot crash the checker it is supposed to feed. *)
+let lane t tid = if tid < 0 || tid >= Array.length t.internal then 0 else tid
+
+let excerpt_for t tid =
+  if Trace.enabled t.trace && tid >= 0 && tid < Trace.nthreads t.trace then begin
+    let evs = Trace.thread_events t.trace ~tid in
+    let n = List.length evs in
+    if n <= 8 then evs else List.filteri (fun i _ -> i >= n - 8) evs
+  end
+  else []
+
+let record t v =
+  t.nviolations <- t.nviolations + 1;
+  if t.nviolations <= t.max_reports then t.reports <- v :: t.reports;
+  if t.fail_fast then raise (Violation v)
+
+let report t ctx kind =
+  let tid = ctx.Engine.tid in
+  record t { kind; tid; cycle = Engine.now ctx; excerpt = excerpt_for t tid }
+
+(* --- shadow map ----------------------------------------------------------- *)
+
+let block_of t addr = Hashtbl.find_opt t.blocks addr
+
+let track t ~base ~words st =
+  let b = { base; words; st; retired_by = -1; retired_at = 0 } in
+  for w = base to base + words - 1 do
+    Hashtbl.replace t.blocks w b
+  done;
+  b
+
+let forget_range t ~base ~words =
+  for w = base to base + words - 1 do
+    Hashtbl.remove t.blocks w
+  done
+
+let has_hazard t tid b =
+  let tid = lane t tid in
+  Hashtbl.fold
+    (fun _slot addr covered ->
+      covered || (addr >= b.base && addr < b.base + b.words))
+    t.hazards.(tid) false
+
+(* --- allocator hooks ------------------------------------------------------ *)
+
+let on_block_alloc t ctx ~addr ~words ~persistent:_ =
+  (match block_of t addr with
+  | Some b when b.st = Retired && not t.policy.recycles_retired ->
+      report t ctx (Alloc_retired { addr })
+  | _ -> ());
+  ignore (track t ~base:addr ~words Allocated)
+
+let on_block_free t ctx ~addr ~words =
+  match block_of t addr with
+  | None ->
+      (* allocated before the sanitizer attached; start tracking as freed *)
+      ignore (track t ~base:addr ~words Freed)
+  | Some b -> (
+      match b.st with
+      | Allocated | Retired -> b.st <- Freed
+      | Freed -> report t ctx (Double_free { addr }))
+
+let on_internal_enter t ctx =
+  let tid = lane t ctx.Engine.tid in
+  t.internal.(tid) <- t.internal.(tid) + 1
+
+let on_internal_leave t ctx =
+  let tid = lane t ctx.Engine.tid in
+  t.internal.(tid) <- max 0 (t.internal.(tid) - 1)
+
+let lifecycle t =
+  {
+    Lrmalloc.block_alloc =
+      (fun ctx ~addr ~words ~persistent ->
+        on_block_alloc t ctx ~addr ~words ~persistent);
+    block_free = (fun ctx ~addr ~words -> on_block_free t ctx ~addr ~words);
+    enter = (fun ctx -> on_internal_enter t ctx);
+    leave = (fun ctx -> on_internal_leave t ctx);
+  }
+
+let range_hook t ~base ~npages ~event =
+  let words = npages * Geometry.page_words (Vmem.geometry t.vmem) in
+  match (event : Heap.range_event) with
+  | Heap.Range_carved | Heap.Range_released ->
+      (* a carved range starts over; a released range is unmapped, so any
+         later access is caught by the unmapped check with a fresh slate *)
+      forget_range t ~base ~words
+  | Heap.Range_remapped ->
+      (* persistent remap: frames dropped but the range stays readable —
+         block states survive so writes into remapped freed blocks are
+         still attributable *)
+      ()
+
+(* --- scheme hooks --------------------------------------------------------- *)
+
+let on_scheme_alloc t ctx ~addr ~words =
+  match block_of t addr with
+  | None ->
+      (* a node that never passed through the allocator (recycling pool
+         built before the sanitizer attached) *)
+      ignore (track t ~base:addr ~words Allocated)
+  | Some b -> (
+      match b.st with
+      | Allocated -> ()  (* the allocator hook already transitioned it *)
+      | Retired ->
+          if not t.policy.recycles_retired then
+            report t ctx (Alloc_retired { addr });
+          b.st <- Allocated
+      | Freed -> b.st <- Allocated)
+
+let on_retire t ctx ~addr =
+  match block_of t addr with
+  | None -> report t ctx (Retire_invalid { addr; state = "unknown" })
+  | Some b -> (
+      match b.st with
+      | Allocated ->
+          b.st <- Retired;
+          b.retired_by <- ctx.Engine.tid;
+          b.retired_at <- Engine.now ctx
+      | Retired ->
+          report t ctx
+            (Double_retire
+               { addr; first_tid = b.retired_by; first_cycle = b.retired_at })
+      | Freed -> report t ctx (Retire_invalid { addr; state = "freed" }))
+
+let on_hazard t ctx ~slot ~addr =
+  Hashtbl.replace t.hazards.(lane t ctx.Engine.tid) slot addr
+
+let on_clear t ctx = Hashtbl.reset t.hazards.(lane t ctx.Engine.tid)
+
+let observer t =
+  {
+    Scheme.obs_alloc =
+      (fun ctx ~addr ~words -> on_scheme_alloc t ctx ~addr ~words);
+    obs_retire = (fun ctx ~addr -> on_retire t ctx ~addr);
+    obs_cancel = (fun _ctx ~addr:_ -> ());
+    (* cancelled nodes are either freed (visible via the allocator hook) or
+       returned to a recycling pool still Allocated *)
+    obs_hazard = (fun ctx ~slot ~addr -> on_hazard t ctx ~slot ~addr);
+    obs_clear = (fun ctx -> on_clear t ctx);
+    obs_enter = (fun ctx -> on_internal_enter t ctx);
+    obs_leave = (fun ctx -> on_internal_leave t ctx);
+  }
+
+(* --- the access check ----------------------------------------------------- *)
+
+let access_name = function
+  | Engine.Load -> "load"
+  | Engine.Store -> "store"
+  | Engine.Rmw -> "rmw"
+
+let on_access t ctx ~addr ~kind =
+  let mapped = try Vmem.mapped t.vmem addr with _ -> false in
+  if not mapped then
+    report t ctx (Access_unmapped { addr; access = access_name kind })
+  else if t.internal.(lane t ctx.Engine.tid) = 0 then
+    match kind with
+    | Engine.Load -> ()  (* optimistic loads of freed memory are the point *)
+    | Engine.Store | Engine.Rmw -> (
+        match block_of t addr with
+        | None -> ()
+        | Some b -> (
+            match b.st with
+            | Allocated -> ()
+            | Retired ->
+                if
+                  t.policy.hazard_writes
+                  && not (has_hazard t ctx.Engine.tid b)
+                then
+                  report t ctx
+                    (Store_retired
+                       {
+                         addr;
+                         base = b.base;
+                         retired_by = b.retired_by;
+                         retired_at = b.retired_at;
+                       })
+            | Freed ->
+                if not (has_hazard t ctx.Engine.tid b) then
+                  report t ctx (Store_freed { addr; base = b.base })))
+
+(* --- reports -------------------------------------------------------------- *)
+
+let violations t = List.rev t.reports
+let violation_count t = t.nviolations
+
+let check t =
+  match List.rev t.reports with [] -> () | v :: _ -> raise (Violation v)
+
+let check_quiescent t =
+  if not t.policy.leaks_by_design then
+    Hashtbl.iter
+      (fun word b ->
+        (* the per-word table holds one entry per word; report each block
+           once, at its base *)
+        if word = b.base && b.st = Retired then
+          record t
+            {
+              kind =
+                Retired_leak
+                  {
+                    base = b.base;
+                    words = b.words;
+                    retired_by = b.retired_by;
+                    retired_at = b.retired_at;
+                  };
+              tid = b.retired_by;
+              cycle = b.retired_at;
+              excerpt = excerpt_for t b.retired_by;
+            })
+      t.blocks;
+  check t
+
+let reset t =
+  Hashtbl.reset t.blocks;
+  Array.iter Hashtbl.reset t.hazards;
+  Array.fill t.internal 0 (Array.length t.internal) 0;
+  t.reports <- [];
+  t.nviolations <- 0
+
+(* --- printing ------------------------------------------------------------- *)
+
+let pp_kind ppf = function
+  | Double_retire { addr; first_tid; first_cycle } ->
+      Fmt.pf ppf "double retire of %#x (first retired by tid %d at cycle %d)"
+        addr first_tid first_cycle
+  | Retire_invalid { addr; state } ->
+      Fmt.pf ppf "retire of %s block %#x" state addr
+  | Double_free { addr } -> Fmt.pf ppf "double free of %#x" addr
+  | Store_retired { addr; base; retired_by; retired_at } ->
+      Fmt.pf ppf
+        "store to retired block %#x (word %#x) without a hazard; retired by \
+         tid %d at cycle %d"
+        base addr retired_by retired_at
+  | Store_freed { addr; base } ->
+      Fmt.pf ppf "store to freed block %#x (word %#x) without a hazard" base
+        addr
+  | Access_unmapped { addr; access } ->
+      Fmt.pf ppf "%s of unmapped address %#x" access addr
+  | Alloc_retired { addr } ->
+      Fmt.pf ppf "allocator handed out still-retired block %#x" addr
+  | Retired_leak { base; words; retired_by; retired_at } ->
+      Fmt.pf ppf
+        "block %#x (%d words) retired by tid %d at cycle %d but never \
+         reclaimed"
+        base words retired_by retired_at
+
+let pp_violation ppf v =
+  Fmt.pf ppf "lifecycle violation: %a [tid %d, cycle %d]" pp_kind v.kind v.tid
+    v.cycle;
+  match v.excerpt with
+  | [] -> ()
+  | evs ->
+      Fmt.pf ppf "; recent events:";
+      List.iter (fun e -> Fmt.pf ppf "@ %a" Trace.pp_event e) evs
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (Fmt.str "%a" pp_violation v)
+    | _ -> None)

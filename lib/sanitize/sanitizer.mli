@@ -1,0 +1,134 @@
+(** Memory-lifecycle sanitizer: a shadow state machine over every block the
+    system hands out, checked on every simulated access.
+
+    Each block moves through [Unallocated -> Allocated -> Retired -> Freed]
+    (and back to [Allocated] on reuse); the sanitizer is fed by hooks in the
+    virtual memory system (word accesses), the allocator (block hand-out and
+    hand-back, superblock range transitions) and the reclamation scheme
+    (retire / cancel / hazard publication), and reports *protocol*
+    violations the simulated hardware cannot see:
+
+    - double retire / retire of a non-live node;
+    - double free;
+    - a store or RMW to a retired or freed block by a thread holding no
+      hazard over it (for schemes whose write contract requires one — the
+      optimistic-access premise is that plain {e loads} of freed memory are
+      always allowed, so loads are never flagged);
+    - any access to an unmapped page (reported before {!Oamem_vmem.Vmem}
+      raises [Segfault], with full lifecycle context);
+    - blocks still retired-but-unreclaimed at quiescence (leak check).
+
+    Violations carry the offending thread, its simulated cycle and a recent
+    trace excerpt when an {!Oamem_obs.Trace} is attached. *)
+
+open Oamem_engine
+
+(** What the scheme under test promises — drives which accesses are
+    violations.  See {!policy_of_scheme} for the per-scheme settings. *)
+type policy = {
+  hazard_writes : bool;
+      (** stores/RMWs to retired blocks require a published hazard covering
+          the block (HP and the OA family); epoch-based schemes instead
+          rely on grace periods, which the sanitizer cannot refute access
+          by access *)
+  recycles_retired : bool;
+      (** the scheme recycles retired nodes without freeing them (the
+          original OA pools): [Retired -> Allocated] is a legal transition *)
+  leaks_by_design : bool;
+      (** retired-but-unreclaimed blocks at quiescence are expected (no
+          reclamation; bounded recycling pools) *)
+}
+
+val policy_of_scheme : string -> policy
+(** Policy for a registered scheme name; unknown names get the most lenient
+    policy. *)
+
+type kind =
+  | Double_retire of { addr : int; first_tid : int; first_cycle : int }
+  | Retire_invalid of { addr : int; state : string }
+      (** retire of a block that is not allocated (freed, unknown) *)
+  | Double_free of { addr : int }
+  | Store_retired of {
+      addr : int;
+      base : int;
+      retired_by : int;
+      retired_at : int;
+    }  (** store/RMW to a retired block without a covering hazard *)
+  | Store_freed of { addr : int; base : int }
+      (** store/RMW to a freed block without a covering hazard *)
+  | Access_unmapped of { addr : int; access : string }
+  | Alloc_retired of { addr : int }
+      (** the allocator handed out a block the scheme still holds retired *)
+  | Retired_leak of {
+      base : int;
+      words : int;
+      retired_by : int;
+      retired_at : int;
+    }  (** retired but never reclaimed, found by {!check_quiescent} *)
+
+type violation = {
+  kind : kind;
+  tid : int;  (** offending thread *)
+  cycle : int;  (** its simulated clock when the violation fired *)
+  excerpt : Oamem_obs.Trace.event list;
+      (** the thread's most recent trace events (empty when tracing off) *)
+}
+
+exception Violation of violation
+
+type t
+
+val create :
+  ?fail_fast:bool ->
+  ?max_reports:int ->
+  vmem:Oamem_vmem.Vmem.t ->
+  nthreads:int ->
+  policy ->
+  t
+(** [fail_fast] (default false) raises {!Violation} at the offending access
+    instead of recording; recording mode keeps the first [max_reports]
+    (default 64) violations for {!check}.  *)
+
+val set_trace : t -> Oamem_obs.Trace.t -> unit
+(** Attach the system trace used for violation excerpts. *)
+
+(** {2 Hook entry points}
+
+    These are the functions the assembled system installs into the layers;
+    they can also be called directly in tests to seed mutations. *)
+
+val on_access : t -> Engine.ctx -> addr:int -> kind:Engine.access_kind -> unit
+(** For {!Oamem_vmem.Vmem.set_access_hook}. *)
+
+val lifecycle : t -> Oamem_lrmalloc.Lrmalloc.lifecycle
+(** For {!Oamem_lrmalloc.Lrmalloc.set_lifecycle}. *)
+
+val range_hook :
+  t -> base:int -> npages:int -> event:Oamem_lrmalloc.Heap.range_event -> unit
+(** For {!Oamem_lrmalloc.Heap.set_range_hook}: carving or unmapping a range
+    resets its shadow state; remapped persistent ranges keep theirs (the
+    range stays readable — that is the point). *)
+
+val observer : t -> Oamem_reclaim.Scheme.observer
+(** For {!Oamem_reclaim.Scheme.observe}. *)
+
+(** {2 Reports} *)
+
+val violations : t -> violation list
+(** Recorded violations, oldest first (capped at [max_reports]). *)
+
+val violation_count : t -> int
+(** Total violations seen, including ones dropped past the report cap. *)
+
+val check : t -> unit
+(** Raise {!Violation} with the first recorded violation, if any. *)
+
+val check_quiescent : t -> unit
+(** At a quiescent point (all threads done, limbo drained): record a
+    {!Retired_leak} for every block still retired-but-unreclaimed, unless
+    the policy declares leaks by design; then {!check}. *)
+
+val reset : t -> unit
+(** Drop all shadow state and recorded violations. *)
+
+val pp_violation : Format.formatter -> violation -> unit

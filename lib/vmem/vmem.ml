@@ -41,6 +41,9 @@ type t = {
   mutable minor_faults : int;
   mutable cow_cas_faults : int;  (* faults triggered by CAS on a cow page *)
   mutable trace : Trace.t;
+  mutable access_hook :
+    (Engine.ctx -> addr:int -> kind:Engine.access_kind -> unit) option;
+      (* observer for the costed word accesses (lifecycle sanitizer) *)
 }
 
 let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
@@ -59,6 +62,7 @@ let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
     minor_faults = 0;
     cow_cas_faults = 0;
     trace = Trace.null;
+    access_hook = None;
   }
 
 let geometry t = t.geom
@@ -67,6 +71,12 @@ let frames t = t.frames
 let set_frame_quota t quota = Frames.set_quota t.frames quota
 let shared_region_pages t = Array.length t.shared_region
 let set_trace t tr = t.trace <- tr
+let set_access_hook t h = t.access_hook <- h
+
+(* Called on entry of every costed word access, before address translation,
+   so the observer sees accesses to unmapped pages before {!Segfault} fires. *)
+let observe_access t ctx addr kind =
+  match t.access_hook with None -> () | Some f -> f ctx ~addr ~kind
 
 let emit t ctx kind =
   if Trace.enabled t.trace then
@@ -200,6 +210,7 @@ let rec frame_for_write t ctx addr vpage =
       end
 
 let load t ctx addr =
+  observe_access t ctx addr Engine.Load;
   let vpage, off = split t addr in
   let f = frame_for_read t addr vpage in
   Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
@@ -207,6 +218,7 @@ let load t ctx addr =
   Atomic.get (Frames.word t.frames ~frame:f ~off)
 
 let store t ctx addr v =
+  observe_access t ctx addr Engine.Store;
   let vpage, off = split t addr in
   let f = frame_for_write t ctx addr vpage in
   Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
@@ -214,6 +226,7 @@ let store t ctx addr v =
   Atomic.set (Frames.word t.frames ~frame:f ~off) v
 
 let cas t ctx addr ~expect ~desired =
+  observe_access t ctx addr Engine.Rmw;
   let vpage, off = split t addr in
   (* The MMU cannot know the CAS will fail: a cow page faults in a frame
      first (§3.2, footnote 2). *)
@@ -226,6 +239,7 @@ let cas t ctx addr ~expect ~desired =
   Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect desired
 
 let fetch_and_add t ctx addr d =
+  observe_access t ctx addr Engine.Rmw;
   let vpage, off = split t addr in
   let f = frame_for_write t ctx addr vpage in
   Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
@@ -238,6 +252,7 @@ let fetch_and_add t ctx addr d =
    domains must not use it concurrently. *)
 let dwcas t ctx addr ~expect0 ~expect1 ~desired0 ~desired1 =
   if addr land 1 <> 0 then invalid_arg "Vmem.dwcas: addr must be even";
+  observe_access t ctx addr Engine.Rmw;
   let vpage, off = split t addr in
   (match Page_table.get t.pt vpage with
   | Page_table.Cow_zero -> t.cow_cas_faults <- t.cow_cas_faults + 1

@@ -44,6 +44,14 @@ val set_trace : t -> Oamem_obs.Trace.t -> unit
 (** Attach an event trace: fault-ins and frame releases are emitted as
     [Fault_in] / [Frames_released] events (see {!Oamem_obs.Trace}). *)
 
+val set_access_hook :
+  t -> (Engine.ctx -> addr:int -> kind:Engine.access_kind -> unit) option -> unit
+(** Install an observer called on entry of every costed word access
+    ({!load}, {!store}, {!cas}, {!fetch_and_add}, {!dwcas}) — before
+    address translation, so accesses to unmapped pages are observed before
+    {!Segfault} fires.  [peek]/[poke] are not observed.  Used by the
+    lifecycle sanitizer; [None] uninstalls. *)
+
 (** {2 Mapping calls} — each charges syscall costs and shoots down TLBs. *)
 
 val reserve : t -> npages:int -> int

@@ -72,13 +72,14 @@ let test_explorer_passes_cas_increment () =
   check_int "no violations" 0 stats.Explore.violations;
   check_bool "explored many schedules" true (stats.Explore.runs > 10)
 
-(* Concurrent insert+delete on one list under every scheme: the final state
-   must reflect the two ops under every explored schedule. *)
+(* Concurrent insert+delete on one list under every scheme, with the
+   lifecycle sanitizer on: the final state must reflect the two ops AND the
+   sanitizer must stay silent through run, drain and quiescence. *)
 let list_scenario scheme =
   let make () =
     let sys =
       System.create
-        (System.Config.make ~nthreads:2 ~scheme
+        (System.Config.make ~nthreads:2 ~scheme ~sanitize:true
            ~max_pages:(1 lsl 14)
            ~scheme_cfg:
              {
@@ -107,7 +108,10 @@ let list_scenario scheme =
             failwith
               (Printf.sprintf "bad final state: [%s]"
                  (String.concat ";"
-                    (List.map string_of_int (Hm_list.to_list l)))));
+                    (List.map string_of_int (Hm_list.to_list l))));
+          System.check_sanitizer sys;
+          System.drain sys;
+          System.check_sanitizer_quiescent sys);
     }
   in
   make
@@ -170,6 +174,45 @@ let test_scripted_policy_replays () =
     (run [| 1; 0; 1 |] = run [| 1; 0; 1 |]);
   check_bool "different prefixes differ" true (run [| 1; 1; 1 |] <> run [| 0; 0; 0 |])
 
+(* --- fuzzing and shrinking ------------------------------------------------- *)
+
+(* Shrinking against a synthetic predicate: the shortest failing truncation
+   is found and entries that don't matter are zeroed. *)
+let test_shrink_minimises () =
+  let fails p = Array.length p > 4 && p.(4) <> 0 in
+  let shrunk = Explore.shrink fails [| 9; 8; 7; 6; 5; 4; 3; 2; 1 |] in
+  check_bool "shrunk prefix still fails" true (fails shrunk);
+  check_int "minimal length" 5 (Array.length shrunk);
+  check_bool "irrelevant entries zeroed" true
+    (shrunk.(0) = 0 && shrunk.(1) = 0 && shrunk.(2) = 0 && shrunk.(3) = 0)
+
+(* The full fuzz -> shrink -> JSON -> replay loop on the seeded-bug
+   scenario: the finding must survive a save/load round-trip and replay to
+   the same error, deterministically. *)
+module Fuzz = Oamem_harness.Fuzz
+
+let test_fuzz_round_trip () =
+  let sc = Fuzz.find_scenario "buggy-counter" in
+  match Fuzz.fuzz_scenario ~max_runs:300 ~seed:1 sc ~scheme:"nr" with
+  | None, stats ->
+      Alcotest.failf "fuzzer missed the seeded bug in %d runs"
+        stats.Explore.fuzz_runs
+  | Some f, _ ->
+      check_bool "shrunk prefix is small" true
+        (Array.length f.Fuzz.prefix > 0 && Array.length f.Fuzz.prefix <= 32);
+      let file = Filename.temp_file "oamem-fuzz" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          Fuzz.save file f;
+          let f' = Fuzz.load file in
+          check_bool "JSON round-trip preserves the finding" true (f' = f);
+          match Fuzz.replay f' with
+          | Some err ->
+              check_bool "replay reproduces the same error" true
+                (err = f.Fuzz.error)
+          | None -> Alcotest.fail "repro file did not reproduce")
+
 let suite =
   [
     ("explorer finds lost update", `Quick, test_explorer_finds_lost_update);
@@ -177,6 +220,8 @@ let suite =
     ("list insert+delete all schemes", `Quick, test_list_insert_delete_all_schemes);
     ("budget exhausted", `Quick, test_budget_exhausted);
     ("scripted replay", `Quick, test_scripted_policy_replays);
+    ("shrink minimises", `Quick, test_shrink_minimises);
+    ("fuzz repro round-trip", `Quick, test_fuzz_round_trip);
   ]
 
 let () = Alcotest.run "explore" [ ("explore", suite) ]

@@ -1,0 +1,203 @@
+(* Tests for the memory-lifecycle sanitizer: all seven schemes must run the
+   concurrent list scenario violation-free, while seeded mutations (double
+   retire, unhazarded store-after-retire, access to unmapped memory, double
+   free) must each produce the expected typed report. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_core
+open Oamem_lockfree
+open Oamem_reclaim
+open Oamem_sanitize
+module Lrmalloc = Oamem_lrmalloc.Lrmalloc
+
+let check_bool = Alcotest.(check bool)
+let all_schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+
+(* [threshold] defaults to 1 (aggressive reclamation exercises the most
+   lifecycle transitions); mutation tests that need nodes to *stay* retired
+   pass a large one. *)
+let make_sys ?(policy = Engine.Min_clock) ?(threshold = 1) scheme =
+  System.create
+    (System.Config.make ~nthreads:2 ~policy ~scheme ~sanitize:true
+       ~max_pages:(1 lsl 14)
+       ~scheme_cfg:
+         {
+           Scheme.default_config with
+           Scheme.threshold;
+           slots_per_thread = Hm_list.slots_needed;
+           pool_nodes = 64;
+         }
+       ())
+
+let expect_violation name classify f =
+  match f () with
+  | () -> Alcotest.failf "%s: no violation reported" name
+  | exception Sanitizer.Violation v ->
+      if not (classify v.Sanitizer.kind) then
+        Alcotest.failf "%s: wrong violation: %a" name Sanitizer.pp_violation v
+
+(* Concurrent insert+delete on one list, all schemes, several scheduling
+   seeds: the sanitizer must stay silent through the run, the drain and the
+   quiescence check. *)
+let test_all_schemes_clean () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun policy ->
+          let sys = make_sys ~policy scheme in
+          let setup_ctx = Engine.external_ctx () in
+          let l = System.list_set sys setup_ctx in
+          Hm_list.build_sorted l setup_ctx [ 10; 20; 30 ];
+          let r0 = ref false and r1 = ref false in
+          System.spawn sys ~tid:0 (fun ctx -> r0 := Hm_list.delete l ctx 20);
+          System.spawn sys ~tid:1 (fun ctx -> r1 := Hm_list.insert l ctx 25);
+          System.run sys;
+          check_bool (scheme ^ ": both ops succeeded") true (!r0 && !r1);
+          check_bool
+            (scheme ^ ": final state")
+            true
+            (Hm_list.to_list l = [ 10; 25; 30 ]);
+          System.check_sanitizer sys;
+          System.drain sys;
+          System.check_sanitizer_quiescent sys)
+        [ Engine.Min_clock; Engine.Random_order 42; Engine.Random_order 7 ])
+    all_schemes
+
+(* The hash table exercises the large-allocation path (bucket array) on top
+   of node churn. *)
+let test_hash_clean () =
+  List.iter
+    (fun scheme ->
+      let sys = make_sys scheme in
+      let setup_ctx = Engine.external_ctx () in
+      let h = System.hash_set sys setup_ctx ~expected_size:32 in
+      Michael_hash.prefill h setup_ctx [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      System.spawn sys ~tid:0 (fun ctx ->
+          for k = 1 to 4 do
+            ignore (Michael_hash.delete h ctx k)
+          done);
+      System.spawn sys ~tid:1 (fun ctx ->
+          for k = 9 to 12 do
+            ignore (Michael_hash.insert h ctx k)
+          done);
+      System.run sys;
+      check_bool (scheme ^ ": hash state") true
+        (List.sort compare (Michael_hash.to_list h)
+        = [ 5; 6; 7; 8; 9; 10; 11; 12 ]);
+      System.check_sanitizer sys;
+      System.drain sys;
+      System.check_sanitizer_quiescent sys)
+    [ "oa-ver"; "hp"; "ebr" ]
+
+(* --- seeded mutations ----------------------------------------------------- *)
+
+let test_double_retire () =
+  List.iter
+    (fun scheme ->
+      let sys = make_sys ~threshold:1000 scheme in
+      let ops = System.scheme sys in
+      System.run_on_thread0 sys (fun ctx ->
+          let a = ops.Scheme.alloc ctx 2 in
+          ops.Scheme.retire ctx a;
+          ops.Scheme.retire ctx a);
+      expect_violation
+        (scheme ^ ": double retire")
+        (function Sanitizer.Double_retire _ -> true | _ -> false)
+        (fun () -> System.check_sanitizer sys))
+    [ "hp"; "oa-ver"; "ebr" ]
+
+let test_store_after_retire_without_hazard () =
+  let sys = make_sys ~threshold:1000 "hp" in
+  let ops = System.scheme sys in
+  let vm = System.vmem sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = ops.Scheme.alloc ctx 2 in
+      ops.Scheme.retire ctx a;
+      (* the deleted mutation: no write_protect before the store *)
+      Vmem.store vm ctx a 99);
+  expect_violation "unhazarded store-after-retire"
+    (function Sanitizer.Store_retired _ -> true | _ -> false)
+    (fun () -> System.check_sanitizer sys)
+
+(* Positive control for the mutation above: the same store under a published
+   hazard is within the write contract and must not be flagged. *)
+let test_store_after_retire_with_hazard () =
+  let sys = make_sys ~threshold:1000 "hp" in
+  let ops = System.scheme sys in
+  let vm = System.vmem sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = ops.Scheme.alloc ctx 2 in
+      ops.Scheme.retire ctx a;
+      ops.Scheme.write_protect ctx ~slot:0 a;
+      Vmem.store vm ctx a 99;
+      ops.Scheme.clear ctx);
+  System.check_sanitizer sys
+
+let test_access_unmapped () =
+  let sys = make_sys "hp" in
+  let vm = System.vmem sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let addr = Vmem.reserve vm ~npages:1 in
+      (* reserved but never mapped: the simulated hardware segfaults, the
+         sanitizer reports the access first *)
+      match Vmem.store vm ctx addr 1 with
+      | () -> Alcotest.fail "expected a segfault"
+      | exception Vmem.Segfault _ -> ());
+  expect_violation "access to unmapped"
+    (function Sanitizer.Access_unmapped _ -> true | _ -> false)
+    (fun () -> System.check_sanitizer sys)
+
+let test_double_free () =
+  let sys = make_sys "hp" in
+  let al = System.alloc sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = Lrmalloc.malloc al ctx 2 in
+      Lrmalloc.free al ctx a;
+      Lrmalloc.free al ctx a);
+  expect_violation "double free"
+    (function Sanitizer.Double_free _ -> true | _ -> false)
+    (fun () -> System.check_sanitizer sys)
+
+(* Leak detection: retire under a huge threshold, never drain, then ask for
+   the quiescence check.  HP does not leak by design, so the undisposed
+   node must be flagged. *)
+let test_retired_leak_at_quiescence () =
+  let sys = make_sys ~threshold:1000 "hp" in
+  let ops = System.scheme sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = ops.Scheme.alloc ctx 2 in
+      ops.Scheme.retire ctx a);
+  System.check_sanitizer sys;
+  expect_violation "retired leak"
+    (function Sanitizer.Retired_leak _ -> true | _ -> false)
+    (fun () -> System.check_sanitizer_quiescent sys)
+
+(* NR leaks by design: the same sequence must stay silent. *)
+let test_nr_leak_is_by_design () =
+  let sys = make_sys "nr" in
+  let ops = System.scheme sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = ops.Scheme.alloc ctx 2 in
+      ops.Scheme.retire ctx a);
+  System.check_sanitizer sys;
+  System.check_sanitizer_quiescent sys
+
+let suite =
+  [
+    ("all schemes violation-free", `Quick, test_all_schemes_clean);
+    ("hash table violation-free", `Quick, test_hash_clean);
+    ("mutation: double retire", `Quick, test_double_retire);
+    ( "mutation: store-after-retire without hazard",
+      `Quick,
+      test_store_after_retire_without_hazard );
+    ( "control: store-after-retire with hazard",
+      `Quick,
+      test_store_after_retire_with_hazard );
+    ("mutation: access to unmapped", `Quick, test_access_unmapped);
+    ("mutation: double free", `Quick, test_double_free);
+    ("retired leak at quiescence", `Quick, test_retired_leak_at_quiescence);
+    ("nr leaks by design", `Quick, test_nr_leak_is_by_design);
+  ]
+
+let () = Alcotest.run "sanitize" [ ("sanitize", suite) ]
