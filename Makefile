@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick metrics fuzz
+.PHONY: all build test check clean repro quick metrics fuzz profile perfgate
 
 all: build
 
@@ -21,9 +21,23 @@ repro:
 	dune exec bin/repro.exe -- all
 
 # Machine-readable metrics baseline: a small E1-style sweep with the full
-# metrics snapshot per run.  CI archives the JSON as an artifact.
+# metrics snapshot and cycle-attribution profile per run.  CI archives the
+# JSON as an artifact; it is also the committed perf-regression baseline.
 metrics:
-	dune exec bench/main.exe -- --metrics-only --out BENCH_E1.json
+	dune exec bench/main.exe -- --profile --out BENCH_E1.json
+
+# Cycle-attribution profile of a fixed-seed E1-style run: span breakdown,
+# per-op latency percentiles and contention hot spots on stdout, plus
+# profile.json (rerun later with `repro profile --diff profile.json`) and
+# profile.folded (flamegraph.pl / speedscope input).
+profile:
+	dune exec bin/repro.exe -- profile --out profile.json --folded profile.folded
+
+# Perf-regression gate: rerun the profiled sweep and compare throughput and
+# per-op p99 latency against the committed BENCH_E1.json baseline.
+perfgate:
+	dune exec bench/main.exe -- --profile --out BENCH_E1.current.json
+	dune exec bin/perfgate.exe -- BENCH_E1.json BENCH_E1.current.json
 
 # Nightly schedule fuzzing: random schedules through every scenario with the
 # lifecycle sanitizer on; failing schedules are shrunk and written to

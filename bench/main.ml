@@ -136,12 +136,15 @@ let run_bechamel () =
 
 (* `bench --metrics-only [--out PATH]` runs a small E1-style sweep (hash set,
    update-only) and writes one JSON document per run with the full metrics
-   snapshot — the regression-tracking baseline CI archives as BENCH_E1.json. *)
+   snapshot — the regression-tracking baseline CI archives as BENCH_E1.json.
+   `bench --profile` additionally enables the cycle-attribution profiler and
+   embeds each run's profile (spans, op latencies, hot addresses) in the
+   document, which is what `bin/perfgate` gates p99 latency on. *)
 
 module Json = Oamem_obs.Json
 module Export = Oamem_obs.Export
 
-let run_metrics_dump ~out =
+let run_metrics_dump ~profile ~out =
   let schemes = Oamem_reclaim.Registry.paper_methods in
   let threads = [ 1; 4 ] in
   let results =
@@ -159,15 +162,20 @@ let run_metrics_dump ~out =
                   workload =
                     Workload.make ~mix:Workload.update_only ~initial:1_000 ();
                   horizon_cycles = 100_000;
+                  profile;
                 }
             in
             Json.Obj
-              [
-                ("scheme", Json.String scheme);
-                ("threads", Json.Int t);
-                ("throughput_mops", Json.Float r.Runner.throughput_mops);
-                ("metrics", Export.metrics_json r.Runner.metrics);
-              ])
+              ([
+                 ("scheme", Json.String scheme);
+                 ("threads", Json.Int t);
+                 ("throughput_mops", Json.Float r.Runner.throughput_mops);
+                 ("metrics", Export.metrics_json r.Runner.metrics);
+               ]
+              @
+              if profile then
+                [ ("profile", Export.profile_json r.Runner.profile) ]
+              else []))
           threads)
       schemes
   in
@@ -191,6 +199,9 @@ let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let metrics_only = List.mem "--metrics-only" argv in
+  (* --profile implies the metrics dump: it adds a cycle-attribution profile
+     per run, which is what `bin/perfgate` gates p99 latency on. *)
+  let profile = List.mem "--profile" argv in
   let out =
     let rec find = function
       | "--out" :: path :: _ -> path
@@ -199,7 +210,7 @@ let () =
     in
     find argv
   in
-  if metrics_only then run_metrics_dump ~out
+  if metrics_only || profile then run_metrics_dump ~profile ~out
   else begin
     run_bechamel ();
     let cfg =

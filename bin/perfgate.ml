@@ -1,0 +1,79 @@
+(* CI perf-regression gate: compare a fresh bench --profile dump against a
+   committed baseline and exit non-zero on regression.
+
+     perfgate BASELINE CURRENT [--warn-only] [--max-drop F] [--max-p99 F] *)
+
+open Cmdliner
+module Json = Oamem_obs.Json
+module Perfgate = Oamem_harness.Perfgate
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.parse s
+
+let baseline_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BASELINE" ~doc:"Committed baseline JSON (BENCH_E1.json).")
+
+let current_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"CURRENT" ~doc:"Freshly produced bench JSON to gate.")
+
+let warn_only_arg =
+  Arg.(
+    value & flag
+    & info [ "warn-only" ]
+        ~doc:"Report regressions but exit 0 (first-run / baseline-refresh mode).")
+
+let max_drop_arg =
+  Arg.(
+    value
+    & opt float Perfgate.default_thresholds.Perfgate.max_throughput_drop
+    & info [ "max-drop" ] ~docv:"FRACTION"
+        ~doc:"Maximum tolerated relative throughput drop.")
+
+let max_p99_arg =
+  Arg.(
+    value
+    & opt float Perfgate.default_thresholds.Perfgate.max_p99_increase
+    & info [ "max-p99" ] ~docv:"FRACTION"
+        ~doc:"Maximum tolerated relative p99 latency increase.")
+
+let run baseline current warn_only max_drop max_p99 =
+  let thresholds =
+    { Perfgate.max_throughput_drop = max_drop; max_p99_increase = max_p99 }
+  in
+  let verdicts =
+    Perfgate.compare_results ~thresholds ~baseline:(read_json baseline)
+      ~current:(read_json current) ()
+  in
+  List.iter (fun v -> Fmt.pr "%a@." Perfgate.pp_verdict v) verdicts;
+  let nfail =
+    List.length (List.filter (fun v -> v.Perfgate.regressed) verdicts)
+  in
+  if nfail = 0 then Fmt.pr "perfgate: %d checks, no regressions@." (List.length verdicts)
+  else begin
+    Fmt.pr "perfgate: %d of %d checks regressed%s@." nfail
+      (List.length verdicts)
+    (if warn_only then " (warn-only: not failing)" else "");
+    if not warn_only then exit 1
+  end
+
+let () =
+  let doc =
+    "Fail when a bench --profile run regresses against a committed baseline."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "perfgate" ~doc)
+          Term.(
+            const run $ baseline_arg $ current_arg $ warn_only_arg
+            $ max_drop_arg $ max_p99_arg)))

@@ -5,6 +5,7 @@
      repro all [options]                 run every experiment
      repro fuzz [options]                randomized schedule fuzzing
      repro replay FILE                   replay a fuzz repro JSON
+     repro profile [options]             cycle-attribution profile of a run
 
    Options select thread counts, the simulated-time horizon, the figure-6
    structure size, reclamation schemes and CSV output. *)
@@ -279,6 +280,180 @@ let fuzz_cmd =
       const run $ seed_arg $ max_runs_arg $ seconds_arg $ scenarios_arg
       $ schemes_arg $ out_arg $ include_expected_arg)
 
+(* --- cycle-attribution profiling ------------------------------------------- *)
+
+let profile_cmd =
+  let module Json = Oamem_obs.Json in
+  let module Export = Oamem_obs.Export in
+  let module Profile = Oamem_obs.Profile in
+  let scheme_arg =
+    Arg.(
+      value & opt string "oa-ver"
+      & info [ "s"; "scheme" ] ~docv:"NAME" ~doc:"Reclamation scheme.")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "t"; "threads" ] ~docv:"N" ~doc:"Simulated thread count.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "horizon" ] ~docv:"CYCLES"
+          ~doc:"Measured window per thread, in simulated cycles.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the profile as JSON to $(docv).")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write collapsed stacks (flamegraph.pl / speedscope input) to \
+             $(docv).")
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "diff" ] ~docv:"BASELINE"
+          ~doc:
+            "Print per-span cycle deltas against a profile JSON previously \
+             written with --out.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Hot addresses to show.")
+  in
+  let run scheme threads horizon seed out folded diff top =
+    let spec =
+      {
+        Runner.default_spec with
+        Runner.scheme;
+        threads;
+        structure = Runner.Hash_set;
+        workload = Workload.make ~mix:Workload.update_only ~initial:1_000 ();
+        horizon_cycles = horizon;
+        seed;
+        profile = true;
+      }
+    in
+    let r = Runner.run spec in
+    let p = r.Runner.profile in
+    let total = Profile.total_cycles p in
+    Printf.printf
+      "profile: %s hash-set, %d thread(s), horizon %d, seed %d\n\
+       throughput %.4f Mops/s; %d ops; %d attributed+unattributed cycles\n\n"
+      scheme threads horizon seed r.Runner.throughput_mops r.Runner.ops total;
+    let pct c = if total = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int total in
+    Printf.printf "%-40s %12s %7s %12s %9s\n" "span" "self-cycles" "self%"
+      "total-cycles" "calls";
+    Printf.printf "%s\n" (String.make 84 '-');
+    List.iter
+      (fun (s : Profile.span) ->
+        let depth = List.length s.Profile.path - 1 in
+        let name =
+          String.make (2 * depth) ' '
+          ^ Profile.frame_name (List.nth s.Profile.path depth)
+        in
+        Printf.printf "%-40s %12d %6.1f%% %12d %9d\n" name s.Profile.self_cycles
+          (pct s.Profile.self_cycles) s.Profile.total_cycles s.Profile.calls)
+      (Profile.spans p);
+    Printf.printf "%-40s %12d %6.1f%%\n" "(unattributed)"
+      (Profile.unattributed_cycles p)
+      (pct (Profile.unattributed_cycles p));
+    Printf.printf "\n%-16s %9s %12s %9s %9s %9s\n" "op latency" "count" "sum"
+      "p50" "p99" "max";
+    Printf.printf "%s\n" (String.make 70 '-');
+    List.iter
+      (fun (l : Profile.latency) ->
+        Printf.printf "%-16s %9d %12d %9d %9d %9d\n"
+          (Profile.frame_name l.Profile.lframe)
+          l.Profile.count l.Profile.sum
+          (Profile.percentile l 0.50)
+          (Profile.percentile l 0.99)
+          l.Profile.max_cycles)
+      (Profile.latencies p);
+    (match Profile.hot_addrs ~top p with
+    | [] -> ()
+    | hot ->
+        Printf.printf "\n%-12s %14s %13s  %s\n" "hot addr" "invalidations"
+          "cas-failures" "owning span";
+        Printf.printf "%s\n" (String.make 70 '-');
+        List.iter
+          (fun (h : Profile.hot_addr) ->
+            Printf.printf "%-12d %14d %13d  %s\n" h.Profile.addr
+              h.Profile.invalidations h.Profile.cas_failures
+              (match h.Profile.owner with
+              | [] -> "(none)"
+              | path ->
+                  String.concat ";" (List.map Profile.frame_name path)))
+          hot);
+    (match diff with
+    | None -> ()
+    | Some file ->
+        let ic = open_in_bin file in
+        let doc =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              Json.parse (really_input_string ic (in_channel_length ic)))
+        in
+        let baseline =
+          List.map
+            (fun s ->
+              ( Json.(to_str (member "path" s)),
+                Json.(to_int (member "self_cycles" s)) ))
+            Json.(to_list (member "spans" doc))
+        in
+        Printf.printf "\ndiff vs %s (self-cycles)\n" file;
+        Printf.printf "%-40s %12s %12s %12s\n" "span" "baseline" "current"
+          "delta";
+        Printf.printf "%s\n" (String.make 80 '-');
+        let current =
+          List.map
+            (fun (s : Profile.span) ->
+              ( String.concat ";" (List.map Profile.frame_name s.Profile.path),
+                s.Profile.self_cycles ))
+            (Profile.spans p)
+        in
+        let paths =
+          List.sort_uniq String.compare
+            (List.map fst baseline @ List.map fst current)
+        in
+        List.iter
+          (fun path ->
+            let b = Option.value ~default:0 (List.assoc_opt path baseline) in
+            let c = Option.value ~default:0 (List.assoc_opt path current) in
+            if b <> 0 || c <> 0 then
+              Printf.printf "%-40s %12d %12d %+12d\n" path b c (c - b))
+          paths);
+    Option.iter (fun file -> Export.write_profile ~top file p) out;
+    Option.iter (fun file -> Export.write_collapsed file p) folded;
+    Option.iter (fun file -> Printf.printf "\nwrote %s\n" file) out;
+    Option.iter (fun file -> Printf.printf "wrote %s\n" file) folded
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a fixed-seed E1-style hash-set workload with the \
+          cycle-attribution profiler on and print the span breakdown, \
+          per-operation latency percentiles and contention hot spots; \
+          optionally export flamegraph/JSON and diff against a saved \
+          baseline.")
+    Term.(
+      const run $ scheme_arg $ threads_arg $ horizon_arg $ seed_arg $ out_arg
+      $ folded_arg $ diff_arg $ top_arg)
+
 let replay_cmd =
   let file_arg =
     Arg.(
@@ -315,4 +490,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "repro" ~doc)
-          [ list_cmd; run_cmd; all_cmd; fuzz_cmd; replay_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; fuzz_cmd; replay_cmd; profile_cmd ]))

@@ -19,6 +19,7 @@ open Oamem_reclaim
 module Alloc_config = Oamem_lrmalloc.Config
 module Metrics = Oamem_obs.Metrics
 module Trace = Oamem_obs.Trace
+module Profile = Oamem_obs.Profile
 module Sanitizer = Oamem_sanitize.Sanitizer
 
 type config = {
@@ -37,6 +38,7 @@ type config = {
   trace : bool;  (** start with event tracing enabled *)
   trace_capacity : int;  (** ring capacity per thread *)
   sanitize : bool;  (** enable the memory-lifecycle sanitizer *)
+  profile : bool;  (** start with the cycle-attribution profiler enabled *)
 }
 
 module Config = struct
@@ -47,7 +49,8 @@ module Config = struct
       ?(max_pages = 1 lsl 18) ?frame_capacity ?frame_quota
       ?(shared_region_pages = 1) ?(alloc_cfg = Alloc_config.default)
       ?(scheme = "oa-ver") ?(scheme_cfg = Scheme.default_config)
-      ?(trace = false) ?(trace_capacity = 8192) ?(sanitize = false) () =
+      ?(trace = false) ?(trace_capacity = 8192) ?(sanitize = false)
+      ?(profile = false) () =
     {
       nthreads;
       policy;
@@ -64,6 +67,7 @@ module Config = struct
       trace;
       trace_capacity;
       sanitize;
+      profile;
     }
 end
 
@@ -78,6 +82,7 @@ type t = {
   scheme : Scheme.ops;
   metrics : Metrics.t;
   trace : Trace.t;
+  profile : Profile.t;
   sanitizer : Sanitizer.t option;
 }
 
@@ -193,6 +198,9 @@ let create (config : config) =
     | Some s -> Scheme.observe (Sanitizer.observer s) scheme
     | None -> scheme
   in
+  (* Profiling wrapper outermost, so retire/flush spans also cover the
+     sanitizer's bookkeeping when both are on. *)
+  let scheme = Scheme.profiled scheme in
   let trace =
     Trace.create ~capacity:config.trace_capacity ~nthreads:config.nthreads ()
   in
@@ -202,6 +210,9 @@ let create (config : config) =
   Heap.set_trace (Lrmalloc.heap alloc) trace;
   scheme.Scheme.sink.Scheme.trace <- trace;
   Option.iter (fun s -> Sanitizer.set_trace s trace) sanitizer;
+  let profile = Profile.create ~nthreads:config.nthreads () in
+  Profile.set_enabled profile config.profile;
+  Engine.set_profile engine profile;
   let metrics = Metrics.create () in
   register_metrics metrics ~engine ~vmem ~alloc ~scheme;
   Option.iter
@@ -209,7 +220,18 @@ let create (config : config) =
       Metrics.register metrics ~name:"sanitizer.violations"
         ~kind:Metrics.Gauge (fun () -> Sanitizer.violation_count s))
     sanitizer;
-  { config; engine; vmem; meta; alloc; scheme; metrics; trace; sanitizer }
+  {
+    config;
+    engine;
+    vmem;
+    meta;
+    alloc;
+    scheme;
+    metrics;
+    trace;
+    profile;
+    sanitizer;
+  }
 
 let engine t = t.engine
 let vmem t = t.vmem
@@ -276,15 +298,11 @@ let metrics_registry t = t.metrics
 let metrics t = Metrics.snapshot t.metrics
 let trace t = t.trace
 let set_tracing t on = Trace.set_enabled t.trace on
-
-(* Deprecated per-subsystem accessors, kept as aliases over the metrics
-   view's underlying records. *)
-let usage t = Vmem.usage t.vmem
-let engine_stats t = Engine.stats t.engine
-let scheme_stats t = t.scheme.Scheme.stats
-let alloc_stats t = Lrmalloc.stats t.alloc
+let profile t = t.profile
+let set_profiling t on = Profile.set_enabled t.profile on
 
 let reset_measurement t =
   Engine.reset_clocks t.engine;
   Metrics.reset t.metrics;
-  Trace.clear t.trace
+  Trace.clear t.trace;
+  Profile.reset t.profile

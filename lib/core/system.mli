@@ -34,6 +34,9 @@ type config = {
       (** enable the memory-lifecycle sanitizer (default off): shadow-state
           checking of every block on every simulated access — see
           {!Oamem_sanitize.Sanitizer} *)
+  profile : bool;
+      (** start with the cycle-attribution profiler enabled (default off) —
+          see {!Oamem_obs.Profile} *)
 }
 
 (** Configuration builder: [Config.make ()] is the default configuration
@@ -59,6 +62,7 @@ module Config : sig
     ?trace:bool ->
     ?trace_capacity:int ->
     ?sanitize:bool ->
+    ?profile:bool ->
     unit ->
     config
 end
@@ -127,6 +131,14 @@ val trace : t -> Oamem_obs.Trace.t
 
 val set_tracing : t -> bool -> unit
 
+val profile : t -> Oamem_obs.Profile.t
+(** The system-wide cycle-attribution profiler (enabled via the [profile]
+    config field or {!set_profiling}).  Attached to the engine, the
+    allocator, the vmem layer, the reclamation scheme and the lock-free
+    structures; see {!Oamem_obs.Profile} for the span model. *)
+
+val set_profiling : t -> bool -> unit
+
 (** {2 Lifecycle sanitizer} *)
 
 val sanitizer : t -> Oamem_sanitize.Sanitizer.t option
@@ -144,24 +156,6 @@ val check_sanitizer_quiescent : t -> unit
 val reset_measurement : t -> unit
 (** Start a fresh measurement window: reset thread clocks, zero every
     counter in the metrics registry (engine, scheme, allocator and vmem
-    counters alike — gauges such as peak frames are kept) and drop all
-    buffered trace events.  Cache and TLB *contents* are preserved, so a
-    warmed-up system stays warm. *)
-
-(** {2 Deprecated stats accessors}
-
-    The four parallel per-subsystem records are superseded by {!metrics};
-    these aliases read the same underlying counters. *)
-
-val usage : t -> Vmem.usage
-[@@ocaml.deprecated "Use System.metrics (vmem.* entries) or Vmem.usage."]
-
-val engine_stats : t -> Engine.stats
-[@@ocaml.deprecated "Use System.metrics (engine.* entries) or Engine.stats."]
-
-val scheme_stats : t -> Scheme.stats
-[@@ocaml.deprecated
-  "Use System.metrics (scheme.* entries) or (System.scheme t).Scheme.stats."]
-
-val alloc_stats : t -> Heap.stats
-[@@ocaml.deprecated "Use System.metrics (alloc.* entries) or Heap.stats."]
+    counters alike — gauges such as peak frames are kept), drop all
+    buffered trace events and clear the profiler.  Cache and TLB *contents*
+    are preserved, so a warmed-up system stays warm. *)

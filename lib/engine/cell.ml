@@ -75,7 +75,9 @@ let set ctx t x =
 
 let cas ctx t ~expect ~desired =
   account ctx Engine.Rmw t;
-  Atomic.compare_and_set t.v expect desired
+  let ok = Atomic.compare_and_set t.v expect desired in
+  if not ok then Engine.note_cas_failure ctx ~addr:t.addr;
+  ok
 
 let exchange ctx t x =
   account ctx Engine.Rmw t;

@@ -63,6 +63,7 @@ type t = {
   sched_rng : Prng.t;
   mutable plan : Fault_plan.t;
   mutable trace : Oamem_obs.Trace.t;
+  mutable prof : Oamem_obs.Profile.t;
   mutable accesses : int;
   mutable fences : int;
   mutable faults : int;
@@ -113,6 +114,7 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
       sched_rng = Prng.create sched_seed;
       plan = Fault_plan.none;
       trace = Oamem_obs.Trace.null;
+      prof = Oamem_obs.Profile.null;
       accesses = 0;
       fences = 0;
       faults = 0;
@@ -179,7 +181,9 @@ let charge ctx cycles =
   | None -> ()
   | Some t ->
       let slot = t.slots.(ctx.tid) in
-      slot.clock <- slot.clock + cycles
+      slot.clock <- slot.clock + cycles;
+      if Oamem_obs.Profile.enabled t.prof then
+        Oamem_obs.Profile.charge t.prof ~tid:ctx.tid cycles
 
 let now ctx =
   match ctx.eng with None -> 0 | Some t -> t.slots.(ctx.tid).clock
@@ -206,6 +210,20 @@ let set_fault_plan t plan = t.plan <- plan
 let fault_plan t = t.plan
 let set_trace t tr = t.trace <- tr
 let trace t = t.trace
+let set_profile t p = t.prof <- p
+let profile t = t.prof
+
+(* The profiler as seen from a thread context: [Profile.null] outside the
+   engine, so subsystem instrumentation needs no option check. *)
+let ctx_profile ctx =
+  match ctx.eng with None -> Oamem_obs.Profile.null | Some t -> t.prof
+
+let note_cas_failure ctx ~addr =
+  match ctx.eng with
+  | None -> ()
+  | Some t ->
+      if Oamem_obs.Profile.enabled t.prof then
+        Oamem_obs.Profile.note_cas_failure t.prof ~tid:ctx.tid ~addr
 let fault_stats t ~tid = t.slots.(tid).fstats
 let crashed t ~tid = t.slots.(tid).fstats.crashed
 
@@ -313,8 +331,26 @@ let run ?max_steps t =
                       (Oamem_obs.Trace.Stall { cycles = stall })
                 end;
                 if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
-                slot.clock <-
-                  slot.clock + cost_of_request t ~tid request + stall + jitter;
+                let profiling = Oamem_obs.Profile.enabled t.prof in
+                let invs_before =
+                  if profiling then Hierarchy.remote_invalidations t.hierarchy
+                  else 0
+                in
+                let cost = cost_of_request t ~tid request + stall + jitter in
+                slot.clock <- slot.clock + cost;
+                if profiling then begin
+                  (* the yielding thread's span stack is untouched until its
+                     continuation resumes, so the innermost open span is the
+                     one that issued this request *)
+                  Oamem_obs.Profile.charge t.prof ~tid cost;
+                  match request with
+                  | Access { paddr; kind = Store | Rmw; _ }
+                    when Hierarchy.remote_invalidations t.hierarchy
+                         > invs_before ->
+                      Oamem_obs.Profile.note_invalidation t.prof ~tid
+                        ~addr:paddr
+                  | _ -> ()
+                end;
                 settle
                   (try Effect.Deep.continue k ()
                    with e ->

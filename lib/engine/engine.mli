@@ -108,6 +108,30 @@ val fault_plan : t -> Fault_plan.t
 val set_trace : t -> Oamem_obs.Trace.t -> unit
 val trace : t -> Oamem_obs.Trace.t
 
+(** {2 Profiling}
+
+    With an attached {!Oamem_obs.Profile.t} (default
+    {!Oamem_obs.Profile.null}), every cycle the scheduler charges — request
+    costs from the cache/TLB/cost models, injected stalls and jitter, and
+    raw {!charge} cycles — is also attributed to the issuing thread's
+    innermost open profiler span, and stores/RMWs that trigger a remote
+    invalidation broadcast are charged to the accessed address in the
+    profiler's contention table.  Subsystems open spans through
+    {!ctx_profile} and report failed CAS attempts through
+    {!note_cas_failure}.  All of it is allocation-free and branch-only when
+    the profiler is disabled. *)
+
+val set_profile : t -> Oamem_obs.Profile.t -> unit
+val profile : t -> Oamem_obs.Profile.t
+
+val ctx_profile : ctx -> Oamem_obs.Profile.t
+(** The engine's profiler, or {!Oamem_obs.Profile.null} for an external
+    context — instrumentation points need no option check. *)
+
+val note_cas_failure : ctx -> addr:int -> unit
+(** Record a failed CAS on simulated address [addr] in the profiler's
+    contention table (no-op when profiling is off or outside the engine). *)
+
 type fault_stats = {
   mutable yields : int;  (** yield points executed by this thread *)
   mutable stalls_injected : int;

@@ -127,6 +127,10 @@ let access t ~tid ~kind block =
   let rmw_cost = match kind with Rmw -> c.rmw_extra | Load | Store -> 0 in
   hit_cost + coherence_cost + rmw_cost
 
+(* Cheap accessor for hot-path delta checks (profiler attribution); [stats]
+   allocates a full record per call. *)
+let remote_invalidations (t : t) = t.remote_invalidations
+
 type stats = {
   l1 : Cache.stats;
   l2 : Cache.stats;

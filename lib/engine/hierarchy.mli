@@ -33,6 +33,10 @@ val access : t -> tid:int -> kind:kind -> int -> int
 val sharers : t -> int -> int
 (** Directory sharer bitmask of a block (test hook). *)
 
+val remote_invalidations : t -> int
+(** Running invalidation-broadcast count, without allocating a {!stats}
+    record — cheap enough for per-access delta checks. *)
+
 type stats = {
   l1 : Cache.stats;
   l2 : Cache.stats;

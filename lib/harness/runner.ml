@@ -29,6 +29,7 @@ type spec = {
   hazard_padded : bool;  (* cache-line padding of hazard slots (ablation) *)
   cache_cfg : Hierarchy.config option;  (* cache-geometry sensitivity *)
   trace : bool;  (* record events into the system trace during the run *)
+  profile : bool;  (* cycle-attribution profiling during the run *)
 }
 
 let default_spec =
@@ -46,6 +47,7 @@ let default_spec =
     hazard_padded = true;
     cache_cfg = None;
     trace = false;
+    profile = false;
   }
 
 type result = {
@@ -61,6 +63,9 @@ type result = {
   trace : Oamem_obs.Trace.t;
       (* the system trace; holds the measured window's events when
          [spec.trace] was set, and is empty (and disabled) otherwise *)
+  profile : Oamem_obs.Profile.t;
+      (* the system profiler; holds the measured window's spans, latency
+         histograms and contention table when [spec.profile] was set *)
 }
 
 (* Generic view over the two structures. *)
@@ -94,7 +99,7 @@ let make_system spec =
            node_words = Node.words;
            hazard_padded = spec.hazard_padded;
          }
-       ~trace:spec.trace ())
+       ~trace:spec.trace ~profile:spec.profile ())
 
 let build_target sys spec =
   let setup_ctx = Engine.external_ctx () in
@@ -203,6 +208,7 @@ let run spec =
     throughput_mops = float_of_int ops /. sim_seconds /. 1e6;
     metrics = System.metrics sys;
     trace = System.trace sys;
+    profile = System.profile sys;
   }
 
 let pp_result ppf r =

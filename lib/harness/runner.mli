@@ -25,6 +25,7 @@ type spec = {
   hazard_padded : bool;
   cache_cfg : Hierarchy.config option;
   trace : bool;  (** record events into the system trace during the run *)
+  profile : bool;  (** cycle-attribution profiling during the run *)
 }
 
 val default_spec : spec
@@ -43,6 +44,10 @@ type result = {
   trace : Oamem_obs.Trace.t;
       (** the system trace: the measured window's events when [spec.trace]
           was set, empty and disabled otherwise *)
+  profile : Oamem_obs.Profile.t;
+      (** the system profiler: the measured window's spans, latency
+          histograms and contention table when [spec.profile] was set,
+          empty and disabled otherwise *)
 }
 
 type target = {

@@ -23,6 +23,7 @@
 open Oamem_engine
 open Oamem_vmem
 open Oamem_reclaim
+module Profile = Oamem_obs.Profile
 
 let slots_needed = 5
 
@@ -108,27 +109,50 @@ let find t ctx ~key =
   in
   loop ()
 
-(* Run [f] under the scheme's operation protocol, restarting on demand. *)
-let run_op t ctx f =
+(* Run [f] under the scheme's operation protocol, restarting on demand.
+
+   Under profiling the whole operation runs in a [frame] span; from the
+   first restart on, every retry (including its backoff pause) accrues in a
+   nested [Op_restart] child, so a profile separates first-attempt cost
+   from restart-induced cost per operation kind. *)
+let run_op t ctx frame f =
   let sch = t.scheme in
-  let rec attempt () =
+  let p = Engine.ctx_profile ctx in
+  let profiling = Profile.enabled p in
+  let tid = ctx.Engine.tid in
+  if profiling then Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+  let close in_restart =
+    if profiling then begin
+      if in_restart then Profile.leave p ~tid ~now:(Engine.now ctx);
+      Profile.leave p ~tid ~now:(Engine.now ctx)
+    end
+  in
+  let rec attempt in_restart =
     sch.Scheme.begin_op ctx;
     match f () with
     | r ->
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
+        close in_restart;
         r
     | exception Scheme.Restart ->
         Scheme.note_restart sch.Scheme.sink ctx;
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
+        if profiling && not in_restart then
+          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Op_restart;
         Engine.pause ctx;
-        attempt ()
+        attempt true
+    | exception e ->
+        (* keep the span stack balanced on foreign exceptions (OOM, frame
+           exhaustion, injected crashes) *)
+        close in_restart;
+        raise e
   in
-  attempt ()
+  attempt false
 
 let contains t ctx key =
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_contains (fun () ->
       let f = find t ctx ~key in
       f.cur <> 0 && f.cur_key = key)
 
@@ -139,7 +163,7 @@ let contains t ctx key =
    under the OA schemes it is read-checks only. *)
 let contains_readonly t ctx key =
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_contains (fun () ->
       let prev = ref t.head in
       let cur = ref (Vmem.load vm ctx t.head) in
       sch.Scheme.read_check ctx;
@@ -168,7 +192,7 @@ let contains_readonly t ctx key =
 
 let insert t ctx key =
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_insert (fun () ->
       let f = find t ctx ~key in
       if f.cur <> 0 && f.cur_key = key then false
       else begin
@@ -200,7 +224,7 @@ let insert t ctx key =
 let insert_kv t ctx key value =
   assert (t.node_words >= Node.kv_words);
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_insert (fun () ->
       let f = find t ctx ~key in
       if f.cur <> 0 && f.cur_key = key then false
       else begin
@@ -230,7 +254,7 @@ let insert_kv t ctx key value =
 let lookup t ctx key =
   assert (t.node_words >= Node.kv_words);
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_lookup (fun () ->
       let f = find t ctx ~key in
       if f.cur = 0 || f.cur_key <> key then None
       else begin
@@ -245,7 +269,7 @@ let lookup t ctx key =
 let replace t ctx key value =
   assert (t.node_words >= Node.kv_words);
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_replace (fun () ->
       let f = find t ctx ~key in
       if f.cur = 0 || f.cur_key <> key then None
       else begin
@@ -267,7 +291,7 @@ let replace t ctx key value =
 
 let delete t ctx key =
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_delete (fun () ->
       let f = find t ctx ~key in
       if f.cur = 0 || f.cur_key <> key then false
       else begin

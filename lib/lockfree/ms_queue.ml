@@ -12,6 +12,7 @@
 open Oamem_engine
 open Oamem_vmem
 open Oamem_reclaim
+module Profile = Oamem_obs.Profile
 
 type t = {
   scheme : Scheme.ops;
@@ -29,27 +30,45 @@ let create ctx ~scheme ~vmem =
   Vmem.store vmem ctx tail sentinel;
   { scheme; vmem; head; tail }
 
-let run_op t ctx f =
+(* Same restart-attribution protocol as [Hm_list.run_op]: the operation
+   runs in a [frame] span and retries accrue in a nested [Op_restart]. *)
+let run_op t ctx frame f =
   let sch = t.scheme in
-  let rec attempt () =
+  let p = Engine.ctx_profile ctx in
+  let profiling = Profile.enabled p in
+  let tid = ctx.Engine.tid in
+  if profiling then Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+  let close in_restart =
+    if profiling then begin
+      if in_restart then Profile.leave p ~tid ~now:(Engine.now ctx);
+      Profile.leave p ~tid ~now:(Engine.now ctx)
+    end
+  in
+  let rec attempt in_restart =
     sch.Scheme.begin_op ctx;
     match f () with
     | r ->
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
+        close in_restart;
         r
     | exception Scheme.Restart ->
         Scheme.note_restart sch.Scheme.sink ctx;
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
+        if profiling && not in_restart then
+          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Op_restart;
         Engine.pause ctx;
-        attempt ()
+        attempt true
+    | exception e ->
+        close in_restart;
+        raise e
   in
-  attempt ()
+  attempt false
 
 let enqueue t ctx value =
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_enqueue (fun () ->
       let node = sch.Scheme.alloc ctx Node.words in
       Vmem.store vm ctx node value;
       Vmem.store vm ctx (Node.next_of node) Node.null;
@@ -87,7 +106,7 @@ let enqueue t ctx value =
 
 let dequeue t ctx =
   let sch = t.scheme and vm = t.vmem in
-  run_op t ctx (fun () ->
+  run_op t ctx Profile.Op_dequeue (fun () ->
       let rec loop () =
         let hd = Vmem.load vm ctx t.head in
         sch.Scheme.read_check ctx;

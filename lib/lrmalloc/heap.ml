@@ -27,6 +27,7 @@
 open Oamem_engine
 open Oamem_vmem
 module Trace = Oamem_obs.Trace
+module Profile = Oamem_obs.Profile
 
 type stats = {
   mutable sb_fresh : int;  (** superblocks built on a fresh virtual range *)
@@ -173,7 +174,7 @@ let fill_batch t cls =
    superblock's free list and the superblock is published as partial.
    Descriptor priority: persistent pool (range attached and size-class
    compatible), then generic pool, then a fresh descriptor (§4). *)
-let acquire_superblock t ctx ~cls ~persistent =
+let acquire_superblock_raw t ctx ~cls ~persistent =
   let npages = sb_pages t in
   let d =
     match Desc_list.pop t.persistent_pool ctx with
@@ -234,12 +235,30 @@ let acquire_superblock t ctx ~cls ~persistent =
   end;
   (d, blocks)
 
+(* Both superblock transitions run under an [Alloc_superblock] profiler
+   span; nested remap syscalls show up as [Vmem_remap] children.  Wrappers
+   are hand-eta-expanded so the disabled path allocates nothing. *)
+let acquire_superblock t ctx ~cls ~persistent =
+  let p = Engine.ctx_profile ctx in
+  if Profile.enabled p then begin
+    let tid = ctx.Engine.tid in
+    Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Alloc_superblock;
+    match acquire_superblock_raw t ctx ~cls ~persistent with
+    | r ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        r
+    | exception e ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        raise e
+  end
+  else acquire_superblock_raw t ctx ~cls ~persistent
+
 (* --- release ------------------------------------------------------------- *)
 
 (* Release an Empty superblock.  Persistent ranges stay readable: they are
    remapped rather than unmapped, and keep their descriptor's range for the
    persistent pool. *)
-let release_superblock t ctx d =
+let release_superblock_raw t ctx d =
   let base = d.Descriptor.sb_start in
   let vpage = Geometry.page_of_addr t.geom base in
   let npages = d.Descriptor.pages in
@@ -264,6 +283,19 @@ let release_superblock t ctx d =
     emit_transition t ctx d "released";
     Desc_list.push t.generic_pool ctx d
   end
+
+let release_superblock t ctx d =
+  let p = Engine.ctx_profile ctx in
+  if Profile.enabled p then begin
+    let tid = ctx.Engine.tid in
+    Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Alloc_superblock;
+    match release_superblock_raw t ctx d with
+    | () -> Profile.leave p ~tid ~now:(Engine.now ctx)
+    | exception e ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        raise e
+  end
+  else release_superblock_raw t ctx d
 
 (* --- block free (anchor state machine, Fig. 2) --------------------------- *)
 

@@ -16,6 +16,7 @@
 open Oamem_engine
 open Oamem_vmem
 module Trace = Oamem_obs.Trace
+module Profile = Oamem_obs.Profile
 
 (* Lifecycle observer (the sanitizer): block hand-out / hand-back plus
    internal-section brackets.  Allocator internals write bookkeeping words
@@ -47,6 +48,23 @@ let heap t = t.heap
 let vmem t = Heap.vmem t.heap
 let config t = Heap.config t.heap
 let set_lifecycle t h = t.lifecycle <- h
+
+(* Open a profiler span around an allocator entry point.  The enabled check
+   comes first so the disabled path costs one load and a branch. *)
+let with_span ctx frame f =
+  let p = Engine.ctx_profile ctx in
+  if not (Profile.enabled p) then f ()
+  else begin
+    let tid = ctx.Engine.tid in
+    Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+    match f () with
+    | r ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        r
+    | exception e ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        raise e
+  end
 
 (* Run [f] as an allocator-internal section for the observer. *)
 let with_internal t ctx f =
@@ -96,9 +114,10 @@ let flush_stack t ctx st =
 
 (* Return every cached block of thread [tid] to the heap. *)
 let flush_thread_cache t ctx =
-  with_internal t ctx (fun () ->
-      List.iter (flush_stack t ctx)
-        (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid))
+  with_span ctx Profile.Alloc_flush (fun () ->
+      with_internal t ctx (fun () ->
+          List.iter (flush_stack t ctx)
+            (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid)))
 
 (* --- memory-pressure recovery --------------------------------------------- *)
 
@@ -169,55 +188,59 @@ let notify_alloc t ctx ~addr ~size ~persistent =
       h.block_alloc ctx ~addr ~words ~persistent
 
 let malloc t ctx size =
-  let addr =
-    with_internal t ctx (fun () ->
-        match Size_class.of_size t.classes size with
-        | Some cls -> alloc_class t ctx ~cls ~persistent:false
-        | None ->
-            with_pressure_recovery t ctx (fun () ->
-                Heap.alloc_large t.heap ctx size))
-  in
-  notify_alloc t ctx ~addr ~size ~persistent:false;
-  emit t ctx (Trace.Alloc { addr; words = size });
-  addr
+  with_span ctx Profile.Alloc_malloc (fun () ->
+      let addr =
+        with_internal t ctx (fun () ->
+            match Size_class.of_size t.classes size with
+            | Some cls -> alloc_class t ctx ~cls ~persistent:false
+            | None ->
+                with_pressure_recovery t ctx (fun () ->
+                    Heap.alloc_large t.heap ctx size))
+      in
+      notify_alloc t ctx ~addr ~size ~persistent:false;
+      emit t ctx (Trace.Alloc { addr; words = size });
+      addr)
 
 (* Persistent allocation: the block's address range survives free (§3). *)
 let palloc t ctx size =
   match Size_class.of_size t.classes size with
   | Some cls ->
-      let addr =
-        with_internal t ctx (fun () -> alloc_class t ctx ~cls ~persistent:true)
-      in
-      notify_alloc t ctx ~addr ~size ~persistent:true;
-      emit t ctx (Trace.Alloc { addr; words = size });
-      addr
+      with_span ctx Profile.Alloc_malloc (fun () ->
+          let addr =
+            with_internal t ctx (fun () ->
+                alloc_class t ctx ~cls ~persistent:true)
+          in
+          notify_alloc t ctx ~addr ~size ~persistent:true;
+          emit t ctx (Trace.Alloc { addr; words = size });
+          addr)
   | None ->
       invalid_arg
         "Lrmalloc.palloc: persistent allocation is restricted to size-class \
          sizes (paper, section 4)"
 
 let free t ctx addr =
-  match Heap.lookup_desc t.heap ctx addr with
-  | None -> invalid_arg "Lrmalloc.free: not an allocated block"
-  | Some d ->
-      (match t.lifecycle with
-      | None -> ()
-      | Some h -> h.block_free ctx ~addr ~words:d.Descriptor.block_words);
-      emit t ctx (Trace.Free { addr });
-      with_internal t ctx (fun () ->
-          if Descriptor.is_large d then Heap.free_large t.heap ctx d
-          else begin
-            let st =
-              Thread_cache.get t.caches ~tid:ctx.Engine.tid
-                ~cls:d.Descriptor.size_class
-                ~persistent:d.Descriptor.persistent
-            in
-            (* A full-cache flush writes free-list links, which can fault
-               frames in — run it under the recovery net too. *)
-            if Thread_cache.is_full st then
-              with_pressure_recovery t ctx (fun () -> flush_stack t ctx st);
-            Thread_cache.push t.caches ctx st addr
-          end)
+  with_span ctx Profile.Alloc_free (fun () ->
+      match Heap.lookup_desc t.heap ctx addr with
+      | None -> invalid_arg "Lrmalloc.free: not an allocated block"
+      | Some d ->
+          (match t.lifecycle with
+          | None -> ()
+          | Some h -> h.block_free ctx ~addr ~words:d.Descriptor.block_words);
+          emit t ctx (Trace.Free { addr });
+          with_internal t ctx (fun () ->
+              if Descriptor.is_large d then Heap.free_large t.heap ctx d
+              else begin
+                let st =
+                  Thread_cache.get t.caches ~tid:ctx.Engine.tid
+                    ~cls:d.Descriptor.size_class
+                    ~persistent:d.Descriptor.persistent
+                in
+                (* A full-cache flush writes free-list links, which can fault
+                   frames in — run it under the recovery net too. *)
+                if Thread_cache.is_full st then
+                  with_pressure_recovery t ctx (fun () -> flush_stack t ctx st);
+                Thread_cache.push t.caches ctx st addr
+              end))
 
 (* Teardown helper: flush all threads' caches (with their own tids encoded
    in the given contexts) and release lingering empty superblocks. *)

@@ -79,6 +79,9 @@ let metrics_json ?(extra = []) (s : Metrics.snapshot) =
       (fun (name, k, v) -> if k = kind then Some (name, Json.Int v) else None)
       s.values
   in
+  (* A histogram nobody observed into would serialise as
+     {"count": 0, "max": 0, "buckets": []} — well-formed but noise, and a
+     trap for consumers that assume at least one bucket.  Omit them. *)
   let histograms =
     List.map
       (fun (h : Metrics.hist_snapshot) ->
@@ -94,7 +97,7 @@ let metrics_json ?(extra = []) (s : Metrics.snapshot) =
                   (fun (le, n) -> Json.Obj [ ("le", Json.Int le); ("count", Json.Int n) ])
                   h.buckets));
           ])
-      s.histograms
+      (List.filter (fun (h : Metrics.hist_snapshot) -> h.count > 0) s.histograms)
   in
   Json.Obj
     (extra
@@ -107,6 +110,18 @@ let metrics_json ?(extra = []) (s : Metrics.snapshot) =
 let write_metrics ?extra path s = write_file path (Json.to_string (metrics_json ?extra s))
 
 let write_csv path ~header rows =
+  (* Ragged rows silently corrupt downstream tooling (column shifts in
+     spreadsheet/pandas imports); validate up front. *)
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      let w = List.length row in
+      if w <> width then
+        invalid_arg
+          (Printf.sprintf
+             "Export.write_csv %s: row %d has %d cells, header has %d" path i
+             w width))
+    rows;
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc (String.concat "," header);
@@ -116,3 +131,73 @@ let write_csv path ~header rows =
           output_string oc (String.concat "," row);
           output_char oc '\n')
         rows)
+
+(* --- profiles -------------------------------------------------------------- *)
+
+let span_path path = String.concat ";" (List.map Profile.frame_name path)
+
+let profile_json ?(top = 10) (p : Profile.t) =
+  let span (s : Profile.span) =
+    Json.Obj
+      [
+        ("path", Json.String (span_path s.path));
+        ("self_cycles", Json.Int s.self_cycles);
+        ("total_cycles", Json.Int s.total_cycles);
+        ("calls", Json.Int s.calls);
+      ]
+  in
+  let latency (l : Profile.latency) =
+    Json.Obj
+      [
+        ("frame", Json.String (Profile.frame_name l.lframe));
+        ("count", Json.Int l.count);
+        ("sum", Json.Int l.sum);
+        ("max", Json.Int l.max_cycles);
+        ("p50", Json.Int (Profile.percentile l 0.50));
+        ("p99", Json.Int (Profile.percentile l 0.99));
+        ("buckets",
+         Json.List
+           (List.map
+              (fun (le, n) ->
+                Json.Obj [ ("le", Json.Int le); ("count", Json.Int n) ])
+              l.buckets));
+      ]
+  in
+  let hot (h : Profile.hot_addr) =
+    Json.Obj
+      [
+        ("addr", Json.Int h.addr);
+        ("invalidations", Json.Int h.invalidations);
+        ("cas_failures", Json.Int h.cas_failures);
+        ("owner", Json.String (span_path h.owner));
+      ]
+  in
+  Json.Obj
+    [
+      ("total_cycles", Json.Int (Profile.total_cycles p));
+      ("unattributed_cycles", Json.Int (Profile.unattributed_cycles p));
+      ("spans", Json.List (List.map span (Profile.spans p)));
+      ("latencies", Json.List (List.map latency (Profile.latencies p)));
+      ("hot_addrs", Json.List (List.map hot (Profile.hot_addrs ~top p)));
+    ]
+
+let collapsed_stacks (p : Profile.t) =
+  let lines =
+    List.filter_map
+      (fun (s : Profile.span) ->
+        if s.self_cycles > 0 then
+          Some (Printf.sprintf "%s %d" (span_path s.path) s.self_cycles)
+        else None)
+      (Profile.spans p)
+  in
+  let lines =
+    let un = Profile.unattributed_cycles p in
+    if un > 0 then lines @ [ Printf.sprintf "(unattributed) %d" un ]
+    else lines
+  in
+  String.concat "\n" lines
+
+let write_profile ?top path p =
+  write_file path (Json.to_string (profile_json ?top p))
+
+let write_collapsed path p = write_file path (collapsed_stacks p)

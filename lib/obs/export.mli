@@ -19,10 +19,33 @@ val write_chrome_trace : string -> Trace.t -> unit
 val metrics_json : ?extra:(string * Json.t) list -> Metrics.snapshot -> Json.t
 (** The snapshot as
     [{"counters": {...}, "gauges": {...}, "histograms": [...], ...extra}].
-    [extra] fields (experiment name, scheme, throughput) are prepended. *)
+    [extra] fields (experiment name, scheme, throughput) are prepended.
+    Histograms with zero observations are omitted — an unused histogram
+    would serialise as [{"count": 0, "max": 0, "buckets": []}], which is
+    noise and a trap for consumers assuming at least one bucket. *)
 
 val write_metrics : ?extra:(string * Json.t) list -> string -> Metrics.snapshot -> unit
 
 val write_csv : string -> header:string list -> string list list -> unit
 (** Plain CSV with a header row; cells are written verbatim (callers pass
-    numbers and bare identifiers, nothing needing quoting). *)
+    numbers and bare identifiers, nothing needing quoting).  Raises
+    [Invalid_argument] if any row's cell count differs from the header's —
+    ragged rows silently shift columns in downstream tooling. *)
+
+(** {2 Profiles} *)
+
+val profile_json : ?top:int -> Profile.t -> Json.t
+(** The profile as [{"total_cycles", "unattributed_cycles", "spans": [...],
+    "latencies": [...], "hot_addrs": [...]}].  Span paths are
+    semicolon-joined frame names ("op.delete;restart"); latencies carry
+    exact p50/p99/max; [top] (default 10) bounds the hot-address list.
+    Deterministic: same simulated run, byte-identical document. *)
+
+val collapsed_stacks : Profile.t -> string
+(** Collapsed-stack (Brendan Gregg folded) format, one line per span with
+    nonzero self cycles: ["op.delete;restart 31337"].  Cycles charged
+    outside any span appear as a ["(unattributed)"] pseudo-frame.  Feed to
+    [flamegraph.pl] or speedscope. *)
+
+val write_profile : ?top:int -> string -> Profile.t -> unit
+val write_collapsed : string -> Profile.t -> unit

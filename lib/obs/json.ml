@@ -230,3 +230,8 @@ let to_int = function
 let to_str = function
   | String s -> s
   | _ -> fail "to_str: not a string"
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | _ -> fail "to_float: not a number"

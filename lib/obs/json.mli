@@ -32,3 +32,6 @@ val member : string -> t -> t
 val to_list : t -> t list
 val to_int : t -> int
 val to_str : t -> string
+
+val to_float : t -> float
+(** Accepts both [Int] and [Float] (exporters emit whichever is exact). *)

@@ -6,6 +6,7 @@
    needs no shared pool. *)
 
 open Oamem_engine
+module Profile = Oamem_obs.Profile
 
 type t = {
   geom : Geometry.t;
@@ -42,7 +43,7 @@ let add t ctx addr =
 
 (* Remove (and pass to [free]) every node not satisfying [protected];
    returns how many were freed.  Each examined entry is charged. *)
-let sweep t ctx ~protected ~free =
+let sweep_raw t ctx ~protected ~free =
   let kept = ref 0 in
   let freed = ref 0 in
   for i = 0 to t.len - 1 do
@@ -59,5 +60,23 @@ let sweep t ctx ~protected ~free =
   done;
   t.len <- !kept;
   !freed
+
+(* The sweep is the scan phase of every limbo-based scheme (HP, EBR, IBR,
+   OA-BIT, OA-VER), so one [Reclaim_scan] span here covers them all; the
+   [free] callbacks open their own [Alloc_free] child spans. *)
+let sweep t ctx ~protected ~free =
+  let p = Engine.ctx_profile ctx in
+  if Profile.enabled p then begin
+    let tid = ctx.Engine.tid in
+    Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Reclaim_scan;
+    match sweep_raw t ctx ~protected ~free with
+    | n ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        n
+    | exception e ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        raise e
+  end
+  else sweep_raw t ctx ~protected ~free
 
 let to_list t = Array.to_list (Array.sub t.arr 0 t.len)

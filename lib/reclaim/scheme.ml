@@ -24,6 +24,7 @@
 open Oamem_engine
 module Trace = Oamem_obs.Trace
 module Metrics = Oamem_obs.Metrics
+module Profile = Oamem_obs.Profile
 
 exception Restart
 
@@ -188,6 +189,48 @@ let observe o (ops : ops) =
         o.obs_clear ctx;
         ops.clear ctx);
     flush = (fun ctx -> internal ctx (fun () -> ops.flush ctx));
+  }
+
+(* --- profiling wrapper ----------------------------------------------------- *)
+
+(* Wrap the scheme entry points that do reclamation work in profiler spans:
+   [retire], which may trigger a whole scan-and-reclaim phase internally,
+   and [flush], the teardown drain.  [System.create] applies this wrapper
+   unconditionally — when profiling is off each call costs one load and a
+   branch, and the limbo scan adds its own [Reclaim_scan] child span. *)
+let profiled (ops : ops) =
+  let spanned1 frame f ctx x =
+    let p = Engine.ctx_profile ctx in
+    if Profile.enabled p then begin
+      let tid = ctx.Engine.tid in
+      Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+      match f ctx x with
+      | r ->
+          Profile.leave p ~tid ~now:(Engine.now ctx);
+          r
+      | exception e ->
+          Profile.leave p ~tid ~now:(Engine.now ctx);
+          raise e
+    end
+    else f ctx x
+  in
+  let spanned0 frame f ctx =
+    let p = Engine.ctx_profile ctx in
+    if Profile.enabled p then begin
+      let tid = ctx.Engine.tid in
+      Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+      match f ctx with
+      | () -> Profile.leave p ~tid ~now:(Engine.now ctx)
+      | exception e ->
+          Profile.leave p ~tid ~now:(Engine.now ctx);
+          raise e
+    end
+    else f ctx
+  in
+  {
+    ops with
+    retire = spanned1 Profile.Reclaim_retire ops.retire;
+    flush = spanned0 Profile.Reclaim_flush ops.flush;
   }
 
 let pp_stats ppf s =

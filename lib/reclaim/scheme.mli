@@ -114,3 +114,9 @@ val observe : observer -> ops -> ops
     an [obs_enter]/[obs_leave] bracket (they may free or recycle memory and
     write bookkeeping words into nodes); [stats]/[sink] are shared with the
     wrapped scheme. *)
+
+val profiled : ops -> ops
+(** Wrap [retire] and [flush] in profiler spans ([Reclaim_retire] /
+    [Reclaim_flush], via {!Engine.ctx_profile}).  Applied unconditionally
+    by [System.create]; when profiling is off each wrapped call costs one
+    load and a branch. *)

@@ -28,6 +28,7 @@
 
 open Oamem_engine
 module Trace = Oamem_obs.Trace
+module Profile = Oamem_obs.Profile
 
 exception Segfault of int
 exception Address_space_exhausted
@@ -129,7 +130,25 @@ let unmap t ctx ~vpage ~npages =
   done;
   note_released t ctx !released
 
-let madvise_dontneed t ctx ~vpage ~npages =
+(* Run a remapping primitive under a profiler span.  The disabled path must
+   stay allocation-free, hence the eta-expanded wrappers below rather than a
+   closure-taking combinator. *)
+let spanned frame f t ctx ~vpage ~npages =
+  let p = Engine.ctx_profile ctx in
+  if Profile.enabled p then begin
+    let tid = ctx.Engine.tid in
+    Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+    match f t ctx ~vpage ~npages with
+    | r ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        r
+    | exception e ->
+        Profile.leave p ~tid ~now:(Engine.now ctx);
+        raise e
+  end
+  else f t ctx ~vpage ~npages
+
+let madvise_dontneed_raw t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   Engine.event ctx Engine.Syscall;
   let released = ref 0 in
@@ -143,9 +162,12 @@ let madvise_dontneed t ctx ~vpage ~npages =
   done;
   note_released t ctx !released
 
+let madvise_dontneed t ctx ~vpage ~npages =
+  spanned Profile.Vmem_remap madvise_dontneed_raw t ctx ~vpage ~npages
+
 (* Map [npages] onto the shared region, page i to region page (i mod S).
    One syscall per chunk of S pages, as in §3.2. *)
-let map_shared t ctx ~vpage ~npages =
+let map_shared_raw t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   let s = Array.length t.shared_region in
   let chunks = (npages + s - 1) / s in
@@ -161,10 +183,13 @@ let map_shared t ctx ~vpage ~npages =
   done;
   note_released t ctx !released
 
+let map_shared t ctx ~vpage ~npages =
+  spanned Profile.Vmem_remap map_shared_raw t ctx ~vpage ~npages
+
 (* mmap(MAP_FIXED | MAP_PRIVATE | MAP_ANON) over an existing range: one
    syscall regardless of size.  Used to take a superblock back from the
    shared region. *)
-let remap_private t ctx ~vpage ~npages =
+let remap_private_raw t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
   Engine.event ctx Engine.Syscall;
   let released = ref 0 in
@@ -174,6 +199,9 @@ let remap_private t ctx ~vpage ~npages =
     Engine.tlb_shootdown ctx p
   done;
   note_released t ctx !released
+
+let remap_private t ctx ~vpage ~npages =
+  spanned Profile.Vmem_remap remap_private_raw t ctx ~vpage ~npages
 
 (* --- word accesses ------------------------------------------------------- *)
 
@@ -199,7 +227,14 @@ let rec frame_for_write t ctx addr vpage =
           ~desired:(Page_table.Frame f)
       then begin
         t.minor_faults <- t.minor_faults + 1;
-        Engine.event ctx Engine.Minor_fault;
+        let p = Engine.ctx_profile ctx in
+        if Profile.enabled p then begin
+          let tid = ctx.Engine.tid in
+          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Vmem_fault_in;
+          Engine.event ctx Engine.Minor_fault;
+          Profile.leave p ~tid ~now:(Engine.now ctx)
+        end
+        else Engine.event ctx Engine.Minor_fault;
         emit t ctx (Trace.Fault_in { vpage });
         f
       end
@@ -236,7 +271,11 @@ let cas t ctx addr ~expect ~desired =
   let f = frame_for_write t ctx addr vpage in
   Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Rmw;
-  Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect desired
+  let ok =
+    Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect desired
+  in
+  if not ok then Engine.note_cas_failure ctx ~addr;
+  ok
 
 let fetch_and_add t ctx addr d =
   observe_access t ctx addr Engine.Rmw;
@@ -267,7 +306,10 @@ let dwcas t ctx addr ~expect0 ~expect1 ~desired0 ~desired1 =
     Atomic.set w1 desired1;
     true
   end
-  else false
+  else begin
+    Engine.note_cas_failure ctx ~addr;
+    false
+  end
 
 (* --- uncosted accessors (test setup and oracles) ------------------------- *)
 

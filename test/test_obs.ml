@@ -1,7 +1,7 @@
 (* Tests for the observability layer: the trace ring buffers, the metrics
    registry, the JSON/Chrome-trace exporters, and the redesigned System
-   metrics API (snapshot agreement with the deprecated accessors, and the
-   reset_measurement regression: a post-reset snapshot must be zeroed). *)
+   metrics API (snapshot agreement with the per-subsystem stats records, and
+   the reset_measurement regression: a post-reset snapshot must be zeroed). *)
 
 open Oamem_engine
 open Oamem_core
@@ -14,17 +14,6 @@ module Export = Oamem_obs.Export
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
-
-(* The deprecated accessors under test, re-exported with warning 3 off so
-   the rest of the file builds warnings-as-errors. *)
-module Deprecated = struct
-  [@@@warning "-3"]
-
-  let scheme_stats = System.scheme_stats
-  let engine_stats = System.engine_stats
-  let usage = System.usage
-  let alloc_stats = System.alloc_stats
-end
 
 let mk ?(nthreads = 4) ?(trace = false) scheme =
   System.create
@@ -214,15 +203,15 @@ let test_chrome_export_roundtrips_counts () =
 
 (* --- the redesigned System metrics API ------------------------------------ *)
 
-let test_system_metrics_agree_with_deprecated () =
+let test_system_metrics_agree_with_subsystems () =
   let sys = mk "oa-bit" in
   churn sys;
   let m = System.metrics sys in
-  (* the deprecated accessors must read the same underlying counters *)
-  let ss = Deprecated.scheme_stats sys in
-  let es = Deprecated.engine_stats sys in
-  let u = Deprecated.usage sys in
-  let hs = Deprecated.alloc_stats sys in
+  (* the snapshot must read the same underlying per-subsystem counters *)
+  let ss = (System.scheme sys).Scheme.stats in
+  let es = Engine.stats (System.engine sys) in
+  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
+  let hs = Oamem_lrmalloc.Lrmalloc.stats (System.alloc sys) in
   check_int "scheme.retired" ss.Scheme.retired
     (Metrics.find m "scheme.retired");
   check_int "scheme.restarts" ss.Scheme.restarts
@@ -281,6 +270,33 @@ let test_metrics_export_has_required_counters () =
       "engine.accesses"; "alloc.sb_fresh";
     ]
 
+let test_unused_histograms_omitted_from_export () =
+  let reg = Metrics.create () in
+  let touched = Metrics.histogram reg "touched" in
+  let _untouched = Metrics.histogram reg "untouched" in
+  Metrics.observe touched 5;
+  let doc = Json.parse (Json.to_string (Export.metrics_json (Metrics.snapshot reg))) in
+  let names =
+    List.map
+      (fun h -> Json.to_str (Json.member "name" h))
+      (Json.to_list (Json.member "histograms" doc))
+  in
+  check_bool "observed histogram exported" true (List.mem "touched" names);
+  check_bool "unused histogram omitted" false (List.mem "untouched" names)
+
+let test_csv_rejects_ragged_rows () =
+  let path = Filename.temp_file "obs-csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Export.write_csv path ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+      check_bool "well-formed rows accepted" true (Sys.file_exists path);
+      match
+        Export.write_csv path ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3" ] ]
+      with
+      | () -> Alcotest.fail "ragged row accepted"
+      | exception Invalid_argument _ -> ())
+
 let suite =
   [
     ("trace basic", `Quick, test_trace_basic);
@@ -292,15 +308,19 @@ let suite =
     ("metrics registry", `Quick, test_metrics_registry);
     ("json roundtrip", `Quick, test_json_roundtrip);
     ("chrome export roundtrips counts", `Quick, test_chrome_export_roundtrips_counts);
-    ( "deprecated aliases agree with snapshot",
+    ( "snapshot agrees with subsystem stats",
       `Quick,
-      test_system_metrics_agree_with_deprecated );
+      test_system_metrics_agree_with_subsystems );
     ( "reset_measurement zeroes snapshot",
       `Quick,
       test_reset_measurement_zeroes_snapshot );
     ( "metrics export has required counters",
       `Quick,
       test_metrics_export_has_required_counters );
+    ( "unused histograms omitted from export",
+      `Quick,
+      test_unused_histograms_omitted_from_export );
+    ("csv rejects ragged rows", `Quick, test_csv_rejects_ragged_rows);
   ]
 
 let () = Alcotest.run "obs" [ ("obs", suite) ]
