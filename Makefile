@@ -42,9 +42,11 @@ perfgate:
 # Nightly schedule fuzzing: random schedules through every scenario with the
 # lifecycle sanitizer on; failing schedules are shrunk and written to
 # fuzz-out/ as replayable JSON (`repro replay fuzz-out/FILE.json`).
-# Override e.g. FUZZ_SECONDS=60 for a quick local run.
-FUZZ_SECONDS ?= 600
-FUZZ_RUNS ?= 2000
+# Override e.g. FUZZ_SECONDS=60 for a quick local run.  The default
+# time-box rides the fused fast path: the same budget now covers ~2x the
+# schedules it did pre-fusion, so it buys depth, not wall-clock.
+FUZZ_SECONDS ?= 900
+FUZZ_RUNS ?= 3000
 fuzz:
 	dune exec bin/repro.exe -- fuzz --seconds $(FUZZ_SECONDS) \
 	  --max-runs $(FUZZ_RUNS) --out fuzz-out

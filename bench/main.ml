@@ -88,7 +88,7 @@ let test_engine_step =
          for tid = 0 to 1 do
            Engine.spawn eng ~tid (fun ctx ->
                for i = 0 to 99 do
-                 Engine.access ctx ~vpage:(-1) ~paddr:(i land 63)
+                 Engine.Mem.access ctx ~vpage:(-1) ~paddr:(i land 63)
                    ~kind:Engine.Load
                done)
          done;
@@ -170,6 +170,9 @@ let run_metrics_dump ~profile ~out =
                  ("scheme", Json.String scheme);
                  ("threads", Json.Int t);
                  ("throughput_mops", Json.Float r.Runner.throughput_mops);
+                 ("host_steps", Json.Int r.Runner.host_steps);
+                 ( "host_steps_per_sec",
+                   Json.Float r.Runner.host_steps_per_sec );
                  ("metrics", Export.metrics_json r.Runner.metrics);
                ]
               @
@@ -193,6 +196,100 @@ let run_metrics_dump ~profile ~out =
   close_out oc;
   Printf.printf "wrote %s (%d runs)\n%!" out (List.length results)
 
+(* --- Part 2b: host-throughput report (BENCH_HOST.json) ----------------------- *)
+
+(* `bench --host-throughput [--out PATH]` runs the E1 sweep twice per
+   configuration — fused fast path vs. pre-fusion slow path — at a longer
+   horizon for stable host timing, and reports simulated steps per
+   host-second for both, the speedup, and whether the simulated results
+   (throughput + full metrics snapshot) were identical.  The fused numbers
+   feed Perfgate's host_steps_per_sec dimension (warn-only in CI). *)
+
+let run_host_throughput ~out =
+  let schemes = Oamem_reclaim.Registry.paper_methods in
+  let threads = [ 1; 4 ] in
+  let spec scheme t fused =
+    {
+      Runner.default_spec with
+      Runner.scheme;
+      threads = t;
+      structure = Runner.Hash_set;
+      workload = Workload.make ~mix:Workload.update_only ~initial:1_000 ();
+      horizon_cycles = 2_000_000;
+      fused;
+    }
+  in
+  Printf.printf "%-7s %3s  %14s %14s %8s  %s\n" "scheme" "T" "fused-steps/s"
+    "slow-steps/s" "speedup" "sim-identical";
+  Printf.printf "%s\n" (String.make 70 '-');
+  let entries =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun t ->
+            let fused = Runner.run (spec scheme t true) in
+            let slow = Runner.run (spec scheme t false) in
+            (* same seed, same workload: the two paths must simulate the
+               same execution down to every counter *)
+            let identical =
+              fused.Runner.throughput_mops = slow.Runner.throughput_mops
+              && fused.Runner.ops = slow.Runner.ops
+              && fused.Runner.host_steps = slow.Runner.host_steps
+              && Json.to_string (Export.metrics_json fused.Runner.metrics)
+                 = Json.to_string (Export.metrics_json slow.Runner.metrics)
+            in
+            let speedup =
+              if slow.Runner.host_steps_per_sec > 0. then
+                fused.Runner.host_steps_per_sec
+                /. slow.Runner.host_steps_per_sec
+              else 0.
+            in
+            Printf.printf "%-7s %3d  %14.0f %14.0f %7.2fx  %b\n%!" scheme t
+              fused.Runner.host_steps_per_sec slow.Runner.host_steps_per_sec
+              speedup identical;
+            Json.Obj
+              [
+                ("scheme", Json.String scheme);
+                ("threads", Json.Int t);
+                (* simulated throughput, so perfgate can key and sanity-check
+                   the document like any BENCH_E1-style dump *)
+                ("throughput_mops", Json.Float fused.Runner.throughput_mops);
+                ("host_steps", Json.Int fused.Runner.host_steps);
+                ( "host_steps_per_sec",
+                  Json.Float fused.Runner.host_steps_per_sec );
+                ( "host_steps_per_sec_unfused",
+                  Json.Float slow.Runner.host_steps_per_sec );
+                ("speedup", Json.Float speedup);
+                ("sim_identical", Json.Bool identical);
+              ])
+          threads)
+      schemes
+  in
+  let mean_speedup =
+    let sp =
+      List.map
+        (fun e -> match Json.member "speedup" e with
+          | Json.Float f -> f
+          | _ -> 0.)
+        entries
+    in
+    List.fold_left ( +. ) 0. sp /. float_of_int (List.length sp)
+  in
+  Printf.printf "%s\nmean speedup: %.2fx\n%!" (String.make 70 '-') mean_speedup;
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "host-throughput");
+        ("structure", Json.String "hash-set");
+        ("results", Json.List entries);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d configs)\n%!" out (List.length entries)
+
 (* --- Part 3: the paper reproduction ------------------------------------------ *)
 
 let () =
@@ -202,15 +299,20 @@ let () =
   (* --profile implies the metrics dump: it adds a cycle-attribution profile
      per run, which is what `bin/perfgate` gates p99 latency on. *)
   let profile = List.mem "--profile" argv in
+  let host_throughput = List.mem "--host-throughput" argv in
+  let out_default =
+    if host_throughput then "BENCH_HOST.json" else "BENCH_E1.json"
+  in
   let out =
     let rec find = function
       | "--out" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_E1.json"
+      | [] -> out_default
     in
     find argv
   in
-  if metrics_only || profile then run_metrics_dump ~profile ~out
+  if host_throughput then run_host_throughput ~out
+  else if metrics_only || profile then run_metrics_dump ~profile ~out
   else begin
     run_bechamel ();
     let cfg =

@@ -1,7 +1,8 @@
 (* CI perf-regression gate: compare a fresh bench --profile dump against a
    committed baseline and exit non-zero on regression.
 
-     perfgate BASELINE CURRENT [--warn-only] [--max-drop F] [--max-p99 F] *)
+     perfgate BASELINE CURRENT [--warn-only] [--max-drop F] [--max-p99 F]
+              [--max-host-drop F] *)
 
 open Cmdliner
 module Json = Oamem_obs.Json
@@ -46,9 +47,23 @@ let max_p99_arg =
     & info [ "max-p99" ] ~docv:"FRACTION"
         ~doc:"Maximum tolerated relative p99 latency increase.")
 
-let run baseline current warn_only max_drop max_p99 =
+let max_host_drop_arg =
+  Arg.(
+    value
+    & opt float Perfgate.default_thresholds.Perfgate.max_host_drop
+    & info [ "max-host-drop" ] ~docv:"FRACTION"
+        ~doc:
+          "Maximum tolerated relative drop in host simulator speed (steps \
+           per host-second); checked only when both documents carry the \
+           field.")
+
+let run baseline current warn_only max_drop max_p99 max_host_drop =
   let thresholds =
-    { Perfgate.max_throughput_drop = max_drop; max_p99_increase = max_p99 }
+    {
+      Perfgate.max_throughput_drop = max_drop;
+      max_p99_increase = max_p99;
+      max_host_drop;
+    }
   in
   let verdicts =
     Perfgate.compare_results ~thresholds ~baseline:(read_json baseline)
@@ -76,4 +91,4 @@ let () =
           (Cmd.info "perfgate" ~doc)
           Term.(
             const run $ baseline_arg $ current_arg $ warn_only_arg
-            $ max_drop_arg $ max_p99_arg)))
+            $ max_drop_arg $ max_p99_arg $ max_host_drop_arg)))

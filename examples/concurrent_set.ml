@@ -42,7 +42,7 @@ let () =
   let inserted = Array.make nthreads 0 and deleted = Array.make nthreads 0 in
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
-        let rng = ctx.Engine.prng in
+        let rng = (Engine.Mem.prng ctx) in
         for _ = 1 to ops_per_thread do
           let k = Prng.int rng universe in
           match Prng.int rng 3 with
@@ -66,5 +66,4 @@ let () =
     (Engine.elapsed_seconds (System.engine sys) *. 1e3)
     nthreads;
   System.drain sys;
-  Fmt.pr "after drain: %a@." Oamem_vmem.Vmem.pp_usage
-    (Oamem_vmem.Vmem.usage (System.vmem sys))
+  Fmt.pr "after drain: %a@." Oamem_vmem.Vmem.pp_residency (System.vmem sys)

@@ -13,7 +13,6 @@
    Run with: dune exec examples/memory_release.exe *)
 
 open Oamem_engine
-open Oamem_vmem
 open Oamem_lrmalloc
 open Oamem_core
 open Oamem_lockfree
@@ -38,23 +37,26 @@ let run_strategy remap =
   let h = System.hash_set sys setup ~expected_size:size in
   let keys = List.init size (fun i -> i) in
   Michael_hash.prefill h setup keys;
-  let before = Vmem.usage (System.vmem sys) in
+  (* frame/residency readings via the metrics registry *)
+  let gauge name = Oamem_obs.Metrics.find (System.metrics sys) name in
+  let frames_full = gauge "vmem.frames_live" in
   System.run_on_thread0 sys (fun ctx ->
       List.iter (fun k -> ignore (Michael_hash.delete h ctx k)) keys);
   System.drain sys;
-  let after = Vmem.usage (System.vmem sys) in
-  (before, after)
+  ( frames_full,
+    gauge "vmem.frames_live",
+    gauge "vmem.resident_pages",
+    gauge "vmem.linux_rss_pages" )
 
 let () =
   Fmt.pr "%-8s  %12s  %12s  %14s  %14s@." "strategy" "frames-full"
     "frames-after" "resident-pages" "linux-rss-pages";
   List.iter
     (fun remap ->
-      let before, after = run_strategy remap in
+      let frames_full, frames_after, resident, rss = run_strategy remap in
       Fmt.pr "%-8s  %12d  %12d  %14d  %14d@."
         (Config.remap_strategy_name remap)
-        before.Vmem.frames_live after.Vmem.frames_live
-        after.Vmem.resident_pages after.Vmem.linux_rss_pages)
+        frames_full frames_after resident rss)
     [ Config.Keep_resident; Config.Madvise; Config.Shared_map ];
   Fmt.pr
     "@.keep retains every frame; madvise and shared release them; shared's \

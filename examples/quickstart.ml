@@ -40,8 +40,7 @@ let () =
      persistent range stayed mapped *)
   Lrmalloc.flush_thread_cache alloc ctx;
   Heap.trim (Lrmalloc.heap alloc) ctx;
-  let u = Vmem.usage vm in
-  Fmt.pr "usage after teardown: %a@." Vmem.pp_usage u;
+  Fmt.pr "usage after teardown: %a@." Vmem.pp_residency vm;
   Fmt.pr "persistent range still mapped: %b@." (Vmem.mapped vm block);
   Fmt.pr "read after release: %d (zero-filled cow frame)@."
     (Vmem.load vm ctx block)

@@ -26,7 +26,7 @@ let scenario ~broken () =
       (fun eng ->
         for tid = 0 to 1 do
           Engine.spawn eng ~tid (fun ctx ->
-              let me = ctx.Engine.tid + 1 in
+              let me = (Engine.Mem.tid ctx) + 1 in
               if broken then begin
                 (* racy claim: check-then-act *)
                 let v = Vmem.load vm ctx slot in

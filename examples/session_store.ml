@@ -56,16 +56,17 @@ let () =
           done)
     done;
     System.run sys;
-    let u = Vmem.usage (System.vmem sys) in
+    let m = System.metrics sys in
     Fmt.pr "round %d: live sessions=%d frames=%d (peak %d)@." round
-      (Michael_hash.length store) u.Vmem.frames_live u.Vmem.frames_peak
+      (Michael_hash.length store)
+      (Oamem_obs.Metrics.find m "vmem.frames_live")
+      (Oamem_obs.Metrics.find m "vmem.frames_peak")
   done;
 
   System.drain sys;
-  let u = Vmem.usage (System.vmem sys) in
   Fmt.pr "@.steady state: footprint bounded despite %d total sessions — %a@."
     (rounds * sessions_per_round)
-    Vmem.pp_usage u;
+    Vmem.pp_residency (System.vmem sys);
   Fmt.pr "reclamation: %a@." Scheme.pp_stats (System.scheme sys).Scheme.stats;
   (* the same counters through the unified metrics registry *)
   let m = System.metrics sys in

@@ -87,9 +87,7 @@ type t = {
 }
 
 (* One named view over every subsystem's stats record.  Counters reset with
-   the registry (measurement reset); gauges are instantaneous readings.
-   The page-table-scanning gauges share one usage reading computed per
-   snapshot via the [on_snapshot] hook. *)
+   the registry (measurement reset); gauges are instantaneous readings. *)
 let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) =
   let reg ?reset name kind read = Metrics.register m ?reset ~name ~kind read in
   (* engine: accesses, fences, faults, syscalls + cache/TLB detail; one
@@ -136,24 +134,21 @@ let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) =
   a "large_frees" (fun () -> hs.Heap.large_frees);
   a "pressure_recoveries" (fun () -> hs.Heap.pressure_recoveries);
   a "pressure_failures" (fun () -> hs.Heap.pressure_failures);
-  (* virtual memory: the page-table scan is done once per snapshot *)
-  let usage = ref None in
-  Metrics.on_snapshot m (fun () -> usage := Some (Vmem.usage vmem));
-  let u read () =
-    match !usage with Some u -> read u | None -> read (Vmem.usage vmem)
-  in
-  let g field read = reg ("vmem." ^ field) Metrics.Gauge (u read) in
-  g "frames_live" (fun u -> u.Vmem.frames_live);
-  g "frames_peak" (fun u -> u.Vmem.frames_peak);
-  g "resident_pages" (fun u -> u.Vmem.resident_pages);
-  g "linux_rss_pages" (fun u -> u.Vmem.linux_rss_pages);
-  g "mapped_pages" (fun u -> u.Vmem.mapped_pages);
-  g "cow_pages" (fun u -> u.Vmem.cow_pages);
+  (* virtual memory: Vmem memoizes the page-table scan on the page-table
+     epoch, so reading the four residency gauges costs at most one scan per
+     snapshot *)
+  let g field read = reg ("vmem." ^ field) Metrics.Gauge read in
+  g "frames_live" (fun () -> Vmem.frames_live vmem);
+  g "frames_peak" (fun () -> Vmem.frames_peak vmem);
+  g "resident_pages" (fun () -> Vmem.resident_pages vmem);
+  g "linux_rss_pages" (fun () -> Vmem.linux_rss_pages vmem);
+  g "mapped_pages" (fun () -> Vmem.mapped_pages vmem);
+  g "cow_pages" (fun () -> Vmem.cow_pages vmem);
   let vreset () = Vmem.reset_counters vmem in
-  reg ~reset:vreset "vmem.minor_faults" Metrics.Counter
-    (u (fun u -> u.Vmem.minor_faults));
-  reg ~reset:vreset "vmem.cow_cas_faults" Metrics.Counter
-    (u (fun u -> u.Vmem.cow_cas_faults));
+  reg ~reset:vreset "vmem.minor_faults" Metrics.Counter (fun () ->
+      Vmem.minor_faults vmem);
+  reg ~reset:vreset "vmem.cow_cas_faults" Metrics.Counter (fun () ->
+      Vmem.cow_cas_faults vmem);
   reg ~reset:vreset "vmem.frames_released" Metrics.Counter (fun () ->
       Frames.freed_total (Vmem.frames vmem))
 
@@ -301,8 +296,15 @@ let set_tracing t on = Trace.set_enabled t.trace on
 let profile t = t.profile
 let set_profiling t on = Profile.set_enabled t.profile on
 
+(* [Engine.reset_clocks] rebuilds the scheduler's heap index (its keys are
+   the clocks being zeroed) and the translation-cache flush drops frames
+   cached during warmup, so the measured phase starts from a cold,
+   consistent state.  The flush also happens via the registered
+   [Vmem.reset_counters] reset, but is kept explicit: the contract must not
+   depend on metric-registration order. *)
 let reset_measurement t =
   Engine.reset_clocks t.engine;
+  Vmem.flush_translation_cache t.vmem;
   Metrics.reset t.metrics;
   Trace.clear t.trace;
   Profile.reset t.profile

@@ -38,34 +38,49 @@ let create ~name ~sets ~ways =
 let capacity_lines t = t.sets * t.ways
 let set_of_block t block = block land (t.sets - 1)
 
+(* The lookup and victim loops are top-level functions taking every datum as
+   an argument: local recursive functions capturing their environment would
+   allocate a closure per access, and this is the simulator's innermost hot
+   path.  Indices are in bounds by construction ([set_of_block] masks with
+   [sets - 1], ways are fixed), so the loops use unchecked array accesses. *)
+let rec find_way tags base ways block i =
+  if i >= ways then -1
+  else if Array.unsafe_get tags (base + i) = block then i
+  else find_way tags base ways block (i + 1)
+
+(* LRU way of the set (or any invalid way), scanning ways [i..ways-1]. *)
+let rec pick_victim tags stamps base ways best i =
+  if i >= ways then best
+  else
+    let best =
+      if Array.unsafe_get tags (base + i) = -1 then i
+      else if
+        Array.unsafe_get tags (base + best) <> -1
+        && Array.unsafe_get stamps (base + i)
+           < Array.unsafe_get stamps (base + best)
+      then i
+      else best
+    in
+    pick_victim tags stamps base ways best (i + 1)
+
 (* Returns [true] on hit.  On miss the block is installed, evicting the
    least-recently-used way of its set. *)
 let access t block =
   let base = set_of_block t block * t.ways in
   t.tick <- t.tick + 1;
-  let rec find i =
-    if i >= t.ways then None
-    else if t.tags.(base + i) = block then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
-      t.hits <- t.hits + 1;
-      t.stamps.(base + i) <- t.tick;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (* Pick the LRU way (or any invalid way). *)
-      let victim = ref 0 in
-      for i = 1 to t.ways - 1 do
-        if t.tags.(base + i) = -1 then victim := i
-        else if t.tags.(base + !victim) <> -1
-                && t.stamps.(base + i) < t.stamps.(base + !victim)
-        then victim := i
-      done;
-      t.tags.(base + !victim) <- block;
-      t.stamps.(base + !victim) <- t.tick;
-      false
+  let i = find_way t.tags base t.ways block 0 in
+  if i >= 0 then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_set t.stamps (base + i) t.tick;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let victim = pick_victim t.tags t.stamps base t.ways 0 1 in
+    Array.unsafe_set t.tags (base + victim) block;
+    Array.unsafe_set t.stamps (base + victim) t.tick;
+    false
+  end
 
 (* Probe without installing or updating LRU state. *)
 let present t block =

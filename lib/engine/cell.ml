@@ -28,7 +28,7 @@ let default_base = 1 lsl 50
 
 let heap ?(base = default_base) geom = { geom; base; next = base; allocated = 0 }
 
-type t = { addr : int; v : int Atomic.t }
+type t = { addr : int; vpage : int; v : int Atomic.t }
 
 (* Reserve [words] simulated words; with [pad] the allocation starts on a
    fresh cache line and the line is not shared with later allocations,
@@ -51,19 +51,16 @@ let alloc_words h ?(pad = false) words =
   end
 
 let make ?(pad = false) h init =
-  { addr = alloc_words h ~pad 1; v = Atomic.make init }
+  let addr = alloc_words h ~pad 1 in
+  { addr; vpage = Geometry.page_of_addr h.geom addr; v = Atomic.make init }
 
 let make_array ?(pad = false) h n init =
   Array.init n (fun _ -> make ~pad h init)
 
-let vpage_of geom addr = Geometry.page_of_addr geom addr
-
-let account ctx kind (t : t) =
-  match ctx.Engine.eng with
-  | None -> ()
-  | Some eng ->
-      let geom = Engine.geometry eng in
-      Engine.access ctx ~vpage:(vpage_of geom t.addr) ~paddr:t.addr ~kind
+(* The cell caches its vpage at [make] time (the metadata heap's geometry
+   matches the engine's), so the per-access path is a single fused call. *)
+let[@inline] account ctx kind (t : t) =
+  Engine.Mem.access ctx ~vpage:t.vpage ~paddr:t.addr ~kind
 
 let get ctx t =
   account ctx Engine.Load t;
@@ -76,7 +73,7 @@ let set ctx t x =
 let cas ctx t ~expect ~desired =
   account ctx Engine.Rmw t;
   let ok = Atomic.compare_and_set t.v expect desired in
-  if not ok then Engine.note_cas_failure ctx ~addr:t.addr;
+  if not ok then Engine.Mem.note_cas_failure ctx ~addr:t.addr;
   ok
 
 let exchange ctx t x =

@@ -2,7 +2,7 @@
 
    Logical threads are OCaml-5 effect-based coroutines.  Every simulated
    memory access, fence or OS event is a yield point: the thread performs a
-   {!request} effect, the scheduler charges its cycle cost (via the cache
+   {!Mem} request, the scheduler charges its cycle cost (via the cache
    hierarchy and TLB models) onto the thread's clock, and then resumes the
    globally earliest thread.  Under the [Min_clock] policy this executes all
    shared-memory accesses in simulated-time order, giving a deterministic
@@ -16,8 +16,29 @@
    Threads occupy fixed slots [0, nthreads); slots may be reused across
    successive [run] phases (e.g. a sequential prefill phase followed by a
    parallel measurement phase).  Spin loops in simulated code must call
-   {!pause} (or perform some other yield) on every iteration, otherwise the
-   simulation cannot make progress on other threads. *)
+   {!Mem.pause} (or perform some other yield) on every iteration, otherwise
+   the simulation cannot make progress on other threads.
+
+   Hot path.  Two structures keep the host cost of a simulated access low:
+
+   - The runnable set under [Min_clock] is indexed by a binary min-heap
+     keyed on (clock, tid) — the same ordering the old linear scan computed
+     per step — so a scheduling decision is O(log runnable) instead of
+     O(nthreads).
+
+   - The fused fast path: at a yield point the running thread compares its
+     own clock against the heap minimum.  If the thread would be re-picked
+     anyway (strictly earliest, ties to lowest tid), it charges the request
+     inline — no effect performed, no continuation switch, no request
+     record allocated — which is exactly what the scheduler would have done
+     before resuming it.  The cost-model side effects therefore happen in
+     the identical global order and every simulated outcome (clocks, cache
+     and TLB state, stats, schedule) is byte-identical to the slow path.
+     The fast path is disabled under [Random_order]/[Scripted] (every yield
+     is a scheduling decision there), under a non-trivial fault plan (the
+     plan is consulted at scheduler yields), under [run ~max_steps] (steps
+     are counted at scheduler yields), and via {!set_fused} (differential
+     testing). *)
 
 type access_kind = Load | Store | Rmw
 type fence_kind = Full | Compiler
@@ -68,6 +89,13 @@ type t = {
   mutable fences : int;
   mutable faults : int;
   mutable syscalls : int;
+  (* --- scheduler index (Min_clock only) --- *)
+  use_heap : bool;  (* policy = Min_clock *)
+  heap : int array;  (* runnable tids, binary min-heap on (clock, tid) *)
+  hpos : int array;  (* tid -> heap index, -1 when not in the heap *)
+  mutable hlen : int;
+  mutable fused : bool;  (* user toggle for the inline fast path *)
+  mutable inline_ok : bool;  (* set by [run]: fused && Min_clock && no cap *)
 }
 
 and slot = {
@@ -119,6 +147,12 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
       fences = 0;
       faults = 0;
       syscalls = 0;
+      use_heap = (policy = Min_clock);
+      heap = Array.make nthreads (-1);
+      hpos = Array.make nthreads (-1);
+      hlen = 0;
+      fused = true;
+      inline_ok = false;
     }
   in
   t.slots <-
@@ -138,60 +172,255 @@ let nthreads t = t.nthreads
 let external_ctx ?(tid = 0) ?(seed = 42) () =
   { tid; eng = None; prng = Prng.create seed }
 
-(* Cycle cost of a request issued by thread [tid], updating the cache and
-   TLB models as a side effect. *)
-let cost_of_request t ~tid = function
-  | Access { vpage; paddr; kind } ->
-      t.accesses <- t.accesses + 1;
-      let tlb_cost = if vpage >= 0 then Tlb.access t.tlb ~tid vpage else 0 in
-      let hkind =
-        match kind with
-        | Load -> Hierarchy.Load
-        | Store -> Hierarchy.Store
-        | Rmw -> Hierarchy.Rmw
-      in
-      let block = Geometry.block_of_addr t.geom paddr in
-      tlb_cost + Hierarchy.access t.hierarchy ~tid ~kind:hkind block
-  | Fence Full ->
+(* --- scheduler index ------------------------------------------------------ *)
+
+(* Strict (clock, tid) lexicographic order: exactly the order the old
+   per-step linear scan established (earliest clock, ties to lowest tid). *)
+let[@inline] hless t a b =
+  let ca = t.slots.(a).clock and cb = t.slots.(b).clock in
+  ca < cb || (ca = cb && a < b)
+
+let[@inline] hswap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.hpos.(b) <- i;
+  t.hpos.(a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if hless t t.heap.(i) t.heap.(p) then begin
+      hswap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.hlen then begin
+    let m = if l + 1 < t.hlen && hless t t.heap.(l + 1) t.heap.(l) then l + 1 else l in
+    if hless t t.heap.(m) t.heap.(i) then begin
+      hswap t i m;
+      sift_down t m
+    end
+  end
+
+let heap_push t tid =
+  if t.hpos.(tid) < 0 then begin
+    let i = t.hlen in
+    t.heap.(i) <- tid;
+    t.hpos.(tid) <- i;
+    t.hlen <- i + 1;
+    sift_up t i
+  end
+
+let heap_pop t =
+  if t.hlen = 0 then -1
+  else begin
+    let tid = t.heap.(0) in
+    t.hpos.(tid) <- -1;
+    let last = t.hlen - 1 in
+    t.hlen <- last;
+    if last > 0 then begin
+      let moved = t.heap.(last) in
+      t.heap.(0) <- moved;
+      t.hpos.(moved) <- 0;
+      sift_down t 0
+    end;
+    tid
+  end
+
+(* Re-derive the index from slot state.  Needed whenever clocks change out
+   of band (e.g. {!reset_clocks} between a warmup and a measured phase):
+   heap keys are thread clocks, so zeroing them invalidates the order. *)
+let heap_rebuild t =
+  if t.use_heap then begin
+    t.hlen <- 0;
+    Array.fill t.hpos 0 t.nthreads (-1);
+    for tid = 0 to t.nthreads - 1 do
+      match t.slots.(tid).pending with
+      | Idle | Crashed -> ()
+      | Start _ | Blocked _ -> heap_push t tid
+    done
+  end
+
+(* True iff the running thread [tid] (not in the heap) would be re-picked
+   by the scheduler right now: its clock is strictly earliest, ties broken
+   to the lowest tid — the exact comparison the old linear scan made. *)
+let[@inline] still_leader t ~tid clock =
+  t.hlen = 0
+  ||
+  let u = Array.unsafe_get t.heap 0 in
+  let cu = (Array.unsafe_get t.slots u).clock in
+  clock < cu || (clock = cu && tid < u)
+
+(* --- request costs -------------------------------------------------------- *)
+
+(* Cycle cost of one memory access by thread [tid], updating the cache and
+   TLB models as a side effect.  Shared by the scheduler's request path and
+   the fused inline path so both charge identically. *)
+let[@inline] charge_access t ~tid ~vpage ~paddr ~kind =
+  t.accesses <- t.accesses + 1;
+  let tlb_cost = if vpage >= 0 then Tlb.access t.tlb ~tid vpage else 0 in
+  let hkind =
+    match kind with
+    | Load -> Hierarchy.Load
+    | Store -> Hierarchy.Store
+    | Rmw -> Hierarchy.Rmw
+  in
+  let block = Geometry.block_of_addr t.geom paddr in
+  tlb_cost + Hierarchy.access t.hierarchy ~tid ~kind:hkind block
+
+let[@inline] charge_fence t kind =
+  match kind with
+  | Full ->
       t.fences <- t.fences + 1;
       t.cost.fence_full
-  | Fence Compiler -> t.cost.fence_compiler
-  | Event Minor_fault ->
+  | Compiler -> t.cost.fence_compiler
+
+let[@inline] charge_event t kind =
+  match kind with
+  | Minor_fault ->
       t.faults <- t.faults + 1;
       t.cost.minor_fault
-  | Event Syscall ->
+  | Syscall ->
       t.syscalls <- t.syscalls + 1;
       t.cost.syscall
-  | Event Pause -> t.cost.pause
+  | Pause -> t.cost.pause
 
-(* --- thread-side API ----------------------------------------------------- *)
+let cost_of_request t ~tid = function
+  | Access { vpage; paddr; kind } -> charge_access t ~tid ~vpage ~paddr ~kind
+  | Fence kind -> charge_fence t kind
+  | Event kind -> charge_event t kind
 
-let yield ctx request =
-  match ctx.eng with
-  | None -> ()
-  | Some _ -> Effect.perform (Yield request)
+(* --- fault injection / observability wiring -------------------------------- *)
 
-let access ctx ~vpage ~paddr ~kind = yield ctx (Access { vpage; paddr; kind })
-let fence ctx kind = yield ctx (Fence kind)
-let event ctx kind = yield ctx (Event kind)
-let pause ctx = yield ctx (Event Pause)
+let set_fault_plan t plan = t.plan <- plan
+let fault_plan t = t.plan
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
+let set_profile t p = t.prof <- p
+let profile t = t.prof
+let set_fused t on = t.fused <- on
+let fused t = t.fused
+let fault_stats t ~tid = t.slots.(tid).fstats
+let crashed t ~tid = t.slots.(tid).fstats.crashed
 
-let charge ctx cycles =
-  match ctx.eng with
-  | None -> ()
-  | Some t ->
-      let slot = t.slots.(ctx.tid) in
-      slot.clock <- slot.clock + cycles;
-      if Oamem_obs.Profile.enabled t.prof then
-        Oamem_obs.Profile.charge t.prof ~tid:ctx.tid cycles
+(* Total yield points executed (all threads, all phases): the engine's
+   simulated step count, identical whether a yield went through the
+   scheduler or the fused inline path.  [bench --host-throughput] reports
+   steps per host second from this. *)
+let steps t =
+  Array.fold_left (fun acc s -> acc + s.fstats.yields) 0 t.slots
 
-let now ctx =
-  match ctx.eng with None -> 0 | Some t -> t.slots.(ctx.tid).clock
+(* --- Mem: the fused per-thread memory-access interface --------------------- *)
 
-(* Kernel-side effect of an unmap/remap: flush the page from every TLB.  The
-   cycle cost is part of the syscall that triggered it. *)
-let tlb_shootdown ctx vpage =
-  match ctx.eng with None -> () | Some t -> Tlb.shootdown t.tlb vpage
+module Mem = struct
+  type t = ctx
+
+  let tid (c : ctx) = c.tid
+  let prng (c : ctx) = c.prng
+  let costed (c : ctx) = c.eng <> None
+
+  let now (c : ctx) =
+    match c.eng with None -> 0 | Some t -> t.slots.(c.tid).clock
+
+  (* The profiler as seen from a thread context: [Profile.null] outside the
+     engine, so subsystem instrumentation needs no option check. *)
+  let profile (c : ctx) =
+    match c.eng with None -> Oamem_obs.Profile.null | Some t -> t.prof
+
+  let charge (c : ctx) cycles =
+    match c.eng with
+    | None -> ()
+    | Some t ->
+        let slot = t.slots.(c.tid) in
+        slot.clock <- slot.clock + cycles;
+        if Oamem_obs.Profile.enabled t.prof then
+          Oamem_obs.Profile.charge t.prof ~tid:c.tid cycles
+
+  (* Kernel-side effect of an unmap/remap: flush the page from every TLB.
+     The cycle cost is part of the syscall that triggered it. *)
+  let tlb_shootdown (c : ctx) vpage =
+    match c.eng with None -> () | Some t -> Tlb.shootdown t.tlb vpage
+
+  let note_cas_failure (c : ctx) ~addr =
+    match c.eng with
+    | None -> ()
+    | Some t ->
+        if Oamem_obs.Profile.enabled t.prof then
+          Oamem_obs.Profile.note_cas_failure t.prof ~tid:c.tid ~addr
+
+  (* The inline fast path.  Preconditions checked by the callers below:
+     the engine is mid-[run] under [Min_clock] with no step cap, the fault
+     plan is trivial, and this thread is still the scheduling leader.  The
+     bookkeeping mirrors the scheduler's yield processing line by line. *)
+
+  let[@inline] finish_inline t ~tid slot cost =
+    slot.clock <- slot.clock + cost;
+    if Oamem_obs.Profile.enabled t.prof then
+      Oamem_obs.Profile.charge t.prof ~tid cost
+
+  let[@inline] inline_ready t (c : ctx) =
+    t.inline_ok
+    && Fault_plan.is_trivial t.plan
+    && still_leader t ~tid:c.tid t.slots.(c.tid).clock
+
+  let access (c : ctx) ~vpage ~paddr ~kind =
+    match c.eng with
+    | None -> ()
+    | Some t ->
+        if inline_ready t c then begin
+          let tid = c.tid in
+          let slot = t.slots.(tid) in
+          let fs = slot.fstats in
+          fs.yields <- fs.yields + 1;
+          if Oamem_obs.Profile.enabled t.prof then begin
+            let invs_before = Hierarchy.remote_invalidations t.hierarchy in
+            let cost = charge_access t ~tid ~vpage ~paddr ~kind in
+            slot.clock <- slot.clock + cost;
+            Oamem_obs.Profile.charge t.prof ~tid cost;
+            match kind with
+            | (Store | Rmw)
+              when Hierarchy.remote_invalidations t.hierarchy > invs_before
+              ->
+                Oamem_obs.Profile.note_invalidation t.prof ~tid ~addr:paddr
+            | _ -> ()
+          end
+          else begin
+            let cost = charge_access t ~tid ~vpage ~paddr ~kind in
+            slot.clock <- slot.clock + cost
+          end
+        end
+        else Effect.perform (Yield (Access { vpage; paddr; kind }))
+
+  let fence (c : ctx) kind =
+    match c.eng with
+    | None -> ()
+    | Some t ->
+        if inline_ready t c then begin
+          let tid = c.tid in
+          let slot = t.slots.(tid) in
+          slot.fstats.yields <- slot.fstats.yields + 1;
+          finish_inline t ~tid slot (charge_fence t kind)
+        end
+        else Effect.perform (Yield (Fence kind))
+
+  let event (c : ctx) kind =
+    match c.eng with
+    | None -> ()
+    | Some t ->
+        if inline_ready t c then begin
+          let tid = c.tid in
+          let slot = t.slots.(tid) in
+          slot.fstats.yields <- slot.fstats.yields + 1;
+          finish_inline t ~tid slot (charge_event t kind)
+        end
+        else Effect.perform (Yield (Event kind))
+
+  let pause (c : ctx) = event c Pause
+end
 
 (* --- scheduler ----------------------------------------------------------- *)
 
@@ -202,30 +431,8 @@ let spawn t ~tid f =
   | Idle -> ()
   | Start _ | Blocked _ -> invalid_arg "Engine.spawn: slot busy"
   | Crashed -> invalid_arg "Engine.spawn: slot crashed");
-  slot.pending <- Start f
-
-(* --- fault injection ------------------------------------------------------ *)
-
-let set_fault_plan t plan = t.plan <- plan
-let fault_plan t = t.plan
-let set_trace t tr = t.trace <- tr
-let trace t = t.trace
-let set_profile t p = t.prof <- p
-let profile t = t.prof
-
-(* The profiler as seen from a thread context: [Profile.null] outside the
-   engine, so subsystem instrumentation needs no option check. *)
-let ctx_profile ctx =
-  match ctx.eng with None -> Oamem_obs.Profile.null | Some t -> t.prof
-
-let note_cas_failure ctx ~addr =
-  match ctx.eng with
-  | None -> ()
-  | Some t ->
-      if Oamem_obs.Profile.enabled t.prof then
-        Oamem_obs.Profile.note_cas_failure t.prof ~tid:ctx.tid ~addr
-let fault_stats t ~tid = t.slots.(tid).fstats
-let crashed t ~tid = t.slots.(tid).fstats.crashed
+  slot.pending <- Start f;
+  if t.use_heap then heap_push t tid
 
 let start_thread ctx f =
   Effect.Deep.match_with f ctx
@@ -242,18 +449,15 @@ let start_thread ctx f =
           | _ -> None);
     }
 
-(* Pick the next slot to resume: the earliest clock (ties to lowest tid)
-   under [Min_clock], or a uniformly random runnable slot otherwise. *)
-let pick t =
-  let best = ref (-1) in
+(* Pick the next slot to resume for the scan-based policies: a uniformly
+   random runnable slot ([Random_order]) or the scripted/first runnable
+   one ([Scripted]).  [Min_clock] uses the heap index instead. *)
+let pick_scan t =
   let runnable = ref 0 in
   for tid = 0 to t.nthreads - 1 do
     match t.slots.(tid).pending with
     | Idle | Crashed -> ()
-    | Start _ | Blocked _ ->
-        incr runnable;
-        if !best < 0 || t.slots.(tid).clock < t.slots.(!best).clock then
-          best := tid
+    | Start _ | Blocked _ -> incr runnable
   done;
   let nth_runnable n =
     let chosen = ref (-1) in
@@ -267,11 +471,11 @@ let pick t =
     done;
     !chosen
   in
-  if !best < 0 then None
+  if !runnable = 0 then -1
   else
     match t.policy with
-    | Min_clock -> Some !best
-    | Random_order _ -> Some (nth_runnable (Prng.int t.sched_rng !runnable))
+    | Min_clock -> assert false
+    | Random_order _ -> nth_runnable (Prng.int t.sched_rng !runnable)
     | Scripted s ->
         (* record the branching factor, then follow the prefix; past the
            prefix, take the first runnable thread (deterministic default) *)
@@ -282,81 +486,90 @@ let pick t =
           if step < Array.length s.prefix then s.prefix.(step) mod !runnable
           else 0
         in
-        Some (nth_runnable choice)
+        nth_runnable choice
 
 exception Step_limit_exceeded
 
+(* Park a resumed thread's outcome back into its slot.  Top level (not a
+   per-step closure): the scheduler loop runs once per simulated step. *)
+let settle t tid slot = function
+  | Done -> slot.pending <- Idle
+  | Yielded (r, k) ->
+      slot.pending <- Blocked (r, k);
+      if t.use_heap then heap_push t tid
+
 let run ?max_steps t =
+  t.inline_ok <- t.fused && t.use_heap && max_steps = None;
   let steps = ref 0 in
   let rec loop () =
-    match pick t with
-    | None -> ()
-    | Some tid ->
-        incr steps;
-        (match max_steps with
-        | Some limit when !steps > limit -> raise Step_limit_exceeded
-        | _ -> ());
-        let slot = t.slots.(tid) in
-        let settle = function
-          | Done -> slot.pending <- Idle
-          | Yielded (r, k) -> slot.pending <- Blocked (r, k)
-        in
-        (match slot.pending with
-        | Idle | Crashed -> assert false
-        | Start f ->
-            slot.pending <- Idle;
-            settle
-              (try start_thread slot.ctx f
-               with e ->
-                 slot.pending <- Idle;
-                 raise e)
-        | Blocked (request, k) -> (
-            slot.pending <- Idle;
-            let fs = slot.fstats in
-            fs.yields <- fs.yields + 1;
-            match Fault_plan.on_yield t.plan ~tid ~yield:fs.yields with
-            | Fault_plan.Kill ->
-                (* fail-stop: drop the continuation, never resume the slot *)
-                fs.crashed <- true;
-                slot.pending <- Crashed;
+    let tid = if t.use_heap then heap_pop t else pick_scan t in
+    if tid >= 0 then begin
+      incr steps;
+      (match max_steps with
+      | Some limit when !steps > limit ->
+          (* leave the slot exactly as the scan-based scheduler would:
+             still pending, still indexed *)
+          if t.use_heap then heap_push t tid;
+          raise Step_limit_exceeded
+      | _ -> ());
+      let slot = t.slots.(tid) in
+      (match slot.pending with
+      | Idle | Crashed -> assert false
+      | Start f ->
+          slot.pending <- Idle;
+          settle t tid slot
+            (try start_thread slot.ctx f
+             with e ->
+               slot.pending <- Idle;
+               raise e)
+      | Blocked (request, k) -> (
+          slot.pending <- Idle;
+          let fs = slot.fstats in
+          fs.yields <- fs.yields + 1;
+          match Fault_plan.on_yield t.plan ~tid ~yield:fs.yields with
+          | Fault_plan.Kill ->
+              (* fail-stop: drop the continuation, never resume the slot *)
+              fs.crashed <- true;
+              slot.pending <- Crashed;
+              if Oamem_obs.Trace.enabled t.trace then
+                Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+                  Oamem_obs.Trace.Crash
+          | Fault_plan.Delay { stall; jitter } ->
+              if stall > 0 then begin
+                fs.stalls_injected <- fs.stalls_injected + 1;
+                fs.stall_cycles <- fs.stall_cycles + stall;
                 if Oamem_obs.Trace.enabled t.trace then
                   Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
-                    Oamem_obs.Trace.Crash
-            | Fault_plan.Delay { stall; jitter } ->
-                if stall > 0 then begin
-                  fs.stalls_injected <- fs.stalls_injected + 1;
-                  fs.stall_cycles <- fs.stall_cycles + stall;
-                  if Oamem_obs.Trace.enabled t.trace then
-                    Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
-                      (Oamem_obs.Trace.Stall { cycles = stall })
-                end;
-                if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
-                let profiling = Oamem_obs.Profile.enabled t.prof in
-                let invs_before =
-                  if profiling then Hierarchy.remote_invalidations t.hierarchy
-                  else 0
-                in
-                let cost = cost_of_request t ~tid request + stall + jitter in
-                slot.clock <- slot.clock + cost;
-                if profiling then begin
-                  (* the yielding thread's span stack is untouched until its
-                     continuation resumes, so the innermost open span is the
-                     one that issued this request *)
-                  Oamem_obs.Profile.charge t.prof ~tid cost;
-                  match request with
-                  | Access { paddr; kind = Store | Rmw; _ }
-                    when Hierarchy.remote_invalidations t.hierarchy
-                         > invs_before ->
-                      Oamem_obs.Profile.note_invalidation t.prof ~tid
-                        ~addr:paddr
-                  | _ -> ()
-                end;
-                settle
-                  (try Effect.Deep.continue k ()
-                   with e ->
-                     slot.pending <- Idle;
-                     raise e)));
-        loop ()
+                    (Oamem_obs.Trace.Stall { cycles = stall })
+              end;
+              if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
+              let profiling = Oamem_obs.Profile.enabled t.prof in
+              let invs_before =
+                if profiling then Hierarchy.remote_invalidations t.hierarchy
+                else 0
+              in
+              let cost = cost_of_request t ~tid request + stall + jitter in
+              slot.clock <- slot.clock + cost;
+              if profiling then begin
+                (* the yielding thread's span stack is untouched until its
+                   continuation resumes, so the innermost open span is the
+                   one that issued this request *)
+                Oamem_obs.Profile.charge t.prof ~tid cost;
+                match request with
+                | Access { paddr; kind = Store | Rmw; _ }
+                  when Hierarchy.remote_invalidations t.hierarchy
+                       > invs_before ->
+                    Oamem_obs.Profile.note_invalidation t.prof ~tid
+                      ~addr:paddr
+                | _ -> ()
+              end;
+              settle t tid slot
+                (try Effect.Deep.continue k ()
+                 with e ->
+                   slot.pending <- Idle;
+                   raise e)));
+      loop ()
+    end
   in
   loop ()
 
@@ -366,7 +579,11 @@ let clock t ~tid = t.slots.(tid).clock
 let elapsed t = Array.fold_left (fun acc s -> max acc s.clock) 0 t.slots
 let elapsed_seconds t = Cost_model.seconds_of_cycles t.cost (elapsed t)
 
-let reset_clocks t = Array.iter (fun s -> s.clock <- 0) t.slots
+let reset_clocks t =
+  Array.iter (fun s -> s.clock <- 0) t.slots;
+  (* heap keys are clocks: re-derive the index or later pops would follow
+     the stale pre-reset order *)
+  heap_rebuild t
 
 type stats = {
   accesses : int;

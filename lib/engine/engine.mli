@@ -7,8 +7,10 @@
     one ([Random_order]).  Exactly one access executes at a time, so each
     access is atomic and interleaving granularity is a single access.
 
-    Spin loops in simulated code must yield (e.g. {!pause}) on every
-    iteration, otherwise other threads cannot progress. *)
+    All thread-side cost accounting goes through {!Mem}, the fused
+    per-thread memory-access interface.  Spin loops in simulated code must
+    yield (e.g. {!Mem.pause}) on every iteration, otherwise other threads
+    cannot progress. *)
 
 type access_kind = Load | Store | Rmw
 type fence_kind = Full | Compiler
@@ -32,9 +34,12 @@ type policy =
 
 type t
 
-type ctx = private { tid : int; eng : t option; prng : Prng.t }
-(** Per-logical-thread context.  [eng = None] means direct (uncosted)
-    execution, e.g. from real domains or test setup code. *)
+type ctx
+(** Per-logical-thread context: the value every simulated thread body
+    receives and threads through the whole stack.  It is the fused
+    memory-access handle — engine binding, thread id, PRNG and
+    per-access bookkeeping are resolved once per thread at engine creation,
+    not re-checked per access.  Operate on it through {!Mem}. *)
 
 val create :
   ?policy:policy ->
@@ -53,26 +58,52 @@ val nthreads : t -> int
 val external_ctx : ?tid:int -> ?seed:int -> unit -> ctx
 (** A context usable outside the scheduler: all cost accounting is a no-op. *)
 
-(** {2 Thread-side API} — called from inside simulated threads. *)
+(** {2 The fused memory-access interface} — called from inside simulated
+    threads.  One handle per thread carries everything an access needs, so
+    each call is a single enablement branch plus the cost-model update; on
+    the hot path ([Min_clock], trivial fault plan, thread still the
+    scheduling leader) a request is charged inline without a context
+    switch, with byte-identical simulated results (see DESIGN.md). *)
 
-val access : ctx -> vpage:int -> paddr:int -> kind:access_kind -> unit
-(** Charge one memory access.  [vpage < 0] skips the TLB (used for allocator
-    metadata that is modelled as identity-mapped). *)
+module Mem : sig
+  type t = ctx
 
-val fence : ctx -> fence_kind -> unit
-val event : ctx -> event_kind -> unit
-val pause : ctx -> unit
-(** One spin-loop iteration: charges the pause cost and yields. *)
+  val tid : t -> int
+  val prng : t -> Prng.t
 
-val charge : ctx -> int -> unit
-(** Add raw cycles to the calling thread's clock without yielding. *)
+  val costed : t -> bool
+  (** [true] when the context belongs to an engine (accesses are charged);
+      [false] for {!external_ctx}. *)
 
-val now : ctx -> int
-(** The calling thread's simulated clock, in cycles. *)
+  val now : t -> int
+  (** The calling thread's simulated clock, in cycles. *)
 
-val tlb_shootdown : ctx -> int -> unit
-(** Flush a virtual page from every TLB (issued by unmap/remap paths; its
-    cycle cost is part of the surrounding syscall). *)
+  val access : t -> vpage:int -> paddr:int -> kind:access_kind -> unit
+  (** Charge one memory access.  [vpage < 0] skips the TLB (used for
+      allocator metadata that is modelled as identity-mapped). *)
+
+  val fence : t -> fence_kind -> unit
+  val event : t -> event_kind -> unit
+
+  val pause : t -> unit
+  (** One spin-loop iteration: charges the pause cost and yields. *)
+
+  val charge : t -> int -> unit
+  (** Add raw cycles to the calling thread's clock without yielding. *)
+
+  val tlb_shootdown : t -> int -> unit
+  (** Flush a virtual page from every TLB (issued by unmap/remap paths;
+      its cycle cost is part of the surrounding syscall). *)
+
+  val note_cas_failure : t -> addr:int -> unit
+  (** Record a failed CAS on simulated address [addr] in the profiler's
+      contention table (no-op when profiling is off or outside the
+      engine). *)
+
+  val profile : t -> Oamem_obs.Profile.t
+  (** The engine's profiler, or {!Oamem_obs.Profile.null} for an external
+      context — instrumentation points need no option check. *)
+end
 
 (** {2 Scheduler} *)
 
@@ -113,24 +144,31 @@ val trace : t -> Oamem_obs.Trace.t
     With an attached {!Oamem_obs.Profile.t} (default
     {!Oamem_obs.Profile.null}), every cycle the scheduler charges — request
     costs from the cache/TLB/cost models, injected stalls and jitter, and
-    raw {!charge} cycles — is also attributed to the issuing thread's
+    raw {!Mem.charge} cycles — is also attributed to the issuing thread's
     innermost open profiler span, and stores/RMWs that trigger a remote
     invalidation broadcast are charged to the accessed address in the
     profiler's contention table.  Subsystems open spans through
-    {!ctx_profile} and report failed CAS attempts through
-    {!note_cas_failure}.  All of it is allocation-free and branch-only when
-    the profiler is disabled. *)
+    {!Mem.profile} and report failed CAS attempts through
+    {!Mem.note_cas_failure}.  All of it is allocation-free and branch-only
+    when the profiler is disabled. *)
 
 val set_profile : t -> Oamem_obs.Profile.t -> unit
 val profile : t -> Oamem_obs.Profile.t
 
-val ctx_profile : ctx -> Oamem_obs.Profile.t
-(** The engine's profiler, or {!Oamem_obs.Profile.null} for an external
-    context — instrumentation points need no option check. *)
+(** {2 Fused fast path} *)
 
-val note_cas_failure : ctx -> addr:int -> unit
-(** Record a failed CAS on simulated address [addr] in the profiler's
-    contention table (no-op when profiling is off or outside the engine). *)
+val set_fused : t -> bool -> unit
+(** Enable/disable the inline fast path (default enabled).  With it
+    disabled every yield goes through the scheduler exactly as the
+    pre-fusion engine did — the differential tests run both ways and
+    assert byte-identical simulated results. *)
+
+val fused : t -> bool
+
+val steps : t -> int
+(** Total yield points executed across all threads and phases (scheduler
+    and inline path alike): the engine's simulated step count, the
+    numerator of [bench --host-throughput]'s steps-per-host-second. *)
 
 type fault_stats = {
   mutable yields : int;  (** yield points executed by this thread *)
@@ -152,7 +190,10 @@ val elapsed : t -> int
 (** Max over all thread clocks, in cycles. *)
 
 val elapsed_seconds : t -> float
+
 val reset_clocks : t -> unit
+(** Zero every thread clock and rebuild the scheduler index (heap keys are
+    clocks).  Part of {!Oamem_core.System.reset_measurement}. *)
 
 type stats = {
   accesses : int;

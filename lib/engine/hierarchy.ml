@@ -10,7 +10,16 @@
    reasons about in §2.4.
 
    The directory is not told about silent evictions, so it may conservatively
-   over-invalidate; this only adds a small amount of cost noise. *)
+   over-invalidate; this only adds a small amount of cost noise.
+
+   The directory is an open-addressing int->int table (linear probing over
+   two flat arrays, multiplicative hashing) rather than a [Hashtbl]: block
+   numbers span both the dense frame-pool region and the sparse metadata
+   region near 2^50, and this runs on every simulated access, where the
+   generic hash call, bucket-list allocation and option boxing of [Hashtbl]
+   dominated the simulator's host-side profile.  Absent key = empty sharer
+   mask, exactly like the hashtable it replaced; entries are never deleted
+   (masks only get rewritten), so probing needs no tombstones. *)
 
 type config = {
   l1_sets : int;
@@ -56,9 +65,21 @@ type t = {
   l1 : Cache.t array;  (* per thread *)
   l2 : Cache.t array;  (* per group of [threads_per_l2] threads *)
   l3 : Cache.t;
-  directory : (int, int) Hashtbl.t;  (* block -> sharer bitmask *)
+  mutable dir_keys : int array;  (* block numbers; [dir_empty] = free slot *)
+  mutable dir_vals : int array;  (* sharer bitmasks, parallel to [dir_keys] *)
+  mutable dir_count : int;  (* occupied slots; grow at 50% load *)
   mutable remote_invalidations : int;
 }
+
+(* No block number can be [min_int]: addresses are non-negative and the
+   arithmetic shift in [Geometry.block_of_addr] preserves sign. *)
+let dir_empty = min_int
+
+(* Multiplicative (Fibonacci) hashing: one multiply spreads both the dense
+   low blocks and the 2^50-region metadata blocks across the table.  The
+   table size is a power of two, so the high bits must feed the index. *)
+let[@inline] dir_hash block mask =
+  (block * 0x2545_F491_4F6C_DD1D) lsr 20 land mask
 
 let create ?(cfg = opteron_6274_config) ~cost ~nthreads () =
   if nthreads <= 0 || nthreads > 62 then
@@ -77,33 +98,69 @@ let create ?(cfg = opteron_6274_config) ~cost ~nthreads () =
           Cache.create ~name:(Printf.sprintf "L2.%d" i) ~sets:cfg.l2_sets
             ~ways:cfg.l2_ways);
     l3 = Cache.create ~name:"L3" ~sets:cfg.l3_sets ~ways:cfg.l3_ways;
-    directory = Hashtbl.create 4096;
+    dir_keys = Array.make 8192 dir_empty;
+    dir_vals = Array.make 8192 0;
+    dir_count = 0;
     remote_invalidations = 0;
   }
 
 let l2_bank t tid = tid / t.cfg.threads_per_l2
 
-let sharers t block =
-  match Hashtbl.find_opt t.directory block with Some m -> m | None -> 0
+(* Slot holding [block], or the free slot where it belongs.  The table is
+   kept at most half full, so an empty slot is always reachable.  Top-level
+   probe loop (not a local closure): this runs on every simulated access and
+   must not allocate. *)
+let rec dir_probe keys block m i =
+  let k = Array.unsafe_get keys i in
+  if k = block || k = dir_empty then i
+  else dir_probe keys block m ((i + 1) land m)
 
-(* Invalidate every remote copy of [block]; returns true if any remote
-   thread actually shared it (to charge the invalidation broadcast). *)
-let invalidate_remote t ~tid block =
-  let mask = sharers t block in
-  let others = mask land lnot (1 lsl tid) in
-  if others = 0 then false
+let[@inline] dir_slot keys block =
+  let m = Array.length keys - 1 in
+  dir_probe keys block m (dir_hash block m)
+
+let[@inline] sharers t block =
+  let keys = t.dir_keys in
+  let i = dir_slot keys block in
+  if Array.unsafe_get keys i = block then Array.unsafe_get t.dir_vals i else 0
+
+let dir_grow t =
+  let old_keys = t.dir_keys and old_vals = t.dir_vals in
+  let n = 2 * Array.length old_keys in
+  t.dir_keys <- Array.make n dir_empty;
+  t.dir_vals <- Array.make n 0;
+  Array.iteri
+    (fun i k ->
+      if k <> dir_empty then begin
+        let j = dir_slot t.dir_keys k in
+        t.dir_keys.(j) <- k;
+        t.dir_vals.(j) <- old_vals.(i)
+      end)
+    old_keys
+
+let[@inline] dir_set t block mask =
+  let keys = t.dir_keys in
+  let i = dir_slot keys block in
+  if Array.unsafe_get keys i = block then Array.unsafe_set t.dir_vals i mask
   else begin
-    let my_bank = l2_bank t tid in
-    for tid' = 0 to t.nthreads - 1 do
-      if others land (1 lsl tid') <> 0 then begin
-        Cache.invalidate t.l1.(tid') block;
-        let bank = l2_bank t tid' in
-        if bank <> my_bank then Cache.invalidate t.l2.(bank) block
-      end
-    done;
-    t.remote_invalidations <- t.remote_invalidations + 1;
-    true
+    Array.unsafe_set keys i block;
+    Array.unsafe_set t.dir_vals i mask;
+    t.dir_count <- t.dir_count + 1;
+    if 2 * t.dir_count > Array.length keys then dir_grow t
   end
+
+(* Invalidate every remote copy of [block] named by the non-empty sharer
+   mask [others] (the invalidation broadcast has already been decided). *)
+let invalidate_others t ~tid others block =
+  let my_bank = l2_bank t tid in
+  for tid' = 0 to t.nthreads - 1 do
+    if others land (1 lsl tid') <> 0 then begin
+      Cache.invalidate t.l1.(tid') block;
+      let bank = l2_bank t tid' in
+      if bank <> my_bank then Cache.invalidate t.l2.(bank) block
+    end
+  done;
+  t.remote_invalidations <- t.remote_invalidations + 1
 
 (* Charge one access and update cache state; returns the cycle cost. *)
 let access t ~tid ~kind block =
@@ -115,14 +172,22 @@ let access t ~tid ~kind block =
     else c.dram
   in
   let coherence_cost =
+    let bit = 1 lsl tid in
+    let mask = sharers t block in
     match kind with
     | Load ->
-        Hashtbl.replace t.directory block (sharers t block lor (1 lsl tid));
+        if mask land bit = 0 then dir_set t block (mask lor bit);
         0
     | Store | Rmw ->
-        let remote = invalidate_remote t ~tid block in
-        Hashtbl.replace t.directory block (1 lsl tid);
-        if remote then c.invalidation else 0
+        if mask land lnot bit = 0 then begin
+          if mask <> bit then dir_set t block bit;
+          0
+        end
+        else begin
+          invalidate_others t ~tid (mask land lnot bit) block;
+          dir_set t block bit;
+          c.invalidation
+        end
   in
   let rmw_cost = match kind with Rmw -> c.rmw_extra | Load | Store -> 0 in
   hit_cost + coherence_cost + rmw_cost
@@ -169,7 +234,9 @@ let clear (t : t) =
   Array.iter Cache.clear t.l1;
   Array.iter Cache.clear t.l2;
   Cache.clear t.l3;
-  Hashtbl.reset t.directory
+  Array.fill t.dir_keys 0 (Array.length t.dir_keys) dir_empty;
+  Array.fill t.dir_vals 0 (Array.length t.dir_vals) 0;
+  t.dir_count <- 0
 
 let pp_stats ppf s =
   Fmt.pf ppf "L1[%a] L2[%a] L3[%a] remote-inval=%d" Cache.pp_stats s.l1

@@ -33,18 +33,18 @@ let spawn t sys ~tid ~horizon ~interval =
   let frames = Vmem.frames (System.vmem sys) in
   let stats = (System.scheme sys).Scheme.stats in
   System.spawn sys ~tid (fun ctx ->
-      while Engine.now ctx < horizon do
+      while Engine.Mem.now ctx < horizon do
         let unreclaimed = Scheme.unreclaimed stats in
         t.rev_samples <-
           {
-            at_cycles = Engine.now ctx;
+            at_cycles = Engine.Mem.now ctx;
             unreclaimed;
             limbo_bytes = unreclaimed * t.node_words * 8;
             frames_live = Frames.live frames;
           }
           :: t.rev_samples;
-        Engine.charge ctx interval;
-        Engine.pause ctx
+        Engine.Mem.charge ctx interval;
+        Engine.Mem.pause ctx
       done)
 
 let samples t = List.rev t.rev_samples

@@ -422,9 +422,9 @@ let micro_validate =
           System.run_on_thread0 sys (fun ctx ->
               f sys ctx 64;
               (* warm caches *)
-              let t0 = Engine.now ctx in
+              let t0 = Engine.Mem.now ctx in
               f sys ctx iters;
-              cycles := Engine.now ctx - t0);
+              cycles := Engine.Mem.now ctx - t0);
           float_of_int !cycles /. float_of_int iters
         in
         let oa_check sys ctx n =

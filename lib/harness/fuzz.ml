@@ -153,6 +153,48 @@ let ms_queue =
                  (String.concat ";" (List.map string_of_int final))));
   }
 
+(* A deliberately tiny table (expected_size 2 → a handful of buckets) so
+   both threads churn the *same* chains; with threshold 1 every delete
+   immediately pushes a node through retire/reclaim while the sibling
+   thread may still be traversing it — the exact interleavings the fused
+   fast path must not reorder.  Disjoint per-thread key sets keep the
+   final-state oracle exact. *)
+let michael_hash =
+  {
+    name = "michael-hash";
+    descr = "two threads churning shared buckets of a Michael hash set";
+    nthreads = 2;
+    schemes = all_schemes;
+    expect_fail = false;
+    build =
+      (fun sys ->
+        let setup_ctx = Engine.external_ctx () in
+        let h = System.hash_set sys setup_ctx ~expected_size:2 in
+        Michael_hash.prefill h setup_ctx [ 10; 20; 30; 40 ];
+        let ok = Array.make 6 false in
+        System.spawn sys ~tid:0 (fun ctx ->
+            ok.(0) <- Michael_hash.delete h ctx 10;
+            ok.(1) <- Michael_hash.insert h ctx 50;
+            ok.(2) <- Michael_hash.contains h ctx 30);
+        System.spawn sys ~tid:1 (fun ctx ->
+            ok.(3) <- Michael_hash.delete h ctx 30;
+            ok.(4) <- Michael_hash.insert h ctx 70;
+            (* 30 may or may not still be present from tid 0's point of
+               view; 40 is never touched, so it must always be there *)
+            ok.(5) <- Michael_hash.contains h ctx 40);
+        fun () ->
+          (* ok.(2) races with tid 1's delete of 30: either answer is
+             linearizable, so it is not part of the oracle *)
+          let must = [ ok.(0); ok.(1); ok.(3); ok.(4); ok.(5) ] in
+          if not (List.for_all Fun.id must) then
+            failwith "operation failed unexpectedly";
+          let final = List.sort compare (Michael_hash.to_list h) in
+          if final <> [ 20; 40; 50; 70 ] then
+            failwith
+              (Printf.sprintf "bad final state: [%s]"
+                 (String.concat ";" (List.map string_of_int final))));
+  }
+
 (* A seeded bug: a non-atomic read-modify-write.  Most schedules pass; the
    fuzzer must find one that loses an update, shrink it, and the repro must
    replay.  Used by the tests and `repro fuzz --include-expected'. *)
@@ -179,7 +221,8 @@ let buggy_counter =
         fun () -> if Vmem.peek vm addr <> 2 then failwith "lost update");
   }
 
-let scenarios = [ list_insert_delete; list_mixed; ms_queue; buggy_counter ]
+let scenarios =
+  [ list_insert_delete; list_mixed; ms_queue; michael_hash; buggy_counter ]
 
 let find_scenario name =
   match List.find_opt (fun s -> s.name = name) scenarios with

@@ -23,9 +23,16 @@ module Json = Oamem_obs.Json
 type thresholds = {
   max_throughput_drop : float;  (* fraction of baseline, e.g. 0.10 *)
   max_p99_increase : float;  (* fraction of baseline, e.g. 0.25 *)
+  max_host_drop : float;
+      (* fraction of baseline host steps/sec, e.g. 0.50.  Unlike the two
+         simulated dimensions this one measures the machine running the
+         simulator, so it is noisy by nature: the threshold is generous and
+         CI runs it warn-only.  Gated only when both documents carry
+         host_steps_per_sec. *)
 }
 
-let default_thresholds = { max_throughput_drop = 0.10; max_p99_increase = 0.25 }
+let default_thresholds =
+  { max_throughput_drop = 0.10; max_p99_increase = 0.25; max_host_drop = 0.50 }
 
 type verdict = {
   scheme : string;
@@ -48,6 +55,13 @@ let results doc =
     Json.(to_list (member "results" doc))
 
 let throughput r = Json.(to_float (member "throughput_mops" r))
+
+(* Host simulator speed; absent in documents produced before the fused
+   engine (or with timing disabled). *)
+let host_steps_per_sec r =
+  match Json.member "host_steps_per_sec" r with
+  | Json.Null -> None
+  | j -> Some (Json.to_float j)
 
 (* (frame, count, p99) for every op.* latency entry of a result's embedded
    profile; [] when the document predates profiles. *)
@@ -99,6 +113,23 @@ let compare_results ?(thresholds = default_thresholds) ~baseline ~current () =
               regressed = tchange < -.thresholds.max_throughput_drop;
             }
           in
+          let host =
+            match (host_steps_per_sec br, host_steps_per_sec cr) with
+            | Some bh, Some ch when bh > 0.0 ->
+                let change = rel_change ~baseline:bh ~current:ch in
+                [
+                  {
+                    scheme;
+                    threads;
+                    metric = "host_steps_per_sec";
+                    baseline = bh;
+                    current = ch;
+                    change;
+                    regressed = change < -.thresholds.max_host_drop;
+                  };
+                ]
+            | _ -> []  (* dimension absent on either side: nothing to gate *)
+          in
           let cur_p99s = op_p99s cr in
           let lat =
             List.filter_map
@@ -121,7 +152,7 @@ let compare_results ?(thresholds = default_thresholds) ~baseline ~current () =
                       })
               (op_p99s br)
           in
-          tput :: lat)
+          (tput :: host) @ lat)
     base
 
 let failed verdicts = List.exists (fun v -> v.regressed) verdicts

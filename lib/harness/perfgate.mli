@@ -13,6 +13,13 @@ type thresholds = {
       (** maximum tolerated relative throughput drop (default 0.10) *)
   max_p99_increase : float;
       (** maximum tolerated relative p99 latency increase (default 0.25) *)
+  max_host_drop : float;
+      (** maximum tolerated relative drop in host simulator speed
+          (steps per host-second, default 0.50).  This dimension measures
+          the machine running the simulator, not the simulation, so it is
+          inherently noisy — the default is generous and CI runs it
+          warn-only.  Checked only where both documents carry
+          [host_steps_per_sec]. *)
 }
 
 val default_thresholds : thresholds
@@ -35,9 +42,10 @@ val compare_results :
   verdict list
 (** One verdict per (configuration, metric).  p99 checks only run where
     both documents embed a profile for the configuration — baselines
-    predating [bench --profile] get throughput-only gating.  A baseline
-    configuration missing from [current] yields a single regressed
-    ["missing"] verdict. *)
+    predating [bench --profile] get throughput-only gating — and the
+    [host_steps_per_sec] check only where both documents carry the field.
+    A baseline configuration missing from [current] yields a single
+    regressed ["missing"] verdict. *)
 
 val failed : verdict list -> bool
 (** True iff any verdict regressed. *)

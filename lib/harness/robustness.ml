@@ -105,8 +105,8 @@ let run spec =
   for tid = 0 to spec.workers - 1 do
     System.spawn sys ~tid (fun ctx ->
         let rng = Prng.create (spec.seed + (1000 * tid)) in
-        while Engine.now ctx < spec.horizon_cycles do
-          Engine.charge ctx op_base;
+        while Engine.Mem.now ctx < spec.horizon_cycles do
+          Engine.Mem.charge ctx op_base;
           (match Workload.next_op workload rng with
           | Workload.Search k -> ignore (Michael_hash.contains h ctx k)
           | Workload.Insert k -> ignore (Michael_hash.insert h ctx k)

@@ -30,6 +30,10 @@ type spec = {
   cache_cfg : Hierarchy.config option;  (* cache-geometry sensitivity *)
   trace : bool;  (* record events into the system trace during the run *)
   profile : bool;  (* cycle-attribution profiling during the run *)
+  fused : bool;
+      (* engine inline fast path + vmem translation cache; off = the
+         pre-fusion slow path (the host-throughput baseline and the
+         differential tests — simulated results are identical either way) *)
 }
 
 let default_spec =
@@ -48,6 +52,7 @@ let default_spec =
     cache_cfg = None;
     trace = false;
     profile = false;
+    fused = true;
   }
 
 type result = {
@@ -58,6 +63,11 @@ type result = {
   deletes : int;
   sim_seconds : float;
   throughput_mops : float;
+  host_seconds : float;
+      (* host wall-clock spent inside the measured phase *)
+  host_steps : int;
+      (* simulated yield points executed during the measured phase *)
+  host_steps_per_sec : float;
   metrics : Oamem_obs.Metrics.snapshot;
       (* one named view over every subsystem's counters *)
   trace : Oamem_obs.Trace.t;
@@ -101,6 +111,10 @@ let make_system spec =
          }
        ~trace:spec.trace ~profile:spec.profile ())
 
+let apply_fusion sys spec =
+  Engine.set_fused (System.engine sys) spec.fused;
+  Oamem_vmem.Vmem.set_translation_cache (System.vmem sys) spec.fused
+
 let build_target sys spec =
   let setup_ctx = Engine.external_ctx () in
   let keys = Workload.prefill_keys spec.workload in
@@ -135,7 +149,7 @@ let run_phase sys spec target ~stop ~searches ~inserts ~deletes ~seed_base =
   let quota = ref (match stop with Until_ops n -> n | Until_cycles _ -> 0) in
   let keep_going ctx =
     match stop with
-    | Until_cycles horizon -> Engine.now ctx < horizon
+    | Until_cycles horizon -> Engine.Mem.now ctx < horizon
     | Until_ops _ ->
         if !quota > 0 then begin
           decr quota;
@@ -147,7 +161,7 @@ let run_phase sys spec target ~stop ~searches ~inserts ~deletes ~seed_base =
     System.spawn sys ~tid (fun ctx ->
         let rng = Prng.create (seed_base + (1000 * tid)) in
         while keep_going ctx do
-          Engine.charge ctx op_base;
+          Engine.Mem.charge ctx op_base;
           (match Workload.next_op spec.workload rng with
           | Workload.Search k ->
               ignore (target.contains ctx k);
@@ -164,6 +178,7 @@ let run_phase sys spec target ~stop ~searches ~inserts ~deletes ~seed_base =
 
 let run spec =
   let sys = make_system spec in
+  apply_fusion sys spec;
   let target = build_target sys spec in
   System.reset_measurement sys;
   let searches = Array.make spec.threads 0
@@ -192,9 +207,13 @@ let run spec =
     Array.fill inserts 0 spec.threads 0;
     Array.fill deletes 0 spec.threads 0
   end;
+  let eng = System.engine sys in
+  let steps_before = Engine.steps eng in
+  let host_t0 = Unix.gettimeofday () in
   run_phase sys spec target ~stop:(Until_cycles spec.horizon_cycles) ~searches
     ~inserts ~deletes ~seed_base:spec.seed;
-  let eng = System.engine sys in
+  let host_seconds = Unix.gettimeofday () -. host_t0 in
+  let host_steps = Engine.steps eng - steps_before in
   let total a = Array.fold_left ( + ) 0 a in
   let ops = total searches + total inserts + total deletes in
   let sim_seconds = Engine.elapsed_seconds eng in
@@ -206,6 +225,11 @@ let run spec =
     deletes = total deletes;
     sim_seconds;
     throughput_mops = float_of_int ops /. sim_seconds /. 1e6;
+    host_seconds;
+    host_steps;
+    host_steps_per_sec =
+      (if host_seconds > 0. then float_of_int host_steps /. host_seconds
+       else 0.);
     metrics = System.metrics sys;
     trace = System.trace sys;
     profile = System.profile sys;

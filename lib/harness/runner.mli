@@ -26,6 +26,10 @@ type spec = {
   cache_cfg : Hierarchy.config option;
   trace : bool;  (** record events into the system trace during the run *)
   profile : bool;  (** cycle-attribution profiling during the run *)
+  fused : bool;
+      (** engine inline fast path + vmem translation cache (default [true]);
+          [false] runs the pre-fusion slow path — simulated results are
+          identical either way, only host speed differs *)
 }
 
 val default_spec : spec
@@ -38,6 +42,11 @@ type result = {
   deletes : int;
   sim_seconds : float;
   throughput_mops : float;
+  host_seconds : float;  (** host wall-clock of the measured phase *)
+  host_steps : int;  (** simulated yield points in the measured phase *)
+  host_steps_per_sec : float;
+      (** simulated steps per host second — the simulator-speed number the
+          host-throughput gate watches *)
   metrics : Oamem_obs.Metrics.snapshot;
       (** one named view over every subsystem's counters (measured window
           only — warmup is reset away) *)

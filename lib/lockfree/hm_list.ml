@@ -117,14 +117,14 @@ let find t ctx ~key =
    from restart-induced cost per operation kind. *)
 let run_op t ctx frame f =
   let sch = t.scheme in
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   let profiling = Profile.enabled p in
-  let tid = ctx.Engine.tid in
-  if profiling then Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+  let tid = (Engine.Mem.tid ctx) in
+  if profiling then Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
   let close in_restart =
     if profiling then begin
-      if in_restart then Profile.leave p ~tid ~now:(Engine.now ctx);
-      Profile.leave p ~tid ~now:(Engine.now ctx)
+      if in_restart then Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
+      Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
     end
   in
   let rec attempt in_restart =
@@ -140,8 +140,8 @@ let run_op t ctx frame f =
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
         if profiling && not in_restart then
-          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Op_restart;
-        Engine.pause ctx;
+          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Op_restart;
+        Engine.Mem.pause ctx;
         attempt true
     | exception e ->
         (* keep the span stack balanced on foreign exceptions (OOM, frame
@@ -282,7 +282,7 @@ let replace t ctx key value =
           if Vmem.cas vm ctx (Node.value_of f.cur) ~expect:old ~desired:value
           then Some old
           else begin
-            Engine.pause ctx;
+            Engine.Mem.pause ctx;
             swap ()
           end
         in

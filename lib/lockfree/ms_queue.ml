@@ -34,14 +34,14 @@ let create ctx ~scheme ~vmem =
    runs in a [frame] span and retries accrue in a nested [Op_restart]. *)
 let run_op t ctx frame f =
   let sch = t.scheme in
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   let profiling = Profile.enabled p in
-  let tid = ctx.Engine.tid in
-  if profiling then Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+  let tid = (Engine.Mem.tid ctx) in
+  if profiling then Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
   let close in_restart =
     if profiling then begin
-      if in_restart then Profile.leave p ~tid ~now:(Engine.now ctx);
-      Profile.leave p ~tid ~now:(Engine.now ctx)
+      if in_restart then Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
+      Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
     end
   in
   let rec attempt in_restart =
@@ -57,8 +57,8 @@ let run_op t ctx frame f =
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
         if profiling && not in_restart then
-          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Op_restart;
-        Engine.pause ctx;
+          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Op_restart;
+        Engine.Mem.pause ctx;
         attempt true
     | exception e ->
         close in_restart;
@@ -88,7 +88,7 @@ let enqueue t ctx value =
             (* swing the tail hint; losing this race is harmless *)
             ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:node)
           else begin
-            Engine.pause ctx;
+            Engine.Mem.pause ctx;
             loop ()
           end
         end
@@ -98,7 +98,7 @@ let enqueue t ctx value =
           sch.Scheme.write_protect ctx ~slot:3 next;
           sch.Scheme.validate ctx;
           ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:next);
-          Engine.pause ctx;
+          Engine.Mem.pause ctx;
           loop ()
         end
       in
@@ -124,7 +124,7 @@ let dequeue t ctx =
             sch.Scheme.write_protect ctx ~slot:3 next;
             sch.Scheme.validate ctx;
             ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:next);
-            Engine.pause ctx;
+            Engine.Mem.pause ctx;
             loop ()
           end
         else begin
@@ -141,7 +141,7 @@ let dequeue t ctx =
             Some value
           end
           else begin
-            Engine.pause ctx;
+            Engine.Mem.pause ctx;
             loop ()
           end
         end

@@ -30,14 +30,14 @@ let create ctx ~scheme ~vmem =
    runs in a [frame] span and retries accrue in a nested [Op_restart]. *)
 let run_op t ctx frame f =
   let sch = t.scheme in
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   let profiling = Profile.enabled p in
-  let tid = ctx.Engine.tid in
-  if profiling then Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+  let tid = (Engine.Mem.tid ctx) in
+  if profiling then Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
   let close in_restart =
     if profiling then begin
-      if in_restart then Profile.leave p ~tid ~now:(Engine.now ctx);
-      Profile.leave p ~tid ~now:(Engine.now ctx)
+      if in_restart then Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
+      Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
     end
   in
   let rec attempt in_restart =
@@ -53,8 +53,8 @@ let run_op t ctx frame f =
         sch.Scheme.clear ctx;
         sch.Scheme.end_op ctx;
         if profiling && not in_restart then
-          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Op_restart;
-        Engine.pause ctx;
+          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Op_restart;
+        Engine.Mem.pause ctx;
         attempt true
     | exception e ->
         close in_restart;
@@ -76,7 +76,7 @@ let push t ctx value =
         sch.Scheme.validate ctx;
         if Vmem.cas vm ctx t.top ~expect:head ~desired:node then ()
         else begin
-          Engine.pause ctx;
+          Engine.Mem.pause ctx;
           loop ()
         end
       in
@@ -105,7 +105,7 @@ let pop t ctx =
             Some value
           end
           else begin
-            Engine.pause ctx;
+            Engine.Mem.pause ctx;
             loop ()
           end
         end

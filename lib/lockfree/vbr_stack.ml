@@ -56,7 +56,7 @@ let push t ctx value =
         ~desired1:(ver + 1)
     then ()
     else begin
-      Engine.pause ctx;
+      Engine.Mem.pause ctx;
       loop ()
     end
   in
@@ -86,7 +86,7 @@ let pop t ctx =
         Some value
       end
       else begin
-        Engine.pause ctx;
+        Engine.Mem.pause ctx;
         loop ()
       end
     end

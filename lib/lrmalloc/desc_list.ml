@@ -28,7 +28,7 @@ let rec push t ctx (d : Descriptor.t) =
   Cell.set ctx d.Descriptor.next (head_id h);
   let desired = pack ~id:d.Descriptor.id ~tag:(head_tag h + 1) in
   if not (Cell.cas ctx t.head ~expect:h ~desired) then begin
-    Engine.pause ctx;
+    Engine.Mem.pause ctx;
     push t ctx d
   end
 
@@ -42,7 +42,7 @@ let rec pop t ctx =
       let desired = pack ~id:next ~tag:(head_tag h + 1) in
       if Cell.cas ctx t.head ~expect:h ~desired then Some d
       else begin
-        Engine.pause ctx;
+        Engine.Mem.pause ctx;
         pop t ctx
       end
 

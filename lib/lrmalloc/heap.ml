@@ -128,7 +128,7 @@ let notify_range t ~base ~npages event =
    "remapped" (pool transitions) plus the anchor state names. *)
 let emit_transition t ctx (d : Descriptor.t) state =
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~tid:ctx.Engine.tid ~at:(Engine.now ctx)
+    Trace.emit t.trace ~tid:(Engine.Mem.tid ctx) ~at:(Engine.Mem.now ctx)
       (Trace.Superblock_transition { desc = d.Descriptor.id; state })
 
 let partial_list t ~cls ~persistent =
@@ -239,16 +239,16 @@ let acquire_superblock_raw t ctx ~cls ~persistent =
    span; nested remap syscalls show up as [Vmem_remap] children.  Wrappers
    are hand-eta-expanded so the disabled path allocates nothing. *)
 let acquire_superblock t ctx ~cls ~persistent =
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   if Profile.enabled p then begin
-    let tid = ctx.Engine.tid in
-    Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Alloc_superblock;
+    let tid = (Engine.Mem.tid ctx) in
+    Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Alloc_superblock;
     match acquire_superblock_raw t ctx ~cls ~persistent with
     | r ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         r
     | exception e ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         raise e
   end
   else acquire_superblock_raw t ctx ~cls ~persistent
@@ -285,14 +285,14 @@ let release_superblock_raw t ctx d =
   end
 
 let release_superblock t ctx d =
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   if Profile.enabled p then begin
-    let tid = ctx.Engine.tid in
-    Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Alloc_superblock;
+    let tid = (Engine.Mem.tid ctx) in
+    Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Alloc_superblock;
     match release_superblock_raw t ctx d with
-    | () -> Profile.leave p ~tid ~now:(Engine.now ctx)
+    | () -> Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
     | exception e ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         raise e
   end
   else release_superblock_raw t ctx d
@@ -341,7 +341,7 @@ let rec free_block t ctx (d : Descriptor.t) addr =
         ctx d
   end
   else begin
-    Engine.pause ctx;
+    Engine.Mem.pause ctx;
     free_block t ctx d addr
   end
 
@@ -395,7 +395,7 @@ let rec take_partial t ctx ~cls ~persistent ~max_blocks =
             in
             (match walked with
             | None ->
-                Engine.pause ctx;
+                Engine.Mem.pause ctx;
                 reserve ()
             | Some (blocks, next_avail) ->
                 let desired =
@@ -421,7 +421,7 @@ let rec take_partial t ctx ~cls ~persistent ~max_blocks =
                   Some blocks
                 end
                 else begin
-                  Engine.pause ctx;
+                  Engine.Mem.pause ctx;
                   reserve ()
                 end)
       in

@@ -52,17 +52,17 @@ let set_lifecycle t h = t.lifecycle <- h
 (* Open a profiler span around an allocator entry point.  The enabled check
    comes first so the disabled path costs one load and a branch. *)
 let with_span ctx frame f =
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   if not (Profile.enabled p) then f ()
   else begin
-    let tid = ctx.Engine.tid in
-    Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+    let tid = (Engine.Mem.tid ctx) in
+    Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
     match f () with
     | r ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         r
     | exception e ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         raise e
   end
 
@@ -77,7 +77,7 @@ let with_internal t ctx f =
 let emit t ctx kind =
   let tr = Heap.trace t.heap in
   if Trace.enabled tr then
-    Trace.emit tr ~tid:ctx.Engine.tid ~at:(Engine.now ctx) kind
+    Trace.emit tr ~tid:(Engine.Mem.tid ctx) ~at:(Engine.Mem.now ctx) kind
 
 (* Fill an empty cache stack with one batch of blocks: from a partial
    superblock's free list if one exists, otherwise from a fresh superblock.
@@ -97,7 +97,7 @@ let fill_cache t ctx ~cls ~persistent st =
     (List.rev blocks)
 
 let alloc_class_raw t ctx ~cls ~persistent =
-  let st = Thread_cache.get t.caches ~tid:ctx.Engine.tid ~cls ~persistent in
+  let st = Thread_cache.get t.caches ~tid:(Engine.Mem.tid ctx) ~cls ~persistent in
   match Thread_cache.pop t.caches ctx st with
   | Some addr -> addr
   | None ->
@@ -117,7 +117,7 @@ let flush_thread_cache t ctx =
   with_span ctx Profile.Alloc_flush (fun () ->
       with_internal t ctx (fun () ->
           List.iter (flush_stack t ctx)
-            (Thread_cache.stacks_of_thread t.caches ~tid:ctx.Engine.tid)))
+            (Thread_cache.stacks_of_thread t.caches ~tid:(Engine.Mem.tid ctx))))
 
 (* --- memory-pressure recovery --------------------------------------------- *)
 
@@ -161,7 +161,7 @@ let with_pressure_recovery t ctx f =
         | () ->
             (* backoff: give other threads simulated time to free blocks *)
             for _ = 1 to 1 lsl attempt do
-              Engine.pause ctx
+              Engine.Mem.pause ctx
             done;
             go (attempt + 1)
         | exception Frames.Out_of_frames -> fail ())
@@ -231,7 +231,7 @@ let free t ctx addr =
               if Descriptor.is_large d then Heap.free_large t.heap ctx d
               else begin
                 let st =
-                  Thread_cache.get t.caches ~tid:ctx.Engine.tid
+                  Thread_cache.get t.caches ~tid:(Engine.Mem.tid ctx)
                     ~cls:d.Descriptor.size_class
                     ~persistent:d.Descriptor.persistent
                 in
@@ -249,4 +249,3 @@ let flush_all t ctxs =
   match ctxs with [] -> () | ctx :: _ -> Heap.trim t.heap ctx
 
 let stats t = Heap.stats t.heap
-let usage t = Vmem.usage (Heap.vmem t.heap)

@@ -81,4 +81,3 @@ val flush_all : t -> Engine.ctx list -> unit
     tid) and release lingering empty superblocks. *)
 
 val stats : t -> Heap.stats
-val usage : t -> Vmem.usage

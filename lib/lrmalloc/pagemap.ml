@@ -30,7 +30,7 @@ let create ~geom ~max_pages =
 
 let account ctx t vpage kind =
   let paddr = table_base + vpage in
-  Engine.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
+  Engine.Mem.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
 
 let set_range t ctx ~vpage ~npages ~desc_id =
   if vpage < 0 || vpage + npages > t.max_pages then

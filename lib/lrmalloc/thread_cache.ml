@@ -67,7 +67,7 @@ let get t ~tid ~cls ~persistent =
 
 let account t ctx st kind =
   let paddr = st.base_addr + st.top in
-  Engine.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
+  Engine.Mem.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
 
 let is_full st = st.top >= st.cap
 let size st = st.top

@@ -20,7 +20,7 @@
 
     {[
       if Profile.enabled p then
-        Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Alloc_malloc
+        Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Alloc_malloc
     ]} *)
 
 (** Instrumentation points.  [Op_*] bracket whole data-structure operations,

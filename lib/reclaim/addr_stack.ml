@@ -27,7 +27,7 @@ let rec push t ctx addr =
   Vmem.store t.vmem ctx addr (head_addr h);
   if not (Cell.cas ctx t.head ~expect:h ~desired:(pack ~addr ~tag:(head_tag h + 1)))
   then begin
-    Engine.pause ctx;
+    Engine.Mem.pause ctx;
     push t ctx addr
   end
 
@@ -40,7 +40,7 @@ let rec pop t ctx =
       if Cell.cas ctx t.head ~expect:h ~desired:(pack ~addr:next ~tag:(head_tag h + 1))
       then Some addr
       else begin
-        Engine.pause ctx;
+        Engine.Mem.pause ctx;
         pop t ctx
       end
 
@@ -51,7 +51,7 @@ let rec take_all t ctx =
   if Cell.cas ctx t.head ~expect:h ~desired:(pack ~addr:0 ~tag:(head_tag h + 1))
   then head_addr h
   else begin
-    Engine.pause ctx;
+    Engine.Mem.pause ctx;
     take_all t ctx
   end
 

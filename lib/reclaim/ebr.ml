@@ -28,7 +28,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         })
   in
   let sink = Scheme.fresh_sink () in
-  let my ctx = threads.(ctx.Engine.tid) in
+  let my ctx = threads.((Engine.Mem.tid ctx)) in
   (* Free the bucket holding nodes retired in epoch [e - 2]: once the
      global epoch has reached [e], every operation that could still hold a
      reference to them has completed. *)
@@ -73,9 +73,9 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     begin_op =
       (fun ctx ->
         let e = Cell.get ctx global_epoch in
-        Cell.set ctx announces.(ctx.Engine.tid) e;
-        Engine.fence ctx Engine.Full);
-    end_op = (fun ctx -> Cell.set ctx announces.(ctx.Engine.tid) 0);
+        Cell.set ctx announces.((Engine.Mem.tid ctx)) e;
+        Engine.Mem.fence ctx Engine.Full);
+    end_op = (fun ctx -> Cell.set ctx announces.((Engine.Mem.tid ctx)) 0);
     read_check = (fun _ -> ());
     traverse_protect = (fun _ctx ~slot:_ ~addr:_ ~verify:_ -> ());
     write_protect = (fun _ctx ~slot:_ _ -> ());

@@ -19,10 +19,10 @@ let create ?(padded = true) meta ~nthreads ~k =
     k;
   }
 
-let set ctx t ~slot addr = Cell.set ctx t.slots.(ctx.Engine.tid).(slot) addr
+let set ctx t ~slot addr = Cell.set ctx t.slots.((Engine.Mem.tid ctx)).(slot) addr
 
 let clear ctx t =
-  Array.iter (fun c -> Cell.set ctx c 0) t.slots.(ctx.Engine.tid)
+  Array.iter (fun c -> Cell.set ctx c 0) t.slots.((Engine.Mem.tid ctx))
 
 (* Read every thread's slots (charged) into a membership test.  The
    snapshot is small (nthreads * k), so a sorted list is fine. *)

@@ -21,10 +21,10 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         { limbo = Limbo.create meta ~geom ~capacity_hint:cfg.Scheme.threshold })
   in
   let sink = Scheme.fresh_sink () in
-  let my ctx = threads.(ctx.Engine.tid) in
+  let my ctx = threads.((Engine.Mem.tid ctx)) in
   let scan ctx =
     let t = my ctx in
-    Engine.fence ctx Engine.Full;
+    Engine.Mem.fence ctx Engine.Full;
     let snapshot = Hazard_slots.snapshot ctx hazards in
     let freed =
       Limbo.sweep t.limbo ctx
@@ -50,7 +50,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       (fun ctx ~slot ~addr ~verify ->
         (* publish, fence, re-verify the source link: the per-node cost *)
         Hazard_slots.set ctx hazards ~slot addr;
-        Engine.fence ctx Engine.Full;
+        Engine.Mem.fence ctx Engine.Full;
         if not (verify ()) then raise Scheme.Restart);
     write_protect = (fun ctx ~slot addr -> Hazard_slots.set ctx hazards ~slot addr);
     validate = (fun _ -> ());

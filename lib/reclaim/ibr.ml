@@ -39,7 +39,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         })
   in
   let sink = Scheme.fresh_sink () in
-  let my ctx = threads.(ctx.Engine.tid) in
+  let my ctx = threads.((Engine.Mem.tid ctx)) in
   (* bump the era every [threshold] retirements: the 2GE amortization *)
   let retire_count = ref 0 in
   let birth_of ctx header = Vmem.load vmem ctx header in
@@ -93,7 +93,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         let e = Cell.get ctx era in
         Cell.set ctx t.lo e;
         Cell.set ctx t.hi e;
-        Engine.fence ctx Engine.Full);
+        Engine.Mem.fence ctx Engine.Full);
     end_op =
       (fun ctx ->
         let t = my ctx in
@@ -105,7 +105,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         let e = Cell.get ctx era in
         if Cell.peek t.hi <> e then begin
           Cell.set ctx t.hi e;
-          Engine.fence ctx Engine.Full
+          Engine.Mem.fence ctx Engine.Full
         end);
     traverse_protect = (fun _ctx ~slot:_ ~addr:_ ~verify:_ -> ());
     write_protect = (fun _ctx ~slot:_ _ -> ());

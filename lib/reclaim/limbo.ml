@@ -27,7 +27,7 @@ let create meta ~geom ~capacity_hint =
 
 let account t ctx i kind =
   let paddr = t.base_addr + i in
-  Engine.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
+  Engine.Mem.access ctx ~vpage:(Geometry.page_of_addr t.geom paddr) ~paddr ~kind
 
 let size t = t.len
 
@@ -65,16 +65,16 @@ let sweep_raw t ctx ~protected ~free =
    OA-BIT, OA-VER), so one [Reclaim_scan] span here covers them all; the
    [free] callbacks open their own [Alloc_free] child spans. *)
 let sweep t ctx ~protected ~free =
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   if Profile.enabled p then begin
-    let tid = ctx.Engine.tid in
-    Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Reclaim_scan;
+    let tid = (Engine.Mem.tid ctx) in
+    Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Reclaim_scan;
     match sweep_raw t ctx ~protected ~free with
     | n ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         n
     | exception e ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         raise e
   end
   else sweep_raw t ctx ~protected ~free

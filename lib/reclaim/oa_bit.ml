@@ -31,11 +31,11 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         })
   in
   let sink = Scheme.fresh_sink () in
-  let my ctx = threads.(ctx.Engine.tid) in
+  let my ctx = threads.((Engine.Mem.tid ctx)) in
   (* One optimistic-read validation: a load of the thread's own bit (cache
      hit unless someone warned us) behind a compiler-only barrier (TSO). *)
   let read_check ctx =
-    Engine.fence ctx Engine.Compiler;
+    Engine.Mem.fence ctx Engine.Compiler;
     let t = my ctx in
     if Cell.get ctx t.warning <> 0 then begin
       (* consume the warning atomically so a concurrent setter is not lost *)
@@ -51,7 +51,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       Cell.set ctx threads.(tid).warning 1;
       Scheme.note_warning sink ctx ~piggybacked:false
     done;
-    Engine.fence ctx Engine.Full;
+    Engine.Mem.fence ctx Engine.Full;
     let snapshot = Hazard_slots.snapshot ctx hazards in
     let freed =
       Limbo.sweep t.limbo ctx
@@ -78,7 +78,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     validate =
       (fun ctx ->
         (* one fence + one warning check covers all hazard pointers set *)
-        Engine.fence ctx Engine.Full;
+        Engine.Mem.fence ctx Engine.Full;
         read_check ctx);
     clear = (fun ctx -> Hazard_slots.clear ctx hazards);
     flush =

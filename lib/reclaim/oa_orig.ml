@@ -48,9 +48,9 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         (Oamem_lrmalloc.Lrmalloc.malloc lr ctx0 cfg.Scheme.node_words)
     done
   in
-  let my ctx = threads.(ctx.Engine.tid) in
+  let my ctx = threads.((Engine.Mem.tid ctx)) in
   let read_check ctx =
-    Engine.fence ctx Engine.Compiler;
+    Engine.Mem.fence ctx Engine.Compiler;
     let t = my ctx in
     if Cell.get ctx t.warning <> 0 then begin
       ignore (Cell.exchange ctx t.warning 0);
@@ -61,12 +61,12 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   let run_phase ctx =
     let head = Addr_stack.take_all retire_pool ctx in
     for tid = 0 to nthreads - 1 do
-      if tid <> ctx.Engine.tid then begin
+      if tid <> (Engine.Mem.tid ctx) then begin
         Cell.set ctx threads.(tid).warning 1;
         Scheme.note_warning sink ctx ~piggybacked:false
       end
     done;
-    Engine.fence ctx Engine.Full;
+    Engine.Mem.fence ctx Engine.Full;
     let snapshot = Hazard_slots.snapshot ctx hazards in
     let freed = ref 0 in
     Addr_stack.iter_chain retire_pool ctx head (fun n ->
@@ -90,10 +90,10 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         else begin
           (* another thread is recycling; wait for it *)
           while Cell.get ctx phase_flag = 1 do
-            Engine.pause ctx
+            Engine.Mem.pause ctx
           done
         end;
-        Engine.pause ctx;
+        Engine.Mem.pause ctx;
         alloc ctx size
   in
   {
@@ -111,7 +111,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     write_protect = (fun ctx ~slot addr -> Hazard_slots.set ctx hazards ~slot addr);
     validate =
       (fun ctx ->
-        Engine.fence ctx Engine.Full;
+        Engine.Mem.fence ctx Engine.Full;
         read_check ctx);
     clear = (fun ctx -> Hazard_slots.clear ctx hazards);
     flush = (fun _ -> ());

@@ -35,9 +35,9 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         })
   in
   let sink = Scheme.fresh_sink () in
-  let my ctx = threads.(ctx.Engine.tid) in
+  let my ctx = threads.((Engine.Mem.tid ctx)) in
   let read_check ctx =
-    Engine.fence ctx Engine.Compiler;
+    Engine.Mem.fence ctx Engine.Compiler;
     let t = my ctx in
     let g = Cell.get ctx global_clock in
     if g <> t.local_clock then begin
@@ -47,7 +47,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   let do_reclaim ctx =
     let t = my ctx in
-    Engine.fence ctx Engine.Full;
+    Engine.Mem.fence ctx Engine.Full;
     let snapshot = Hazard_slots.snapshot ctx hazards in
     let freed =
       Limbo.sweep t.limbo ctx
@@ -105,7 +105,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     write_protect = (fun ctx ~slot addr -> Hazard_slots.set ctx hazards ~slot addr);
     validate =
       (fun ctx ->
-        Engine.fence ctx Engine.Full;
+        Engine.Mem.fence ctx Engine.Full;
         read_check ctx);
     clear = (fun ctx -> Hazard_slots.clear ctx hazards);
     flush =

@@ -74,7 +74,7 @@ let fresh_sink () =
 
 let emit sink ctx kind =
   if Trace.enabled sink.trace then
-    Trace.emit sink.trace ~tid:ctx.Engine.tid ~at:(Engine.now ctx) kind
+    Trace.emit sink.trace ~tid:(Engine.Mem.tid ctx) ~at:(Engine.Mem.now ctx) kind
 
 let note_retired sink ctx addr =
   sink.stats.retired <- sink.stats.retired + 1;
@@ -200,29 +200,29 @@ let observe o (ops : ops) =
    branch, and the limbo scan adds its own [Reclaim_scan] child span. *)
 let profiled (ops : ops) =
   let spanned1 frame f ctx x =
-    let p = Engine.ctx_profile ctx in
+    let p = Engine.Mem.profile ctx in
     if Profile.enabled p then begin
-      let tid = ctx.Engine.tid in
-      Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+      let tid = (Engine.Mem.tid ctx) in
+      Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
       match f ctx x with
       | r ->
-          Profile.leave p ~tid ~now:(Engine.now ctx);
+          Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
           r
       | exception e ->
-          Profile.leave p ~tid ~now:(Engine.now ctx);
+          Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
           raise e
     end
     else f ctx x
   in
   let spanned0 frame f ctx =
-    let p = Engine.ctx_profile ctx in
+    let p = Engine.Mem.profile ctx in
     if Profile.enabled p then begin
-      let tid = ctx.Engine.tid in
-      Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+      let tid = (Engine.Mem.tid ctx) in
+      Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
       match f ctx with
-      | () -> Profile.leave p ~tid ~now:(Engine.now ctx)
+      | () -> Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
       | exception e ->
-          Profile.leave p ~tid ~now:(Engine.now ctx);
+          Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
           raise e
     end
     else f ctx

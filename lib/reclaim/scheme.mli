@@ -117,6 +117,6 @@ val observe : observer -> ops -> ops
 
 val profiled : ops -> ops
 (** Wrap [retire] and [flush] in profiler spans ([Reclaim_retire] /
-    [Reclaim_flush], via {!Engine.ctx_profile}).  Applied unconditionally
+    [Reclaim_flush], via {!Engine.Mem.profile}).  Applied unconditionally
     by [System.create]; when profiling is off each wrapped call costs one
     load and a branch. *)

@@ -25,7 +25,8 @@ type result = {
 let impossible_tag = 0x5f5f5f
 
 let run vmem ctx ~addrs =
-  let before = Vmem.usage vmem in
+  let frames_before = Vmem.frames_live vmem in
+  let faults_before = Vmem.cow_cas_faults vmem in
   let succeeded = ref 0 in
   List.iter
     (fun addr ->
@@ -35,14 +36,14 @@ let run vmem ctx ~addrs =
           ~expect1:impossible_tag ~desired0:0 ~desired1:0
       then incr succeeded)
     addrs;
-  let after = Vmem.usage vmem in
+  let frames_after = Vmem.frames_live vmem in
   {
     attempts = List.length addrs;
     succeeded = !succeeded;
-    frames_before = before.Vmem.frames_live;
-    frames_after = after.Vmem.frames_live;
-    frames_leaked = after.Vmem.frames_live - before.Vmem.frames_live;
-    cow_cas_faults = after.Vmem.cow_cas_faults - before.Vmem.cow_cas_faults;
+    frames_before;
+    frames_after;
+    frames_leaked = frames_after - frames_before;
+    cow_cas_faults = Vmem.cow_cas_faults vmem - faults_before;
   }
 
 let pp_result ppf r =

@@ -150,8 +150,8 @@ let record t v =
   if t.fail_fast then raise (Violation v)
 
 let report t ctx kind =
-  let tid = ctx.Engine.tid in
-  record t { kind; tid; cycle = Engine.now ctx; excerpt = excerpt_for t tid }
+  let tid = (Engine.Mem.tid ctx) in
+  record t { kind; tid; cycle = Engine.Mem.now ctx; excerpt = excerpt_for t tid }
 
 (* --- shadow map ----------------------------------------------------------- *)
 
@@ -196,11 +196,11 @@ let on_block_free t ctx ~addr ~words =
       | Freed -> report t ctx (Double_free { addr }))
 
 let on_internal_enter t ctx =
-  let tid = lane t ctx.Engine.tid in
+  let tid = lane t (Engine.Mem.tid ctx) in
   t.internal.(tid) <- t.internal.(tid) + 1
 
 let on_internal_leave t ctx =
-  let tid = lane t ctx.Engine.tid in
+  let tid = lane t (Engine.Mem.tid ctx) in
   t.internal.(tid) <- max 0 (t.internal.(tid) - 1)
 
 let lifecycle t =
@@ -250,8 +250,8 @@ let on_retire t ctx ~addr =
       match b.st with
       | Allocated ->
           b.st <- Retired;
-          b.retired_by <- ctx.Engine.tid;
-          b.retired_at <- Engine.now ctx
+          b.retired_by <- (Engine.Mem.tid ctx);
+          b.retired_at <- Engine.Mem.now ctx
       | Retired ->
           report t ctx
             (Double_retire
@@ -259,9 +259,9 @@ let on_retire t ctx ~addr =
       | Freed -> report t ctx (Retire_invalid { addr; state = "freed" }))
 
 let on_hazard t ctx ~slot ~addr =
-  Hashtbl.replace t.hazards.(lane t ctx.Engine.tid) slot addr
+  Hashtbl.replace t.hazards.(lane t (Engine.Mem.tid ctx)) slot addr
 
-let on_clear t ctx = Hashtbl.reset t.hazards.(lane t ctx.Engine.tid)
+let on_clear t ctx = Hashtbl.reset t.hazards.(lane t (Engine.Mem.tid ctx))
 
 let observer t =
   {
@@ -288,7 +288,7 @@ let on_access t ctx ~addr ~kind =
   let mapped = try Vmem.mapped t.vmem addr with _ -> false in
   if not mapped then
     report t ctx (Access_unmapped { addr; access = access_name kind })
-  else if t.internal.(lane t ctx.Engine.tid) = 0 then
+  else if t.internal.(lane t (Engine.Mem.tid ctx)) = 0 then
     match kind with
     | Engine.Load -> ()  (* optimistic loads of freed memory are the point *)
     | Engine.Store | Engine.Rmw -> (
@@ -300,7 +300,7 @@ let on_access t ctx ~addr ~kind =
             | Retired ->
                 if
                   t.policy.hazard_writes
-                  && not (has_hazard t ctx.Engine.tid b)
+                  && not (has_hazard t (Engine.Mem.tid ctx) b)
                 then
                   report t ctx
                     (Store_retired
@@ -311,7 +311,7 @@ let on_access t ctx ~addr ~kind =
                          retired_at = b.retired_at;
                        })
             | Freed ->
-                if not (has_hazard t ctx.Engine.tid b) then
+                if not (has_hazard t (Engine.Mem.tid ctx) b) then
                   report t ctx (Store_freed { addr; base = b.base })))
 
 (* --- reports -------------------------------------------------------------- *)

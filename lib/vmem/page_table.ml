@@ -25,16 +25,26 @@ let decode = function
   | w when w land 3 = 2 -> Frame (w lsr 2)
   | w -> Shared (w lsr 2)
 
-type t = { entries : int Atomic.t array; max_pages : int }
+(* [epoch] counts entry mutations.  Translation caches above (Vmem's
+   per-thread last-translation cache, the memoized residency census) key
+   their entries on it: any [set] or successful [cas] bumps it, so a cached
+   translation is valid iff its fill epoch is still current. *)
+type t = {
+  entries : int Atomic.t array;
+  max_pages : int;
+  mutable epoch : int;
+}
 
 let create ~max_pages =
   if max_pages <= 0 then invalid_arg "Page_table.create";
   {
     entries = Array.init max_pages (fun _ -> Atomic.make (encode Unmapped));
     max_pages;
+    epoch = 0;
   }
 
 let max_pages t = t.max_pages
+let epoch t = t.epoch
 
 let in_range t vpage = vpage >= 0 && vpage < t.max_pages
 
@@ -44,10 +54,12 @@ let get t vpage =
 
 let set t vpage e =
   if not (in_range t vpage) then invalid_arg "Page_table.set: out of range";
+  t.epoch <- t.epoch + 1;
   Atomic.set t.entries.(vpage) (encode e)
 
 let cas t vpage ~expect ~desired =
   if not (in_range t vpage) then invalid_arg "Page_table.cas: out of range";
+  t.epoch <- t.epoch + 1;
   Atomic.compare_and_set t.entries.(vpage) (encode expect) (encode desired)
 
 (* Fold over a page range (metrics, invariants). *)

@@ -10,6 +10,12 @@ type t
 
 val create : max_pages:int -> t
 val max_pages : t -> int
+
+val epoch : t -> int
+(** Mutation counter, bumped by every {!set} and every {!cas} attempt.
+    Translation caches key entries on it: a cached translation is valid iff
+    its fill epoch equals the current one. *)
+
 val in_range : t -> int -> bool
 
 val get : t -> int -> entry

@@ -45,6 +45,25 @@ type t = {
   mutable access_hook :
     (Engine.ctx -> addr:int -> kind:Engine.access_kind -> unit) option;
       (* observer for the costed word accesses (lifecycle sanitizer) *)
+  (* Per-thread last-translation cache, keyed on the page-table epoch: a
+     cached entry is valid iff no page-table entry has changed since it was
+     filled, so mapping calls and fault-in races invalidate it for free.
+     [tc_fw] is -1 for a copy-on-write page: reads are served from the
+     cached zero frame but writes must take the fault-in slow path. *)
+  mutable tc_enabled : bool;
+  mutable tc_page : int array;  (* tid -> cached vpage, -1 empty *)
+  mutable tc_fr : int array;  (* tid -> frame for reads *)
+  mutable tc_fw : int array;  (* tid -> frame for writes, -1 = fault *)
+  mutable tc_epoch : int array;  (* tid -> page-table epoch at fill *)
+  mutable tc_hits : int;
+  mutable tc_fills : int;
+  (* Memoized residency census: the page-table scan behind the resident /
+     rss / mapped / cow metrics, re-run only when the epoch moved. *)
+  mutable census_epoch : int;  (* -1 = never scanned *)
+  mutable census_resident : int;
+  mutable census_rss : int;
+  mutable census_mapped : int;
+  mutable census_cow : int;
 }
 
 let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
@@ -64,6 +83,18 @@ let create ?(max_pages = 1 lsl 20) ?frame_capacity ?frame_quota
     cow_cas_faults = 0;
     trace = Trace.null;
     access_hook = None;
+    tc_enabled = true;
+    tc_page = [||];
+    tc_fr = [||];
+    tc_fw = [||];
+    tc_epoch = [||];
+    tc_hits = 0;
+    tc_fills = 0;
+    census_epoch = -1;
+    census_resident = 0;
+    census_rss = 0;
+    census_mapped = 0;
+    census_cow = 0;
   }
 
 let geometry t = t.geom
@@ -81,7 +112,57 @@ let observe_access t ctx addr kind =
 
 let emit t ctx kind =
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~tid:ctx.Engine.tid ~at:(Engine.now ctx) kind
+    Trace.emit t.trace ~tid:(Engine.Mem.tid ctx) ~at:(Engine.Mem.now ctx) kind
+
+(* --- translation cache --------------------------------------------------- *)
+
+let set_translation_cache t on = t.tc_enabled <- on
+let translation_cache t = t.tc_enabled
+let tc_hits t = t.tc_hits
+let tc_fills t = t.tc_fills
+
+let flush_translation_cache t =
+  Array.fill t.tc_page 0 (Array.length t.tc_page) (-1)
+
+let tc_grow t tid =
+  let old = Array.length t.tc_page in
+  let len = max (tid + 1) (max 8 (2 * old)) in
+  let extend a fillv =
+    let b = Array.make len fillv in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  t.tc_page <- extend t.tc_page (-1);
+  t.tc_fr <- extend t.tc_fr (-1);
+  t.tc_fw <- extend t.tc_fw (-1);
+  t.tc_epoch <- extend t.tc_epoch (-1)
+
+(* [epoch] must be read BEFORE the page-table entry was resolved: a fault-in
+   yields inside the Minor_fault event, so other threads may remap the page
+   before the fill happens — capturing the pre-resolution epoch makes any
+   such fill (and any fresh fault-in, which itself bumps the epoch) stale on
+   arrival rather than poisoning later accesses. *)
+let[@inline] tc_fill t tid ~epoch ~vpage ~fr ~fw =
+  if t.tc_enabled && tid >= 0 then begin
+    if tid >= Array.length t.tc_page then tc_grow t tid;
+    Array.unsafe_set t.tc_page tid vpage;
+    Array.unsafe_set t.tc_fr tid fr;
+    Array.unsafe_set t.tc_fw tid fw;
+    Array.unsafe_set t.tc_epoch tid epoch;
+    t.tc_fills <- t.tc_fills + 1
+  end
+
+(* Cached read (write) frame for [vpage], or -1 on a miss.  A hit means the
+   page-table entry is unchanged since the fill, so the frame is still the
+   page's backing frame and — for writes — the page needs no fault-in. *)
+let[@inline] tc_lookup t tid vpage frames_of =
+  if
+    t.tc_enabled && tid >= 0
+    && tid < Array.length t.tc_page
+    && Array.unsafe_get t.tc_page tid = vpage
+    && Array.unsafe_get t.tc_epoch tid = Page_table.epoch t.pt
+  then Array.unsafe_get frames_of tid
+  else -1
 
 (* --- mapping calls ------------------------------------------------------- *)
 
@@ -110,23 +191,23 @@ let note_released t ctx released =
 
 let map_anon t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
-  Engine.event ctx Engine.Syscall;
+  Engine.Mem.event ctx Engine.Syscall;
   let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
     released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p Page_table.Cow_zero;
-    Engine.tlb_shootdown ctx p
+    Engine.Mem.tlb_shootdown ctx p
   done;
   note_released t ctx !released
 
 let unmap t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
-  Engine.event ctx Engine.Syscall;
+  Engine.Mem.event ctx Engine.Syscall;
   let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
     released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p Page_table.Unmapped;
-    Engine.tlb_shootdown ctx p
+    Engine.Mem.tlb_shootdown ctx p
   done;
   note_released t ctx !released
 
@@ -134,23 +215,23 @@ let unmap t ctx ~vpage ~npages =
    stay allocation-free, hence the eta-expanded wrappers below rather than a
    closure-taking combinator. *)
 let spanned frame f t ctx ~vpage ~npages =
-  let p = Engine.ctx_profile ctx in
+  let p = Engine.Mem.profile ctx in
   if Profile.enabled p then begin
-    let tid = ctx.Engine.tid in
-    Profile.enter p ~tid ~now:(Engine.now ctx) frame;
+    let tid = (Engine.Mem.tid ctx) in
+    Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
     match f t ctx ~vpage ~npages with
     | r ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         r
     | exception e ->
-        Profile.leave p ~tid ~now:(Engine.now ctx);
+        Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
         raise e
   end
   else f t ctx ~vpage ~npages
 
 let madvise_dontneed_raw t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
-  Engine.event ctx Engine.Syscall;
+  Engine.Mem.event ctx Engine.Syscall;
   let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
     (match Page_table.get t.pt p with
@@ -158,7 +239,7 @@ let madvise_dontneed_raw t ctx ~vpage ~npages =
     | e ->
         released := !released + release_frame_of_entry t e;
         Page_table.set t.pt p Page_table.Cow_zero);
-    Engine.tlb_shootdown ctx p
+    Engine.Mem.tlb_shootdown ctx p
   done;
   note_released t ctx !released
 
@@ -172,14 +253,14 @@ let map_shared_raw t ctx ~vpage ~npages =
   let s = Array.length t.shared_region in
   let chunks = (npages + s - 1) / s in
   for _ = 1 to chunks do
-    Engine.event ctx Engine.Syscall
+    Engine.Mem.event ctx Engine.Syscall
   done;
   let released = ref 0 in
   for i = 0 to npages - 1 do
     let p = vpage + i in
     released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p (Page_table.Shared t.shared_region.(i mod s));
-    Engine.tlb_shootdown ctx p
+    Engine.Mem.tlb_shootdown ctx p
   done;
   note_released t ctx !released
 
@@ -191,12 +272,12 @@ let map_shared t ctx ~vpage ~npages =
    shared region. *)
 let remap_private_raw t ctx ~vpage ~npages =
   check_range t ~vpage ~npages;
-  Engine.event ctx Engine.Syscall;
+  Engine.Mem.event ctx Engine.Syscall;
   let released = ref 0 in
   for p = vpage to vpage + npages - 1 do
     released := !released + release_frame_of_entry t (Page_table.get t.pt p);
     Page_table.set t.pt p Page_table.Cow_zero;
-    Engine.tlb_shootdown ctx p
+    Engine.Mem.tlb_shootdown ctx p
   done;
   note_released t ctx !released
 
@@ -227,14 +308,14 @@ let rec frame_for_write t ctx addr vpage =
           ~desired:(Page_table.Frame f)
       then begin
         t.minor_faults <- t.minor_faults + 1;
-        let p = Engine.ctx_profile ctx in
+        let p = Engine.Mem.profile ctx in
         if Profile.enabled p then begin
-          let tid = ctx.Engine.tid in
-          Profile.enter p ~tid ~now:(Engine.now ctx) Profile.Vmem_fault_in;
-          Engine.event ctx Engine.Minor_fault;
-          Profile.leave p ~tid ~now:(Engine.now ctx)
+          let tid = (Engine.Mem.tid ctx) in
+          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Vmem_fault_in;
+          Engine.Mem.event ctx Engine.Minor_fault;
+          Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
         end
-        else Engine.event ctx Engine.Minor_fault;
+        else Engine.Mem.event ctx Engine.Minor_fault;
         emit t ctx (Trace.Fault_in { vpage });
         f
       end
@@ -244,44 +325,101 @@ let rec frame_for_write t ctx addr vpage =
         frame_for_write t ctx addr vpage
       end
 
+(* Resolved read frame for [vpage], consulting the translation cache.  On a
+   miss the cache is refilled from the page-table entry; [fw] is the frame
+   writes may use without a fault (-1 for copy-on-write pages). *)
+let[@inline] read_frame t tid addr vpage =
+  let f = tc_lookup t tid vpage t.tc_fr in
+  if f >= 0 then begin
+    t.tc_hits <- t.tc_hits + 1;
+    f
+  end
+  else
+    let epoch = Page_table.epoch t.pt in
+    match Page_table.get t.pt vpage with
+    | Page_table.Unmapped -> raise (Segfault addr)
+    | Page_table.Cow_zero ->
+        tc_fill t tid ~epoch ~vpage ~fr:Frames.zero_frame ~fw:(-1);
+        Frames.zero_frame
+    | Page_table.Frame f | Page_table.Shared f ->
+        tc_fill t tid ~epoch ~vpage ~fr:f ~fw:f;
+        f
+
+(* Resolved write frame.  A cache hit with [fw >= 0] proves the entry was
+   Frame/Shared at the current epoch: no fault-in, no cow-CAS accounting.
+   Everything else goes through [frame_for_write] (which bumps the epoch if
+   it faults a frame in) and refills the cache afterwards, when the entry is
+   guaranteed private or shared. *)
+let[@inline] write_frame t ctx tid addr vpage =
+  let f = tc_lookup t tid vpage t.tc_fw in
+  if f >= 0 then begin
+    t.tc_hits <- t.tc_hits + 1;
+    f
+  end
+  else begin
+    let epoch = Page_table.epoch t.pt in
+    let f = frame_for_write t ctx addr vpage in
+    tc_fill t tid ~epoch ~vpage ~fr:f ~fw:f;
+    f
+  end
+
+(* As [write_frame], but counts a cow-CAS fault first: the MMU cannot know
+   the CAS will fail, so a cow page faults a frame in regardless (§3.2,
+   footnote 2).  A cache hit implies the page is not cow, so the counter is
+   only consulted on the slow path. *)
+let[@inline] rmw_frame t ctx tid addr vpage =
+  let f = tc_lookup t tid vpage t.tc_fw in
+  if f >= 0 then begin
+    t.tc_hits <- t.tc_hits + 1;
+    f
+  end
+  else begin
+    let epoch = Page_table.epoch t.pt in
+    (match Page_table.get t.pt vpage with
+    | Page_table.Cow_zero -> t.cow_cas_faults <- t.cow_cas_faults + 1
+    | _ -> ());
+    let f = frame_for_write t ctx addr vpage in
+    tc_fill t tid ~epoch ~vpage ~fr:f ~fw:f;
+    f
+  end
+
 let load t ctx addr =
   observe_access t ctx addr Engine.Load;
-  let vpage, off = split t addr in
-  let f = frame_for_read t addr vpage in
-  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+  let vpage = Geometry.page_of_addr t.geom addr in
+  let off = Geometry.offset_in_page t.geom addr in
+  let f = read_frame t (Engine.Mem.tid ctx) addr vpage in
+  Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Load;
   Atomic.get (Frames.word t.frames ~frame:f ~off)
 
 let store t ctx addr v =
   observe_access t ctx addr Engine.Store;
-  let vpage, off = split t addr in
-  let f = frame_for_write t ctx addr vpage in
-  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+  let vpage = Geometry.page_of_addr t.geom addr in
+  let off = Geometry.offset_in_page t.geom addr in
+  let f = write_frame t ctx (Engine.Mem.tid ctx) addr vpage in
+  Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Store;
   Atomic.set (Frames.word t.frames ~frame:f ~off) v
 
 let cas t ctx addr ~expect ~desired =
   observe_access t ctx addr Engine.Rmw;
-  let vpage, off = split t addr in
-  (* The MMU cannot know the CAS will fail: a cow page faults in a frame
-     first (§3.2, footnote 2). *)
-  (match Page_table.get t.pt vpage with
-  | Page_table.Cow_zero -> t.cow_cas_faults <- t.cow_cas_faults + 1
-  | _ -> ());
-  let f = frame_for_write t ctx addr vpage in
-  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+  let vpage = Geometry.page_of_addr t.geom addr in
+  let off = Geometry.offset_in_page t.geom addr in
+  let f = rmw_frame t ctx (Engine.Mem.tid ctx) addr vpage in
+  Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Rmw;
   let ok =
     Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect desired
   in
-  if not ok then Engine.note_cas_failure ctx ~addr;
+  if not ok then Engine.Mem.note_cas_failure ctx ~addr;
   ok
 
 let fetch_and_add t ctx addr d =
   observe_access t ctx addr Engine.Rmw;
-  let vpage, off = split t addr in
-  let f = frame_for_write t ctx addr vpage in
-  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+  let vpage = Geometry.page_of_addr t.geom addr in
+  let off = Geometry.offset_in_page t.geom addr in
+  let f = write_frame t ctx (Engine.Mem.tid ctx) addr vpage in
+  Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Rmw;
   Atomic.fetch_and_add (Frames.word t.frames ~frame:f ~off) d
 
@@ -293,11 +431,8 @@ let dwcas t ctx addr ~expect0 ~expect1 ~desired0 ~desired1 =
   if addr land 1 <> 0 then invalid_arg "Vmem.dwcas: addr must be even";
   observe_access t ctx addr Engine.Rmw;
   let vpage, off = split t addr in
-  (match Page_table.get t.pt vpage with
-  | Page_table.Cow_zero -> t.cow_cas_faults <- t.cow_cas_faults + 1
-  | _ -> ());
-  let f = frame_for_write t ctx addr vpage in
-  Engine.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
+  let f = rmw_frame t ctx (Engine.Mem.tid ctx) addr vpage in
+  Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Rmw;
   let w0 = Frames.word t.frames ~frame:f ~off in
   let w1 = Frames.word t.frames ~frame:f ~off:(off + 1) in
@@ -307,7 +442,7 @@ let dwcas t ctx addr ~expect0 ~expect1 ~desired0 ~desired1 =
     true
   end
   else begin
-    Engine.note_cas_failure ctx ~addr;
+    Engine.Mem.note_cas_failure ctx ~addr;
     false
   end
 
@@ -331,55 +466,69 @@ let mapped t addr =
 
 (* --- metrics ------------------------------------------------------------- *)
 
-type usage = {
-  frames_live : int;  (** physical frames allocated, incl. zero + shared *)
-  frames_peak : int;
-  resident_pages : int;  (** pages backed by a private frame *)
-  linux_rss_pages : int;  (** Linux-style RSS: private + every shared page *)
-  mapped_pages : int;
-  cow_pages : int;
-  minor_faults : int;
-  cow_cas_faults : int;
-}
+(* The residency metrics all derive from one page-table scan, memoized on
+   the page-table epoch: a metrics snapshot reading all four costs one scan,
+   and none at all if no mapping changed since the last one. *)
+let census t =
+  if t.census_epoch <> Page_table.epoch t.pt then begin
+    let resident = ref 0 and rss = ref 0 and mapped = ref 0 and cow = ref 0 in
+    for p = 0 to Page_table.max_pages t.pt - 1 do
+      match Page_table.get t.pt p with
+      | Page_table.Unmapped -> ()
+      | Page_table.Cow_zero ->
+          incr mapped;
+          incr cow
+      | Page_table.Frame _ ->
+          incr mapped;
+          incr resident;
+          incr rss
+      | Page_table.Shared _ ->
+          incr mapped;
+          incr rss
+    done;
+    t.census_resident <- !resident;
+    t.census_rss <- !rss;
+    t.census_mapped <- !mapped;
+    t.census_cow <- !cow;
+    t.census_epoch <- Page_table.epoch t.pt
+  end
 
-let usage t =
-  let resident = ref 0 and rss = ref 0 and mapped = ref 0 and cow = ref 0 in
-  for p = 0 to Page_table.max_pages t.pt - 1 do
-    match Page_table.get t.pt p with
-    | Page_table.Unmapped -> ()
-    | Page_table.Cow_zero ->
-        incr mapped;
-        incr cow
-    | Page_table.Frame _ ->
-        incr mapped;
-        incr resident;
-        incr rss
-    | Page_table.Shared _ ->
-        incr mapped;
-        incr rss
-  done;
-  {
-    frames_live = Frames.live t.frames;
-    frames_peak = Frames.peak t.frames;
-    resident_pages = !resident;
-    linux_rss_pages = !rss;
-    mapped_pages = !mapped;
-    cow_pages = !cow;
-    minor_faults = t.minor_faults;
-    cow_cas_faults = t.cow_cas_faults;
-  }
+let frames_live t = Frames.live t.frames
+let frames_peak t = Frames.peak t.frames
+let minor_faults t = t.minor_faults
+let cow_cas_faults t = t.cow_cas_faults
 
-(* Measurement reset: zero the monotone fault/release counters.  Peak frame
-   usage is deliberately kept — it is an instantaneous high-water mark, not a
-   per-phase rate. *)
+let resident_pages t =
+  census t;
+  t.census_resident
+
+let linux_rss_pages t =
+  census t;
+  t.census_rss
+
+let mapped_pages t =
+  census t;
+  t.census_mapped
+
+let cow_pages t =
+  census t;
+  t.census_cow
+
+(* Measurement reset: zero the monotone fault/release counters and drop
+   cached translations, so the measured phase starts cold and consistent.
+   Peak frame usage is deliberately kept — it is an instantaneous high-water
+   mark, not a per-phase rate. *)
 let reset_counters (t : t) =
   t.minor_faults <- 0;
   t.cow_cas_faults <- 0;
+  t.tc_hits <- 0;
+  t.tc_fills <- 0;
+  flush_translation_cache t;
   Frames.reset_freed_total t.frames
 
-let pp_usage ppf u =
+let pp_residency ppf t =
   Fmt.pf ppf
     "frames=%d peak=%d resident=%dp rss=%dp mapped=%dp cow=%dp faults=%d \
      cas-faults=%d"
-    u.frames_live u.frames_peak u.resident_pages u.linux_rss_pages
-    u.mapped_pages u.cow_pages u.minor_faults u.cow_cas_faults
+    (frames_live t) (frames_peak t) (resident_pages t) (linux_rss_pages t)
+    (mapped_pages t) (cow_pages t) (minor_faults t) (cow_cas_faults t)

@@ -95,22 +95,60 @@ val peek : t -> int -> int
 val poke : t -> int -> int -> unit
 val mapped : t -> int -> bool
 
-(** {2 Metrics} *)
+(** {2 Translation cache}
 
-type usage = {
-  frames_live : int;  (** physical frames allocated, incl. zero + shared *)
-  frames_peak : int;
-  resident_pages : int;  (** pages backed by a private frame *)
-  linux_rss_pages : int;  (** Linux-style RSS: private + every shared page *)
-  mapped_pages : int;
-  cow_pages : int;
-  minor_faults : int;
-  cow_cas_faults : int;  (** fault-ins triggered by CAS on a cow page *)
-}
+    Each thread caches its last successful translation (vpage → backing
+    frame), keyed on the page-table epoch: any mapping call, TLB shootdown
+    path or fault-in bumps the epoch and invalidates every cached entry at
+    once.  The cache only short-circuits the page-table walk on the host —
+    TLB and cache-hierarchy cost accounting is unchanged, so simulated
+    results are identical with the cache on or off. *)
 
-val usage : t -> usage
-val pp_usage : Format.formatter -> usage -> unit
+val set_translation_cache : t -> bool -> unit
+(** Enable/disable the per-thread translation cache (default enabled; the
+    differential tests run both ways). *)
+
+val translation_cache : t -> bool
+
+val tc_hits : t -> int
+(** Host-side accesses served from the translation cache since the last
+    {!reset_counters} (observability/testing only — not a simulated stat). *)
+
+val tc_fills : t -> int
+
+val flush_translation_cache : t -> unit
+(** Drop every cached translation (part of measurement reset). *)
+
+(** {2 Metrics}
+
+    Fine-grained accessors; the four residency counts derive from one
+    page-table scan memoized on the page-table epoch, so reading all of them
+    in a metrics snapshot costs at most one scan.  The registry in
+    {!Oamem_core.System} exposes them as the [vmem.*] metrics. *)
+
+val frames_live : t -> int
+(** Physical frames allocated, incl. the zero and shared-region frames. *)
+
+val frames_peak : t -> int
+
+val resident_pages : t -> int
+(** Pages backed by a private frame (the truth). *)
+
+val linux_rss_pages : t -> int
+(** Linux-style RSS: private pages + every page of a shared mapping. *)
+
+val mapped_pages : t -> int
+val cow_pages : t -> int
+
+val minor_faults : t -> int
+
+val cow_cas_faults : t -> int
+(** Fault-ins triggered by CAS on a cow page. *)
+
+val pp_residency : Format.formatter -> t -> unit
+(** One-line dump of the metrics above (debugging). *)
 
 val reset_counters : t -> unit
 (** Zero the monotone counters ([minor_faults], [cow_cas_faults], frames
-    released); peak frame usage is kept. *)
+    released, translation-cache hit/fill counts) and flush the translation
+    cache; peak frame usage is kept. *)

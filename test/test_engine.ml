@@ -206,8 +206,8 @@ let test_engine_min_clock_interleaves_fairly () =
   for tid = 0 to 1 do
     Engine.spawn eng ~tid (fun ctx ->
         for _ = 1 to 5 do
-          Engine.access ctx ~vpage:(-1) ~paddr:(1000 * (tid + 1)) ~kind:Engine.Load;
-          trace := ctx.Engine.tid :: !trace
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:(1000 * (tid + 1)) ~kind:Engine.Load;
+          trace := (Engine.Mem.tid ctx) :: !trace
         done)
   done;
   Engine.run eng;
@@ -223,8 +223,8 @@ let test_engine_min_clock_interleaves_fairly () =
 let test_engine_clock_accumulates () =
   let eng = Engine.create ~nthreads:1 () in
   Engine.spawn eng ~tid:0 (fun ctx ->
-      Engine.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load;
-      Engine.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load);
+      Engine.Mem.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load;
+      Engine.Mem.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load);
   Engine.run eng;
   (* cold dram + l1 hit *)
   check_int "clock" (cost.dram + cost.l1_hit) (Engine.clock eng ~tid:0)
@@ -232,16 +232,16 @@ let test_engine_clock_accumulates () =
 let test_engine_charge_and_now () =
   let eng = Engine.create ~nthreads:1 () in
   Engine.spawn eng ~tid:0 (fun ctx ->
-      Engine.charge ctx 123;
-      check_int "now sees charge" 123 (Engine.now ctx));
+      Engine.Mem.charge ctx 123;
+      check_int "now sees charge" 123 (Engine.Mem.now ctx));
   Engine.run eng;
   check_int "clock kept" 123 (Engine.clock eng ~tid:0)
 
 let test_engine_fence_costs () =
   let eng = Engine.create ~nthreads:1 () in
   Engine.spawn eng ~tid:0 (fun ctx ->
-      Engine.fence ctx Engine.Full;
-      Engine.fence ctx Engine.Compiler);
+      Engine.Mem.fence ctx Engine.Full;
+      Engine.Mem.fence ctx Engine.Compiler);
   Engine.run eng;
   check_int "full fence only" cost.fence_full (Engine.clock eng ~tid:0);
   check_int "fences counted" 1 (Engine.stats eng).Engine.fences
@@ -268,7 +268,7 @@ let test_engine_step_limit () =
   let eng = Engine.create ~nthreads:1 () in
   Engine.spawn eng ~tid:0 (fun ctx ->
       while true do
-        Engine.pause ctx
+        Engine.Mem.pause ctx
       done);
   Alcotest.check_raises "limit" Engine.Step_limit_exceeded (fun () ->
       Engine.run ~max_steps:100 eng)
@@ -276,7 +276,7 @@ let test_engine_step_limit () =
 let test_engine_exception_propagates () =
   let eng = Engine.create ~nthreads:1 () in
   Engine.spawn eng ~tid:0 (fun ctx ->
-      Engine.pause ctx;
+      Engine.Mem.pause ctx;
       failwith "boom");
   Alcotest.check_raises "boom" (Failure "boom") (fun () -> Engine.run eng)
 
@@ -287,8 +287,8 @@ let test_engine_random_policy_deterministic () =
     for tid = 0 to 2 do
       Engine.spawn eng ~tid (fun ctx ->
           for _ = 1 to 4 do
-            Engine.pause ctx;
-            trace := ctx.Engine.tid :: !trace
+            Engine.Mem.pause ctx;
+            trace := (Engine.Mem.tid ctx) :: !trace
           done)
     done;
     Engine.run eng;
@@ -306,7 +306,7 @@ let test_engine_contention_costs_more () =
       Engine.spawn eng ~tid (fun ctx ->
           let paddr = if shared then 64 else 64 * (tid + 1) * 8 in
           for _ = 1 to 50 do
-            Engine.access ctx ~vpage:(-1) ~paddr ~kind:Engine.Rmw
+            Engine.Mem.access ctx ~vpage:(-1) ~paddr ~kind:Engine.Rmw
           done)
     done;
     Engine.run eng;
@@ -316,14 +316,14 @@ let test_engine_contention_costs_more () =
 
 let test_engine_external_ctx_is_free () =
   let ctx = Engine.external_ctx () in
-  Engine.access ctx ~vpage:0 ~paddr:0 ~kind:Engine.Store;
-  Engine.fence ctx Engine.Full;
-  Engine.charge ctx 10;
-  check_int "no clock" 0 (Engine.now ctx)
+  Engine.Mem.access ctx ~vpage:0 ~paddr:0 ~kind:Engine.Store;
+  Engine.Mem.fence ctx Engine.Full;
+  Engine.Mem.charge ctx 10;
+  check_int "no clock" 0 (Engine.Mem.now ctx)
 
 let test_engine_elapsed_seconds () =
   let eng = Engine.create ~nthreads:1 () in
-  Engine.spawn eng ~tid:0 (fun ctx -> Engine.charge ctx 2_200_000);
+  Engine.spawn eng ~tid:0 (fun ctx -> Engine.Mem.charge ctx 2_200_000);
   Engine.run eng;
   Alcotest.(check (float 1e-9)) "1ms at 2.2GHz" 0.001 (Engine.elapsed_seconds eng)
 
@@ -408,13 +408,13 @@ let engine_progress_prop =
         Engine.spawn eng ~tid (fun ctx ->
             let last = ref 0 in
             for i = 1 to accesses do
-              Engine.access ctx ~vpage:(-1) ~paddr:(i * (tid + 1))
+              Engine.Mem.access ctx ~vpage:(-1) ~paddr:(i * (tid + 1))
                 ~kind:Engine.Load;
-              let now = Engine.now ctx in
+              let now = Engine.Mem.now ctx in
               if now < !last then monotone := false;
               last := now
             done;
-            finished.(ctx.Engine.tid) <- true)
+            finished.((Engine.Mem.tid ctx)) <- true)
       done;
       Engine.run eng;
       !monotone && Array.for_all Fun.id finished)

@@ -57,7 +57,7 @@ let test_explorer_passes_cas_increment () =
                   let v = Vmem.load vm ctx addr in
                   if not (Vmem.cas vm ctx addr ~expect:v ~desired:(v + 1))
                   then begin
-                    Engine.pause ctx;
+                    Engine.Mem.pause ctx;
                     incr_loop ()
                   end
                 in
@@ -163,8 +163,8 @@ let test_scripted_policy_replays () =
     for tid = 0 to 1 do
       Engine.spawn eng ~tid (fun ctx ->
           for _ = 1 to 3 do
-            Engine.pause ctx;
-            trace := ctx.Engine.tid :: !trace
+            Engine.Mem.pause ctx;
+            trace := (Engine.Mem.tid ctx) :: !trace
           done)
     done;
     Engine.run eng;

@@ -47,10 +47,10 @@ let test_engine_stall () =
   let ops = [| 0; 0 |] in
   for tid = 0 to 1 do
     Engine.spawn eng ~tid (fun ctx ->
-        while Engine.now ctx < 50_000 do
-          Engine.charge ctx 10;
+        while Engine.Mem.now ctx < 50_000 do
+          Engine.Mem.charge ctx 10;
           ops.(tid) <- ops.(tid) + 1;
-          Engine.pause ctx
+          Engine.Mem.pause ctx
         done)
   done;
   Engine.run eng;
@@ -73,9 +73,9 @@ let test_engine_crash () =
   for tid = 0 to 1 do
     Engine.spawn eng ~tid (fun ctx ->
         for _ = 1 to 50 do
-          Engine.charge ctx 10;
+          Engine.Mem.charge ctx 10;
           ops.(tid) <- ops.(tid) + 1;
-          Engine.pause ctx
+          Engine.Mem.pause ctx
         done)
   done;
   Engine.run eng;
@@ -87,7 +87,7 @@ let test_engine_crash () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "spawn on a crashed slot must be rejected");
   (* a second run with the survivor only must still terminate *)
-  Engine.spawn eng ~tid:1 (fun ctx -> Engine.charge ctx 1);
+  Engine.spawn eng ~tid:1 (fun ctx -> Engine.Mem.charge ctx 1);
   Engine.run eng
 
 (* --- Engine: jitter determinism ------------------------------------------- *)
@@ -98,8 +98,8 @@ let jitter_run plan =
   for tid = 0 to 1 do
     Engine.spawn eng ~tid (fun ctx ->
         for _ = 1 to 200 do
-          Engine.charge ctx 7;
-          Engine.pause ctx
+          Engine.Mem.charge ctx 7;
+          Engine.Mem.pause ctx
         done)
   done;
   Engine.run eng;

@@ -1,0 +1,258 @@
+(* Tests for the fused memory-access fast path.
+
+   The inline path (Engine.Mem charging a request without a context switch)
+   and the vmem translation cache are pure host-side optimisations: they
+   must be observationally invisible to the simulation.  These tests pin
+   that down — identical clocks/stats at the engine level, identical
+   metrics at the runner level — plus the measurement-reset regressions
+   (scheduler heap rebuilt, translation cache flushed) and the
+   allocation-free steady-state hit path. *)
+
+open Oamem_engine
+open Oamem_vmem
+open Oamem_core
+open Oamem_reclaim
+open Oamem_lockfree
+open Oamem_harness
+module Json = Oamem_obs.Json
+module Export = Oamem_obs.Export
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- engine-level differential -------------------------------------------- *)
+
+(* Deterministic mixed traffic: each thread walks its own PRNG and issues
+   loads, stores, RMWs, fences and pauses over a small block range. *)
+let drive ~fused ~nthreads =
+  let eng = Engine.create ~nthreads () in
+  Engine.set_fused eng fused;
+  for tid = 0 to nthreads - 1 do
+    Engine.spawn eng ~tid (fun ctx ->
+        let prng = Engine.Mem.prng ctx in
+        for _ = 1 to 400 do
+          let r = Prng.next prng in
+          let paddr = r land 1023 in
+          (match r land 7 with
+          | 0 | 1 | 2 | 3 ->
+              Engine.Mem.access ctx ~vpage:(paddr lsr 9) ~paddr
+                ~kind:Engine.Load
+          | 4 | 5 ->
+              Engine.Mem.access ctx ~vpage:(paddr lsr 9) ~paddr
+                ~kind:Engine.Store
+          | 6 ->
+              Engine.Mem.access ctx ~vpage:(paddr lsr 9) ~paddr
+                ~kind:Engine.Rmw
+          | _ -> Engine.Mem.fence ctx Engine.Full);
+          if r land 31 = 0 then Engine.Mem.pause ctx
+        done)
+  done;
+  Engine.run eng;
+  eng
+
+let test_engine_differential () =
+  let nthreads = 4 in
+  let fused = drive ~fused:true ~nthreads in
+  let slow = drive ~fused:false ~nthreads in
+  for tid = 0 to nthreads - 1 do
+    check_int
+      (Printf.sprintf "clock of thread %d" tid)
+      (Engine.clock slow ~tid) (Engine.clock fused ~tid)
+  done;
+  check_int "steps" (Engine.steps slow) (Engine.steps fused);
+  let sf = Engine.stats fused and ss = Engine.stats slow in
+  check_int "accesses" ss.Engine.accesses sf.Engine.accesses;
+  check_int "fences" ss.Engine.fences sf.Engine.fences;
+  check_int "remote invalidations" ss.Engine.cache.Hierarchy.remote_invalidations
+    sf.Engine.cache.Hierarchy.remote_invalidations;
+  check_int "l1 hits" ss.Engine.cache.Hierarchy.l1.Cache.hits
+    sf.Engine.cache.Hierarchy.l1.Cache.hits;
+  check_int "tlb misses" ss.Engine.tlb.Tlb.misses sf.Engine.tlb.Tlb.misses
+
+(* --- runner-level differential -------------------------------------------- *)
+
+let spec ~fused scheme threads =
+  {
+    Runner.default_spec with
+    Runner.scheme;
+    threads;
+    structure = Runner.Hash_set;
+    workload = Workload.make ~mix:Workload.update_only ~initial:200 ();
+    horizon_cycles = 60_000;
+    threshold = 16;
+    sb_pages = 4;
+    fused;
+  }
+
+let test_runner_differential () =
+  List.iter
+    (fun (scheme, threads) ->
+      let f = Runner.run (spec ~fused:true scheme threads) in
+      let s = Runner.run (spec ~fused:false scheme threads) in
+      let name what =
+        Printf.sprintf "%s %dT: %s identical" scheme threads what
+      in
+      check_int (name "ops") s.Runner.ops f.Runner.ops;
+      check_bool (name "throughput") true
+        (s.Runner.throughput_mops = f.Runner.throughput_mops);
+      check_int (name "steps") s.Runner.host_steps f.Runner.host_steps;
+      check_bool (name "metrics") true
+        (Json.to_string (Export.metrics_json s.Runner.metrics)
+        = Json.to_string (Export.metrics_json f.Runner.metrics)))
+    [ ("oa-ver", 1); ("oa-ver", 4); ("nr", 2); ("hp", 2) ]
+
+(* --- measurement reset ----------------------------------------------------- *)
+
+(* Mid-run clock reset must rebuild the scheduler heap: its keys are the
+   suspension-time clocks, so zeroing the clocks without reindexing would
+   leave the pre-reset ordering in force.  Thread 0 charges itself far
+   ahead, so before the reset the scheduler favours thread 1; after the
+   reset all clocks tie and the lowest tid must win the first pick. *)
+let test_reset_clocks_rebuilds_heap () =
+  let eng = Engine.create ~nthreads:2 () in
+  let order = ref [] in
+  let walker tid head_start =
+    Engine.spawn eng ~tid (fun ctx ->
+        if head_start > 0 then Engine.Mem.charge ctx head_start;
+        for _ = 1 to 40 do
+          order := tid :: !order;
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:tid ~kind:Engine.Load
+        done)
+  in
+  walker 0 1_000_000;
+  walker 1 0;
+  (match Engine.run ~max_steps:20 eng with
+  | () -> Alcotest.fail "expected the step limit to hit mid-run"
+  | exception Engine.Step_limit_exceeded -> ());
+  check_bool "thread 1 was leading before the reset" true
+    (Engine.clock eng ~tid:0 > Engine.clock eng ~tid:1);
+  Engine.reset_clocks eng;
+  order := [];
+  Engine.run eng;
+  (match List.rev !order with
+  | first :: _ -> check_int "lowest tid resumes first after reset" 0 first
+  | [] -> Alcotest.fail "no post-reset steps");
+  check_int "both threads finished" 0
+    (List.length (List.filter (fun t -> t <> 0 && t <> 1) !order))
+
+let mapped_addr vm ctx =
+  let addr = Vmem.reserve vm ~npages:1 in
+  Vmem.map_anon vm ctx ~vpage:(Geometry.page_of_addr Geometry.default addr)
+    ~npages:1;
+  addr
+
+let test_flush_forces_refill () =
+  let vm = Vmem.create ~max_pages:64 Geometry.default in
+  let ctx = Engine.external_ctx () in
+  let addr = mapped_addr vm ctx in
+  Vmem.store vm ctx addr 7;
+  (* the store's own fill is stale by design: its epoch was captured before
+     the fault-in bumped the page table's, so the next access re-fills *)
+  ignore (Vmem.load vm ctx addr);
+  let fills = Vmem.tc_fills vm in
+  let hits = Vmem.tc_hits vm in
+  ignore (Vmem.load vm ctx addr);
+  check_int "load hits the translation cache" (hits + 1) (Vmem.tc_hits vm);
+  check_int "no refill on a hit" fills (Vmem.tc_fills vm);
+  Vmem.flush_translation_cache vm;
+  ignore (Vmem.load vm ctx addr);
+  check_int "flush forces a refill" (fills + 1) (Vmem.tc_fills vm)
+
+let test_reset_measurement_flushes_translation_cache () =
+  let sys =
+    System.create
+      (System.Config.make ~nthreads:2 ~scheme:"oa-ver"
+         ~max_pages:(1 lsl 14)
+         ~scheme_cfg:
+           {
+             Scheme.default_config with
+             Scheme.threshold = 8;
+             slots_per_thread = Hm_list.slots_needed;
+           }
+         ())
+  in
+  System.run_on_thread0 sys (fun ctx ->
+      let s = System.list_set sys ctx in
+      for k = 0 to 31 do
+        ignore (Hm_list.insert s ctx k)
+      done;
+      for k = 0 to 31 do
+        ignore (Hm_list.contains s ctx k)
+      done);
+  let vm = System.vmem sys in
+  check_bool "warmup populated the translation cache" true
+    (Vmem.tc_hits vm > 0);
+  System.reset_measurement sys;
+  check_int "hit counter cleared" 0 (Vmem.tc_hits vm);
+  check_int "fill counter cleared" 0 (Vmem.tc_fills vm);
+  (* the cache itself must be flushed, not just its counters: the first
+     post-reset access must miss and refill *)
+  System.run_on_thread0 sys (fun ctx ->
+      let s = System.list_set sys ctx in
+      ignore (Hm_list.contains s ctx 0));
+  check_bool "first post-reset access refills" true (Vmem.tc_fills vm > 0)
+
+(* --- allocation-free fast path --------------------------------------------- *)
+
+let test_fused_access_allocates_nothing () =
+  let eng = Engine.create ~nthreads:1 () in
+  let words = ref 0.0 in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      (* warm the caches, then measure the steady-state inline path *)
+      Engine.Mem.access ctx ~vpage:0 ~paddr:42 ~kind:Engine.Load;
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Engine.Mem.access ctx ~vpage:0 ~paddr:42 ~kind:Engine.Load
+      done;
+      words := Gc.minor_words () -. before);
+  Engine.run eng;
+  check_bool
+    (Printf.sprintf "inline access path allocates nothing (%.0f words)" !words)
+    true (!words = 0.0)
+
+let test_vmem_hit_path_allocates_nothing () =
+  let vm = Vmem.create ~max_pages:64 Geometry.default in
+  let eng = Engine.create ~nthreads:1 () in
+  let words = ref 0.0 in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      let addr = mapped_addr vm ctx in
+      Vmem.store vm ctx addr 1;
+      ignore (Vmem.load vm ctx addr);
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        ignore (Vmem.load vm ctx addr)
+      done;
+      words := Gc.minor_words () -. before);
+  Engine.run eng;
+  check_bool
+    (Printf.sprintf "vmem L1-hit load path allocates nothing (%.0f words)"
+       !words)
+    true (!words = 0.0)
+
+let () =
+  Alcotest.run "fused"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "engine: fused = slow path" `Quick
+            test_engine_differential;
+          Alcotest.test_case "runner: fused = slow path" `Quick
+            test_runner_differential;
+        ] );
+      ( "reset",
+        [
+          Alcotest.test_case "reset_clocks rebuilds the heap" `Quick
+            test_reset_clocks_rebuilds_heap;
+          Alcotest.test_case "flush forces refill" `Quick
+            test_flush_forces_refill;
+          Alcotest.test_case "reset_measurement flushes the cache" `Quick
+            test_reset_measurement_flushes_translation_cache;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "fused access allocates nothing" `Quick
+            test_fused_access_allocates_nothing;
+          Alcotest.test_case "vmem hit path allocates nothing" `Quick
+            test_vmem_hit_path_allocates_nothing;
+        ] );
+    ]

@@ -58,7 +58,7 @@ let mixed_structures scheme () =
   let enq = Atomic.make 0 and deq = Atomic.make 0 in
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
-        let rng = ctx.Engine.prng in
+        let rng = (Engine.Mem.prng ctx) in
         for _ = 1 to 200 do
           let k = Prng.int rng 128 in
           match Prng.int rng 8 with
@@ -136,7 +136,7 @@ let test_reads_of_freed_memory_never_fault () =
           ignore (Vmem.load vm ctx !a);
           a := !a + 7
         done;
-        Engine.pause ctx
+        Engine.Mem.pause ctx
       done);
   System.run sys;
   check_bool "no segfault during optimistic re-reads" true true
@@ -155,7 +155,7 @@ let test_stalled_hazard_blocks_only_its_nodes () =
   System.spawn sys ~tid:1 (fun ctx ->
       sch.Scheme.write_protect ctx ~slot:0 !protected_addr;
       for _ = 1 to 2000 do
-        Engine.pause ctx
+        Engine.Mem.pause ctx
       done);
   (* thread 0 retires the protected node plus many others, then drains *)
   System.spawn sys ~tid:0 (fun ctx ->
@@ -216,9 +216,9 @@ let churn_footprint_bounded scheme () =
     done;
     System.run sys;
     if round = 2 then
-      peak_early := (Vmem.usage (System.vmem sys)).Vmem.frames_peak
+      peak_early := (Vmem.frames_peak (System.vmem sys))
   done;
-  let peak_late = (Vmem.usage (System.vmem sys)).Vmem.frames_peak in
+  let peak_late = (Vmem.frames_peak (System.vmem sys)) in
   check_bool
     (Printf.sprintf "%s: footprint flat after warm-up (early %d, late %d)"
        scheme !peak_early peak_late)

@@ -126,7 +126,7 @@ let concurrent_stress ?(nthreads = 4) ~policy ~ops_per_thread scheme () =
   let inserts = Array.make nthreads 0 and deletes = Array.make nthreads 0 in
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
-        let rng = ctx.Engine.prng in
+        let rng = (Engine.Mem.prng ctx) in
         for _ = 1 to ops_per_thread do
           let k = Prng.int rng universe in
           match Prng.int rng 4 with
@@ -164,7 +164,7 @@ let concurrent_hash_stress scheme () =
   let inserts = Array.make nthreads 0 and deletes = Array.make nthreads 0 in
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
-        let rng = ctx.Engine.prng in
+        let rng = (Engine.Mem.prng ctx) in
         for _ = 1 to 400 do
           let k = Prng.int rng universe in
           match Prng.int rng 4 with
@@ -245,7 +245,7 @@ let concurrent_kv_replace scheme () =
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
         for i = 1 to 50 do
-          match Hm_list.replace m ctx 7 ((ctx.Engine.tid * 1000) + i) with
+          match Hm_list.replace m ctx 7 (((Engine.Mem.tid ctx) * 1000) + i) with
           | Some old -> observed.(tid) <- old :: observed.(tid)
           | None -> Alcotest.fail "key vanished"
         done)
@@ -323,13 +323,13 @@ let memory_returns scheme () =
         done
       done);
   System.drain sys;
-  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
+  let u = (System.vmem sys) in
   check_bool
     (Printf.sprintf "%s: frames returned (peak %d, now %d)" scheme
-       u.Oamem_vmem.Vmem.frames_peak u.Oamem_vmem.Vmem.frames_live)
+       (Oamem_vmem.Vmem.frames_peak u) (Oamem_vmem.Vmem.frames_live u))
     true
-    (u.Oamem_vmem.Vmem.frames_live < u.Oamem_vmem.Vmem.frames_peak
-    && u.Oamem_vmem.Vmem.frames_live <= 10)
+    ((Oamem_vmem.Vmem.frames_live u) < (Oamem_vmem.Vmem.frames_peak u)
+    && (Oamem_vmem.Vmem.frames_live u) <= 10)
 
 (* NR, by contrast, must keep growing. *)
 let test_nr_leaks () =
@@ -343,9 +343,9 @@ let test_nr_leaks () =
         ignore (Hm_list.delete l ctx k)
       done);
   System.drain sys;
-  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
+  let u = (System.vmem sys) in
   check_bool "nr holds its frames" true
-    (u.Oamem_vmem.Vmem.frames_live >= u.Oamem_vmem.Vmem.frames_peak - 2)
+    ((Oamem_vmem.Vmem.frames_live u) >= (Oamem_vmem.Vmem.frames_peak u) - 2)
 
 (* The OA schemes' frees flow back through palloc: churn must not grow the
    footprint without bound (reuse across the whole process, §3.1). *)
@@ -363,13 +363,13 @@ let churn_bounded scheme () =
           ignore (Hm_list.insert l ctx k)
         done;
         if round = 2 then
-          peak_after_warmup := (Oamem_vmem.Vmem.usage (System.vmem sys)).Oamem_vmem.Vmem.frames_peak
+          peak_after_warmup := (Oamem_vmem.Vmem.frames_peak (System.vmem sys))
       done);
-  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
+  let u = (System.vmem sys) in
   check_bool
     (Printf.sprintf "%s: churn does not grow footprint" scheme)
     true
-    (u.Oamem_vmem.Vmem.frames_peak <= !peak_after_warmup + 4)
+    ((Oamem_vmem.Vmem.frames_peak u) <= !peak_after_warmup + 4)
 
 let per_scheme name f = List.map (fun s -> (Printf.sprintf "%s (%s)" name s, `Quick, f s)) schemes
 

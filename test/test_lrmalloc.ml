@@ -189,13 +189,13 @@ let test_nonpersistent_empty_superblock_unmapped () =
   let vm = Lrmalloc.vmem a in
   let d, blocks = grab_superblock a 512 in
   List.iter (fun b -> Vmem.store vm ctx b 7) blocks;
-  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  let live_before = (Vmem.frames_live vm) in
   check_bool "frames in use" true (live_before > 1);
   List.iter (fun b -> Lrmalloc.free a ctx b) blocks;
   Lrmalloc.flush_thread_cache a ctx;
   Heap.trim (Lrmalloc.heap a) ctx;
   check_bool "released" true ((Lrmalloc.stats a).Heap.sb_released >= 1);
-  check_bool "frames freed" true ((Vmem.usage vm).Vmem.frames_live < live_before);
+  check_bool "frames freed" true ((Vmem.frames_live vm) < live_before);
   (* the range is gone: reads fault *)
   check_bool "unmapped" false (Vmem.mapped vm d.Descriptor.sb_start)
 
@@ -209,13 +209,13 @@ let test_persistent_madvise_releases_but_stays_readable () =
     first :: List.init (d.Descriptor.max_count - 1) (fun _ -> Lrmalloc.palloc a ctx 512)
   in
   List.iter (fun b -> Vmem.store vm ctx b 9) blocks;
-  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  let live_before = (Vmem.frames_live vm) in
   List.iter (fun b -> Lrmalloc.free a ctx b) blocks;
   Lrmalloc.flush_thread_cache a ctx;
   Heap.trim heap ctx;
   check_bool "remapped" true ((Lrmalloc.stats a).Heap.sb_remapped >= 1);
   check_bool "frames freed" true
-    ((Vmem.usage vm).Vmem.frames_live < live_before);
+    ((Vmem.frames_live vm) < live_before);
   (* the paper's guarantee: freed persistent memory is still readable *)
   List.iter (fun b -> check_int "reads zero after release" 0 (Vmem.load vm ctx b))
     blocks
@@ -230,12 +230,12 @@ let test_persistent_keep_resident_never_releases () =
     first :: List.init (d.Descriptor.max_count - 1) (fun _ -> Lrmalloc.palloc a ctx 512)
   in
   List.iter (fun b -> Vmem.store vm ctx b 5) blocks;
-  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  let live_before = (Vmem.frames_live vm) in
   List.iter (fun b -> Lrmalloc.free a ctx b) blocks;
   Lrmalloc.flush_thread_cache a ctx;
   Heap.trim heap ctx;
   check_int "nothing remapped" 0 (Lrmalloc.stats a).Heap.sb_remapped;
-  check_int "frames keep resident" live_before (Vmem.usage vm).Vmem.frames_live;
+  check_int "frames keep resident" live_before (Vmem.frames_live vm);
   (* still readable (no content guarantee: the free list reuses the blocks) *)
   List.iter (fun b -> ignore (Vmem.load vm ctx b)) blocks;
   (* and the blocks are still allocatable: superblock stayed partial *)
@@ -253,17 +253,16 @@ let test_persistent_shared_map_aliases_and_inflates_rss () =
     first :: List.init (d.Descriptor.max_count - 1) (fun _ -> Lrmalloc.palloc a ctx 512)
   in
   List.iter (fun b -> Vmem.store vm ctx b 5) blocks;
-  let before = Vmem.usage vm in
+  let live_before = Vmem.frames_live vm in
   List.iter (fun b -> Lrmalloc.free a ctx b) blocks;
   Lrmalloc.flush_thread_cache a ctx;
   Heap.trim heap ctx;
-  let after = Vmem.usage vm in
-  check_bool "frames freed" true (after.Vmem.frames_live < before.Vmem.frames_live);
+  check_bool "frames freed" true (Vmem.frames_live vm < live_before);
+  let rss_after = Vmem.linux_rss_pages vm in
   (* still readable *)
   List.iter (fun b -> ignore (Vmem.load vm ctx b)) blocks;
   (* Linux RSS still counts the remapped pages (the haywire stat of §3.2) *)
-  check_bool "linux rss inflated" true
-    (after.Vmem.linux_rss_pages >= d.Descriptor.pages)
+  check_bool "linux rss inflated" true (rss_after >= d.Descriptor.pages)
 
 let test_persistent_range_recycled_by_priority () =
   let a = mk ~remap:Config.Madvise () in
@@ -295,9 +294,9 @@ let test_large_alloc_roundtrip () =
   Vmem.store vm ctx (addr + size - 1) 77;
   check_int "writable to the end" 77 (Vmem.load vm ctx (addr + size - 1));
   check_int "large stat" 1 (Lrmalloc.stats a).Heap.large_allocs;
-  let live = (Vmem.usage vm).Vmem.frames_live in
+  let live = (Vmem.frames_live vm) in
   Lrmalloc.free a ctx addr;
-  check_bool "frames released" true ((Vmem.usage vm).Vmem.frames_live < live);
+  check_bool "frames released" true ((Vmem.frames_live vm) < live);
   check_bool "unmapped after free" false (Vmem.mapped vm addr);
   check_int "free stat" 1 (Lrmalloc.stats a).Heap.large_frees
 
@@ -339,14 +338,14 @@ let test_concurrent_no_double_allocation () =
   for tid = 0 to nthreads - 1 do
     Engine.spawn eng ~tid (fun c ->
         let live = ref [] in
-        let rng = c.Engine.prng in
+        let rng = (Engine.Mem.prng c) in
         for _ = 1 to 300 do
           if Prng.bool rng || !live = [] then begin
             let size = 2 + Prng.int rng 60 in
             let b = Lrmalloc.malloc a c size in
             (* stamp ownership; a double allocation would overwrite *)
-            Vmem.store vm c b ((c.Engine.tid lsl 20) lor List.length !live);
-            live := (b, (c.Engine.tid lsl 20) lor List.length !live) :: !live
+            Vmem.store vm c b (((Engine.Mem.tid c) lsl 20) lor List.length !live);
+            live := (b, ((Engine.Mem.tid c) lsl 20) lor List.length !live) :: !live
           end
           else
             match !live with
@@ -366,7 +365,7 @@ let test_all_memory_returns_after_full_teardown () =
   let a = mk ~nthreads () in
   let vm = Lrmalloc.vmem a in
   let eng = Engine.create ~nthreads () in
-  let baseline = (Vmem.usage vm).Vmem.frames_live in
+  let baseline = (Vmem.frames_live vm) in
   for tid = 0 to nthreads - 1 do
     Engine.spawn eng ~tid (fun c ->
         let blocks = List.init 100 (fun i -> Lrmalloc.malloc a c (2 + (i mod 50))) in
@@ -377,7 +376,7 @@ let test_all_memory_returns_after_full_teardown () =
   Engine.run eng;
   Heap.trim (Lrmalloc.heap a) (Engine.external_ctx ());
   (* all non-persistent superblocks must be gone *)
-  check_int "frames back to baseline" baseline (Vmem.usage vm).Vmem.frames_live
+  check_int "frames back to baseline" baseline (Vmem.frames_live vm)
 
 (* Model-based property: random alloc/free, live blocks never overlap. *)
 let no_overlap_prop =

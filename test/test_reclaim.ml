@@ -126,7 +126,7 @@ let test_oa_bit_warning_restarts () =
          while !tries < 10_000 do
            incr tries;
            sch.Scheme.read_check c;
-           Engine.pause c
+           Engine.Mem.pause c
          done
        with Scheme.Restart -> restarted := true);
       (* the bit was consumed: the next check must pass *)
@@ -190,7 +190,7 @@ let test_oa_ver_clock_restart () =
          while !tries < 10_000 do
            incr tries;
            sch.Scheme.read_check c;
-           Engine.pause c
+           Engine.Mem.pause c
          done
        with Scheme.Restart -> restarted := true));
   Engine.run eng;
@@ -252,7 +252,7 @@ let test_ebr_grace_period () =
       sch.Scheme.begin_op c;
       (* long-running operation pinning the epoch *)
       for _ = 1 to 200 do
-        Engine.pause c
+        Engine.Mem.pause c
       done;
       sch.Scheme.end_op c);
   Engine.run eng;
@@ -271,15 +271,15 @@ let test_ibr_interval_blocks_overlapping_nodes () =
          interval must pin nodes alive during it *)
       sch.Scheme.begin_op c;
       while !pinned = 0 do
-        Engine.pause c
+        Engine.Mem.pause c
       done;
       for _ = 1 to 600 do
-        Engine.pause c
+        Engine.Mem.pause c
       done;
       witnessed := Vmem.peek vm !pinned;
       sch.Scheme.end_op c);
   Engine.spawn eng ~tid:0 (fun c ->
-      Engine.pause c;
+      Engine.Mem.pause c;
       (* allocated while thread 1's interval is open -> lifetime overlaps *)
       pinned := sch.Scheme.alloc c 2;
       Vmem.store vm c !pinned 31337;
@@ -312,7 +312,7 @@ let test_ibr_no_restarts () =
       sch.Scheme.begin_op c;
       for _ = 1 to 300 do
         sch.Scheme.read_check c;
-        Engine.pause c
+        Engine.Mem.pause c
       done;
       sch.Scheme.end_op c);
   Engine.run eng;
@@ -367,7 +367,7 @@ let frames_return name remap () =
   let alloc, vm, meta = mk_alloc ~remap () in
   let cfg = { Scheme.default_config with Scheme.threshold = 8 } in
   let sch = (Registry.find name) cfg ~alloc ~meta ~nthreads:4 in
-  let baseline = (Vmem.usage vm).Vmem.frames_live in
+  let baseline = (Vmem.frames_live vm) in
   for i = 1 to 2000 do
     let n = sch.Scheme.alloc ctx 2 in
     Vmem.store vm ctx n i;
@@ -376,9 +376,9 @@ let frames_return name remap () =
   sch.Scheme.flush ctx;
   Lrmalloc.flush_thread_cache alloc ctx;
   Heap.trim (Lrmalloc.heap alloc) ctx;
-  let u = Vmem.usage vm in
+  let u = vm in
   check_bool "frames dropped back" true
-    (u.Vmem.frames_live <= baseline + 8)
+    ((Vmem.frames_live u) <= baseline + 8)
 
 let suite =
   [

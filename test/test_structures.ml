@@ -62,10 +62,10 @@ let stack_concurrent ?(policy = Engine.Min_clock) scheme () =
   let pushed = Array.make nthreads 0 and popped = Array.make nthreads 0 in
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
-        let rng = ctx.Engine.prng in
+        let rng = (Engine.Mem.prng ctx) in
         for i = 1 to 250 do
           if Prng.bool rng then begin
-            Treiber_stack.push s ctx ((ctx.Engine.tid * 1_000_000) + i);
+            Treiber_stack.push s ctx (((Engine.Mem.tid ctx) * 1_000_000) + i);
             pushed.(tid) <- pushed.(tid) + 1
           end
           else
@@ -115,7 +115,7 @@ let queue_producer_consumer ?(policy = Engine.Min_clock) scheme () =
   for tid = 0 to producers - 1 do
     System.spawn sys ~tid (fun ctx ->
         for i = 1 to per_producer do
-          Ms_queue.enqueue q ctx ((ctx.Engine.tid * 1_000_000) + i)
+          Ms_queue.enqueue q ctx (((Engine.Mem.tid ctx) * 1_000_000) + i)
         done)
   done;
   let total_expected = producers * per_producer in
@@ -126,8 +126,8 @@ let queue_producer_consumer ?(policy = Engine.Min_clock) scheme () =
           match Ms_queue.dequeue q ctx with
           | Some v ->
               Atomic.incr taken;
-              consumed.(ctx.Engine.tid) <- v :: consumed.(ctx.Engine.tid)
-          | None -> Engine.pause ctx
+              consumed.((Engine.Mem.tid ctx)) <- v :: consumed.((Engine.Mem.tid ctx))
+          | None -> Engine.Mem.pause ctx
         done)
   done;
   System.run sys;
@@ -172,12 +172,12 @@ let queue_memory_returns scheme () =
         done
       done);
   System.drain sys;
-  let u = Oamem_vmem.Vmem.usage (System.vmem sys) in
+  let u = (System.vmem sys) in
   check_bool
     (Printf.sprintf "%s: queue memory returned (peak %d, now %d)" scheme
-       u.Oamem_vmem.Vmem.frames_peak u.Oamem_vmem.Vmem.frames_live)
+       (Oamem_vmem.Vmem.frames_peak u) (Oamem_vmem.Vmem.frames_live u))
     true
-    (u.Oamem_vmem.Vmem.frames_live <= 10)
+    ((Oamem_vmem.Vmem.frames_live u) <= 10)
 
 (* --- VBR stack (the paper's §6 future work) ---------------------------------- *)
 
@@ -209,10 +209,10 @@ let vbr_stack_concurrent ?(policy = Engine.Min_clock) () =
   let pushed = Array.make nthreads 0 and popped = Array.make nthreads 0 in
   for tid = 0 to nthreads - 1 do
     System.spawn sys ~tid (fun ctx ->
-        let rng = ctx.Engine.prng in
+        let rng = (Engine.Mem.prng ctx) in
         for i = 1 to 250 do
           if Prng.bool rng then begin
-            Vbr_stack.push s ctx ((ctx.Engine.tid * 1_000_000) + i);
+            Vbr_stack.push s ctx (((Engine.Mem.tid ctx) * 1_000_000) + i);
             pushed.(tid) <- pushed.(tid) + 1
           end
           else
@@ -243,7 +243,7 @@ let test_vbr_stack_immediate_memory_return () =
       for i = 1 to 2000 do
         Vbr_stack.push s ctx i
       done;
-      let full = (Oamem_vmem.Vmem.usage (System.vmem sys)).Oamem_vmem.Vmem.frames_live in
+      let full = (Oamem_vmem.Vmem.frames_live (System.vmem sys)) in
       for _ = 1 to 2000 do
         ignore (Vbr_stack.pop s ctx)
       done;
@@ -253,7 +253,7 @@ let test_vbr_stack_immediate_memory_return () =
       Oamem_lrmalloc.Heap.trim
         (Oamem_lrmalloc.Lrmalloc.heap (System.alloc sys))
         ctx;
-      let after = (Oamem_vmem.Vmem.usage (System.vmem sys)).Oamem_vmem.Vmem.frames_live in
+      let after = (Oamem_vmem.Vmem.frames_live (System.vmem sys)) in
       check_bool
         (Printf.sprintf "frames returned without grace period (%d -> %d)" full
            after)

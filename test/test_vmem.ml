@@ -128,23 +128,23 @@ let test_fresh_mapping_reads_zero () =
   check_int "reads zero" 0 (Vmem.load vm ctx addr);
   check_int "reads zero anywhere" 0 (Vmem.load vm ctx (addr + (3 * pw) + 17));
   (* reads consume no frames *)
-  check_int "no private frames" 0 (Vmem.usage vm).Vmem.resident_pages
+  check_int "no private frames" 0 (Vmem.resident_pages vm)
 
 let test_store_faults_in_one_frame () =
   let vm = fresh () in
   let addr = mapped_range vm in
-  let before = (Vmem.usage vm).Vmem.frames_live in
+  let before = (Vmem.frames_live vm) in
   Vmem.store vm ctx addr 42;
   Vmem.store vm ctx (addr + 1) 43;
   (* same page: one frame *)
-  let u = Vmem.usage vm in
-  check_int "one frame" (before + 1) u.Vmem.frames_live;
-  check_int "one fault" 1 u.Vmem.minor_faults;
+  let u = vm in
+  check_int "one frame" (before + 1) (Vmem.frames_live u);
+  check_int "one fault" 1 (Vmem.minor_faults u);
   check_int "read back" 42 (Vmem.load vm ctx addr);
   check_int "read back 2" 43 (Vmem.load vm ctx (addr + 1));
   (* a different page faults separately *)
   Vmem.store vm ctx (addr + pw) 7;
-  check_int "two faults" 2 (Vmem.usage vm).Vmem.minor_faults
+  check_int "two faults" 2 (Vmem.minor_faults vm)
 
 let test_store_to_unmapped_faults () =
   let vm = fresh () in
@@ -158,9 +158,9 @@ let test_unmap_releases_frames_and_faults_later () =
   Vmem.store vm ctx addr 1;
   Vmem.store vm ctx (addr + pw) 2;
   let vpage = Geometry.page_of_addr g addr in
-  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  let live_before = (Vmem.frames_live vm) in
   Vmem.unmap vm ctx ~vpage ~npages:2;
-  check_int "frames released" (live_before - 2) (Vmem.usage vm).Vmem.frames_live;
+  check_int "frames released" (live_before - 2) (Vmem.frames_live vm);
   Alcotest.check_raises "segfault after unmap" (Vmem.Segfault addr) (fun () ->
       ignore (Vmem.load vm ctx addr))
 
@@ -169,10 +169,10 @@ let test_madvise_keeps_range_readable () =
   let addr = mapped_range vm ~npages:2 in
   Vmem.store vm ctx addr 99;
   let vpage = Geometry.page_of_addr g addr in
-  let live_before = (Vmem.usage vm).Vmem.frames_live in
+  let live_before = (Vmem.frames_live vm) in
   Vmem.madvise_dontneed vm ctx ~vpage ~npages:2;
   (* frame released but the range still reads (as zero) *)
-  check_int "frame released" (live_before - 1) (Vmem.usage vm).Vmem.frames_live;
+  check_int "frame released" (live_before - 1) (Vmem.frames_live vm);
   check_int "reads zero again" 0 (Vmem.load vm ctx addr);
   (* and can be written again, faulting in a fresh frame *)
   Vmem.store vm ctx addr 5;
@@ -196,15 +196,13 @@ let test_map_shared_releases_frames_but_inflates_rss () =
   for p = 0 to 3 do
     Vmem.store vm ctx (addr + (p * pw)) 1
   done;
-  let before = Vmem.usage vm in
-  check_int "4 resident" 4 before.Vmem.resident_pages;
+  let live_before = Vmem.frames_live vm in
+  check_int "4 resident" 4 (Vmem.resident_pages vm);
   Vmem.map_shared vm ctx ~vpage ~npages:4;
-  let after = Vmem.usage vm in
-  check_int "private frames gone" (before.Vmem.frames_live - 4)
-    after.Vmem.frames_live;
-  check_int "no resident pages" 0 after.Vmem.resident_pages;
+  check_int "private frames gone" (live_before - 4) (Vmem.frames_live vm);
+  check_int "no resident pages" 0 (Vmem.resident_pages vm);
   (* the haywire Linux statistic: all 4 pages still counted *)
-  check_int "linux rss counts shared pages" 4 after.Vmem.linux_rss_pages
+  check_int "linux rss counts shared pages" 4 (Vmem.linux_rss_pages vm)
 
 let test_map_shared_chunked_syscalls () =
   (* shared region of 2 pages: mapping 8 pages costs 4 syscalls; remapping
@@ -246,11 +244,11 @@ let test_cas_on_cow_page_faults_in_frame () =
   (* Footnote 2 of the paper: the failing CAS still consumes a frame. *)
   let vm = fresh () in
   let addr = mapped_range vm in
-  let before = (Vmem.usage vm).Vmem.frames_live in
+  let before = (Vmem.frames_live vm) in
   check_bool "cas fails" false (Vmem.cas vm ctx addr ~expect:555 ~desired:556);
-  let u = Vmem.usage vm in
-  check_int "frame leaked in" (before + 1) u.Vmem.frames_live;
-  check_int "counted as cow-cas fault" 1 u.Vmem.cow_cas_faults
+  let u = vm in
+  check_int "frame leaked in" (before + 1) (Vmem.frames_live u);
+  check_int "counted as cow-cas fault" 1 (Vmem.cow_cas_faults u)
 
 let test_cas_on_shared_page_does_not_fault () =
   (* The shared-mapping method avoids the leak. *)
@@ -258,11 +256,11 @@ let test_cas_on_shared_page_does_not_fault () =
   let addr = mapped_range vm in
   let vpage = Geometry.page_of_addr g addr in
   Vmem.map_shared vm ctx ~vpage ~npages:4;
-  let before = (Vmem.usage vm).Vmem.frames_live in
+  let before = (Vmem.frames_live vm) in
   check_bool "cas fails" false (Vmem.cas vm ctx addr ~expect:555 ~desired:556);
-  let u = Vmem.usage vm in
-  check_int "no frame consumed" before u.Vmem.frames_live;
-  check_int "no cow-cas fault" 0 u.Vmem.cow_cas_faults
+  let u = vm in
+  check_int "no frame consumed" before (Vmem.frames_live u);
+  check_int "no cow-cas fault" 0 (Vmem.cow_cas_faults u)
 
 let test_fetch_and_add () =
   let vm = fresh () in
@@ -334,10 +332,10 @@ let vmem_frames_conservation_prop =
       let vm = fresh () in
       let addr0 = mapped_range vm ~npages:8 in
       let vpage = Geometry.page_of_addr g addr0 in
-      let baseline = (Vmem.usage vm).Vmem.frames_live in
+      let baseline = (Vmem.frames_live vm) in
       List.iter (fun p -> Vmem.store vm ctx (addr0 + (p * pw)) 1) pages;
       Vmem.madvise_dontneed vm ctx ~vpage ~npages:8;
-      (Vmem.usage vm).Vmem.frames_live = baseline)
+      (Vmem.frames_live vm) = baseline)
 
 let suite =
   [
