@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick metrics fuzz profile perfgate
+.PHONY: all build test check clean repro quick metrics fuzz profile perfgate fault-matrix
 
 all: build
 
@@ -34,10 +34,20 @@ profile:
 	dune exec bin/repro.exe -- profile --out profile.json --folded profile.folded
 
 # Perf-regression gate: rerun the profiled sweep and compare throughput and
-# per-op p99 latency against the committed BENCH_E1.json baseline.
+# per-op p99 latency against the committed BENCH_E1.json baseline.  The
+# relative leg additionally requires DEBRA's no-fault throughput to stay
+# within the drop threshold of EBR's inside the fresh run itself.
 perfgate:
 	dune exec bench/main.exe -- --profile --out BENCH_E1.current.json
-	dune exec bin/perfgate.exe -- BENCH_E1.json BENCH_E1.current.json
+	dune exec bin/perfgate.exe -- BENCH_E1.json BENCH_E1.current.json \
+	  --relative debra:ebr
+
+# Nightly fault matrix: E13 across every scheme x {no-fault, stall, crash}
+# with the lifecycle sanitizer on; per-leg garbage curves land in
+# fault-matrix/ as garbage_<scheme>_<fault>.json (CI uploads them).
+fault-matrix:
+	mkdir -p fault-matrix
+	dune exec bin/repro.exe -- run robustness --csv fault-matrix --sanitize
 
 # Nightly schedule fuzzing: random schedules through every scenario with the
 # lifecycle sanitizer on; failing schedules are shrunk and written to

@@ -145,7 +145,9 @@ module Json = Oamem_obs.Json
 module Export = Oamem_obs.Export
 
 let run_metrics_dump ~profile ~out =
-  let schemes = Oamem_reclaim.Registry.paper_methods in
+  (* the paper's four methods plus the epoch pair the relative gate
+     compares: DEBRA's no-fault throughput must track EBR's *)
+  let schemes = Oamem_reclaim.Registry.paper_methods @ [ "ebr"; "debra" ] in
   let threads = [ 1; 4 ] in
   let results =
     List.concat_map

@@ -2,7 +2,7 @@
    committed baseline and exit non-zero on regression.
 
      perfgate BASELINE CURRENT [--warn-only] [--max-drop F] [--max-p99 F]
-              [--max-host-drop F] *)
+              [--max-host-drop F] [--relative SCHEME:REF]... *)
 
 open Cmdliner
 module Json = Oamem_obs.Json
@@ -57,7 +57,27 @@ let max_host_drop_arg =
            per host-second); checked only when both documents carry the \
            field.")
 
-let run baseline current warn_only max_drop max_p99 max_host_drop =
+let relative_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "relative" ] ~docv:"SCHEME:REF"
+        ~doc:
+          "Also gate SCHEME's throughput against REF's within the CURRENT \
+           document (within --max-drop at every thread count REF ran); \
+           gates schemes too new to appear in the committed baseline. \
+           Repeatable.")
+
+let parse_relative spec =
+  match String.index_opt spec ':' with
+  | Some i when i > 0 && i < String.length spec - 1 ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  | _ ->
+      Fmt.epr "perfgate: bad --relative %S (expected SCHEME:REF)@." spec;
+      exit 2
+
+let run baseline current warn_only max_drop max_p99 max_host_drop relative =
   let thresholds =
     {
       Perfgate.max_throughput_drop = max_drop;
@@ -65,9 +85,16 @@ let run baseline current warn_only max_drop max_p99 max_host_drop =
       max_host_drop;
     }
   in
+  let current_doc = read_json current in
   let verdicts =
     Perfgate.compare_results ~thresholds ~baseline:(read_json baseline)
-      ~current:(read_json current) ()
+      ~current:current_doc ()
+    @ List.concat_map
+        (fun spec ->
+          let scheme, reference = parse_relative spec in
+          Perfgate.compare_relative ~max_gap:max_drop ~current:current_doc
+            ~scheme ~reference ())
+        relative
   in
   List.iter (fun v -> Fmt.pr "%a@." Perfgate.pp_verdict v) verdicts;
   let nfail =
@@ -91,4 +118,5 @@ let () =
           (Cmd.info "perfgate" ~doc)
           Term.(
             const run $ baseline_arg $ current_arg $ warn_only_arg
-            $ max_drop_arg $ max_p99_arg $ max_host_drop_arg)))
+            $ max_drop_arg $ max_p99_arg $ max_host_drop_arg
+            $ relative_arg)))

@@ -86,8 +86,16 @@ let quick_arg =
   let doc = "Use the quick preset (fewer thread counts, shorter horizon)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let sanitize_arg =
+  let doc =
+    "Run the fault-matrix experiment under the memory-lifecycle sanitizer \
+     (access-level checks; violations abort the run)."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
 let config_term =
-  let make threads horizon fig4 fig6 full schemes seed csv quick trace metrics =
+  let make threads horizon fig4 fig6 full schemes seed csv quick trace metrics
+      sanitize =
     let base =
       if quick then Experiments.quick_config else Experiments.default_config
     in
@@ -115,11 +123,13 @@ let config_term =
       csv_dir = csv;
       trace_out = trace;
       metrics_out = metrics;
+      sanitize;
     }
   in
   Term.(
     const make $ threads_arg $ horizon_arg $ fig4_arg $ fig6_arg $ full_arg
-    $ schemes_arg $ seed_arg $ csv_arg $ quick_arg $ trace_arg $ metrics_arg)
+    $ schemes_arg $ seed_arg $ csv_arg $ quick_arg $ trace_arg $ metrics_arg
+    $ sanitize_arg)
 
 let list_cmd =
   let run () =

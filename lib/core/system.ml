@@ -118,7 +118,10 @@ let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) =
   s "warnings_fired" (fun () -> ss.Scheme.warnings_fired);
   s "warnings_piggybacked" (fun () -> ss.Scheme.warnings_piggybacked);
   s "reclaim_phases" (fun () -> ss.Scheme.reclaim_phases);
+  s "neutralized" (fun () -> ss.Scheme.neutralized);
+  s "seized" (fun () -> ss.Scheme.seized);
   reg "scheme.unreclaimed" Metrics.Gauge (fun () -> Scheme.unreclaimed ss);
+  reg "scheme.pinned" Metrics.Gauge (fun () -> Scheme.pinned ss);
   scheme.Scheme.sink.Scheme.reclaim_hist <-
     Some (Metrics.histogram m "scheme.reclaim_batch");
   (* allocator *)

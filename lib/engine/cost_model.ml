@@ -20,6 +20,11 @@ type t = {
   syscall : int;  (** mmap / madvise round trip *)
   pause : int;  (** one spin-loop iteration *)
   op_base : int;  (** fixed per-data-structure-operation overhead *)
+  checkpoint_set : int;  (** registering a recovery checkpoint (sigsetjmp) *)
+  neutralize_post : int;  (** posting a neutralization signal (tgkill) *)
+  neutralize_deliver : int;
+      (** delivering a neutralization signal to its victim: handler entry
+          plus the longjmp back to the checkpoint *)
   ghz : float;  (** clock frequency used to convert cycles to seconds *)
 }
 
@@ -42,6 +47,9 @@ let opteron_6274 =
     syscall = 1500;
     pause = 10;
     op_base = 15;
+    checkpoint_set = 50;
+    neutralize_post = 1500;
+    neutralize_deliver = 2500;
     ghz = 2.2;
   }
 
@@ -63,6 +71,9 @@ let uniform =
     syscall = 1;
     pause = 1;
     op_base = 0;
+    checkpoint_set = 1;
+    neutralize_post = 1;
+    neutralize_deliver = 1;
     ghz = 1.0;
   }
 

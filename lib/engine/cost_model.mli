@@ -20,6 +20,13 @@ type t = {
   syscall : int;  (** mmap / madvise round trip *)
   pause : int;  (** one spin-loop iteration *)
   op_base : int;  (** fixed per-data-structure-operation overhead *)
+  checkpoint_set : int;
+      (** registering a recovery checkpoint (sigsetjmp analogue) *)
+  neutralize_post : int;
+      (** posting a neutralization signal to another thread (tgkill) *)
+  neutralize_deliver : int;
+      (** delivering a neutralization signal: handler entry plus the
+          longjmp back to the victim's checkpoint *)
   ghz : float;  (** clock frequency for converting cycles to seconds *)
 }
 

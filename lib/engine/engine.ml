@@ -61,6 +61,10 @@ type policy = Min_clock | Random_order of int | Scripted of scripted
 
 type _ Effect.t += Yield : request -> unit Effect.t
 
+exception Neutralized
+
+type signal_outcome = Posted | Already_pending | Dead
+
 type outcome =
   | Done
   | Yielded of request * (unit, outcome) Effect.Deep.continuation
@@ -71,6 +75,7 @@ type fault_stats = {
   mutable stall_cycles : int;
   mutable jitter_cycles : int;
   mutable crashed : bool;
+  mutable neutralized : int;
 }
 
 type t = {
@@ -103,6 +108,13 @@ and slot = {
   mutable clock : int;
   mutable pending : pending;
   fstats : fault_stats;
+  (* --- neutralization (simulated async signals) --- *)
+  mutable checkpoint : bool;  (* a recovery checkpoint is registered *)
+  mutable masked : int;  (* signal-mask depth; > 0 defers delivery *)
+  mutable signal : bool;  (* a neutralization signal is pending *)
+  mutable stalled_until : int;
+      (* clock value at the end of the last injected stall; lets a signal
+         wake the victim out of the stall (nanosleep is interrupted) *)
 }
 
 and pending =
@@ -120,6 +132,7 @@ let fresh_fault_stats () =
     stall_cycles = 0;
     jitter_cycles = 0;
     crashed = false;
+    neutralized = 0;
   }
 
 let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
@@ -162,6 +175,10 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
           clock = 0;
           pending = Idle;
           fstats = fresh_fault_stats ();
+          checkpoint = false;
+          masked = 0;
+          signal = false;
+          stalled_until = 0;
         });
   t
 
@@ -365,6 +382,9 @@ module Mem = struct
   let[@inline] inline_ready t (c : ctx) =
     t.inline_ok
     && Fault_plan.is_trivial t.plan
+    (* a pending neutralization signal forces the slow path: delivery
+       happens only at scheduler yields, so the leader must stop fusing *)
+    && (not t.slots.(c.tid).signal)
     && still_leader t ~tid:c.tid t.slots.(c.tid).clock
 
   let access (c : ctx) ~vpage ~paddr ~kind =
@@ -420,6 +440,97 @@ module Mem = struct
         else Effect.perform (Yield (Event kind))
 
   let pause (c : ctx) = event c Pause
+
+  (* --- neutralization: simulated async signals (sigsetjmp/tgkill) ------ *)
+
+  (* Register a recovery checkpoint for the dynamic extent of [f].  A
+     neutralization signal posted to this thread is delivered at its next
+     unmasked scheduler yield as a [Neutralized] unwind back here; [recover]
+     then runs (it must be idempotent — a second signal during recovery
+     re-runs it) and [f] is retried.  Registration does not nest: DEBRA-style
+     recovery targets the operation entry, and a silent inner checkpoint
+     would shadow it. *)
+  let checkpoint (c : ctx) ~recover f =
+    match c.eng with
+    | None -> f ()
+    | Some t ->
+        let slot = t.slots.(c.tid) in
+        if slot.checkpoint then
+          invalid_arg "Engine.Mem.checkpoint: nested registration";
+        charge c t.cost.checkpoint_set;
+        slot.checkpoint <- true;
+        let rec attempt () =
+          match f () with
+          | v ->
+              slot.checkpoint <- false;
+              v
+          | exception Neutralized ->
+              let rec recovering () =
+                try recover () with Neutralized -> recovering ()
+              in
+              recovering ();
+              attempt ()
+          | exception e ->
+              slot.checkpoint <- false;
+              raise e
+        in
+        attempt ()
+
+  (* Defer signal delivery for the extent of [f] (sigprocmask analogue).
+     Schemes mask sections whose unwind would corrupt host-side state —
+     allocator calls, limbo-bag updates — exactly like DEBRA+'s handler
+     refuses to longjmp out of non-neutralizable code. *)
+  let masked (c : ctx) f =
+    match c.eng with
+    | None -> f ()
+    | Some t ->
+        let slot = t.slots.(c.tid) in
+        slot.masked <- slot.masked + 1;
+        Fun.protect ~finally:(fun () -> slot.masked <- slot.masked - 1) f
+
+  let signal_pending (c : ctx) ~tid =
+    match c.eng with None -> false | Some t -> t.slots.(tid).signal
+
+  (* Liveness of another slot, as pthread_tryjoin would report it: schemes
+     that can seize a dead thread's deferred frees (DEBRA) key off this. *)
+  let peer_crashed (c : ctx) ~tid =
+    match c.eng with None -> false | Some t -> t.slots.(tid).fstats.crashed
+
+  (* Post a neutralization signal to [victim] (tgkill analogue).  Charged
+     to the poster; no yield, so the post is atomic under every policy.
+     After [Posted] the poster may treat the victim as quiesced: the victim
+     executes no further simulated access before its signal is delivered
+     (pending signals disable its fused path, and the scheduler checks for
+     delivery before processing its blocked request).  A signal also cuts
+     an injected stall short — the victim's wake-up is pulled back to the
+     poster's clock, as a signal interrupting nanosleep. *)
+  let neutralize (c : ctx) ~victim =
+    match c.eng with
+    | None -> Dead
+    | Some t ->
+        if victim < 0 || victim >= t.nthreads then
+          invalid_arg "Engine.Mem.neutralize: bad victim";
+        charge c t.cost.neutralize_post;
+        let vslot = t.slots.(victim) in
+        (match vslot.pending with
+        | Crashed -> Dead
+        | Idle when victim <> c.tid -> Dead  (* finished or never started *)
+        | Idle | Start _ | Blocked _ ->
+            if vslot.signal then Already_pending
+            else begin
+              vslot.signal <- true;
+              let now = t.slots.(c.tid).clock in
+              if vslot.stalled_until > now && vslot.clock > now then begin
+                vslot.clock <- now;
+                vslot.stalled_until <- 0;
+                if t.use_heap && t.hpos.(victim) >= 0 then
+                  sift_up t t.hpos.(victim)
+              end;
+              if Oamem_obs.Trace.enabled t.trace then
+                Oamem_obs.Trace.emit t.trace ~tid:c.tid ~at:now
+                  (Oamem_obs.Trace.Neutralize_post { victim });
+              Posted
+            end)
 end
 
 (* --- scheduler ----------------------------------------------------------- *)
@@ -526,6 +637,29 @@ let run ?max_steps t =
           slot.pending <- Idle;
           let fs = slot.fstats in
           fs.yields <- fs.yields + 1;
+          if slot.signal && slot.checkpoint && slot.masked = 0 then begin
+            (* Deliver the pending neutralization signal instead of the
+               blocked request: the handler runs before the victim's next
+               instruction, so the access never executes (no cache/TLB
+               side effect) and the thread unwinds to its checkpoint.
+               This yield bypasses the fault plan — the signal handler,
+               not user code, runs at this point. *)
+            slot.signal <- false;
+            fs.neutralized <- fs.neutralized + 1;
+            let cost = t.cost.neutralize_deliver in
+            slot.clock <- slot.clock + cost;
+            if Oamem_obs.Profile.enabled t.prof then
+              Oamem_obs.Profile.charge t.prof ~tid cost;
+            if Oamem_obs.Trace.enabled t.trace then
+              Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+                Oamem_obs.Trace.Neutralized;
+            settle t tid slot
+              (try Effect.Deep.discontinue k Neutralized
+               with e ->
+                 slot.pending <- Idle;
+                 raise e)
+          end
+          else
           match Fault_plan.on_yield t.plan ~tid ~yield:fs.yields with
           | Fault_plan.Kill ->
               (* fail-stop: drop the continuation, never resume the slot *)
@@ -550,6 +684,7 @@ let run ?max_steps t =
               in
               let cost = cost_of_request t ~tid request + stall + jitter in
               slot.clock <- slot.clock + cost;
+              if stall > 0 then slot.stalled_until <- slot.clock;
               if profiling then begin
                 (* the yielding thread's span stack is untouched until its
                    continuation resumes, so the innermost open span is the
@@ -580,7 +715,11 @@ let elapsed t = Array.fold_left (fun acc s -> max acc s.clock) 0 t.slots
 let elapsed_seconds t = Cost_model.seconds_of_cycles t.cost (elapsed t)
 
 let reset_clocks t =
-  Array.iter (fun s -> s.clock <- 0) t.slots;
+  Array.iter
+    (fun s ->
+      s.clock <- 0;
+      s.stalled_until <- 0)
+    t.slots;
   (* heap keys are clocks: re-derive the index or later pops would follow
      the stale pre-reset order *)
   heap_rebuild t

@@ -16,6 +16,17 @@ type access_kind = Load | Store | Rmw
 type fence_kind = Full | Compiler
 type event_kind = Minor_fault | Syscall | Pause
 
+exception Neutralized
+(** Raised inside a victim thread when a posted neutralization signal is
+    delivered: the thread unwinds to its {!Mem.checkpoint}, which runs the
+    registered recovery closure and retries.  Simulated code should let it
+    propagate (or re-raise it) so the checkpoint sees it. *)
+
+type signal_outcome =
+  | Posted  (** signal now pending; the victim is quiesced from here on *)
+  | Already_pending  (** an earlier signal has not been delivered yet *)
+  | Dead  (** the victim crashed or already finished — typed no-op *)
+
 type scripted = {
   prefix : int array;
       (** scheduling choices to replay, as runnable-set indices (taken
@@ -103,6 +114,45 @@ module Mem : sig
   val profile : t -> Oamem_obs.Profile.t
   (** The engine's profiler, or {!Oamem_obs.Profile.null} for an external
       context — instrumentation points need no option check. *)
+
+  (** {3 Neutralization} — a deterministic simulation of the async-signal
+      checkpoint/restart idiom (sigsetjmp + tgkill) DEBRA+ and NBR build
+      on.  See DESIGN.md "Neutralization". *)
+
+  val checkpoint : t -> recover:(unit -> unit) -> (unit -> 'a) -> 'a
+  (** [checkpoint c ~recover f] registers a recovery checkpoint for the
+      dynamic extent of [f] (charged [checkpoint_set] cycles).  If a
+      neutralization signal is delivered while [f] runs, the thread
+      unwinds here with {!Neutralized}, [recover] runs, and [f] is
+      retried.  [recover] must be idempotent: a signal delivered during
+      recovery re-runs it.  Nested registration raises
+      [Invalid_argument].  For an external context, [f] just runs. *)
+
+  val masked : t -> (unit -> 'a) -> 'a
+  (** Defer signal delivery for the extent of the callback (sigprocmask
+      analogue); nests.  Used around sections whose unwind would corrupt
+      host-side state (allocator calls, limbo-bag updates). *)
+
+  val neutralize : t -> victim:int -> signal_outcome
+  (** Post a neutralization signal to thread [victim] (charged
+      [neutralize_post] cycles to the poster; no yield, so the post is
+      atomic).  After [Posted] the poster may treat the victim as
+      quiesced: the victim executes no further simulated access before
+      delivery — a pending signal disables its fused fast path and the
+      scheduler delivers before processing its next blocked request,
+      discarding that request unexecuted.  Delivery happens only when the
+      victim has a {!checkpoint} registered and is not {!masked}; the
+      signal stays pending (and keeps the victim off the fast path) until
+      then.  A signal cuts an injected stall short: the victim's wake-up
+      is pulled back to the poster's clock.  Posting to a crashed or
+      finished thread returns [Dead] and does nothing. *)
+
+  val signal_pending : t -> tid:int -> bool
+
+  val peer_crashed : t -> tid:int -> bool
+  (** Whether thread slot [tid] was fail-stopped by fault injection —
+      the pthread_tryjoin analogue schemes use to seize a dead thread's
+      deferred frees. *)
 end
 
 (** {2 Scheduler} *)
@@ -176,6 +226,8 @@ type fault_stats = {
   mutable stall_cycles : int;
   mutable jitter_cycles : int;
   mutable crashed : bool;
+  mutable neutralized : int;
+      (** neutralization signals delivered to this thread *)
 }
 
 val fault_stats : t -> tid:int -> fault_stats

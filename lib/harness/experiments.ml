@@ -27,6 +27,9 @@ type config = {
           highest thread count) of throughput figures *)
   metrics_out : string option;
       (** write the designated run's metrics snapshot as JSON *)
+  sanitize : bool;
+      (** run the fault-matrix experiment under the memory-lifecycle
+          sanitizer (CI nightly leg) *)
 }
 
 let default_config =
@@ -40,6 +43,7 @@ let default_config =
     csv_dir = None;
     trace_out = None;
     metrics_out = None;
+    sanitize = false;
   }
 
 (* A faster preset for smoke runs. *)
@@ -722,13 +726,17 @@ let vbr_stack =
 let robustness =
   {
     id = "robustness";
-    title = "Garbage growth under a stalled thread + frame-pool exhaustion recovery";
+    title =
+      "Fault matrix: garbage growth under stalled/crashed threads + \
+       frame-pool exhaustion recovery";
     paper_ref = "Section 1 (robustness motivation) + Section 5 (memory release)";
     expected =
       "EBR garbage grows with the healthy threads' work once one thread \
        stalls mid-operation; HP and the OA schemes stay under a constant \
-       bound; under a frame quota the releasing remap strategies recover \
-       while Keep_resident ends in a typed Out_of_memory";
+       bound; DEBRA neutralizes the laggard and stays bounded too (and \
+       seizes a crashed thread's bags), degenerating to EBR with \
+       neutralization off; under a frame quota the releasing remap \
+       strategies recover while Keep_resident ends in a typed Out_of_memory";
     run =
       (fun cfg ->
         Report.section
@@ -739,56 +747,75 @@ let robustness =
             Robustness.horizon_cycles = cfg.horizon_cycles;
             sample_interval = max 1 (cfg.horizon_cycles / 40);
             seed = cfg.seed;
+            sanitize = cfg.sanitize;
           }
         in
         let bound = Robustness.robust_bound spec in
         Printf.printf
           "Thread 0 stalls at its %d-th yield for longer than the run; %d \
-           healthy workers keep updating a hash set.  Robust bound: %d nodes.\n\n"
-          spec.Robustness.stall_at_yield spec.Robustness.workers bound;
-        let schemes = [ "nr"; "ebr"; "ibr"; "hp"; "oa-bit"; "oa-ver" ] in
+           healthy workers keep updating a hash set.  Robust bound: %d \
+           nodes.%s\n\n"
+          spec.Robustness.stall_at_yield spec.Robustness.workers bound
+          (if cfg.sanitize then "  Lifecycle sanitizer: on." else "");
+        let schemes = [ "nr"; "ebr"; "ibr"; "hp"; "oa-bit"; "oa-ver"; "debra" ] in
+        (* (label, pair): the labelled rows include the DEBRA ablation with
+           neutralization disabled, which must degenerate to EBR's curve *)
         let pairs =
           List.map
             (fun scheme ->
               (scheme, Robustness.run_pair { spec with Robustness.scheme }))
             schemes
+          @ [
+              ( "debra (no-neut)",
+                Robustness.run_pair
+                  {
+                    spec with
+                    Robustness.scheme = "debra";
+                    neutralize = false;
+                  } );
+            ]
         in
-        let verdict scheme (s : Robustness.result) (c : Robustness.result) =
-          if scheme = "nr" then "leaks in both (by design)"
+        let verdict label (s : Robustness.result) (c : Robustness.result) =
+          if label = "nr" then "leaks in both (by design)"
           else if
             s.Robustness.final_unreclaimed > 2 * bound
             && s.Robustness.final_unreclaimed
                > 2 * max 1 c.Robustness.final_unreclaimed
           then "grows with healthy work"
           else if s.Robustness.max_unreclaimed <= bound then "bounded"
+          else if
+            s.Robustness.final_unreclaimed
+            <= 2 * max 1 c.Robustness.final_unreclaimed
+          then "bounded (within 2x control)"
           else "bounded by live-at-stall"
         in
         Report.table
           ~header:
             [
               "scheme"; "stalled max"; "stalled final"; "control final";
-              "bound"; "verdict";
+              "bound"; "neutral."; "verdict";
             ]
           (List.map
-             (fun (scheme, (s, c)) ->
+             (fun (label, (s, c)) ->
                [
-                 scheme;
+                 label;
                  string_of_int s.Robustness.max_unreclaimed;
                  string_of_int s.Robustness.final_unreclaimed;
                  string_of_int c.Robustness.final_unreclaimed;
                  string_of_int bound;
-                 verdict scheme s c;
+                 string_of_int s.Robustness.neutralized;
+                 verdict label s c;
                ])
              pairs);
         (* Garbage-over-time chart for the stalled variant (NR excluded: its
            monotone leak would flatten every other series). *)
         let charted =
-          List.filter (fun (scheme, _) -> scheme <> "nr") pairs
+          List.filter (fun (label, _) -> label <> "nr") pairs
         in
         let series =
           List.map
-            (fun (scheme, ((s : Robustness.result), _)) ->
-              ( scheme,
+            (fun (label, ((s : Robustness.result), _)) ->
+              ( label,
                 List.map
                   (fun smp ->
                     float_of_int smp.Oamem_faults.Monitor.unreclaimed)
@@ -815,19 +842,129 @@ let robustness =
         maybe_csv cfg ~id:"robustness"
           ~header:[ "scheme"; "variant"; "at_cycles"; "unreclaimed" ]
           (List.concat_map
-             (fun (scheme, (s, c)) ->
+             (fun (label, (s, c)) ->
                List.concat_map
                  (fun (variant, (r : Robustness.result)) ->
                    List.map
                      (fun smp ->
                        [
-                         scheme; variant;
+                         label; variant;
                          string_of_int smp.Oamem_faults.Monitor.at_cycles;
                          string_of_int smp.Oamem_faults.Monitor.unreclaimed;
                        ])
                      r.Robustness.samples)
                  [ ("stalled", s); ("control", c) ])
              pairs);
+        (* Fault matrix: every scheme under {no-fault, stall, crash}.  The
+           no-fault and stall legs reuse the pair runs above; only the
+           crash legs run fresh.  Seized vs pinned separates what a dead
+           thread's bag still holds from what a live thread already took
+           over. *)
+        Report.section
+          "robustness — fault matrix (no-fault / stall / crash)";
+        let matrix =
+          List.concat_map
+            (fun scheme ->
+              let s, c = List.assoc scheme pairs in
+              let crash =
+                Robustness.run
+                  {
+                    spec with
+                    Robustness.scheme;
+                    Robustness.fault = Robustness.Crash;
+                  }
+              in
+              [ (scheme, c); (scheme, s); (scheme, crash) ])
+            schemes
+        in
+        Report.table
+          ~header:
+            [
+              "scheme"; "fault"; "final unreclaimed"; "final pinned";
+              "seized"; "neutral."; "ops";
+            ]
+          (List.map
+             (fun (scheme, (r : Robustness.result)) ->
+               [
+                 scheme;
+                 Robustness.fault_name r.Robustness.spec.Robustness.fault;
+                 string_of_int r.Robustness.final_unreclaimed;
+                 string_of_int r.Robustness.final_pinned;
+                 string_of_int r.Robustness.seized;
+                 string_of_int r.Robustness.neutralized;
+                 string_of_int r.Robustness.ops;
+               ])
+             matrix);
+        maybe_csv cfg ~id:"robustness_matrix"
+          ~header:
+            [
+              "scheme"; "fault"; "final_unreclaimed"; "final_pinned";
+              "seized"; "neutralized"; "ops"; "max_unreclaimed";
+            ]
+          (List.map
+             (fun (scheme, (r : Robustness.result)) ->
+               [
+                 scheme;
+                 Robustness.fault_name r.Robustness.spec.Robustness.fault;
+                 string_of_int r.Robustness.final_unreclaimed;
+                 string_of_int r.Robustness.final_pinned;
+                 string_of_int r.Robustness.seized;
+                 string_of_int r.Robustness.neutralized;
+                 string_of_int r.Robustness.ops;
+                 string_of_int r.Robustness.max_unreclaimed;
+               ])
+             matrix);
+        (* Per-scheme garbage-curve JSON, one file per (scheme, fault) leg —
+           the CI fault-matrix artifacts. *)
+        (match cfg.csv_dir with
+        | None -> ()
+        | Some dir ->
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            List.iter
+              (fun (scheme, (r : Robustness.result)) ->
+                let fault =
+                  Robustness.fault_name r.Robustness.spec.Robustness.fault
+                in
+                let doc =
+                  Json.Obj
+                    [
+                      ("scheme", Json.String scheme);
+                      ("fault", Json.String fault);
+                      ( "neutralize",
+                        Json.Bool r.Robustness.spec.Robustness.neutralize );
+                      ("final_unreclaimed",
+                       Json.Int r.Robustness.final_unreclaimed);
+                      ("final_pinned", Json.Int r.Robustness.final_pinned);
+                      ("seized", Json.Int r.Robustness.seized);
+                      ("neutralized", Json.Int r.Robustness.neutralized);
+                      ("ops", Json.Int r.Robustness.ops);
+                      ( "samples",
+                        Json.List
+                          (List.map
+                             (fun smp ->
+                               Json.Obj
+                                 [
+                                   ( "at_cycles",
+                                     Json.Int
+                                       smp.Oamem_faults.Monitor.at_cycles );
+                                   ( "unreclaimed",
+                                     Json.Int
+                                       smp.Oamem_faults.Monitor.unreclaimed
+                                   );
+                                 ])
+                             r.Robustness.samples) );
+                    ]
+                in
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "garbage_%s_%s.json" scheme fault)
+                in
+                let oc = open_out path in
+                output_string oc (Json.to_string doc);
+                output_char oc '\n';
+                close_out oc)
+              matrix);
         Report.section "robustness — frame-pool exhaustion under a quota";
         Printf.printf
           "Persistent-allocation churn under a live-frame quota: recovery \

@@ -16,6 +16,9 @@ type config = {
   metrics_out : string option;
       (** throughput figures: write the designated run's metrics snapshot
           as JSON *)
+  sanitize : bool;
+      (** run the fault-matrix experiment under the memory-lifecycle
+          sanitizer (CI nightly leg) *)
 }
 
 val default_config : config

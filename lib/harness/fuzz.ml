@@ -25,6 +25,9 @@ type scenario = {
   expect_fail : bool;
       (** a seeded-bug scenario: the fuzzer *should* find a failure (used
           by tests and excluded from the CI fuzz run) *)
+  plan : (int array -> Fault_plan.t) option;
+      (** compose a fault plan with the schedule: derived from the run's
+          prefix, so a shrunken repro replays the identical faults *)
   build : System.t -> unit -> unit;
       (** prefill + spawn threads; returns the post-run oracle *)
 }
@@ -46,6 +49,9 @@ let run_once sc ~scheme prefix =
          ~policy:(Engine.Scripted scripted) ~scheme ~sanitize:true
          ~max_pages:(1 lsl 14) ~scheme_cfg ())
   in
+  (match sc.plan with
+  | None -> ()
+  | Some mk -> System.set_fault_plan sys (mk prefix));
   match
     let verify = sc.build sys in
     System.run ~max_steps:500_000 sys;
@@ -59,7 +65,7 @@ let run_once sc ~scheme prefix =
 
 (* --- the scenario registry ------------------------------------------------ *)
 
-let all_schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+let all_schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr"; "debra" ]
 
 let list_insert_delete =
   {
@@ -68,6 +74,7 @@ let list_insert_delete =
     nthreads = 2;
     schemes = all_schemes;
     expect_fail = false;
+    plan = None;
     build =
       (fun sys ->
         let setup_ctx = Engine.external_ctx () in
@@ -92,6 +99,7 @@ let list_mixed =
     nthreads = 2;
     schemes = all_schemes;
     expect_fail = false;
+    plan = None;
     build =
       (fun sys ->
         let setup_ctx = Engine.external_ctx () in
@@ -125,6 +133,7 @@ let ms_queue =
     nthreads = 2;
     schemes = all_schemes;
     expect_fail = false;
+    plan = None;
     build =
       (fun sys ->
         let setup_ctx = Engine.external_ctx () in
@@ -166,6 +175,7 @@ let michael_hash =
     nthreads = 2;
     schemes = all_schemes;
     expect_fail = false;
+    plan = None;
     build =
       (fun sys ->
         let setup_ctx = Engine.external_ctx () in
@@ -195,6 +205,65 @@ let michael_hash =
                  (String.concat ";" (List.map string_of_int final))));
   }
 
+(* Neutralization under arbitrary schedules: two threads churn shared
+   buckets under DEBRA (threshold 1 → an epoch-advance attempt per retire)
+   while a prefix-derived fault plan stalls one of them mid-operation.
+   Under the Scripted policy a stall only bumps the victim's clock — what
+   actually parks a thread is the schedule itself: past the prefix the
+   deterministic default always picks the first runnable thread, so the
+   other thread routinely starves mid-operation with a stale announce,
+   the churning thread's advance attempts outlast the patience bound, and
+   a neutralization signal posts, delivers and unwinds under whatever
+   interleaving the fuzzer sampled.  The stall composes the signal's
+   stall-interruption path on top (posting to a stalled victim pulls its
+   wake-up back).  Oracle: disjoint per-thread key sets give an exact
+   final state, every operation must report success exactly once across
+   its neutralization retries, and the sanitizer (with the DEBRA policy's
+   pending-signal store suppression) must stay silent through quiescence.
+   Findings shrink to replayable repros like every other scenario — the
+   fault plan is a pure function of the stored prefix. *)
+let stall_neutralize_churn =
+  {
+    name = "stall-neutralize-churn";
+    descr = "DEBRA neutralization churn with a prefix-derived mid-op stall";
+    nthreads = 2;
+    schemes = [ "debra" ];
+    expect_fail = false;
+    plan =
+      Some
+        (fun prefix ->
+          (* deterministic in the prefix, so shrinking preserves faults *)
+          let h =
+            Array.fold_left (fun a c -> ((a * 31) + c + 1) land max_int) 17
+              prefix
+          in
+          Oamem_faults.Scenario.stall_one ~tid:(h mod 2)
+            ~at_yield:(1 + (h / 7 mod 60))
+            ~cycles:1_000_000);
+    build =
+      (fun sys ->
+        let setup_ctx = Engine.external_ctx () in
+        let h = System.hash_set sys setup_ctx ~expected_size:2 in
+        Michael_hash.prefill h setup_ctx [ 10; 20; 30; 40 ];
+        let ok = Array.make 6 false in
+        System.spawn sys ~tid:0 (fun ctx ->
+            ok.(0) <- Michael_hash.delete h ctx 10;
+            ok.(1) <- Michael_hash.insert h ctx 50;
+            ok.(2) <- Michael_hash.delete h ctx 50);
+        System.spawn sys ~tid:1 (fun ctx ->
+            ok.(3) <- Michael_hash.delete h ctx 30;
+            ok.(4) <- Michael_hash.insert h ctx 70;
+            ok.(5) <- Michael_hash.insert h ctx 90);
+        fun () ->
+          if not (Array.for_all Fun.id ok) then
+            failwith "operation failed unexpectedly";
+          let final = List.sort compare (Michael_hash.to_list h) in
+          if final <> [ 20; 40; 70; 90 ] then
+            failwith
+              (Printf.sprintf "bad final state: [%s]"
+                 (String.concat ";" (List.map string_of_int final))));
+  }
+
 (* A seeded bug: a non-atomic read-modify-write.  Most schedules pass; the
    fuzzer must find one that loses an update, shrink it, and the repro must
    replay.  Used by the tests and `repro fuzz --include-expected'. *)
@@ -205,6 +274,7 @@ let buggy_counter =
     nthreads = 2;
     schemes = [ "nr" ];
     expect_fail = true;
+    plan = None;
     build =
       (fun sys ->
         let vm = System.vmem sys in
@@ -222,7 +292,10 @@ let buggy_counter =
   }
 
 let scenarios =
-  [ list_insert_delete; list_mixed; ms_queue; michael_hash; buggy_counter ]
+  [
+    list_insert_delete; list_mixed; ms_queue; michael_hash;
+    stall_neutralize_churn; buggy_counter;
+  ]
 
 let find_scenario name =
   match List.find_opt (fun s -> s.name = name) scenarios with

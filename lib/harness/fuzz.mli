@@ -16,6 +16,9 @@ type scenario = {
   expect_fail : bool;
       (** a seeded-bug scenario the fuzzer is *supposed* to fail (used by
           tests; excluded from the CI fuzz run by default) *)
+  plan : (int array -> Oamem_engine.Fault_plan.t) option;
+      (** compose a fault plan with the schedule, derived from the run's
+          prefix so a shrunken repro replays the identical faults *)
   build : Oamem_core.System.t -> unit -> unit;
       (** prefill + spawn threads; returns the post-run oracle *)
 }

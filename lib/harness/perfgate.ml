@@ -155,6 +155,45 @@ let compare_results ?(thresholds = default_thresholds) ~baseline ~current () =
           (tput :: host) @ lat)
     base
 
+(* Relative gate *within* the current document: [scheme]'s throughput must
+   stay within [max_gap] of [reference]'s at every thread count both ran.
+   This is how a new scheme is gated before any committed baseline carries
+   it (the absolute comparison above simply never sees a baseline-missing
+   key): e.g. DEBRA's no-fault throughput must track EBR's, since its whole
+   claim is robustness at epoch-level speed. *)
+let compare_relative ?(max_gap = 0.10) ~current ~scheme ~reference () =
+  let cur = results current in
+  List.filter_map
+    (fun ((s, threads), rr) ->
+      if s <> reference then None
+      else
+        match List.assoc_opt (scheme, threads) cur with
+        | None ->
+            Some
+              {
+                scheme;
+                threads;
+                metric = "missing-vs:" ^ reference;
+                baseline = throughput rr;
+                current = 0.0;
+                change = -1.0;
+                regressed = true;
+              }
+        | Some sr ->
+            let rt = throughput rr and st = throughput sr in
+            let change = rel_change ~baseline:rt ~current:st in
+            Some
+              {
+                scheme;
+                threads;
+                metric = "throughput-vs:" ^ reference;
+                baseline = rt;
+                current = st;
+                change;
+                regressed = change < -.max_gap;
+              })
+    cur
+
 let failed verdicts = List.exists (fun v -> v.regressed) verdicts
 
 let pp_verdict ppf v =

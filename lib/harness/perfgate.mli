@@ -47,6 +47,20 @@ val compare_results :
     A baseline configuration missing from [current] yields a single
     regressed ["missing"] verdict. *)
 
+val compare_relative :
+  ?max_gap:float ->
+  current:Oamem_obs.Json.t ->
+  scheme:string ->
+  reference:string ->
+  unit ->
+  verdict list
+(** Relative gate *within* [current]: one verdict per thread count the
+    [reference] scheme ran, regressed when [scheme]'s throughput falls more
+    than [max_gap] (default 0.10) below [reference]'s at the same thread
+    count, or when the configuration is missing for [scheme].  Gates a new
+    scheme against an established one before any committed baseline carries
+    it — e.g. DEBRA's no-fault throughput must track EBR's. *)
+
 val failed : verdict list -> bool
 (** True iff any verdict regressed. *)
 

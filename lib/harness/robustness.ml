@@ -1,10 +1,11 @@
-(* Robustness runs: garbage growth under a stalled thread.
+(* Robustness runs: garbage growth under a faulty thread.
 
    One run drives [workers] simulated threads over a hash set with an
    update-only workload while a dedicated monitor thread samples the
    scheme's retired-but-unreclaimed node count over simulated time.  In the
-   stalled variant, thread 0 is suspended mid-operation (at its
-   [stall_at_yield]-th yield) for longer than the whole run.
+   [Stall] variant, thread 0 is suspended mid-operation (at its
+   [stall_at_yield]-th yield) for longer than the whole run; in the [Crash]
+   variant it is fail-stopped at the same point and never returns.
 
    The point is the schemes' robustness contrast: EBR cannot advance its
    epoch past a thread parked inside an operation, so every retirement
@@ -15,13 +16,27 @@
    garbage stays bounded by a constant independent of the run length.  IBR
    sits in between: the stalled thread pins only nodes whose lifetime
    overlaps its fixed reservation interval — bounded by what was live at
-   the stall.  NR frees nothing in either variant (leak by design). *)
+   the stall.  NR frees nothing in either variant (leak by design).
+
+   DEBRA closes EBR's gap: past a patience bound the advancing threads
+   neutralize the laggard (post it a signal that unwinds it to its
+   operation checkpoint), void its stale announce and keep the epoch — and
+   reclamation — moving.  A crashed laggard additionally has its limbo
+   bags seized.  With [neutralize = false] DEBRA degenerates to EBR and
+   the garbage curve goes unbounded again — the ablation E13 reports. *)
 
 open Oamem_engine
 open Oamem_core
 open Oamem_lockfree
 open Oamem_reclaim
 open Oamem_faults
+
+type fault = No_fault | Stall | Crash
+
+let fault_name = function
+  | No_fault -> "none"
+  | Stall -> "stall"
+  | Crash -> "crash"
 
 type spec = {
   scheme : string;
@@ -32,7 +47,9 @@ type spec = {
   sample_interval : int;
   threshold : int;
   seed : int;
-  stall : bool;  (** inject the stall, or run the healthy control *)
+  fault : fault;  (** what happens to thread 0 *)
+  neutralize : bool;  (** let neutralizing schemes post signals *)
+  sanitize : bool;  (** run under the memory-lifecycle sanitizer *)
 }
 
 let default_spec =
@@ -45,7 +62,9 @@ let default_spec =
     sample_interval = 10_000;
     threshold = 32;
     seed = 7;
-    stall = true;
+    fault = Stall;
+    neutralize = true;
+    sanitize = false;
   }
 
 type result = {
@@ -53,8 +72,13 @@ type result = {
   samples : Monitor.sample list;
   max_unreclaimed : int;
   final_unreclaimed : int;
+  final_pinned : int;
+      (** final unreclaimed minus nodes seized from dead threads *)
   ops : int;  (** completed by the healthy workers *)
   stalls_injected : int;
+  crashed : bool;  (** thread 0 was fail-stopped *)
+  neutralized : int;  (** signals delivered, summed over all threads *)
+  seized : int;  (** limbo nodes taken over from dead threads' bags *)
 }
 
 (* Garbage bound the robust schemes must respect under a stalled thread:
@@ -69,6 +93,7 @@ let run spec =
          ~nthreads:(spec.workers + 1)
          ~scheme:spec.scheme
          ~max_pages:(1 lsl 16)
+         ~sanitize:spec.sanitize
          (* Small superblocks: with the default 64-page geometry a fresh
             node-class superblock carves ~16K free-list links, parking the
             first allocating threads for longer than the whole horizon. *)
@@ -86,6 +111,7 @@ let run spec =
              pool_nodes =
                spec.initial + (8 * (spec.workers + 1) * spec.threshold);
              node_words = Node.words;
+             neutralize = spec.neutralize;
            }
          ())
   in
@@ -96,10 +122,15 @@ let run spec =
   let h = System.hash_set sys setup_ctx ~expected_size:spec.initial in
   Michael_hash.prefill h setup_ctx (Workload.prefill_keys workload);
   System.reset_measurement sys;
-  if spec.stall then
-    System.set_fault_plan sys
-      (Scenario.stall_one ~tid:0 ~at_yield:spec.stall_at_yield
-         ~cycles:(4 * spec.horizon_cycles));
+  (match spec.fault with
+  | No_fault -> ()
+  | Stall ->
+      System.set_fault_plan sys
+        (Scenario.stall_one ~tid:0 ~at_yield:spec.stall_at_yield
+           ~cycles:(4 * spec.horizon_cycles))
+  | Crash ->
+      System.set_fault_plan sys
+        (Scenario.crash_one ~tid:0 ~at_yield:spec.stall_at_yield));
   let ops = Array.make spec.workers 0 in
   let op_base = (Engine.cost_model (System.engine sys)).Cost_model.op_base in
   for tid = 0 to spec.workers - 1 do
@@ -118,16 +149,33 @@ let run spec =
   Monitor.spawn monitor sys ~tid:spec.workers ~horizon:spec.horizon_cycles
     ~interval:spec.sample_interval;
   System.run sys;
-  let fs = Engine.fault_stats (System.engine sys) ~tid:0 in
+  (* Access-level sanitizer verdict for the run.  The quiescence (leak)
+     check is only meaningful without a crash: a fail-stopped thread's
+     un-seized limbo contents are expected leaks, not violations. *)
+  if spec.sanitize then System.check_sanitizer sys;
+  let engine = System.engine sys in
+  let fs0 = Engine.fault_stats engine ~tid:0 in
+  let neutralized = ref 0 in
+  for tid = 0 to spec.workers do
+    neutralized :=
+      !neutralized + (Engine.fault_stats engine ~tid).Engine.neutralized
+  done;
+  let ss = (System.scheme sys).Scheme.stats in
   {
     spec;
     samples = Monitor.samples monitor;
     max_unreclaimed = Monitor.max_unreclaimed monitor;
     final_unreclaimed = Monitor.final_unreclaimed monitor;
+    final_pinned = Scheme.pinned ss;
     ops = Array.fold_left ( + ) 0 ops;
-    stalls_injected = fs.Engine.stalls_injected;
+    stalls_injected = fs0.Engine.stalls_injected;
+    crashed = fs0.Engine.crashed;
+    neutralized = !neutralized;
+    seized = ss.Scheme.seized;
   }
 
-(* Stalled run and healthy control of the same spec. *)
+(* Faulted run ([Stall] when the spec says [No_fault]) and healthy control
+   of the same spec. *)
 let run_pair spec =
-  (run { spec with stall = true }, run { spec with stall = false })
+  let fault = if spec.fault = No_fault then Stall else spec.fault in
+  (run { spec with fault }, run { spec with fault = No_fault })

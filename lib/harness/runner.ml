@@ -108,6 +108,7 @@ let make_system spec =
            pool_nodes;
            node_words = Node.words;
            hazard_padded = spec.hazard_padded;
+           neutralize = true;
          }
        ~trace:spec.trace ~profile:spec.profile ())
 

@@ -52,6 +52,9 @@ let create_kv ctx ~scheme ~vmem =
 let at_head ?(node_words = Node.words) ~scheme ~vmem head =
   { scheme; vmem; head; node_words }
 
+let retire_node = Op.retire_node
+let cancel_node = Op.cancel_node
+
 type found = {
   prev : int;  (* address of the link word pointing to cur *)
   prev_node : int;  (* node containing [prev], or 0 when it is the head *)
@@ -90,7 +93,7 @@ let find t ctx ~key =
         if succ <> 0 then sch.Scheme.write_protect ctx ~slot:4 succ;
         sch.Scheme.validate ctx;
         if Vmem.cas vm ctx !prev ~expect:!cur ~desired:succ then begin
-          sch.Scheme.retire ctx c;
+          retire_node sch ctx c;
           cur := succ;
           loop ()
         end
@@ -109,47 +112,11 @@ let find t ctx ~key =
   in
   loop ()
 
-(* Run [f] under the scheme's operation protocol, restarting on demand.
-
-   Under profiling the whole operation runs in a [frame] span; from the
-   first restart on, every retry (including its backoff pause) accrues in a
-   nested [Op_restart] child, so a profile separates first-attempt cost
-   from restart-induced cost per operation kind. *)
-let run_op t ctx frame f =
-  let sch = t.scheme in
-  let p = Engine.Mem.profile ctx in
-  let profiling = Profile.enabled p in
-  let tid = (Engine.Mem.tid ctx) in
-  if profiling then Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
-  let close in_restart =
-    if profiling then begin
-      if in_restart then Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
-      Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
-    end
-  in
-  let rec attempt in_restart =
-    sch.Scheme.begin_op ctx;
-    match f () with
-    | r ->
-        sch.Scheme.clear ctx;
-        sch.Scheme.end_op ctx;
-        close in_restart;
-        r
-    | exception Scheme.Restart ->
-        Scheme.note_restart sch.Scheme.sink ctx;
-        sch.Scheme.clear ctx;
-        sch.Scheme.end_op ctx;
-        if profiling && not in_restart then
-          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Op_restart;
-        Engine.Mem.pause ctx;
-        attempt true
-    | exception e ->
-        (* keep the span stack balanced on foreign exceptions (OOM, frame
-           exhaustion, injected crashes) *)
-        close in_restart;
-        raise e
-  in
-  attempt false
+(* Run [f] under the scheme's operation protocol, restarting on demand —
+   see {!Op.run} for the restart-attribution and checkpoint contract.  The
+   per-operation short-circuit flags below keep already-linearized effects
+   from repeating when a neutralization unwind retries [f]. *)
+let run_op t ctx frame f = Op.run t.scheme ctx frame f
 
 let contains t ctx key =
   run_op t ctx Profile.Op_contains (fun () ->
@@ -197,11 +164,12 @@ let insert t ctx key =
       if f.cur <> 0 && f.cur_key = key then false
       else begin
         let node = sch.Scheme.alloc ctx t.node_words in
-        Vmem.store vm ctx (Node.key_of node) key;
-        Vmem.store vm ctx (Node.next_of node) f.cur;
         (* CAS writes into prev_node and links node; if validation demands a
-           restart the unpublished node must be returned, not leaked *)
+           restart — or a neutralization unwinds the attempt — the
+           unpublished node must be returned, not leaked *)
         match
+          Vmem.store vm ctx (Node.key_of node) key;
+          Vmem.store vm ctx (Node.next_of node) f.cur;
           sch.Scheme.write_protect ctx ~slot:2
             (if f.prev_node = 0 then t.head else f.prev_node);
           sch.Scheme.write_protect ctx ~slot:3 node;
@@ -210,12 +178,12 @@ let insert t ctx key =
         | () ->
             if Vmem.cas vm ctx f.prev ~expect:f.cur ~desired:node then true
             else begin
-              sch.Scheme.cancel ctx node;
+              cancel_node sch ctx node;
               raise Scheme.Restart
             end
-        | exception Scheme.Restart ->
-            sch.Scheme.cancel ctx node;
-            raise Scheme.Restart
+        | exception ((Scheme.Restart | Engine.Neutralized) as e) ->
+            cancel_node sch ctx node;
+            raise e
       end)
 
 (* Key-value operations (3-word nodes). *)
@@ -229,10 +197,10 @@ let insert_kv t ctx key value =
       if f.cur <> 0 && f.cur_key = key then false
       else begin
         let node = sch.Scheme.alloc ctx t.node_words in
-        Vmem.store vm ctx (Node.key_of node) key;
-        Vmem.store vm ctx (Node.value_of node) value;
-        Vmem.store vm ctx (Node.next_of node) f.cur;
         match
+          Vmem.store vm ctx (Node.key_of node) key;
+          Vmem.store vm ctx (Node.value_of node) value;
+          Vmem.store vm ctx (Node.next_of node) f.cur;
           sch.Scheme.write_protect ctx ~slot:2
             (if f.prev_node = 0 then t.head else f.prev_node);
           sch.Scheme.write_protect ctx ~slot:3 node;
@@ -241,12 +209,12 @@ let insert_kv t ctx key value =
         | () ->
             if Vmem.cas vm ctx f.prev ~expect:f.cur ~desired:node then true
             else begin
-              sch.Scheme.cancel ctx node;
+              cancel_node sch ctx node;
               raise Scheme.Restart
             end
-        | exception Scheme.Restart ->
-            sch.Scheme.cancel ctx node;
-            raise Scheme.Restart
+        | exception ((Scheme.Restart | Engine.Neutralized) as e) ->
+            cancel_node sch ctx node;
+            raise e
       end)
 
 (* Value bound to [key], if present.  The value read is validated like any
@@ -291,7 +259,14 @@ let replace t ctx key value =
 
 let delete t ctx key =
   let sch = t.scheme and vm = t.vmem in
+  (* Set right after the marking CAS takes effect (no yield in between):
+     if a neutralization unwinds us out of the best-effort physical-unlink
+     epilogue, the checkpoint retry must report the delete that already
+     linearized instead of re-traversing and finding nothing. *)
+  let deleted = ref false in
   run_op t ctx Profile.Op_delete (fun () ->
+      if !deleted then true
+      else
       let f = find t ctx ~key in
       if f.cur = 0 || f.cur_key <> key then false
       else begin
@@ -305,10 +280,13 @@ let delete t ctx key =
                ~desired:(Node.mark f.next))
         then raise Scheme.Restart
         else begin
+          deleted := true;
           (* The marking succeeded, so the delete has taken effect; the
              physical unlink below is best-effort and must never restart
              the operation (a traversal will finish the unlink and retire
-             the node if we cannot). *)
+             the node if we cannot).  A neutralization here does unwind —
+             continuing to touch nodes after the poster advanced the epoch
+             would be unsound — and the retry short-circuits on [deleted]. *)
           (try
              sch.Scheme.write_protect ctx ~slot:2
                (if f.prev_node = 0 then t.head else f.prev_node);
@@ -316,7 +294,7 @@ let delete t ctx key =
              if f.next <> 0 then sch.Scheme.write_protect ctx ~slot:4 f.next;
              sch.Scheme.validate ctx;
              if Vmem.cas vm ctx f.prev ~expect:f.cur ~desired:f.next then
-               sch.Scheme.retire ctx f.cur
+               retire_node sch ctx f.cur
            with Scheme.Restart -> ());
           true
         end

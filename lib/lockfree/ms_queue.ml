@@ -30,79 +30,60 @@ let create ctx ~scheme ~vmem =
   Vmem.store vmem ctx tail sentinel;
   { scheme; vmem; head; tail }
 
-(* Same restart-attribution protocol as [Hm_list.run_op]: the operation
-   runs in a [frame] span and retries accrue in a nested [Op_restart]. *)
-let run_op t ctx frame f =
-  let sch = t.scheme in
-  let p = Engine.Mem.profile ctx in
-  let profiling = Profile.enabled p in
-  let tid = (Engine.Mem.tid ctx) in
-  if profiling then Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
-  let close in_restart =
-    if profiling then begin
-      if in_restart then Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
-      Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
-    end
-  in
-  let rec attempt in_restart =
-    sch.Scheme.begin_op ctx;
-    match f () with
-    | r ->
-        sch.Scheme.clear ctx;
-        sch.Scheme.end_op ctx;
-        close in_restart;
-        r
-    | exception Scheme.Restart ->
-        Scheme.note_restart sch.Scheme.sink ctx;
-        sch.Scheme.clear ctx;
-        sch.Scheme.end_op ctx;
-        if profiling && not in_restart then
-          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Op_restart;
-        Engine.Mem.pause ctx;
-        attempt true
-    | exception e ->
-        close in_restart;
-        raise e
-  in
-  attempt false
+(* Same restart-attribution and checkpoint protocol as [Hm_list.run_op] —
+   see {!Op.run}. *)
+let run_op t ctx frame f = Op.run t.scheme ctx frame f
 
 let enqueue t ctx value =
   let sch = t.scheme and vm = t.vmem in
   run_op t ctx Profile.Op_enqueue (fun () ->
       let node = sch.Scheme.alloc ctx Node.words in
-      Vmem.store vm ctx node value;
-      Vmem.store vm ctx (Node.next_of node) Node.null;
-      let rec loop () =
-        let tl = Vmem.load vm ctx t.tail in
-        sch.Scheme.read_check ctx;
-        sch.Scheme.traverse_protect ctx ~slot:0 ~addr:tl ~verify:(fun () ->
-            Vmem.load vm ctx t.tail = tl);
-        let next = Vmem.load vm ctx (Node.next_of tl) in
-        sch.Scheme.read_check ctx;
-        if next = Node.null then begin
-          (* the CAS writes into tl and links the private node *)
-          sch.Scheme.write_protect ctx ~slot:2 tl;
-          sch.Scheme.validate ctx;
-          if Vmem.cas vm ctx (Node.next_of tl) ~expect:Node.null ~desired:node
-          then
-            (* swing the tail hint; losing this race is harmless *)
-            ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:node)
+      match
+        Vmem.store vm ctx node value;
+        Vmem.store vm ctx (Node.next_of node) Node.null;
+        let rec loop () =
+          let tl = Vmem.load vm ctx t.tail in
+          sch.Scheme.read_check ctx;
+          sch.Scheme.traverse_protect ctx ~slot:0 ~addr:tl ~verify:(fun () ->
+              Vmem.load vm ctx t.tail = tl);
+          let next = Vmem.load vm ctx (Node.next_of tl) in
+          sch.Scheme.read_check ctx;
+          if next = Node.null then begin
+            (* the CAS writes into tl and links the private node *)
+            sch.Scheme.write_protect ctx ~slot:2 tl;
+            sch.Scheme.validate ctx;
+            if
+              Vmem.cas vm ctx (Node.next_of tl) ~expect:Node.null
+                ~desired:node
+            then
+              (* swing the tail hint; losing this race is harmless.  The
+                 node is published from here on: mask the swing so a signal
+                 cannot unwind between linearization and return. *)
+              Op.masked_when_neutralizable sch ctx (fun () ->
+                  ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:node))
+            else begin
+              Engine.Mem.pause ctx;
+              loop ()
+            end
+          end
           else begin
+            (* help a lagging enqueuer move the tail hint forward *)
+            sch.Scheme.write_protect ctx ~slot:2 tl;
+            sch.Scheme.write_protect ctx ~slot:3 next;
+            sch.Scheme.validate ctx;
+            ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:next);
             Engine.Mem.pause ctx;
             loop ()
           end
-        end
-        else begin
-          (* help a lagging enqueuer move the tail hint forward *)
-          sch.Scheme.write_protect ctx ~slot:2 tl;
-          sch.Scheme.write_protect ctx ~slot:3 next;
-          sch.Scheme.validate ctx;
-          ignore (Vmem.cas vm ctx t.tail ~expect:tl ~desired:next);
-          Engine.Mem.pause ctx;
-          loop ()
-        end
-      in
-      loop ())
+        in
+        loop ()
+      with
+      | () -> ()
+      | exception ((Scheme.Restart | Engine.Neutralized) as e) ->
+          (* only reachable pre-publish: the node is still private, so
+             reclaim it before the retry allocates a fresh one *)
+          Op.cancel_node sch ctx node;
+          raise e)
 
 let dequeue t ctx =
   let sch = t.scheme and vm = t.vmem in
@@ -136,8 +117,10 @@ let dequeue t ctx =
           sch.Scheme.write_protect ctx ~slot:3 next;
           sch.Scheme.validate ctx;
           if Vmem.cas vm ctx t.head ~expect:hd ~desired:next then begin
-            (* the outgoing sentinel is ours to retire *)
-            sch.Scheme.retire ctx hd;
+            (* the outgoing sentinel is ours to retire; no yield separates
+               the CAS from the masked retire, so the linearized dequeue
+               cannot be unwound before the node reaches a limbo bag *)
+            Op.retire_node sch ctx hd;
             Some value
           end
           else begin

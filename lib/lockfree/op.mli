@@ -1,0 +1,26 @@
+(** Shared operation protocol for the lock-free structures.
+
+    [run sch ctx frame f] executes [f] under [sch]'s operation envelope
+    (begin_op / clear / end_op), retrying on {!Oamem_reclaim.Scheme.Restart}
+    with restart attribution in the profiler, and — when the scheme is
+    neutralizable — under an {!Oamem_engine.Engine.Mem.checkpoint} whose
+    recovery resets the scheme's per-thread state before the retry.  [f]
+    must be restart-safe: an already-linearized effect must not repeat when
+    [f] reruns after an unwind. *)
+
+open Oamem_engine
+open Oamem_reclaim
+
+val run :
+  Scheme.ops -> Engine.ctx -> Oamem_obs.Profile.frame -> (unit -> 'a) -> 'a
+
+val masked_when_neutralizable : Scheme.ops -> Engine.ctx -> (unit -> 'a) -> 'a
+(** Run the callback signal-masked when the scheme neutralizes, plain
+    otherwise. *)
+
+val retire_node : Scheme.ops -> Engine.ctx -> int -> unit
+(** [retire] under {!masked_when_neutralizable}: the observation wrapper
+    runs around the scheme's own masked body, and an unwind between the two
+    would strand the node outside any limbo bag. *)
+
+val cancel_node : Scheme.ops -> Engine.ctx -> int -> unit

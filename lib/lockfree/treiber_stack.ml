@@ -26,61 +26,37 @@ let create ctx ~scheme ~vmem =
   Vmem.store vmem ctx top Node.null;
   { scheme; vmem; top }
 
-(* Same restart-attribution protocol as [Hm_list.run_op]: the operation
-   runs in a [frame] span and retries accrue in a nested [Op_restart]. *)
-let run_op t ctx frame f =
-  let sch = t.scheme in
-  let p = Engine.Mem.profile ctx in
-  let profiling = Profile.enabled p in
-  let tid = (Engine.Mem.tid ctx) in
-  if profiling then Profile.enter p ~tid ~now:(Engine.Mem.now ctx) frame;
-  let close in_restart =
-    if profiling then begin
-      if in_restart then Profile.leave p ~tid ~now:(Engine.Mem.now ctx);
-      Profile.leave p ~tid ~now:(Engine.Mem.now ctx)
-    end
-  in
-  let rec attempt in_restart =
-    sch.Scheme.begin_op ctx;
-    match f () with
-    | r ->
-        sch.Scheme.clear ctx;
-        sch.Scheme.end_op ctx;
-        close in_restart;
-        r
-    | exception Scheme.Restart ->
-        Scheme.note_restart sch.Scheme.sink ctx;
-        sch.Scheme.clear ctx;
-        sch.Scheme.end_op ctx;
-        if profiling && not in_restart then
-          Profile.enter p ~tid ~now:(Engine.Mem.now ctx) Profile.Op_restart;
-        Engine.Mem.pause ctx;
-        attempt true
-    | exception e ->
-        close in_restart;
-        raise e
-  in
-  attempt false
+(* Same restart-attribution and checkpoint protocol as [Hm_list.run_op] —
+   see {!Op.run}. *)
+let run_op t ctx frame f = Op.run t.scheme ctx frame f
 
 let push t ctx value =
   let sch = t.scheme and vm = t.vmem in
   run_op t ctx Profile.Op_push (fun () ->
       let node = sch.Scheme.alloc ctx Node.words in
-      Vmem.store vm ctx node value;
-      let rec loop () =
-        let head = Vmem.load vm ctx t.top in
-        sch.Scheme.read_check ctx;
-        Vmem.store vm ctx (Node.next_of node) head;
-        (* the CAS writes only into the never-reclaimed top word and links
-           the still-private node: nothing to hazard beyond validation *)
-        sch.Scheme.validate ctx;
-        if Vmem.cas vm ctx t.top ~expect:head ~desired:node then ()
-        else begin
-          Engine.Mem.pause ctx;
-          loop ()
-        end
-      in
-      loop ())
+      match
+        Vmem.store vm ctx node value;
+        let rec loop () =
+          let head = Vmem.load vm ctx t.top in
+          sch.Scheme.read_check ctx;
+          Vmem.store vm ctx (Node.next_of node) head;
+          (* the CAS writes only into the never-reclaimed top word and links
+             the still-private node: nothing to hazard beyond validation *)
+          sch.Scheme.validate ctx;
+          if Vmem.cas vm ctx t.top ~expect:head ~desired:node then ()
+          else begin
+            Engine.Mem.pause ctx;
+            loop ()
+          end
+        in
+        loop ()
+      with
+      | () -> ()
+      | exception ((Scheme.Restart | Engine.Neutralized) as e) ->
+          (* only reachable pre-publish: the node is still private, so
+             reclaim it before the retry allocates a fresh one *)
+          Op.cancel_node sch ctx node;
+          raise e)
 
 let pop t ctx =
   let sch = t.scheme and vm = t.vmem in
@@ -101,7 +77,10 @@ let pop t ctx =
           if next <> Node.null then sch.Scheme.write_protect ctx ~slot:3 next;
           sch.Scheme.validate ctx;
           if Vmem.cas vm ctx t.top ~expect:head ~desired:next then begin
-            sch.Scheme.retire ctx head;
+            (* no yield separates the CAS from the masked retire, so the
+               linearized pop cannot be unwound before the node reaches a
+               limbo bag *)
+            Op.retire_node sch ctx head;
             Some value
           end
           else begin

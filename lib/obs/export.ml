@@ -9,7 +9,8 @@ let args_of_kind (k : Trace.kind) : (string * Json.t) list =
   | Superblock_transition { desc; state } ->
       [ ("desc", Int desc); ("state", String state) ]
   | Stall { cycles } -> [ ("cycles", Int cycles) ]
-  | Restart | Crash -> []
+  | Neutralize_post { victim } -> [ ("victim", Int victim) ]
+  | Restart | Crash | Neutralized -> []
 
 let category_of_kind (k : Trace.kind) =
   match k with
@@ -17,7 +18,7 @@ let category_of_kind (k : Trace.kind) =
   | Retire _ | Reclaim_phase _ | Warning _ | Restart -> "reclaim"
   | Fault_in _ | Frames_released _ -> "vmem"
   | Superblock_transition _ -> "superblock"
-  | Stall _ | Crash -> "fault"
+  | Stall _ | Crash | Neutralize_post _ | Neutralized -> "fault"
 
 let chrome_event (e : Trace.event) : Json.t =
   let common =

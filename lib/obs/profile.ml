@@ -32,6 +32,7 @@ type frame =
   | Reclaim_flush
   | Vmem_fault_in
   | Vmem_remap
+  | Op_neutralized
 
 let frame_index = function
   | Op_insert -> 0
@@ -53,15 +54,16 @@ let frame_index = function
   | Reclaim_flush -> 16
   | Vmem_fault_in -> 17
   | Vmem_remap -> 18
+  | Op_neutralized -> 19
 
-let nframes = 19
+let nframes = 20
 
 let all_frames =
   [
     Op_insert; Op_delete; Op_contains; Op_lookup; Op_replace; Op_enqueue;
     Op_dequeue; Op_push; Op_pop; Op_restart; Alloc_malloc; Alloc_free;
     Alloc_flush; Alloc_superblock; Reclaim_retire; Reclaim_scan;
-    Reclaim_flush; Vmem_fault_in; Vmem_remap;
+    Reclaim_flush; Vmem_fault_in; Vmem_remap; Op_neutralized;
   ]
 
 let frame_name = function
@@ -82,6 +84,7 @@ let frame_name = function
   | Reclaim_retire -> "reclaim.retire"
   | Reclaim_scan -> "reclaim.scan"
   | Reclaim_flush -> "reclaim.flush"
+  | Op_neutralized -> "neutralized"
   | Vmem_fault_in -> "vmem.fault_in"
   | Vmem_remap -> "vmem.remap"
 

@@ -27,7 +27,9 @@
     [Alloc_*] the allocator paths, [Reclaim_*] the reclamation phases,
     [Vmem_*] the virtual-memory events; [Op_restart] is a nested span
     covering all retry attempts after a scheme-demanded restart, so
-    "cycles spent in warning-triggered restarts" is its subtree. *)
+    "cycles spent in warning-triggered restarts" is its subtree.
+    [Op_neutralized] is the same for retries forced by a delivered
+    neutralization signal. *)
 type frame =
   | Op_insert
   | Op_delete
@@ -48,6 +50,7 @@ type frame =
   | Reclaim_flush
   | Vmem_fault_in
   | Vmem_remap
+  | Op_neutralized
 
 val frame_name : frame -> string
 (** Stable dotted name ("op.insert", "alloc.superblock", "restart", ...). *)

@@ -19,6 +19,8 @@ type kind =
   | Superblock_transition of { desc : int; state : string }
   | Stall of { cycles : int }
   | Crash
+  | Neutralize_post of { victim : int }
+  | Neutralized
 
 type event = { tid : int; at : int; kind : kind }
 
@@ -101,6 +103,8 @@ let kind_name = function
   | Superblock_transition _ -> "superblock_transition"
   | Stall _ -> "stall"
   | Crash -> "crash"
+  | Neutralize_post _ -> "neutralize_post"
+  | Neutralized -> "neutralized"
 
 let pp_event ppf e =
   Fmt.pf ppf "[%d@%d] %s" e.tid e.at (kind_name e.kind);
@@ -114,4 +118,5 @@ let pp_event ppf e =
   | Superblock_transition { desc; state } ->
       Fmt.pf ppf " desc=%d state=%s" desc state
   | Stall { cycles } -> Fmt.pf ppf " cycles=%d" cycles
-  | Restart | Crash -> ()
+  | Neutralize_post { victim } -> Fmt.pf ppf " victim=%d" victim
+  | Restart | Crash | Neutralized -> ()

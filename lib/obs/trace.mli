@@ -28,6 +28,11 @@ type kind =
           remapped *)
   | Stall of { cycles : int }  (** fault injection parked the thread *)
   | Crash  (** fault injection killed the thread *)
+  | Neutralize_post of { victim : int }
+      (** this thread posted a neutralization signal to [victim] *)
+  | Neutralized
+      (** a posted signal was delivered to this thread, unwinding it to
+          its checkpoint *)
 
 type event = { tid : int; at : int; kind : kind }
 (** [at] is the emitting thread's simulated clock, in cycles. *)

@@ -118,6 +118,8 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           ignore (Cell.fetch_and_add ctx era 1);
           sweep ctx
         end);
+    neutralizable = false;
+    recover = (fun _ -> ());
     stats = sink.Scheme.stats;
     sink;
   }

@@ -24,6 +24,8 @@ let make (_cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t)
     validate = (fun _ -> ());
     clear = (fun _ -> ());
     flush = (fun _ -> ());
+    neutralizable = false;
+    recover = (fun _ -> ());
     stats = sink.Scheme.stats;
     sink;
   }

@@ -85,6 +85,8 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
       (fun ctx ->
         let t = my ctx in
         if Limbo.size t.limbo > 0 then reclaim ctx);
+    neutralizable = false;
+    recover = (fun _ -> ());
     stats = sink.Scheme.stats;
     sink;
   }

@@ -115,6 +115,8 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
         read_check ctx);
     clear = (fun ctx -> Hazard_slots.clear ctx hazards);
     flush = (fun _ -> ());
+    neutralizable = false;
+    recover = (fun _ -> ());
     stats = sink.Scheme.stats;
     sink;
   }

@@ -121,6 +121,8 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
           do_reclaim ctx;
           t.last_retire_time <- t.local_clock
         end);
+    neutralizable = false;
+    recover = (fun _ -> ());
     stats = sink.Scheme.stats;
     sink;
   }

@@ -18,6 +18,7 @@ let all : (string * factory) list =
     ("hp", Hp.make);
     ("ebr", Ebr.make);
     ("ibr", Ibr.make);
+    ("debra", Debra.make);
   ]
 
 let names = List.map fst all

@@ -35,6 +35,8 @@ type stats = {
   mutable warnings_fired : int;  (** warning-bit broadcasts / clock bumps *)
   mutable warnings_piggybacked : int;  (** OA-VER: reclaims without a bump *)
   mutable reclaim_phases : int;  (** limbo scans / recycling phases *)
+  mutable neutralized : int;  (** ops recovered after a neutralization *)
+  mutable seized : int;  (** limbo nodes seized from dead threads' bags *)
 }
 
 let fresh_stats () =
@@ -45,10 +47,21 @@ let fresh_stats () =
     warnings_fired = 0;
     warnings_piggybacked = 0;
     reclaim_phases = 0;
+    neutralized = 0;
+    seized = 0;
   }
 
 (* Retired-but-unreclaimed nodes: the garbage a stalled thread can pin. *)
 let unreclaimed s = s.retired - s.freed
+
+(* Unreclaimed nodes no live thread can free.  A node seized from a dead
+   thread's bag is still unreclaimed (seizure unpins, it does not free) but
+   it now sits in a live thread's bag and obeys the normal grace period, so
+   it must not be reported as pinned forever — the accounting bug this
+   fixes counted a crashed thread's whole backlog as live garbage even for
+   schemes that had already taken it over.  Clamped: once seized nodes are
+   actually freed they leave [unreclaimed] while staying in [seized]. *)
+let pinned s = max 0 (unreclaimed s - s.seized)
 
 let reset_stats s =
   s.retired <- 0;
@@ -56,7 +69,9 @@ let reset_stats s =
   s.restarts <- 0;
   s.warnings_fired <- 0;
   s.warnings_piggybacked <- 0;
-  s.reclaim_phases <- 0
+  s.reclaim_phases <- 0;
+  s.neutralized <- 0;
+  s.seized <- 0
 
 (* The shared emit path: every scheme (and the data structures driving one)
    reports reclamation activity through a sink, which bumps the stats record
@@ -102,6 +117,14 @@ let note_restart sink ctx =
   sink.stats.restarts <- sink.stats.restarts + 1;
   emit sink ctx Trace.Restart
 
+let note_neutralized sink ctx =
+  sink.stats.neutralized <- sink.stats.neutralized + 1;
+  emit sink ctx Trace.Restart
+
+(* Nodes taken over from a dead thread's limbo bag; they stay [retired]
+   until actually freed, but are no longer pinned forever. *)
+let note_seized sink n = sink.stats.seized <- sink.stats.seized + n
+
 type ops = {
   name : string;
   alloc : Engine.ctx -> int -> int;
@@ -116,6 +139,11 @@ type ops = {
   validate : Engine.ctx -> unit;
   clear : Engine.ctx -> unit;
   flush : Engine.ctx -> unit;
+  neutralizable : bool;
+      (* the scheme posts neutralization signals, so data structures must
+         run operations under an [Engine.Mem.checkpoint] with [recover] *)
+  recover : Engine.ctx -> unit;
+      (* per-thread recovery after a delivered neutralization; idempotent *)
   stats : stats;
   sink : sink;  (* stats == sink.stats; the sink adds the emit path *)
 }
@@ -126,6 +154,8 @@ type config = {
   pool_nodes : int;  (** OA-orig: fixed recycling-pool size *)
   node_words : int;  (** OA-orig: node size the pool is built for *)
   hazard_padded : bool;  (** cache-line pad hazard slots (ablation hook) *)
+  neutralize : bool;  (** DEBRA: signal lagging threads (off = plain EBR
+                          behaviour under faults) *)
 }
 
 let default_config =
@@ -135,6 +165,7 @@ let default_config =
     pool_nodes = 4096;
     node_words = 2;
     hazard_padded = true;
+    neutralize = true;
   }
 
 (* --- observation wrapper (the sanitizer hook) ----------------------------- *)
@@ -235,6 +266,7 @@ let profiled (ops : ops) =
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "retired=%d freed=%d restarts=%d warnings=%d piggyback=%d phases=%d"
+    "retired=%d freed=%d restarts=%d warnings=%d piggyback=%d phases=%d \
+     neutralized=%d seized=%d"
     s.retired s.freed s.restarts s.warnings_fired s.warnings_piggybacked
-    s.reclaim_phases
+    s.reclaim_phases s.neutralized s.seized

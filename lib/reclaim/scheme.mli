@@ -19,6 +19,10 @@ type stats = {
   mutable warnings_fired : int;  (** warning-bit sets / clock bumps *)
   mutable warnings_piggybacked : int;  (** OA-VER reclaims without a bump *)
   mutable reclaim_phases : int;  (** limbo sweeps / recycling phases *)
+  mutable neutralized : int;
+      (** operations recovered after a delivered neutralization signal *)
+  mutable seized : int;
+      (** limbo nodes seized from dead (crashed/finished) threads' bags *)
 }
 
 val fresh_stats : unit -> stats
@@ -28,6 +32,12 @@ val pp_stats : Format.formatter -> stats -> unit
 val unreclaimed : stats -> int
 (** [retired - freed]: nodes sitting in limbo lists / retirement pools —
     the garbage a stalled or crashed thread can pin (robustness metric). *)
+
+val pinned : stats -> int
+(** Unreclaimed nodes no live thread can free: {!unreclaimed} minus the
+    nodes already seized from dead threads' bags (those sit in a live
+    thread's bag and obey the normal grace period).  Clamped at zero once
+    seized nodes are actually freed. *)
 
 (** {2 The shared emit path}
 
@@ -58,6 +68,13 @@ val note_reclaim_phase : sink -> Engine.ctx -> freed:int -> unit
 val note_warning : sink -> Engine.ctx -> piggybacked:bool -> unit
 val note_restart : sink -> Engine.ctx -> unit
 
+val note_neutralized : sink -> Engine.ctx -> unit
+(** One operation recovered at its checkpoint after a neutralization. *)
+
+val note_seized : sink -> int -> unit
+(** [n] limbo nodes seized from a dead thread's bag (they remain counted
+    retired until actually freed — seizure unpins, it does not free). *)
+
 type ops = {
   name : string;
   alloc : Engine.ctx -> int -> int;  (** node allocation (palloc for OA) *)
@@ -78,6 +95,13 @@ type ops = {
           check, §2.4); may raise {!Restart} *)
   clear : Engine.ctx -> unit;  (** drop the thread's hazard pointers *)
   flush : Engine.ctx -> unit;  (** teardown: drain deferred frees *)
+  neutralizable : bool;
+      (** the scheme may post neutralization signals; data structures must
+          run each operation under {!Engine.Mem.checkpoint} with [recover]
+          as (part of) the recovery closure *)
+  recover : Engine.ctx -> unit;
+      (** scheme-side recovery after a delivered neutralization (DEBRA:
+          reset the thread's announced epoch); must be idempotent *)
   stats : stats;  (** == [sink.stats]; kept as a direct field for readers *)
   sink : sink;
 }
@@ -88,6 +112,9 @@ type config = {
   pool_nodes : int;  (** OA-orig: fixed recycling-pool size *)
   node_words : int;  (** OA-orig: node size the pool is built for *)
   hazard_padded : bool;  (** cache-line pad hazard slots (ablation hook) *)
+  neutralize : bool;
+      (** DEBRA: post neutralization signals to lagging threads (default
+          true; false degrades it to plain EBR behaviour under faults) *)
 }
 
 val default_config : config

@@ -37,32 +37,60 @@ type policy = {
   hazard_writes : bool;
   recycles_retired : bool;
   leaks_by_design : bool;
+  neutralizes : bool;
 }
 
 (* What each registered scheme promises.  The OA family and HP publish
    hazards before every write to a node a CAS involves; EBR/IBR rely on
    grace periods instead (no per-access write contract to check); NR never
    reclaims and the original OA pools never return memory, so both leak at
-   quiescence by design. *)
+   quiescence by design.  DEBRA additionally neutralizes: a poster may free
+   a victim's reachable nodes the moment its signal posts, because the
+   victim's next access is guaranteed to be discarded unexecuted — the
+   access check must honour that window (see [neutralizes]). *)
 let policy_of_scheme = function
   | "nr" ->
-      { hazard_writes = false; recycles_retired = false; leaks_by_design = true }
+      {
+        hazard_writes = false;
+        recycles_retired = false;
+        leaks_by_design = true;
+        neutralizes = false;
+      }
   | "oa" ->
-      { hazard_writes = true; recycles_retired = true; leaks_by_design = true }
+      {
+        hazard_writes = true;
+        recycles_retired = true;
+        leaks_by_design = true;
+        neutralizes = false;
+      }
   | "oa-bit" | "oa-ver" | "hp" ->
       {
         hazard_writes = true;
         recycles_retired = false;
         leaks_by_design = false;
+        neutralizes = false;
       }
   | "ebr" | "ibr" ->
       {
         hazard_writes = false;
         recycles_retired = false;
         leaks_by_design = false;
+        neutralizes = false;
+      }
+  | "debra" ->
+      {
+        hazard_writes = false;
+        recycles_retired = false;
+        leaks_by_design = false;
+        neutralizes = true;
       }
   | _ ->
-      { hazard_writes = false; recycles_retired = true; leaks_by_design = true }
+      {
+        hazard_writes = false;
+        recycles_retired = true;
+        leaks_by_design = true;
+        neutralizes = false;
+      }
 
 type kind =
   | Double_retire of { addr : int; first_tid : int; first_cycle : int }
@@ -291,6 +319,14 @@ let on_access t ctx ~addr ~kind =
   else if t.internal.(lane t (Engine.Mem.tid ctx)) = 0 then
     match kind with
     | Engine.Load -> ()  (* optimistic loads of freed memory are the point *)
+    | Engine.Store | Engine.Rmw
+      when t.policy.neutralizes
+           && Engine.Mem.signal_pending ctx ~tid:(Engine.Mem.tid ctx) ->
+        (* the access hook fires before the scheduler yield, but with a
+           signal pending the yield delivers instead of executing: this
+           store is about to be discarded unexecuted, and the poster was
+           entitled to free the block the moment the post succeeded *)
+        ()
     | Engine.Store | Engine.Rmw -> (
         match block_of t addr with
         | None -> ()

@@ -37,6 +37,13 @@ type policy = {
   leaks_by_design : bool;
       (** retired-but-unreclaimed blocks at quiescence are expected (no
           reclamation; bounded recycling pools) *)
+  neutralizes : bool;
+      (** the scheme posts neutralization signals (DEBRA): a store observed
+          while the acting thread has a signal pending targets an access
+          that will be discarded unexecuted by the unwind, so it is not a
+          violation even if the block was already freed — the poster is
+          allowed to reclaim the victim's reachable nodes the moment the
+          post succeeds *)
 }
 
 val policy_of_scheme : string -> policy

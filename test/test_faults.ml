@@ -162,6 +162,126 @@ let test_pressure_keep_resident_ooms () =
   check_bool "recovery was attempted" true (r.Pressure.recoveries >= 1);
   check_bool "final recovery failed" true (r.Pressure.failures >= 1)
 
+(* --- Neutralization: the checkpoint/signal primitive ----------------------- *)
+
+(* A victim looping over cheap same-line loads is the permanent fused-path
+   leader; delivery happens only at scheduler yields, so the signal landing
+   at all proves a pending signal forces the slow path. *)
+let test_neutralize_forces_slow_path () =
+  let eng = Engine.create ~nthreads:2 () in
+  let outcome = ref None in
+  let restarted = ref false in
+  let iters = ref 0 in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      Engine.Mem.checkpoint ctx
+        ~recover:(fun () -> restarted := true)
+        (fun () ->
+          if not !restarted then
+            for i = 1 to 10_000 do
+              incr iters;
+              Engine.Mem.access ctx ~vpage:(-1) ~paddr:(i land 7)
+                ~kind:Engine.Load
+            done));
+  Engine.spawn eng ~tid:1 (fun ctx ->
+      Engine.Mem.charge ctx 50;
+      Engine.Mem.pause ctx;
+      outcome := Some (Engine.Mem.neutralize ctx ~victim:0));
+  Engine.run eng;
+  check_bool "posted" true (!outcome = Some Engine.Posted);
+  check_bool "recovery closure ran" true !restarted;
+  check_bool "victim interrupted mid-run" true (!iters < 10_000);
+  check_int "one signal delivered" 1
+    (Engine.fault_stats eng ~tid:0).Engine.neutralized
+
+let test_neutralize_dead_is_noop () =
+  let eng = Engine.create ~nthreads:2 () in
+  Engine.set_fault_plan eng (Scenario.crash_one ~tid:0 ~at_yield:3);
+  let outcome = ref None in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      for _ = 1 to 50 do
+        Engine.Mem.pause ctx
+      done);
+  Engine.spawn eng ~tid:1 (fun ctx ->
+      (* outlive the victim's crash before posting *)
+      for _ = 1 to 20 do
+        Engine.Mem.pause ctx
+      done;
+      outcome := Some (Engine.Mem.neutralize ctx ~victim:0));
+  Engine.run eng;
+  check_bool "victim crashed" true (Engine.crashed eng ~tid:0);
+  check_bool "typed Dead outcome" true (!outcome = Some Engine.Dead);
+  check_int "nothing delivered" 0
+    (Engine.fault_stats eng ~tid:0).Engine.neutralized
+
+let test_nested_checkpoint_rejected () =
+  let eng = Engine.create ~nthreads:1 () in
+  let rejected = ref false in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      Engine.Mem.checkpoint ctx ~recover:ignore (fun () ->
+          match Engine.Mem.checkpoint ctx ~recover:ignore (fun () -> ()) with
+          | () -> ()
+          | exception Invalid_argument _ -> rejected := true));
+  Engine.run eng;
+  check_bool "nested registration rejected" true !rejected
+
+(* Full-system determinism of the delivery machinery: two same-seed
+   DEBRA-under-stall runs must produce byte-identical event traces,
+   neutralization events included. *)
+let debra_trace_run () =
+  let module System = Oamem_core.System in
+  let module Scheme = Oamem_reclaim.Scheme in
+  let sys =
+    System.create
+      (System.Config.make ~nthreads:2 ~scheme:"debra" ~trace:true
+         ~trace_capacity:(1 lsl 14)
+         ~max_pages:(1 lsl 16)
+         ~scheme_cfg:
+           {
+             Scheme.threshold = 2;
+             slots_per_thread = Oamem_lockfree.Hm_list.slots_needed;
+             pool_nodes = 4096;
+             node_words = Oamem_lockfree.Node.kv_words;
+             hazard_padded = true;
+             neutralize = true;
+           }
+         ())
+  in
+  System.set_fault_plan sys
+    (Scenario.stall_one ~tid:0 ~at_yield:40 ~cycles:500_000);
+  for tid = 0 to 1 do
+    System.spawn sys ~tid (fun ctx ->
+        let h = System.hash_set sys ctx ~expected_size:64 in
+        let module MH = Oamem_lockfree.Michael_hash in
+        for i = 1 to 60 do
+          let k = (tid * 1000) + i in
+          ignore (MH.insert h ctx k);
+          ignore (MH.delete h ctx k)
+        done)
+  done;
+  System.run sys;
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let posts = ref 0 and delivered = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev.Oamem_obs.Trace.kind with
+      | Oamem_obs.Trace.Neutralize_post _ -> incr posts
+      | Oamem_obs.Trace.Neutralized -> incr delivered
+      | _ -> ());
+      Format.fprintf ppf "%a@." Oamem_obs.Trace.pp_event ev)
+    (Oamem_obs.Trace.events (System.trace sys));
+  Format.pp_print_flush ppf ();
+  (Buffer.contents buf, !posts, !delivered)
+
+let test_neutralize_trace_deterministic () =
+  let ta, pa, da = debra_trace_run () in
+  let tb, pb, db = debra_trace_run () in
+  check_bool "neutralization posted" true (pa >= 1);
+  check_bool "neutralization delivered" true (da >= 1);
+  check_int "same posts" pa pb;
+  check_int "same deliveries" da db;
+  check_bool "byte-identical traces" true (String.equal ta tb)
+
 (* --- Robustness: stalled-thread garbage growth ---------------------------- *)
 
 (* Shorter horizon than the experiment default to keep the suite quick; the
@@ -208,6 +328,42 @@ let test_robustness_deterministic () =
     (a.Robustness.samples = b.Robustness.samples);
   check_int "identical ops" a.Robustness.ops b.Robustness.ops
 
+(* --- DEBRA: bounded under faults, EBR-like without neutralization ---------- *)
+
+let test_debra_stall_bounded () =
+  let spec = robustness_spec "debra" in
+  let stalled, control = Robustness.run_pair spec in
+  check_int "stall injected" 1 stalled.Robustness.stalls_injected;
+  check_bool "neutralization fired" true (stalled.Robustness.neutralized >= 1);
+  check_bool "garbage bounded within 2x of healthy control" true
+    (stalled.Robustness.final_unreclaimed
+    <= 2 * max 1 control.Robustness.final_unreclaimed);
+  check_bool "healthy workers made progress" true
+    (stalled.Robustness.ops > 1_000)
+
+let test_debra_no_neutralize_degenerates () =
+  let spec =
+    { (robustness_spec "debra") with Robustness.neutralize = false }
+  in
+  let stalled, control = Robustness.run_pair spec in
+  check_int "no signal delivered" 0 stalled.Robustness.neutralized;
+  check_bool "garbage grows with healthy work, like EBR" true
+    (stalled.Robustness.final_unreclaimed
+    >= 2 * max 1 control.Robustness.final_unreclaimed);
+  check_bool "exceeds the robust bound" true
+    (stalled.Robustness.final_unreclaimed > Robustness.robust_bound spec)
+
+let test_debra_crash_seizes () =
+  let spec =
+    { (robustness_spec "debra") with Robustness.fault = Robustness.Crash }
+  in
+  let r = Robustness.run spec in
+  check_bool "thread fail-stopped" true r.Robustness.crashed;
+  check_bool "dead thread's limbo bags were seized" true
+    (r.Robustness.seized > 0);
+  check_bool "pinned garbage stays under the robust bound" true
+    (r.Robustness.final_pinned <= Robustness.robust_bound spec)
+
 let suite =
   [
     ("plan validation", `Quick, test_plan_validation);
@@ -219,11 +375,20 @@ let suite =
     ("pressure recovers (madvise)", `Quick, test_pressure_recovers_madvise);
     ("pressure recovers (shared)", `Quick, test_pressure_recovers_shared);
     ("pressure OOM (keep resident)", `Quick, test_pressure_keep_resident_ooms);
+    ("neutralize: forces slow path", `Quick, test_neutralize_forces_slow_path);
+    ("neutralize: dead victim no-op", `Quick, test_neutralize_dead_is_noop);
+    ("neutralize: nested checkpoint", `Quick, test_nested_checkpoint_rejected);
+    ( "neutralize: trace deterministic",
+      `Slow,
+      test_neutralize_trace_deterministic );
     ("robustness: ebr unbounded", `Slow, test_robustness_ebr_unbounded);
     ("robustness: hp bounded", `Slow, test_robustness_bounded "hp");
     ("robustness: oa-bit bounded", `Slow, test_robustness_bounded "oa-bit");
     ("robustness: oa-ver bounded", `Slow, test_robustness_bounded "oa-ver");
     ("robustness: deterministic", `Slow, test_robustness_deterministic);
+    ("debra: stall bounded", `Slow, test_debra_stall_bounded);
+    ("debra: no-neut degenerates", `Slow, test_debra_no_neutralize_degenerates);
+    ("debra: crash seizes", `Slow, test_debra_crash_seizes);
   ]
 
 let () = Alcotest.run "faults" [ ("faults", suite) ]

@@ -32,6 +32,7 @@ let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
            (* large enough for both set (2-word) and kv (3-word) nodes *)
            node_words = Node.kv_words;
            hazard_padded = true;
+           neutralize = true;
          }
        ())
 

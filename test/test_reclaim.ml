@@ -26,6 +26,7 @@ let mk_scheme ?(threshold = 4) ?(pool_nodes = 256) name =
       pool_nodes;
       node_words = 2;
       hazard_padded = true;
+      neutralize = true;
     }
   in
   ((Registry.find name) cfg ~alloc ~meta ~nthreads:4, alloc, vm)
@@ -357,7 +358,7 @@ let test_registry () =
   Alcotest.check_raises "unknown scheme"
     (Invalid_argument
        "unknown reclamation scheme \"bogus\" (known: nr, oa, oa-bit, oa-ver, \
-        hp, ebr, ibr)") (fun () ->
+        hp, ebr, ibr, debra)") (fun () ->
       let (_ : Registry.factory) = Registry.find "bogus" in
       ())
 
