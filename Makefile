@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick metrics fuzz profile perfgate fault-matrix
+.PHONY: all build test check clean repro quick sweep bench bench-sweep metrics fuzz profile perfgate fault-matrix
 
 all: build
 
@@ -13,12 +13,35 @@ check:
 	dune build
 	dune runtest
 
+# Worker-domain count for sharded targets (sweep, bench, fault-matrix).
+# Output is byte-identical at any value; JOBS=1 is the determinism control.
+JOBS ?= 1
+
 # Reproduce the paper's evaluation (quick preset).
 quick:
 	dune exec bin/repro.exe -- all --quick
 
 repro:
 	dune exec bin/repro.exe -- all
+
+# Domain-sharded sweep of the full experiment matrix: one experiment per
+# worker domain, reports merged in canonical order (byte-identical to
+# sequential).  `make sweep JOBS=$(shell nproc)` on a multicore host.
+sweep:
+	dune exec bin/repro.exe -- sweep --quick -j $(JOBS)
+
+# Host micro-benchmarks + the full paper reproduction, sharding the cells
+# inside each experiment across JOBS domains.
+bench:
+	dune exec bench/main.exe -- --quick --jobs $(JOBS)
+
+# Sequential vs parallel wall-clock for the quick matrix: writes
+# BENCH_SWEEP.json (host_cores, both timings, output-identical check).
+# Gated warn-only by perfgate's host dimension.
+SWEEP_JOBS ?= 4
+bench-sweep:
+	dune exec bench/main.exe -- --sweep-timing --jobs $(SWEEP_JOBS) \
+	  --out BENCH_SWEEP.json
 
 # Machine-readable metrics baseline: a small E1-style sweep with the full
 # metrics snapshot and cycle-attribution profile per run.  CI archives the
@@ -44,22 +67,25 @@ perfgate:
 
 # Nightly fault matrix: E13 across every scheme x {no-fault, stall, crash}
 # with the lifecycle sanitizer on; per-leg garbage curves land in
-# fault-matrix/ as garbage_<scheme>_<fault>.json (CI uploads them).
+# fault-matrix/ as garbage_<scheme>_<fault>.json (CI uploads them).  The
+# matrix legs shard across JOBS domains.
 fault-matrix:
 	mkdir -p fault-matrix
-	dune exec bin/repro.exe -- run robustness --csv fault-matrix --sanitize
+	dune exec bin/repro.exe -- run robustness --csv fault-matrix --sanitize \
+	  -j $(JOBS)
 
 # Nightly schedule fuzzing: random schedules through every scenario with the
 # lifecycle sanitizer on; failing schedules are shrunk and written to
 # fuzz-out/ as replayable JSON (`repro replay fuzz-out/FILE.json`).
-# Override e.g. FUZZ_SECONDS=60 for a quick local run.  The default
-# time-box rides the fused fast path: the same budget now covers ~2x the
-# schedules it did pre-fusion, so it buys depth, not wall-clock.
+# Override e.g. FUZZ_SECONDS=60 for a quick local run.  FUZZ_JOBS shards
+# the fixed per-cell seed chunks across domains — findings are identical
+# at any FUZZ_JOBS; only the wall-clock time-box makes runs non-identical.
 FUZZ_SECONDS ?= 900
 FUZZ_RUNS ?= 3000
+FUZZ_JOBS ?= 1
 fuzz:
 	dune exec bin/repro.exe -- fuzz --seconds $(FUZZ_SECONDS) \
-	  --max-runs $(FUZZ_RUNS) --out fuzz-out
+	  --max-runs $(FUZZ_RUNS) --out fuzz-out -j $(FUZZ_JOBS)
 
 clean:
 	dune clean

@@ -292,6 +292,79 @@ let run_host_throughput ~out =
   close_out oc;
   Printf.printf "wrote %s (%d configs)\n%!" out (List.length entries)
 
+(* --- Part 2c: sweep timing (BENCH_SWEEP.json) --------------------------------- *)
+
+(* `bench --sweep-timing [--jobs N] [--out PATH]` runs the quick experiment
+   matrix sequentially and then across N worker domains, checks the merged
+   report docs are byte-identical, and writes both timings in a
+   perfgate-compatible document.  The simulated dimension (throughput_mops,
+   a deterministic proxy: rendered-report megabytes) is identical by
+   construction, so the 10% gate only trips when experiment *behavior*
+   changes; the host dimension (host_steps_per_sec = experiments per
+   host-second) carries the wall-clock speedup and is warn-only in CI. *)
+
+let run_sweep_timing ~jobs ~out =
+  let cfg = Experiments.quick_config in
+  let render_all outcomes =
+    String.concat ""
+      (List.map
+         (fun (o : Sweep.experiment_outcome) ->
+           match o.Sweep.doc with
+           | Ok doc -> Report.to_string doc
+           | Error msg -> Printf.sprintf "\nFAILED %s: %s\n" o.Sweep.id msg)
+         outcomes)
+  in
+  let time_run jobs =
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Sweep.experiments ~jobs cfg Experiments.all in
+    let dt = Unix.gettimeofday () -. t0 in
+    (render_all outcomes, dt)
+  in
+  let nexp = List.length Experiments.all in
+  Printf.printf "sweep-timing: %d experiments (quick matrix), host cores %d\n%!"
+    nexp (Domain.recommended_domain_count ());
+  let seq_text, seq_dt = time_run 1 in
+  Printf.printf "  -j 1: %.2fs\n%!" seq_dt;
+  let par_text, par_dt = time_run jobs in
+  let identical = String.equal seq_text par_text in
+  Printf.printf "  -j %d: %.2fs (speedup %.2fx, output identical: %b)\n%!" jobs
+    par_dt
+    (if par_dt > 0. then seq_dt /. par_dt else 0.)
+    identical;
+  let entry ~level ~dt text =
+    Json.Obj
+      [
+        ("scheme", Json.String "quick-matrix");
+        ("threads", Json.Int level);
+        (* deterministic proxy (report megabytes): equal across job counts
+           unless experiment behavior changed *)
+        ( "throughput_mops",
+          Json.Float (float_of_int (String.length text) /. 1e6) );
+        ("host_steps_per_sec", Json.Float (float_of_int nexp /. dt));
+        ("wall_seconds", Json.Float dt);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "sweep-timing");
+        ("structure", Json.String "quick-matrix");
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("jobs", Json.Int jobs);
+        ("output_identical", Json.Bool identical);
+        ( "results",
+          Json.List
+            [ entry ~level:1 ~dt:seq_dt seq_text;
+              entry ~level:jobs ~dt:par_dt par_text ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if not identical then exit 1
+
 (* --- Part 3: the paper reproduction ------------------------------------------ *)
 
 let () =
@@ -302,27 +375,39 @@ let () =
      per run, which is what `bin/perfgate` gates p99 latency on. *)
   let profile = List.mem "--profile" argv in
   let host_throughput = List.mem "--host-throughput" argv in
+  let sweep_timing = List.mem "--sweep-timing" argv in
   let out_default =
-    if host_throughput then "BENCH_HOST.json" else "BENCH_E1.json"
+    if host_throughput then "BENCH_HOST.json"
+    else if sweep_timing then "BENCH_SWEEP.json"
+    else "BENCH_E1.json"
   in
-  let out =
+  let find_opt_arg name dfl parse =
     let rec find = function
-      | "--out" :: path :: _ -> path
+      | flag :: v :: _ when flag = name -> parse v
       | _ :: rest -> find rest
-      | [] -> out_default
+      | [] -> dfl
     in
     find argv
   in
+  let out = find_opt_arg "--out" out_default Fun.id in
+  let jobs = find_opt_arg "--jobs" 1 int_of_string in
   if host_throughput then run_host_throughput ~out
+  else if sweep_timing then
+    run_sweep_timing ~jobs:(max 2 jobs) ~out
   else if metrics_only || profile then run_metrics_dump ~profile ~out
   else begin
     run_bechamel ();
     let cfg =
-      if quick then Experiments.quick_config else Experiments.default_config
+      { (if quick then Experiments.quick_config else Experiments.default_config)
+        with Experiments.jobs }
     in
     Printf.printf
       "\n\
        == paper reproduction (simulated cycles; see EXPERIMENTS.md for the \
        paper-vs-measured record) ==\n";
-    List.iter (fun e -> e.Experiments.run cfg) Experiments.all
+    List.iter
+      (fun (e : Experiments.t) ->
+        Report.render stdout (e.Experiments.run cfg))
+      Experiments.all;
+    Printf.printf "%!"
   end

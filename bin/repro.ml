@@ -93,43 +93,41 @@ let sanitize_arg =
   in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains: shards independent cells inside an experiment (`run', \
+     `all'), whole experiments (`sweep') and fuzz seed chunks (`fuzz').  \
+     Output is byte-identical at any value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let config_term =
   let make threads horizon fig4 fig6 full schemes seed csv quick trace metrics
-      sanitize =
+      sanitize jobs =
+    let dfl = Experiments.default_config in
     let base =
       if quick then Experiments.quick_config else Experiments.default_config
     in
-    {
-      Experiments.threads =
-        (if threads <> Experiments.default_config.Experiments.threads then
-           threads
-         else base.Experiments.threads);
-      horizon_cycles =
-        (if horizon <> Experiments.default_config.Experiments.horizon_cycles
-         then horizon
-         else base.Experiments.horizon_cycles);
-      fig4_size =
+    (* explicit flags beat the preset; preset beats the default *)
+    let pick v dflv basev = if v <> dflv then v else basev in
+    Experiments.Config.make
+      ~threads:(pick threads dfl.Experiments.threads base.Experiments.threads)
+      ~horizon_cycles:
+        (pick horizon dfl.Experiments.horizon_cycles
+           base.Experiments.horizon_cycles)
+      ~fig4_size:
         (if full then 5_000
-         else if fig4 <> Experiments.default_config.Experiments.fig4_size then
-           fig4
-         else base.Experiments.fig4_size);
-      fig6_size =
+         else pick fig4 dfl.Experiments.fig4_size base.Experiments.fig4_size)
+      ~fig6_size:
         (if full then 1_000_000
-         else if fig6 <> Experiments.default_config.Experiments.fig6_size then
-           fig6
-         else base.Experiments.fig6_size);
-      schemes;
-      seed;
-      csv_dir = csv;
-      trace_out = trace;
-      metrics_out = metrics;
-      sanitize;
-    }
+         else pick fig6 dfl.Experiments.fig6_size base.Experiments.fig6_size)
+      ~schemes ~seed ?csv_dir:csv ?trace_out:trace ?metrics_out:metrics
+      ~sanitize ~jobs ()
   in
   Term.(
     const make $ threads_arg $ horizon_arg $ fig4_arg $ fig6_arg $ full_arg
     $ schemes_arg $ seed_arg $ csv_arg $ quick_arg $ trace_arg $ metrics_arg
-    $ sanitize_arg)
+    $ sanitize_arg $ jobs_arg)
 
 let list_cmd =
   let run () =
@@ -143,6 +141,14 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the experiments.") Term.(const run $ const ())
 
+(* Render a doc and write its artifacts, on the coordinating domain:
+   [in_dir] artifacts (CSV dumps, garbage curves) go under --csv DIR when
+   given, the rest (traces, metrics) to their exact paths. *)
+let emit_doc (cfg : Experiments.config) doc =
+  Report.render stdout doc;
+  flush stdout;
+  ignore (Report.write_artifacts ?dir:cfg.Experiments.csv_dir doc)
+
 let run_cmd =
   let id_arg =
     Arg.(
@@ -152,7 +158,7 @@ let run_cmd =
   in
   let run cfg id =
     let e = Experiments.find id in
-    e.Experiments.run cfg
+    emit_doc cfg (e.Experiments.run cfg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment.")
@@ -160,11 +166,60 @@ let run_cmd =
 
 let all_cmd =
   let run cfg =
-    List.iter (fun e -> e.Experiments.run cfg) Experiments.all
+    List.iter
+      (fun (e : Experiments.t) -> emit_doc cfg (e.Experiments.run cfg))
+      Experiments.all
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment.")
     Term.(const run $ config_term)
+
+(* --- domain-sharded sweep --------------------------------------------------- *)
+
+let sweep_cmd =
+  let ids_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment ids to sweep (default: all).")
+  in
+  let run cfg ids =
+    let exps =
+      match ids with
+      | [] -> Experiments.all
+      | ids -> List.map Experiments.find ids
+    in
+    let outcomes =
+      Sweep.experiments ~jobs:cfg.Experiments.jobs cfg exps
+    in
+    (* workers returned docs; render and write in canonical order here *)
+    let failed =
+      List.filter
+        (fun (o : Sweep.experiment_outcome) ->
+          match o.Sweep.doc with
+          | Ok doc ->
+              emit_doc cfg doc;
+              false
+          | Error msg ->
+              Printf.printf "\nFAILED %s: %s\n%!" o.Sweep.id msg;
+              true)
+        outcomes
+    in
+    if failed <> [] then begin
+      Printf.printf "\nsweep: %d experiment(s) failed: %s\n%!"
+        (List.length failed)
+        (String.concat ", "
+           (List.map (fun (o : Sweep.experiment_outcome) -> o.Sweep.id) failed));
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run experiments across -j worker domains (one experiment per job) \
+          and render the merged report in canonical order — byte-identical \
+          to a sequential run.")
+    Term.(const run $ config_term $ ids_arg)
 
 (* --- schedule fuzzing ------------------------------------------------------ *)
 
@@ -212,7 +267,7 @@ let fuzz_cmd =
             "Also fuzz the seeded-bug scenarios (their findings do not fail \
              the run; *not* finding their bug does).")
   in
-  let run seed max_runs seconds scenarios schemes out include_expected =
+  let run seed max_runs seconds scenarios schemes out include_expected jobs =
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
     let expired () =
       match deadline with
@@ -230,51 +285,53 @@ let fuzz_cmd =
         Fuzz.scenarios
     in
     (if not (Sys.file_exists out) then Sys.mkdir out 0o755);
+    let cells =
+      List.concat_map
+        (fun (sc : Fuzz.scenario) ->
+          let scheme_list =
+            match schemes with
+            | None -> sc.Fuzz.schemes
+            | Some ss -> List.filter (fun s -> List.mem s ss) sc.Fuzz.schemes
+          in
+          List.map (fun scheme -> (sc, scheme)) scheme_list)
+        wanted
+    in
+    (* the fuzzing itself runs on the worker domains; everything below —
+       printing, repro files, exit status — happens here in cell order *)
+    let results =
+      Sweep.fuzz_matrix ~jobs ~max_runs ?stop:(Option.map (fun _ -> expired) deadline)
+        ~seed cells
+    in
     let unexpected = ref 0 and missed = ref 0 and total_runs = ref 0 in
-    List.iter
-      (fun (sc : Fuzz.scenario) ->
-        let scheme_list =
-          match schemes with
-          | None -> sc.Fuzz.schemes
-          | Some ss -> List.filter (fun s -> List.mem s ss) sc.Fuzz.schemes
-        in
-        List.iter
-          (fun scheme ->
-            if not (expired ()) then begin
-              let finding, stats =
-                Fuzz.fuzz_scenario ~max_runs ~stop:expired ~seed sc ~scheme
-              in
-              total_runs :=
-                !total_runs + stats.Explore.fuzz_runs
-                + stats.Explore.shrink_runs;
-              match finding with
-              | None ->
-                  if sc.Fuzz.expect_fail then begin
-                    incr missed;
-                    Printf.printf
-                      "MISSED  %s/%s: seeded bug not found in %d runs\n%!"
-                      sc.Fuzz.name scheme stats.Explore.fuzz_runs
-                  end
-                  else
-                    Printf.printf "ok      %s/%s: %d schedules clean\n%!"
-                      sc.Fuzz.name scheme stats.Explore.fuzz_runs
-              | Some f ->
-                  let file =
-                    Filename.concat out
-                      (Printf.sprintf "fuzz-%s-%s.json" sc.Fuzz.name scheme)
-                  in
-                  Fuzz.save file f;
-                  if not sc.Fuzz.expect_fail then incr unexpected;
-                  Printf.printf
-                    "%s  %s/%s: failing schedule (%d decisions, shrunk in %d \
-                     replays) -> %s\n        %s\n%!"
-                    (if sc.Fuzz.expect_fail then "seeded" else "FAIL  ")
-                    sc.Fuzz.name scheme
-                    (Array.length f.Fuzz.prefix)
-                    stats.Explore.shrink_runs file f.Fuzz.error
-            end)
-          scheme_list)
-      wanted;
+    List.iter2
+      (fun ((sc : Fuzz.scenario), scheme) (r : Sweep.fuzz_cell_result) ->
+        total_runs := !total_runs + r.Sweep.fuzz_runs + r.Sweep.shrink_runs;
+        match r.Sweep.finding with
+        | None ->
+            if sc.Fuzz.expect_fail then begin
+              incr missed;
+              Printf.printf
+                "MISSED  %s/%s: seeded bug not found in %d runs\n%!"
+                sc.Fuzz.name scheme r.Sweep.fuzz_runs
+            end
+            else
+              Printf.printf "ok      %s/%s: %d schedules clean\n%!" sc.Fuzz.name
+                scheme r.Sweep.fuzz_runs
+        | Some f ->
+            let file =
+              Filename.concat out
+                (Printf.sprintf "fuzz-%s-%s.json" sc.Fuzz.name scheme)
+            in
+            Fuzz.save file f;
+            if not sc.Fuzz.expect_fail then incr unexpected;
+            Printf.printf
+              "%s  %s/%s: failing schedule (%d decisions, shrunk in %d \
+               replays) -> %s\n        %s\n%!"
+              (if sc.Fuzz.expect_fail then "seeded" else "FAIL  ")
+              sc.Fuzz.name scheme
+              (Array.length f.Fuzz.prefix)
+              r.Sweep.shrink_runs file f.Fuzz.error)
+      cells results;
     Printf.printf
       "fuzz: %d replays total; %d unexpected failure(s), %d seeded bug(s) \
        missed\n%!"
@@ -284,11 +341,13 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Randomized schedule fuzzing with the lifecycle sanitizer enabled; \
-          failing schedules are shrunk and written as replayable repro JSON.")
+         "Randomized schedule fuzzing with the lifecycle sanitizer enabled, \
+          sharded across -j worker domains (fixed seed chunks per cell, so \
+          findings are identical at any -j); failing schedules are shrunk \
+          and written as replayable repro JSON.")
     Term.(
       const run $ seed_arg $ max_runs_arg $ seconds_arg $ scenarios_arg
-      $ schemes_arg $ out_arg $ include_expected_arg)
+      $ schemes_arg $ out_arg $ include_expected_arg $ jobs_arg)
 
 (* --- cycle-attribution profiling ------------------------------------------- *)
 
@@ -500,4 +559,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "repro" ~doc)
-          [ list_cmd; run_cmd; all_cmd; fuzz_cmd; replay_cmd; profile_cmd ]))
+          [
+            list_cmd; run_cmd; all_cmd; sweep_cmd; fuzz_cmd; replay_cmd;
+            profile_cmd;
+          ]))

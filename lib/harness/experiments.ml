@@ -1,8 +1,16 @@
 (* The experiment registry: one entry per table/figure of the paper's
    evaluation (§5) plus the mechanism experiments (§3.2) and our ablations.
-   Every experiment prints its data as a table, renders throughput figures
-   as ASCII charts, states the paper's expected shape next to the measured
-   one, and optionally dumps CSV for external plotting. *)
+   Every experiment returns its data as a Report.doc — tables, ASCII charts
+   of the throughput figures, the paper's expected shape stated next to the
+   measured one, and CSV/JSON artifacts for external plotting.  Nothing is
+   printed here: the driver renders the doc, which is what lets a sweep run
+   experiments on worker domains and merge output deterministically.
+
+   Independent cells *inside* an experiment (the scheme x threads grid of a
+   throughput figure, the fault-matrix legs) are themselves sharded across
+   [cfg.jobs] domains via Pool — each cell builds its own seeded System, so
+   results are identical at any job count and are reassembled in canonical
+   cell order. *)
 
 open Oamem_engine
 open Oamem_vmem
@@ -10,6 +18,8 @@ open Oamem_lrmalloc
 open Oamem_reclaim
 open Oamem_core
 open Oamem_lockfree
+(* the allocator's Config is shadowed by the experiment Config builder *)
+module Aconfig = Oamem_lrmalloc.Config
 module Metrics = Oamem_obs.Metrics
 module Export = Oamem_obs.Export
 module Json = Oamem_obs.Json
@@ -23,53 +33,54 @@ type config = {
   seed : int;
   csv_dir : string option;
   trace_out : string option;
-      (** write a Chrome trace of the designated run (last scheme at the
-          highest thread count) of throughput figures *)
   metrics_out : string option;
-      (** write the designated run's metrics snapshot as JSON *)
   sanitize : bool;
-      (** run the fault-matrix experiment under the memory-lifecycle
-          sanitizer (CI nightly leg) *)
+  jobs : int;
 }
 
-let default_config =
-  {
-    threads = [ 1; 2; 4; 8; 16; 32 ];
-    horizon_cycles = 400_000;
-    fig4_size = 1_000;
-    fig6_size = 100_000;
-    schemes = Registry.paper_methods;
-    seed = 7;
-    csv_dir = None;
-    trace_out = None;
-    metrics_out = None;
-    sanitize = false;
-  }
+module Config = struct
+  type t = config
+
+  let make ?(threads = [ 1; 2; 4; 8; 16; 32 ]) ?(horizon_cycles = 400_000)
+      ?(fig4_size = 1_000) ?(fig6_size = 100_000)
+      ?(schemes = Registry.paper_methods) ?(seed = 7) ?csv_dir ?trace_out
+      ?metrics_out ?(sanitize = false) ?(jobs = 1) () =
+    {
+      threads;
+      horizon_cycles;
+      fig4_size;
+      fig6_size;
+      schemes;
+      seed;
+      csv_dir;
+      trace_out;
+      metrics_out;
+      sanitize;
+      jobs;
+    }
+end
+
+let default_config = Config.make ()
 
 (* A faster preset for smoke runs. *)
 let quick_config =
-  {
-    default_config with
-    threads = [ 1; 4; 16 ];
-    horizon_cycles = 200_000;
-    fig4_size = 500;
-    fig6_size = 20_000;
-  }
+  Config.make ~threads:[ 1; 4; 16 ] ~horizon_cycles:200_000 ~fig4_size:500
+    ~fig6_size:20_000 ()
 
 type t = {
   id : string;
   title : string;
   paper_ref : string;
   expected : string;
-  run : config -> unit;
+  run : config -> Report.doc;
 }
 
-let maybe_csv cfg ~id ~header rows =
-  match cfg.csv_dir with
-  | None -> ()
-  | Some dir ->
-      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      Report.csv ~path:(Filename.concat dir (id ^ ".csv")) ~header rows
+(* Doc accumulator: experiments emit items in order and return the doc. *)
+let doc_of build =
+  let items = ref [] in
+  let emit it = items := it :: !items in
+  build emit;
+  List.rev !items
 
 (* --- throughput figures (Figs. 4, 5, 6) ------------------------------------- *)
 
@@ -78,8 +89,9 @@ let fmt_mops v = Printf.sprintf "%.3f" v
 let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
     ?(threshold = 64) ?(horizon_mult = 1) ?(trials = 1) () =
   let run cfg =
-    Report.section (Printf.sprintf "%s — %s" id title);
-    Printf.printf "Paper: %s\nExpected shape: %s\n\n" paper_ref expected;
+    doc_of @@ fun emit ->
+    emit (Report.section (Printf.sprintf "%s — %s" id title));
+    emit (Report.textf "Paper: %s\nExpected shape: %s\n\n" paper_ref expected);
     let initial = initial cfg in
     (* the designated run for --trace/--metrics export: the last scheme at
        the highest thread count *)
@@ -87,38 +99,46 @@ let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
     let export_scheme =
       match List.rev cfg.schemes with s :: _ -> s | [] -> ""
     in
+    (* one cell per (scheme, threads): independent seeded systems, sharded
+       across cfg.jobs domains and reassembled in canonical order *)
+    let cells =
+      List.concat_map
+        (fun scheme -> List.map (fun threads -> (scheme, threads)) cfg.threads)
+        cfg.schemes
+    in
+    let run_cell (scheme, threads) =
+      let traced =
+        cfg.trace_out <> None && scheme = export_scheme
+        && threads = max_threads
+      in
+      let summary =
+        Runner.run_trials ~trials
+          {
+            Runner.default_spec with
+            Runner.scheme;
+            threads;
+            structure;
+            workload = Workload.make ~mix ~initial ();
+            horizon_cycles = horizon_mult * cfg.horizon_cycles;
+            threshold;
+            seed = cfg.seed;
+            trace = traced;
+          }
+      in
+      (* report the median trial (lists are noisy at small scale) *)
+      List.find
+        (fun r -> r.Runner.throughput_mops = summary.Runner.median_mops)
+        summary.Runner.trials
+    in
+    let cell_results = Pool.map_exn ~jobs:cfg.jobs run_cell cells in
+    let nthreads = List.length cfg.threads in
     let results =
-      List.map
-        (fun scheme ->
-          let per_thread =
-            List.map
-              (fun threads ->
-                let traced =
-                  cfg.trace_out <> None && scheme = export_scheme
-                  && threads = max_threads
-                in
-                let summary =
-                  Runner.run_trials ~trials
-                    {
-                      Runner.default_spec with
-                      Runner.scheme;
-                      threads;
-                      structure;
-                      workload = Workload.make ~mix ~initial ();
-                      horizon_cycles = horizon_mult * cfg.horizon_cycles;
-                      threshold;
-                      seed = cfg.seed;
-                      trace = traced;
-                    }
-                in
-                (* report the median trial (lists are noisy at small scale) *)
-                List.find
-                  (fun r ->
-                    r.Runner.throughput_mops = summary.Runner.median_mops)
-                  summary.Runner.trials)
-              cfg.threads
-          in
-          (scheme, per_thread))
+      List.mapi
+        (fun si scheme ->
+          ( scheme,
+            List.filteri
+              (fun i _ -> i / nthreads = si)
+              cell_results ))
         cfg.schemes
     in
     let header = "threads" :: List.map string_of_int cfg.threads in
@@ -128,36 +148,40 @@ let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
           scheme :: List.map (fun r -> fmt_mops r.Runner.throughput_mops) rs)
         results
     in
-    Report.table ~header rows;
-    Report.chart ~title:(Printf.sprintf "%s (%s)" id title)
-      ~xlabel:"threads" ~ylabel:"Mops/s" ~xs:cfg.threads
-      (List.map
-         (fun (scheme, rs) ->
-           (scheme, List.map (fun r -> r.Runner.throughput_mops) rs))
-         results);
+    emit (Report.table ~header rows);
+    emit
+      (Report.chart ~title:(Printf.sprintf "%s (%s)" id title)
+         ~xlabel:"threads" ~ylabel:"Mops/s" ~xs:cfg.threads
+         (List.map
+            (fun (scheme, rs) ->
+              (scheme, List.map (fun r -> r.Runner.throughput_mops) rs))
+            results));
     (* reclamation diagnostics at the highest thread count *)
-    Printf.printf "Diagnostics at %d threads:\n"
-      (List.fold_left max 1 cfg.threads);
-    Report.table
-      ~header:
-        [ "scheme"; "restarts"; "warnings"; "piggyback"; "phases";
-          "frames-peak" ]
-      (List.map
-         (fun (scheme, rs) ->
-           let last = List.nth rs (List.length rs - 1) in
-           let m = last.Runner.metrics in
-           [
-             scheme;
-             string_of_int (Metrics.find m "scheme.restarts");
-             string_of_int (Metrics.find m "scheme.warnings_fired");
-             string_of_int (Metrics.find m "scheme.warnings_piggybacked");
-             string_of_int (Metrics.find m "scheme.reclaim_phases");
-             string_of_int (Metrics.find m "vmem.frames_peak");
-           ])
-         results);
-    maybe_csv cfg ~id
-      ~header:("scheme" :: List.map string_of_int cfg.threads)
-      rows;
+    emit
+      (Report.textf "Diagnostics at %d threads:\n"
+         (List.fold_left max 1 cfg.threads));
+    emit
+      (Report.table
+         ~header:
+           [ "scheme"; "restarts"; "warnings"; "piggyback"; "phases";
+             "frames-peak" ]
+         (List.map
+            (fun (scheme, rs) ->
+              let last = List.nth rs (List.length rs - 1) in
+              let m = last.Runner.metrics in
+              [
+                scheme;
+                string_of_int (Metrics.find m "scheme.restarts");
+                string_of_int (Metrics.find m "scheme.warnings_fired");
+                string_of_int (Metrics.find m "scheme.warnings_piggybacked");
+                string_of_int (Metrics.find m "scheme.reclaim_phases");
+                string_of_int (Metrics.find m "vmem.frames_peak");
+              ])
+            results));
+    emit
+      (Report.csv ~filename:(id ^ ".csv")
+         ~header:("scheme" :: List.map string_of_int cfg.threads)
+         rows);
     if cfg.trace_out <> None || cfg.metrics_out <> None then
       match List.assoc_opt export_scheme results with
       | None -> ()
@@ -165,22 +189,29 @@ let throughput_figure ~id ~title ~paper_ref ~expected ~structure ~initial ~mix
           let r = List.nth rs (List.length rs - 1) in
           (match cfg.trace_out with
           | Some path ->
-              Export.write_chrome_trace path r.Runner.trace;
-              Printf.printf "Chrome trace (%s, %d threads) -> %s\n"
-                export_scheme max_threads path
+              emit
+                (Report.json_artifact ~in_dir:false ~filename:path
+                   (Export.chrome_trace r.Runner.trace));
+              emit
+                (Report.textf "Chrome trace (%s, %d threads) -> %s\n"
+                   export_scheme max_threads path)
           | None -> ());
           (match cfg.metrics_out with
           | Some path ->
-              Export.write_metrics path r.Runner.metrics
-                ~extra:
-                  [
-                    ("experiment", Json.String id);
-                    ("scheme", Json.String export_scheme);
-                    ("threads", Json.Int max_threads);
-                    ("throughput_mops", Json.Float r.Runner.throughput_mops);
-                  ];
-              Printf.printf "Metrics JSON (%s, %d threads) -> %s\n"
-                export_scheme max_threads path
+              emit
+                (Report.json_artifact ~in_dir:false ~filename:path
+                   (Export.metrics_json r.Runner.metrics
+                      ~extra:
+                        [
+                          ("experiment", Json.String id);
+                          ("scheme", Json.String export_scheme);
+                          ("threads", Json.Int max_threads);
+                          ( "throughput_mops",
+                            Json.Float r.Runner.throughput_mops );
+                        ]));
+              emit
+                (Report.textf "Metrics JSON (%s, %d threads) -> %s\n"
+                   export_scheme max_threads path)
           | None -> ())
   in
   { id; title; paper_ref; expected; run }
@@ -245,9 +276,10 @@ let remap_strategies =
       "keep / madvise / shared within noise of each other (empties are rare)";
     run =
       (fun cfg ->
-        Report.section "remap-strategies — keep vs madvise vs shared";
+        doc_of @@ fun emit ->
+        emit (Report.section "remap-strategies — keep vs madvise vs shared");
         let strategies =
-          [ Config.Keep_resident; Config.Madvise; Config.Shared_map ]
+          [ Aconfig.Keep_resident; Aconfig.Madvise; Aconfig.Shared_map ]
         in
         let rows =
           List.map
@@ -269,16 +301,18 @@ let remap_strategies =
                       })
                   cfg.threads
               in
-              Config.remap_strategy_name remap
+              Aconfig.remap_strategy_name remap
               :: List.map
                    (fun r -> fmt_mops r.Runner.throughput_mops)
                    per_thread)
             strategies
         in
-        Report.table ~header:("strategy" :: List.map string_of_int cfg.threads) rows;
-        maybe_csv cfg ~id:"remap-strategies"
-          ~header:("strategy" :: List.map string_of_int cfg.threads)
-          rows);
+        emit
+          (Report.table ~header:("strategy" :: List.map string_of_int cfg.threads) rows);
+        emit
+          (Report.csv ~filename:"remap-strategies.csv"
+             ~header:("strategy" :: List.map string_of_int cfg.threads)
+             rows));
   }
 
 (* --- E8: physical memory release (Fig. 3 mechanics) -------------------------- *)
@@ -293,9 +327,10 @@ let memory_release =
        frames drop but Linux-style RSS stays inflated";
     run =
       (fun cfg ->
-        Report.section "memory-release — frames and RSS after teardown";
+        doc_of @@ fun emit ->
+        emit (Report.section "memory-release — frames and RSS after teardown");
         let strategies =
-          [ Config.Keep_resident; Config.Madvise; Config.Shared_map ]
+          [ Aconfig.Keep_resident; Aconfig.Madvise; Aconfig.Shared_map ]
         in
         let rows =
           List.map
@@ -329,7 +364,7 @@ let memory_release =
               System.drain sys;
               let m = System.metrics sys in
               [
-                Config.remap_strategy_name remap;
+                Aconfig.remap_strategy_name remap;
                 string_of_int peak;
                 string_of_int (Metrics.find m "vmem.frames_live");
                 string_of_int (Metrics.find m "vmem.resident_pages");
@@ -338,16 +373,18 @@ let memory_release =
               ])
             strategies
         in
-        Report.table
-          ~header:
-            [ "strategy"; "frames-peak"; "frames-after"; "resident-pages";
-              "linux-rss-pages"; "syscalls" ]
-          rows;
-        maybe_csv cfg ~id:"memory-release"
-          ~header:
-            [ "strategy"; "frames_peak"; "frames_after"; "resident_pages";
-              "linux_rss_pages"; "syscalls" ]
-          rows);
+        emit
+          (Report.table
+             ~header:
+               [ "strategy"; "frames-peak"; "frames-after"; "resident-pages";
+                 "linux-rss-pages"; "syscalls" ]
+             rows);
+        emit
+          (Report.csv ~filename:"memory-release.csv"
+             ~header:
+               [ "strategy"; "frames_peak"; "frames_after"; "resident_pages";
+                 "linux_rss_pages"; "syscalls" ]
+             rows));
   }
 
 (* --- E9: VBR-style DWCAS leak (§3.2 footnote 2) ------------------------------ *)
@@ -360,12 +397,15 @@ let dwcas_leak =
     expected = "madvise: one frame faulted per touched page; shared: none";
     run =
       (fun _cfg ->
-        Report.section "dwcas-leak — VBR tagged DWCAS on released superblocks";
+        doc_of @@ fun emit ->
+        emit
+          (Report.section
+             "dwcas-leak — VBR tagged DWCAS on released superblocks");
         let probe remap =
           let g = Geometry.default in
           let vm = Vmem.create ~max_pages:65536 g in
           let meta = Cell.heap g in
-          let acfg = { Config.default with Config.sb_pages = 8; remap } in
+          let acfg = { Aconfig.default with Aconfig.sb_pages = 8; remap } in
           let alloc = Lrmalloc.create ~cfg:acfg ~vmem:vm ~meta ~nthreads:1 () in
           let ctx = Engine.external_ctx () in
           let first = Lrmalloc.palloc alloc ctx 512 in
@@ -387,17 +427,18 @@ let dwcas_leak =
             (fun remap ->
               let r = probe remap in
               [
-                Config.remap_strategy_name remap;
+                Aconfig.remap_strategy_name remap;
                 string_of_int r.Vbr_probe.attempts;
                 string_of_int r.Vbr_probe.succeeded;
                 string_of_int r.Vbr_probe.frames_leaked;
                 string_of_int r.Vbr_probe.cow_cas_faults;
               ])
-            [ Config.Madvise; Config.Shared_map ]
+            [ Aconfig.Madvise; Aconfig.Shared_map ]
         in
-        Report.table
-          ~header:[ "strategy"; "dwcas"; "succeeded"; "frames-leaked"; "cas-faults" ]
-          rows);
+        emit
+          (Report.table
+             ~header:[ "strategy"; "dwcas"; "succeeded"; "frames-leaked"; "cas-faults" ]
+             rows));
   }
 
 (* --- E10: per-node validation cost micro-benchmark (§2.4) -------------------- *)
@@ -410,7 +451,8 @@ let micro_validate =
     expected = "OA read_check cycles well below HP traverse_protect cycles";
     run =
       (fun _cfg ->
-        Report.section "micro-validate — simulated cycles per primitive";
+        doc_of @@ fun emit ->
+        emit (Report.section "micro-validate — simulated cycles per primitive");
         let measure scheme_name f =
           let sys =
             System.create (System.Config.make ~nthreads:1 ~scheme:scheme_name ())
@@ -455,7 +497,7 @@ let micro_validate =
             [ "hp traverse_protect"; fmt_mops (measure "hp" hp_protect) ];
           ]
         in
-        Report.table ~header:[ "primitive"; "cycles/op" ] rows);
+        emit (Report.table ~header:[ "primitive"; "cycles/op" ] rows));
   }
 
 (* --- E11: warnings fired, OA-BIT vs OA-VER (Alg. 2 ablation) ----------------- *)
@@ -470,7 +512,8 @@ let warnings_ablation =
        readers less";
     run =
       (fun cfg ->
-        Report.section "warnings-ablation — OA-BIT vs OA-VER";
+        doc_of @@ fun emit ->
+        emit (Report.section "warnings-ablation — OA-BIT vs OA-VER");
         (* mid-range thread count and the list-figure horizon: the regime
            where warning frequency drives restart losses *)
         let threads = min 8 (List.fold_left max 1 cfg.threads) in
@@ -502,10 +545,11 @@ let warnings_ablation =
               ])
             [ "oa-bit"; "oa-ver" ]
         in
-        Report.table
-          ~header:
-            [ "scheme"; "Mops/s"; "warnings"; "piggyback"; "restarts"; "phases" ]
-          rows);
+        emit
+          (Report.table
+             ~header:
+               [ "scheme"; "Mops/s"; "warnings"; "piggyback"; "restarts"; "phases" ]
+             rows));
   }
 
 (* --- ablations beyond the paper ---------------------------------------------- *)
@@ -518,7 +562,8 @@ let limbo_sweep =
     expected = "throughput rises then plateaus; tiny thresholds thrash";
     run =
       (fun cfg ->
-        Report.section "limbo-sweep — reclamation threshold";
+        doc_of @@ fun emit ->
+        emit (Report.section "limbo-sweep — reclamation threshold");
         let threads = List.fold_left max 1 cfg.threads in
         let rows =
           List.map
@@ -545,9 +590,10 @@ let limbo_sweep =
               ])
             [ 4; 16; 64; 256; 1024 ]
         in
-        Report.table
-          ~header:[ "threshold"; "Mops/s"; "phases"; "frames-peak" ]
-          rows);
+        emit
+          (Report.table
+             ~header:[ "threshold"; "Mops/s"; "phases"; "frames-peak" ]
+             rows));
   }
 
 let padding_ablation =
@@ -558,7 +604,8 @@ let padding_ablation =
     expected = "unpadded slots cost throughput via false sharing";
     run =
       (fun cfg ->
-        Report.section "padding-ablation — hazard slot false sharing";
+        doc_of @@ fun emit ->
+        emit (Report.section "padding-ablation — hazard slot false sharing");
         let threads = List.fold_left max 1 cfg.threads in
         let rows =
           List.map
@@ -586,7 +633,8 @@ let padding_ablation =
               ])
             [ true; false ]
         in
-        Report.table ~header:[ "slots"; "Mops/s"; "remote-invalidations" ] rows);
+        emit
+          (Report.table ~header:[ "slots"; "Mops/s"; "remote-invalidations" ] rows));
   }
 
 let cache_sweep =
@@ -598,7 +646,8 @@ let cache_sweep =
       "a small L1 amplifies the footprint advantage of reclaiming schemes";
     run =
       (fun cfg ->
-        Report.section "cache-sweep — cache geometry";
+        doc_of @@ fun emit ->
+        emit (Report.section "cache-sweep — cache geometry");
         (* the list is where footprint-vs-L1 matters: OA-VER's compact
            reuse fits the default L1, NR's scattered leak does not *)
         let threads = min 8 (List.fold_left max 1 cfg.threads) in
@@ -643,7 +692,7 @@ let cache_sweep =
                 [ "oa-ver"; "nr" ])
             geoms
         in
-        Report.table ~header:[ "cache"; "scheme"; "Mops/s" ] rows);
+        emit (Report.table ~header:[ "cache"; "scheme"; "Mops/s" ] rows));
   }
 
 (* --- §6 future work: VBR over the extended allocator -------------------------- *)
@@ -658,14 +707,15 @@ let vbr_stack =
        memory returns with no drain";
     run =
       (fun cfg ->
-        Report.section "vbr-stack — the paper's future-work combination";
+        doc_of @@ fun emit ->
+        emit (Report.section "vbr-stack — the paper's future-work combination");
         let nthreads = min 8 (List.fold_left max 1 cfg.threads) in
         let ops_per_thread = 2_000 in
         let run_stack which =
           let sys =
             System.create
               (System.Config.make ~nthreads ~scheme:"oa-ver"
-                 ~alloc_cfg:{ Config.default with Config.sb_pages = 8 }
+                 ~alloc_cfg:{ Aconfig.default with Aconfig.sb_pages = 8 }
                  ~scheme_cfg:
                    {
                      Scheme.default_config with
@@ -711,14 +761,15 @@ let vbr_stack =
         in
         let vbr_mops, vbr_frees, vbr_frames = run_stack `Vbr in
         let oa_mops, oa_frees, oa_frames = run_stack `Oa in
-        Report.table
-          ~header:[ "stack"; "Mops/s"; "frees"; "frames-live" ]
-          [
-            [ "vbr (immediate)"; fmt_mops vbr_mops; string_of_int vbr_frees;
-              string_of_int vbr_frames ];
-            [ "oa-ver (limbo)"; fmt_mops oa_mops; string_of_int oa_frees;
-              string_of_int oa_frames ];
-          ]);
+        emit
+          (Report.table
+             ~header:[ "stack"; "Mops/s"; "frees"; "frames-live" ]
+             [
+               [ "vbr (immediate)"; fmt_mops vbr_mops; string_of_int vbr_frees;
+                 string_of_int vbr_frames ];
+               [ "oa-ver (limbo)"; fmt_mops oa_mops; string_of_int oa_frees;
+                 string_of_int oa_frames ];
+             ]));
   }
 
 (* --- E13: fault injection and graceful degradation --------------------------- *)
@@ -739,8 +790,10 @@ let robustness =
        strategies recover while Keep_resident ends in a typed Out_of_memory";
     run =
       (fun cfg ->
-        Report.section
-          "robustness — stalled-thread garbage growth (stalled vs control)";
+        doc_of @@ fun emit ->
+        emit
+          (Report.section
+             "robustness — stalled-thread garbage growth (stalled vs control)");
         let spec =
           {
             Robustness.default_spec with
@@ -751,29 +804,52 @@ let robustness =
           }
         in
         let bound = Robustness.robust_bound spec in
-        Printf.printf
-          "Thread 0 stalls at its %d-th yield for longer than the run; %d \
-           healthy workers keep updating a hash set.  Robust bound: %d \
-           nodes.%s\n\n"
-          spec.Robustness.stall_at_yield spec.Robustness.workers bound
-          (if cfg.sanitize then "  Lifecycle sanitizer: on." else "");
+        emit
+          (Report.textf
+             "Thread 0 stalls at its %d-th yield for longer than the run; %d \
+              healthy workers keep updating a hash set.  Robust bound: %d \
+              nodes.%s\n\n"
+             spec.Robustness.stall_at_yield spec.Robustness.workers bound
+             (if cfg.sanitize then "  Lifecycle sanitizer: on." else ""));
         let schemes = [ "nr"; "ebr"; "ibr"; "hp"; "oa-bit"; "oa-ver"; "debra" ] in
-        (* (label, pair): the labelled rows include the DEBRA ablation with
-           neutralization disabled, which must degenerate to EBR's curve *)
-        let pairs =
-          List.map
-            (fun scheme ->
-              (scheme, Robustness.run_pair { spec with Robustness.scheme }))
-            schemes
+        (* Every leg is an independent seeded run; shard them across
+           cfg.jobs domains and reassemble in canonical order.  The
+           labelled pair rows include the DEBRA ablation with
+           neutralization disabled, which must degenerate to EBR's curve. *)
+        let legs =
+          List.map (fun scheme -> `Pair (scheme, { spec with Robustness.scheme })) schemes
           @ [
-              ( "debra (no-neut)",
-                Robustness.run_pair
-                  {
-                    spec with
-                    Robustness.scheme = "debra";
-                    neutralize = false;
-                  } );
+              `Pair
+                ( "debra (no-neut)",
+                  { spec with Robustness.scheme = "debra"; neutralize = false } );
             ]
+          @ List.map
+              (fun scheme ->
+                `Crash
+                  ( scheme,
+                    {
+                      spec with
+                      Robustness.scheme;
+                      Robustness.fault = Robustness.Crash;
+                    } ))
+              schemes
+        in
+        let leg_results =
+          Pool.map_exn ~jobs:cfg.jobs
+            (function
+              | `Pair (label, sp) -> `PairR (label, Robustness.run_pair sp)
+              | `Crash (scheme, sp) -> `CrashR (scheme, Robustness.run sp))
+            legs
+        in
+        let pairs =
+          List.filter_map
+            (function `PairR (label, pr) -> Some (label, pr) | _ -> None)
+            leg_results
+        in
+        let crashes =
+          List.filter_map
+            (function `CrashR (scheme, r) -> Some (scheme, r) | _ -> None)
+            leg_results
         in
         let verdict label (s : Robustness.result) (c : Robustness.result) =
           if label = "nr" then "leaks in both (by design)"
@@ -789,24 +865,25 @@ let robustness =
           then "bounded (within 2x control)"
           else "bounded by live-at-stall"
         in
-        Report.table
-          ~header:
-            [
-              "scheme"; "stalled max"; "stalled final"; "control final";
-              "bound"; "neutral."; "verdict";
-            ]
-          (List.map
-             (fun (label, (s, c)) ->
+        emit
+          (Report.table
+             ~header:
                [
-                 label;
-                 string_of_int s.Robustness.max_unreclaimed;
-                 string_of_int s.Robustness.final_unreclaimed;
-                 string_of_int c.Robustness.final_unreclaimed;
-                 string_of_int bound;
-                 string_of_int s.Robustness.neutralized;
-                 verdict label s c;
-               ])
-             pairs);
+                 "scheme"; "stalled max"; "stalled final"; "control final";
+                 "bound"; "neutral."; "verdict";
+               ]
+             (List.map
+                (fun (label, (s, c)) ->
+                  [
+                    label;
+                    string_of_int s.Robustness.max_unreclaimed;
+                    string_of_int s.Robustness.final_unreclaimed;
+                    string_of_int c.Robustness.final_unreclaimed;
+                    string_of_int bound;
+                    string_of_int s.Robustness.neutralized;
+                    verdict label s c;
+                  ])
+                pairs));
         (* Garbage-over-time chart for the stalled variant (NR excluded: its
            monotone leak would flatten every other series). *)
         let charted =
@@ -836,146 +913,136 @@ let robustness =
                    s.Robustness.samples)
           | [] -> []
         in
-        Report.chart ~title:"unreclaimed nodes over time (stalled thread 0)"
-          ~xlabel:"kcycles" ~ylabel:"unreclaimed nodes" ~xs
-          (List.map (fun (name, ys) -> (name, truncate npoints ys)) series);
-        maybe_csv cfg ~id:"robustness"
-          ~header:[ "scheme"; "variant"; "at_cycles"; "unreclaimed" ]
-          (List.concat_map
-             (fun (label, (s, c)) ->
-               List.concat_map
-                 (fun (variant, (r : Robustness.result)) ->
-                   List.map
-                     (fun smp ->
-                       [
-                         label; variant;
-                         string_of_int smp.Oamem_faults.Monitor.at_cycles;
-                         string_of_int smp.Oamem_faults.Monitor.unreclaimed;
-                       ])
-                     r.Robustness.samples)
-                 [ ("stalled", s); ("control", c) ])
-             pairs);
+        emit
+          (Report.chart ~title:"unreclaimed nodes over time (stalled thread 0)"
+             ~xlabel:"kcycles" ~ylabel:"unreclaimed nodes" ~xs
+             (List.map (fun (name, ys) -> (name, truncate npoints ys)) series));
+        emit
+          (Report.csv ~filename:"robustness.csv"
+             ~header:[ "scheme"; "variant"; "at_cycles"; "unreclaimed" ]
+             (List.concat_map
+                (fun (label, (s, c)) ->
+                  List.concat_map
+                    (fun (variant, (r : Robustness.result)) ->
+                      List.map
+                        (fun smp ->
+                          [
+                            label; variant;
+                            string_of_int smp.Oamem_faults.Monitor.at_cycles;
+                            string_of_int smp.Oamem_faults.Monitor.unreclaimed;
+                          ])
+                        r.Robustness.samples)
+                    [ ("stalled", s); ("control", c) ])
+                pairs));
         (* Fault matrix: every scheme under {no-fault, stall, crash}.  The
-           no-fault and stall legs reuse the pair runs above; only the
-           crash legs run fresh.  Seized vs pinned separates what a dead
+           no-fault and stall legs reuse the pair runs above; the crash legs
+           ran as their own jobs.  Seized vs pinned separates what a dead
            thread's bag still holds from what a live thread already took
            over. *)
-        Report.section
-          "robustness — fault matrix (no-fault / stall / crash)";
+        emit
+          (Report.section
+             "robustness — fault matrix (no-fault / stall / crash)");
         let matrix =
           List.concat_map
             (fun scheme ->
               let s, c = List.assoc scheme pairs in
-              let crash =
-                Robustness.run
-                  {
-                    spec with
-                    Robustness.scheme;
-                    Robustness.fault = Robustness.Crash;
-                  }
-              in
+              let crash = List.assoc scheme crashes in
               [ (scheme, c); (scheme, s); (scheme, crash) ])
             schemes
         in
-        Report.table
-          ~header:
-            [
-              "scheme"; "fault"; "final unreclaimed"; "final pinned";
-              "seized"; "neutral."; "ops";
-            ]
-          (List.map
-             (fun (scheme, (r : Robustness.result)) ->
+        emit
+          (Report.table
+             ~header:
                [
-                 scheme;
-                 Robustness.fault_name r.Robustness.spec.Robustness.fault;
-                 string_of_int r.Robustness.final_unreclaimed;
-                 string_of_int r.Robustness.final_pinned;
-                 string_of_int r.Robustness.seized;
-                 string_of_int r.Robustness.neutralized;
-                 string_of_int r.Robustness.ops;
-               ])
-             matrix);
-        maybe_csv cfg ~id:"robustness_matrix"
-          ~header:
-            [
-              "scheme"; "fault"; "final_unreclaimed"; "final_pinned";
-              "seized"; "neutralized"; "ops"; "max_unreclaimed";
-            ]
-          (List.map
-             (fun (scheme, (r : Robustness.result)) ->
+                 "scheme"; "fault"; "final unreclaimed"; "final pinned";
+                 "seized"; "neutral."; "ops";
+               ]
+             (List.map
+                (fun (scheme, (r : Robustness.result)) ->
+                  [
+                    scheme;
+                    Robustness.fault_name r.Robustness.spec.Robustness.fault;
+                    string_of_int r.Robustness.final_unreclaimed;
+                    string_of_int r.Robustness.final_pinned;
+                    string_of_int r.Robustness.seized;
+                    string_of_int r.Robustness.neutralized;
+                    string_of_int r.Robustness.ops;
+                  ])
+                matrix));
+        emit
+          (Report.csv ~filename:"robustness_matrix.csv"
+             ~header:
                [
-                 scheme;
-                 Robustness.fault_name r.Robustness.spec.Robustness.fault;
-                 string_of_int r.Robustness.final_unreclaimed;
-                 string_of_int r.Robustness.final_pinned;
-                 string_of_int r.Robustness.seized;
-                 string_of_int r.Robustness.neutralized;
-                 string_of_int r.Robustness.ops;
-                 string_of_int r.Robustness.max_unreclaimed;
-               ])
-             matrix);
-        (* Per-scheme garbage-curve JSON, one file per (scheme, fault) leg —
-           the CI fault-matrix artifacts. *)
-        (match cfg.csv_dir with
-        | None -> ()
-        | Some dir ->
-            (try Unix.mkdir dir 0o755
-             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-            List.iter
-              (fun (scheme, (r : Robustness.result)) ->
-                let fault =
-                  Robustness.fault_name r.Robustness.spec.Robustness.fault
-                in
-                let doc =
-                  Json.Obj
-                    [
-                      ("scheme", Json.String scheme);
-                      ("fault", Json.String fault);
-                      ( "neutralize",
-                        Json.Bool r.Robustness.spec.Robustness.neutralize );
-                      ("final_unreclaimed",
-                       Json.Int r.Robustness.final_unreclaimed);
-                      ("final_pinned", Json.Int r.Robustness.final_pinned);
-                      ("seized", Json.Int r.Robustness.seized);
-                      ("neutralized", Json.Int r.Robustness.neutralized);
-                      ("ops", Json.Int r.Robustness.ops);
-                      ( "samples",
-                        Json.List
-                          (List.map
-                             (fun smp ->
-                               Json.Obj
-                                 [
-                                   ( "at_cycles",
-                                     Json.Int
-                                       smp.Oamem_faults.Monitor.at_cycles );
-                                   ( "unreclaimed",
-                                     Json.Int
-                                       smp.Oamem_faults.Monitor.unreclaimed
-                                   );
-                                 ])
-                             r.Robustness.samples) );
-                    ]
-                in
-                let path =
-                  Filename.concat dir
-                    (Printf.sprintf "garbage_%s_%s.json" scheme fault)
-                in
-                let oc = open_out path in
-                output_string oc (Json.to_string doc);
-                output_char oc '\n';
-                close_out oc)
-              matrix);
-        Report.section "robustness — frame-pool exhaustion under a quota";
-        Printf.printf
-          "Persistent-allocation churn under a live-frame quota: recovery \
-           flushes the thread cache and releases empty persistent \
-           superblocks before retrying.\n\n";
+                 "scheme"; "fault"; "final_unreclaimed"; "final_pinned";
+                 "seized"; "neutralized"; "ops"; "max_unreclaimed";
+               ]
+             (List.map
+                (fun (scheme, (r : Robustness.result)) ->
+                  [
+                    scheme;
+                    Robustness.fault_name r.Robustness.spec.Robustness.fault;
+                    string_of_int r.Robustness.final_unreclaimed;
+                    string_of_int r.Robustness.final_pinned;
+                    string_of_int r.Robustness.seized;
+                    string_of_int r.Robustness.neutralized;
+                    string_of_int r.Robustness.ops;
+                    string_of_int r.Robustness.max_unreclaimed;
+                  ])
+                matrix));
+        (* Per-scheme garbage-curve JSON, one artifact per (scheme, fault)
+           leg — the CI fault-matrix artifacts. *)
+        List.iter
+          (fun (scheme, (r : Robustness.result)) ->
+            let fault =
+              Robustness.fault_name r.Robustness.spec.Robustness.fault
+            in
+            let doc =
+              Json.Obj
+                [
+                  ("scheme", Json.String scheme);
+                  ("fault", Json.String fault);
+                  ( "neutralize",
+                    Json.Bool r.Robustness.spec.Robustness.neutralize );
+                  ("final_unreclaimed",
+                   Json.Int r.Robustness.final_unreclaimed);
+                  ("final_pinned", Json.Int r.Robustness.final_pinned);
+                  ("seized", Json.Int r.Robustness.seized);
+                  ("neutralized", Json.Int r.Robustness.neutralized);
+                  ("ops", Json.Int r.Robustness.ops);
+                  ( "samples",
+                    Json.List
+                      (List.map
+                         (fun smp ->
+                           Json.Obj
+                             [
+                               ( "at_cycles",
+                                 Json.Int
+                                   smp.Oamem_faults.Monitor.at_cycles );
+                               ( "unreclaimed",
+                                 Json.Int
+                                   smp.Oamem_faults.Monitor.unreclaimed
+                               );
+                             ])
+                         r.Robustness.samples) );
+                ]
+            in
+            emit
+              (Report.json_artifact
+                 ~filename:(Printf.sprintf "garbage_%s_%s.json" scheme fault)
+                 doc))
+          matrix;
+        emit (Report.section "robustness — frame-pool exhaustion under a quota");
+        emit
+          (Report.text
+             "Persistent-allocation churn under a live-frame quota: recovery \
+              flushes the thread cache and releases empty persistent \
+              superblocks before retrying.\n\n");
         let pressure_rows =
           List.map
             (fun remap ->
               let r = Oamem_faults.Pressure.run ~remap () in
               [
-                Config.remap_strategy_name remap;
+                Aconfig.remap_strategy_name remap;
                 Printf.sprintf "%d" r.Oamem_faults.Pressure.rounds_completed;
                 (if r.Oamem_faults.Pressure.oom then "yes" else "no");
                 string_of_int r.Oamem_faults.Pressure.recoveries;
@@ -983,15 +1050,16 @@ let robustness =
                 string_of_int r.Oamem_faults.Pressure.sb_remapped;
                 string_of_int r.Oamem_faults.Pressure.frames_peak;
               ])
-            [ Config.Madvise; Config.Shared_map; Config.Keep_resident ]
+            [ Aconfig.Madvise; Aconfig.Shared_map; Aconfig.Keep_resident ]
         in
-        Report.table
-          ~header:
-            [
-              "remap"; "rounds"; "oom"; "recoveries"; "failures";
-              "sb released"; "frames peak";
-            ]
-          pressure_rows);
+        emit
+          (Report.table
+             ~header:
+               [
+                 "remap"; "rounds"; "oom"; "recoveries"; "failures";
+                 "sb released"; "frames peak";
+               ]
+             pressure_rows));
   }
 
 let all =

@@ -1,6 +1,11 @@
 (** The experiment registry: one entry per table/figure of the paper's
     evaluation plus the mechanism experiments and ablations (see DESIGN.md
-    for the index). *)
+    for the index).
+
+    Experiments are value-returning: [run cfg] produces a {!Report.doc}
+    (sections, tables, charts, artifacts) instead of printing, so
+    independent experiments can run on separate domains ({!Sweep}) and the
+    coordinator renders the docs in canonical order. *)
 
 type config = {
   threads : int list;
@@ -10,26 +15,60 @@ type config = {
   schemes : string list;
   seed : int;
   csv_dir : string option;
+      (** artifact directory the *driver* writes [in_dir] artifacts into
+          (via {!Report.write_artifacts}); experiments emit the artifacts
+          either way *)
   trace_out : string option;
-      (** throughput figures: write a Chrome trace_event JSON of the
-          designated run (last scheme at the highest thread count) *)
+      (** throughput figures: emit a Chrome trace_event JSON artifact of
+          the designated run (last scheme at the highest thread count) *)
   metrics_out : string option;
-      (** throughput figures: write the designated run's metrics snapshot
-          as JSON *)
+      (** throughput figures: emit the designated run's metrics snapshot
+          as a JSON artifact *)
   sanitize : bool;
       (** run the fault-matrix experiment under the memory-lifecycle
           sanitizer (CI nightly leg) *)
+  jobs : int;
+      (** domain count for sharding *inside* one experiment (the
+          scheme x threads cells of the throughput figures, the fault
+          matrix legs); {!Sweep.experiments} forces this to 1 when it is
+          already sharding across experiments *)
 }
 
+(** Configuration builder: [Config.make ()] is {!default_config}; keyword
+    arguments override individual fields, so adding a config field does not
+    break construction sites (mirrors [System.Config.make]). *)
+module Config : sig
+  type t = config
+
+  val make :
+    ?threads:int list ->
+    ?horizon_cycles:int ->
+    ?fig4_size:int ->
+    ?fig6_size:int ->
+    ?schemes:string list ->
+    ?seed:int ->
+    ?csv_dir:string ->
+    ?trace_out:string ->
+    ?metrics_out:string ->
+    ?sanitize:bool ->
+    ?jobs:int ->
+    unit ->
+    config
+end
+
 val default_config : config
+(** [Config.make ()]. *)
+
 val quick_config : config
+(** A faster preset for smoke runs (fewer thread counts, shorter horizon,
+    smaller structures). *)
 
 type t = {
   id : string;
   title : string;
   paper_ref : string;
   expected : string;  (** the paper's expected shape, stated up front *)
-  run : config -> unit;
+  run : config -> Report.doc;
 }
 
 val all : t list

@@ -314,9 +314,9 @@ type finding = {
   error : string;
 }
 
-let fuzz_scenario ?(max_runs = 200) ?stop ~seed sc ~scheme =
+let fuzz_with ?(max_runs = 200) ?shrink_budget ?stop ~seed sc ~scheme =
   let stats =
-    Explore.fuzz ~max_runs ?stop ~seed (fun prefix ->
+    Explore.fuzz ~max_runs ?shrink_budget ?stop ~seed (fun prefix ->
         run_once sc ~scheme prefix)
   in
   let finding =
@@ -332,6 +332,34 @@ let fuzz_scenario ?(max_runs = 200) ?stop ~seed sc ~scheme =
       stats.Explore.repro
   in
   (finding, stats)
+
+let fuzz_scenario ?max_runs ?stop ~seed sc ~scheme =
+  fuzz_with ?max_runs ?stop ~seed sc ~scheme
+
+(* No shrinking: sweep workers report the raw failing prefix and the
+   coordinator shrinks once, so worker wall-clock stays proportional to the
+   chunk budget. *)
+let fuzz_scenario_raw ?max_runs ?stop ~seed sc ~scheme =
+  fuzz_with ?max_runs ~shrink_budget:0 ?stop ~seed sc ~scheme
+
+let shrink_finding ?budget f =
+  let sc = find_scenario f.scenario in
+  let replays = ref 0 in
+  let fails prefix =
+    incr replays;
+    run_once sc ~scheme:f.scheme prefix <> None
+  in
+  if not (fails f.prefix) then (f, !replays)
+  else begin
+    let prefix = Explore.shrink ?budget fails f.prefix in
+    incr replays;
+    let error =
+      match run_once sc ~scheme:f.scheme prefix with
+      | Some e -> e
+      | None -> f.error  (* cannot happen: shrink preserves [fails] *)
+    in
+    ({ f with prefix; error }, !replays)
+  end
 
 let to_json f =
   Json.Obj

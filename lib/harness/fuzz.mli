@@ -49,6 +49,24 @@ val fuzz_scenario :
 (** Fuzz one scenario under one scheme (see {!Oamem_engine.Explore.fuzz});
     the finding, if any, carries the shrunk prefix. *)
 
+val fuzz_scenario_raw :
+  ?max_runs:int ->
+  ?stop:(unit -> bool) ->
+  seed:int ->
+  scenario ->
+  scheme:string ->
+  finding option * Oamem_engine.Explore.fuzz_stats
+(** Like {!fuzz_scenario} but with shrinking disabled — the finding carries
+    the raw failing prefix.  The {!Sweep} workers use this so the expensive
+    shrink replays happen once, on the coordinating domain
+    ({!shrink_finding}). *)
+
+val shrink_finding : ?budget:int -> finding -> finding * int
+(** Shrink a finding's prefix to a minimal one that still reproduces
+    (see {!Oamem_engine.Explore.shrink}) and re-derive its error from the
+    shrunk replay.  Returns the shrunk finding and the number of replays
+    spent.  A finding that no longer reproduces is returned unchanged. *)
+
 val to_json : finding -> Oamem_obs.Json.t
 val of_json : Oamem_obs.Json.t -> finding
 

@@ -1,0 +1,49 @@
+(* A deterministic parallel map over OCaml 5 domains.
+
+   Every simulator instance hangs off its own [System.create] — there is
+   no module-level mutable state anywhere in the library (see DESIGN.md,
+   "All state hangs off the instance") — so running independent jobs on
+   separate domains needs no locking beyond the job counter.  Each worker
+   claims job indices from an [Atomic], runs the job, and stores the
+   result in its own slot of the result array; [Domain.join] establishes
+   the happens-before that publishes every slot to the caller.  Results
+   are read back in input order, which is what makes sweep output
+   byte-identical across [-j N]. *)
+
+let run_one f arr out i =
+  out.(i) <-
+    Some (try Ok (f arr.(i)) with e -> Error (Printexc.to_string e))
+
+let map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  (if jobs <= 1 || n <= 1 then
+     for i = 0 to n - 1 do
+       run_one f arr out i
+     done
+   else begin
+     let next = Atomic.make 0 in
+     let worker () =
+       let rec loop () =
+         let i = Atomic.fetch_and_add next 1 in
+         if i < n then begin
+           run_one f arr out i;
+           loop ()
+         end
+       in
+       loop ()
+     in
+     let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+     List.iter Domain.join domains
+   end);
+  Array.to_list (Array.map Option.get out)
+
+let map_exn ~jobs f items =
+  let results = map ~jobs f items in
+  List.mapi
+    (fun i r ->
+      match r with
+      | Ok v -> v
+      | Error msg -> failwith (Printf.sprintf "job %d failed: %s" i msg))
+    results

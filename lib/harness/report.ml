@@ -1,11 +1,70 @@
-(* Plain-text reporting: aligned tables, ASCII line charts (one per paper
-   figure) and optional CSV dumps for external plotting. *)
+(* Value-level reporting.
 
-let fprintf = Printf.printf
+   A report is a [doc]: an ordered list of sections, free text, aligned
+   tables, ASCII line charts and file artifacts.  Constructors are pure and
+   rendering is a separate step, so experiment runs can execute on worker
+   domains and hand their docs back to a coordinator that renders them in
+   canonical job order — the merged output is byte-identical to a
+   sequential run.  Artifacts (CSV dumps, JSON curves, traces) are also
+   values: worker domains never open files; [write_artifacts] does, on the
+   coordinating domain. *)
 
-(* --- tables ---------------------------------------------------------------- *)
+module Json = Oamem_obs.Json
 
-let table ~header rows =
+type table = { header : string list; rows : string list list }
+
+type chart = {
+  width : int;
+  height : int;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  xs : int list;
+  series : (string * float list) list;
+}
+
+type artifact = { filename : string; in_dir : bool; content : string }
+
+type item =
+  | Section of string
+  | Text of string
+  | Table of table
+  | Chart of chart
+  | Artifact of artifact
+
+type doc = item list
+
+(* --- constructors ----------------------------------------------------------- *)
+
+let section title = Section title
+let text s = Text s
+let textf fmt = Printf.ksprintf (fun s -> Text s) fmt
+let table ~header rows = Table { header; rows }
+
+let chart ?(width = 64) ?(height = 16) ~title ~xlabel ~ylabel ~xs series =
+  Chart { width; height; title; xlabel; ylabel; xs; series }
+
+let artifact ?(in_dir = true) ~filename content =
+  Artifact { filename; in_dir; content }
+
+let csv ~filename ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    rows;
+  artifact ~filename (Buffer.contents buf)
+
+let json_artifact ?in_dir ~filename j =
+  artifact ?in_dir ~filename (Json.to_string j ^ "\n")
+
+(* --- rendering -------------------------------------------------------------- *)
+
+let render_table buf { header; rows } =
+  let fprintf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let ncols = List.length header in
   let widths = Array.make ncols 0 in
   let measure row =
@@ -24,12 +83,11 @@ let table ~header rows =
   fprintf "\n";
   List.iter print_row rows
 
-(* --- ASCII chart ------------------------------------------------------------ *)
-
 (* Plot series of (x, y) points on a character grid; each series gets a
    letter.  X positions are treated as ordinal (evenly spaced), matching the
    paper's thread-count axes. *)
-let chart ?(width = 64) ?(height = 16) ~title ~xlabel ~ylabel ~xs series =
+let render_chart buf { width; height; title; xlabel; ylabel; xs; series } =
+  let fprintf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let nx = List.length xs in
   if nx = 0 || series = [] then ()
   else begin
@@ -76,19 +134,97 @@ let chart ?(width = 64) ?(height = 16) ~title ~xlabel ~ylabel ~xs series =
     fprintf "\n"
   end
 
-(* --- CSV -------------------------------------------------------------------- *)
+let render_item buf = function
+  | Section title ->
+      let bar = String.make (String.length title + 4) '=' in
+      Buffer.add_string buf (Printf.sprintf "\n%s\n= %s =\n%s\n" bar title bar)
+  | Text s -> Buffer.add_string buf s
+  | Table t -> render_table buf t
+  | Chart c -> render_chart buf c
+  | Artifact _ -> ()
 
-let csv ~path ~header rows =
-  let oc = open_out path in
-  output_string oc (String.concat "," header);
-  output_char oc '\n';
-  List.iter
-    (fun row ->
-      output_string oc (String.concat "," row);
-      output_char oc '\n')
-    rows;
-  close_out oc
+let to_string doc =
+  let buf = Buffer.create 4096 in
+  List.iter (render_item buf) doc;
+  Buffer.contents buf
 
-let section title =
-  let bar = String.make (String.length title + 4) '=' in
-  fprintf "\n%s\n= %s =\n%s\n" bar title bar
+let render oc doc = output_string oc (to_string doc)
+
+(* --- artifacts -------------------------------------------------------------- *)
+
+let artifacts doc =
+  List.filter_map (function Artifact a -> Some a | _ -> None) doc
+
+let write_artifacts ?dir doc =
+  let mkdir_p d =
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  in
+  List.filter_map
+    (fun a ->
+      let path =
+        if a.in_dir then
+          match dir with
+          | None -> None  (* no artifact dir requested: drop the CSV dump *)
+          | Some d ->
+              mkdir_p d;
+              Some (Filename.concat d a.filename)
+        else Some a.filename
+      in
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc a.content);
+          path)
+        path)
+    (artifacts doc)
+
+(* --- JSON export ------------------------------------------------------------- *)
+
+let to_json doc =
+  let item_json = function
+    | Section title ->
+        Json.Obj [ ("kind", Json.String "section"); ("title", Json.String title) ]
+    | Text s -> Json.Obj [ ("kind", Json.String "text"); ("text", Json.String s) ]
+    | Table { header; rows } ->
+        Json.Obj
+          [
+            ("kind", Json.String "table");
+            ("header", Json.List (List.map (fun c -> Json.String c) header));
+            ( "rows",
+              Json.List
+                (List.map
+                   (fun row ->
+                     Json.List (List.map (fun c -> Json.String c) row))
+                   rows) );
+          ]
+    | Chart { title; xlabel; ylabel; xs; series; _ } ->
+        Json.Obj
+          [
+            ("kind", Json.String "chart");
+            ("title", Json.String title);
+            ("xlabel", Json.String xlabel);
+            ("ylabel", Json.String ylabel);
+            ("xs", Json.List (List.map (fun x -> Json.Int x) xs));
+            ( "series",
+              Json.List
+                (List.map
+                   (fun (name, ys) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String name);
+                         ( "ys",
+                           Json.List (List.map (fun y -> Json.Float y) ys) );
+                       ])
+                   series) );
+          ]
+    | Artifact { filename; in_dir; _ } ->
+        Json.Obj
+          [
+            ("kind", Json.String "artifact");
+            ("filename", Json.String filename);
+            ("in_dir", Json.Bool in_dir);
+          ]
+  in
+  Json.List (List.map item_json doc)

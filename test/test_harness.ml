@@ -147,31 +147,15 @@ let test_runner_more_threads_more_ops () =
   check_bool "parallel work scales" true
     (r4.Runner.ops > r1.Runner.ops)
 
-(* --- report -------------------------------------------------------------------- *)
-
-let capture f =
-  let buf = Filename.temp_file "report" ".txt" in
-  let oc = open_out buf in
-  let saved = Unix.dup Unix.stdout in
-  flush stdout;
-  Unix.dup2 (Unix.descr_of_out_channel oc) Unix.stdout;
-  f ();
-  flush stdout;
-  Unix.dup2 saved Unix.stdout;
-  Unix.close saved;
-  close_out oc;
-  let ic = open_in buf in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  Sys.remove buf;
-  s
+(* --- report (value-level doc API) ----------------------------------------------- *)
 
 let test_report_table_alignment () =
   let out =
-    capture (fun () ->
+    Report.to_string
+      [
         Report.table ~header:[ "a"; "long-header" ]
-          [ [ "xxxxxx"; "1" ]; [ "y"; "22" ] ])
+          [ [ "xxxxxx"; "1" ]; [ "y"; "22" ] ];
+      ]
   in
   let lines = String.split_on_char '\n' out in
   check_bool "has rows" true (List.length lines >= 4);
@@ -193,21 +177,42 @@ let contains haystack needle =
 
 let test_report_chart_renders_series () =
   let out =
-    capture (fun () ->
+    Report.to_string
+      [
         Report.chart ~title:"t" ~xlabel:"x" ~ylabel:"y" ~xs:[ 1; 2; 3 ]
-          [ ("alpha", [ 1.0; 2.0; 3.0 ]); ("beta", [ 3.0; 2.0; 1.0 ]) ])
+          [ ("alpha", [ 1.0; 2.0; 3.0 ]); ("beta", [ 3.0; 2.0; 1.0 ]) ];
+      ]
   in
   check_bool "mentions series A" true
     (String.length out > 0 && contains out "A = alpha" && contains out "B = beta")
 
 let test_report_csv () =
-  let path = Filename.temp_file "oamem" ".csv" in
-  Report.csv ~path ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
-  let ic = open_in path in
-  let l1 = input_line ic and l2 = input_line ic and l3 = input_line ic in
-  close_in ic;
-  Sys.remove path;
-  check_bool "csv contents" true (l1 = "a,b" && l2 = "1,2" && l3 = "3,4")
+  let doc =
+    [ Report.csv ~filename:"t.csv" ~header:[ "a"; "b" ]
+        [ [ "1"; "2" ]; [ "3"; "4" ] ] ]
+  in
+  (* the artifact is a value... *)
+  (match Report.artifacts doc with
+  | [ a ] ->
+      check_bool "csv content" true (a.Report.content = "a,b\n1,2\n3,4\n");
+      check_bool "csv is dir-relative" true a.Report.in_dir
+  | _ -> Alcotest.fail "expected one artifact");
+  (* ...rendered text ignores it... *)
+  check_bool "not rendered inline" true (Report.to_string doc = "");
+  (* ...and write_artifacts places it under the requested directory,
+     dropping it when no directory is given *)
+  let dir = Filename.temp_file "oamem" ".d" in
+  Sys.remove dir;
+  (match Report.write_artifacts ~dir doc with
+  | [ path ] ->
+      let ic = open_in path in
+      let l1 = input_line ic and l2 = input_line ic and l3 = input_line ic in
+      close_in ic;
+      Sys.remove path;
+      Unix.rmdir dir;
+      check_bool "csv written" true (l1 = "a,b" && l2 = "1,2" && l3 = "3,4")
+  | _ -> Alcotest.fail "expected one written file");
+  check_bool "no dir, no write" true (Report.write_artifacts doc = [])
 
 (* --- experiments registry ------------------------------------------------------- *)
 
@@ -231,11 +236,20 @@ let test_experiments_registry () =
 
 let test_small_experiment_runs () =
   (* dwcas-leak is the cheapest full experiment: run it end to end *)
-  let out =
-    capture (fun () ->
-        (Experiments.find "dwcas-leak").Experiments.run Experiments.quick_config)
+  let doc =
+    (Experiments.find "dwcas-leak").Experiments.run Experiments.quick_config
   in
-  check_bool "printed a table" true (String.length out > 100)
+  check_bool "returned a table" true (String.length (Report.to_string doc) > 100)
+
+let test_config_builder () =
+  check_bool "make () is the default" true
+    (Experiments.Config.make () = Experiments.default_config);
+  let c = Experiments.Config.make ~seed:42 ~jobs:3 ~csv_dir:"out" () in
+  check_int "override seed" 42 c.Experiments.seed;
+  check_int "override jobs" 3 c.Experiments.jobs;
+  check_bool "override csv_dir" true (c.Experiments.csv_dir = Some "out");
+  check_bool "rest defaulted" true
+    (c.Experiments.threads = Experiments.default_config.Experiments.threads)
 
 let suite =
   [
@@ -256,6 +270,7 @@ let suite =
     ("report csv", `Quick, test_report_csv);
     ("experiments registry", `Quick, test_experiments_registry);
     ("small experiment runs", `Quick, test_small_experiment_runs);
+    ("config builder", `Quick, test_config_builder);
   ]
 
 let () = Alcotest.run "harness" [ ("harness", suite) ]
