@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick sweep bench bench-sweep metrics fuzz profile perfgate fault-matrix
+.PHONY: all build test check clean repro quick sweep bench bench-sweep bench-host bench-host-smoke metrics fuzz profile perfgate fault-matrix
 
 all: build
 
@@ -42,6 +42,19 @@ SWEEP_JOBS ?= 4
 bench-sweep:
 	dune exec bench/main.exe -- --sweep-timing --jobs $(SWEEP_JOBS) \
 	  --out BENCH_SWEEP.json
+
+# Host-throughput report (the CI invocation): fused vs slow engine over the
+# paper methods at 1 and 4 threads, writing BENCH_HOST.json.  Exits nonzero
+# if any config's simulated results differ between the two paths.  The
+# smoke variant is the PR-time differential: a reduced matrix whose only
+# point is the sim-identity check.
+bench-host:
+	dune exec --profile release bench/main.exe -- --host-throughput \
+	  --out BENCH_HOST.json
+
+bench-host-smoke:
+	dune exec bench/main.exe -- --host-throughput --smoke \
+	  --out BENCH_HOST.smoke.json
 
 # Machine-readable metrics baseline: a small E1-style sweep with the full
 # metrics snapshot and cycle-attribution profile per run.  CI archives the

@@ -200,15 +200,21 @@ let run_metrics_dump ~profile ~out =
 
 (* --- Part 2b: host-throughput report (BENCH_HOST.json) ----------------------- *)
 
-(* `bench --host-throughput [--out PATH]` runs the E1 sweep twice per
-   configuration — fused fast path vs. pre-fusion slow path — at a longer
-   horizon for stable host timing, and reports simulated steps per
+(* `bench --host-throughput [--smoke] [--out PATH]` runs the E1 sweep twice
+   per configuration — fused fast path vs. pre-fusion slow path — at a
+   longer horizon for stable host timing, and reports simulated steps per
    host-second for both, the speedup, and whether the simulated results
-   (throughput + full metrics snapshot) were identical.  The fused numbers
-   feed Perfgate's host_steps_per_sec dimension (warn-only in CI). *)
+   (throughput + full metrics snapshot) were identical.  Any non-identical
+   pair makes the run exit nonzero: sim-identity is a correctness
+   invariant, not a perf number.  [--smoke] shrinks the matrix and horizon
+   to a PR-sized differential (host numbers are then meaningless; only the
+   identity check is the point).  The fused numbers feed Perfgate's
+   host_steps_per_sec dimension (warn-only in CI). *)
 
-let run_host_throughput ~out =
-  let schemes = Oamem_reclaim.Registry.paper_methods in
+let run_host_throughput ~smoke ~out =
+  let schemes =
+    if smoke then [ "nr"; "oa-ver" ] else Oamem_reclaim.Registry.paper_methods
+  in
   let threads = [ 1; 4 ] in
   let spec scheme t fused =
     {
@@ -217,7 +223,7 @@ let run_host_throughput ~out =
       threads = t;
       structure = Runner.Hash_set;
       workload = Workload.make ~mix:Workload.update_only ~initial:1_000 ();
-      horizon_cycles = 2_000_000;
+      horizon_cycles = (if smoke then 400_000 else 2_000_000);
       fused;
     }
   in
@@ -290,7 +296,20 @@ let run_host_throughput ~out =
   output_string oc (Json.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d configs)\n%!" out (List.length entries)
+  Printf.printf "wrote %s (%d configs)\n%!" out (List.length entries);
+  let broken =
+    List.filter
+      (fun e -> Json.member "sim_identical" e <> Json.Bool true)
+      entries
+  in
+  if broken <> [] then begin
+    Printf.eprintf
+      "host-throughput: %d config(s) with sim_identical=false — the fused \
+       path diverged from the slow path\n\
+       %!"
+      (List.length broken);
+    exit 1
+  end
 
 (* --- Part 2c: sweep timing (BENCH_SWEEP.json) --------------------------------- *)
 
@@ -375,6 +394,7 @@ let () =
      per run, which is what `bin/perfgate` gates p99 latency on. *)
   let profile = List.mem "--profile" argv in
   let host_throughput = List.mem "--host-throughput" argv in
+  let smoke = List.mem "--smoke" argv in
   let sweep_timing = List.mem "--sweep-timing" argv in
   let out_default =
     if host_throughput then "BENCH_HOST.json"
@@ -391,7 +411,7 @@ let () =
   in
   let out = find_opt_arg "--out" out_default Fun.id in
   let jobs = find_opt_arg "--jobs" 1 int_of_string in
-  if host_throughput then run_host_throughput ~out
+  if host_throughput then run_host_throughput ~smoke ~out
   else if sweep_timing then
     run_sweep_timing ~jobs:(max 2 jobs) ~out
   else if metrics_only || profile then run_metrics_dump ~profile ~out

@@ -1,8 +1,16 @@
 (* CI perf-regression gate: compare a fresh bench --profile dump against a
    committed baseline and exit non-zero on regression.
 
-     perfgate BASELINE CURRENT [--warn-only] [--max-drop F] [--max-p99 F]
-              [--max-host-drop F] [--relative SCHEME:REF]... *)
+     perfgate BASELINE CURRENT [--warn-only] [--warn-dim DIM]...
+              [--max-drop F] [--max-p99 F] [--max-host-drop F]
+              [--relative SCHEME:REF]...
+
+   Dimensions split in two classes: simulated ones (throughput, p99) are
+   deterministic — a regression is a real cost-model change and gates hard;
+   host-clock ones (host_steps_per_sec) measure the machine running the
+   simulator and are noisy — CI passes --warn-dim host_steps_per_sec so
+   they are reported but never fail the job.  --warn-only keeps its old
+   meaning: everything warns (baseline-refresh mode). *)
 
 open Cmdliner
 module Json = Oamem_obs.Json
@@ -57,6 +65,16 @@ let max_host_drop_arg =
            per host-second); checked only when both documents carry the \
            field.")
 
+let warn_dim_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "warn-dim" ] ~docv:"DIM"
+        ~doc:
+          "Report but do not fail on regressions in dimension DIM \
+           (throughput, p99 or host_steps_per_sec).  Repeatable.  \
+           Dimensions not listed gate hard.")
+
 let relative_arg =
   Arg.(
     value
@@ -77,7 +95,27 @@ let parse_relative spec =
       Fmt.epr "perfgate: bad --relative %S (expected SCHEME:REF)@." spec;
       exit 2
 
-let run baseline current warn_only max_drop max_p99 max_host_drop relative =
+(* The coarse dimension a verdict's metric belongs to, for --warn-dim
+   selection: "missing" rows count as throughput (a silently shrunk sweep
+   must stay a hard failure unless everything warns). *)
+let dimension metric =
+  if metric = "host_steps_per_sec" then "host_steps_per_sec"
+  else if String.length metric >= 4 && String.sub metric 0 4 = "p99:" then
+    "p99"
+  else "throughput"
+
+let all_dimensions = [ "throughput"; "p99"; "host_steps_per_sec" ]
+
+let run baseline current warn_only warn_dims max_drop max_p99 max_host_drop
+    relative =
+  List.iter
+    (fun d ->
+      if not (List.mem d all_dimensions) then begin
+        Fmt.epr "perfgate: unknown --warn-dim %S (expected one of %s)@." d
+          (String.concat ", " all_dimensions);
+        exit 2
+      end)
+    warn_dims;
   let thresholds =
     {
       Perfgate.max_throughput_drop = max_drop;
@@ -96,17 +134,25 @@ let run baseline current warn_only max_drop max_p99 max_host_drop relative =
             ~scheme ~reference ())
         relative
   in
-  List.iter (fun v -> Fmt.pr "%a@." Perfgate.pp_verdict v) verdicts;
-  let nfail =
-    List.length (List.filter (fun v -> v.Perfgate.regressed) verdicts)
+  let warns v = warn_only || List.mem (dimension v.Perfgate.metric) warn_dims in
+  List.iter
+    (fun v ->
+      Fmt.pr "%a%s@." Perfgate.pp_verdict v
+        (if v.Perfgate.regressed && warns v then " [warn-only]" else ""))
+    verdicts;
+  let gated_dims, warn_dims_shown =
+    if warn_only then ([], all_dimensions)
+    else
+      List.partition (fun d -> not (List.mem d warn_dims)) all_dimensions
   in
-  if nfail = 0 then Fmt.pr "perfgate: %d checks, no regressions@." (List.length verdicts)
-  else begin
-    Fmt.pr "perfgate: %d of %d checks regressed%s@." nfail
-      (List.length verdicts)
-    (if warn_only then " (warn-only: not failing)" else "");
-    if not warn_only then exit 1
-  end
+  let pp_dims = function [] -> "none" | ds -> String.concat ", " ds in
+  let regressed = List.filter (fun v -> v.Perfgate.regressed) verdicts in
+  let hard = List.filter (fun v -> not (warns v)) regressed in
+  Fmt.pr "perfgate: %d checks (gated: %s; warn-only: %s), %d regressed (%d \
+          hard)@."
+    (List.length verdicts) (pp_dims gated_dims) (pp_dims warn_dims_shown)
+    (List.length regressed) (List.length hard);
+  if hard <> [] then exit 1
 
 let () =
   let doc =
@@ -118,5 +164,5 @@ let () =
           (Cmd.info "perfgate" ~doc)
           Term.(
             const run $ baseline_arg $ current_arg $ warn_only_arg
-            $ max_drop_arg $ max_p99_arg $ max_host_drop_arg
+            $ warn_dim_arg $ max_drop_arg $ max_p99_arg $ max_host_drop_arg
             $ relative_arg)))

@@ -19,35 +19,70 @@
    {!Mem.pause} (or perform some other yield) on every iteration, otherwise
    the simulation cannot make progress on other threads.
 
-   Hot path.  Two structures keep the host cost of a simulated access low:
+   Hot path.  Three mechanisms keep the host cost of a simulated access low:
 
    - The runnable set under [Min_clock] is indexed by a binary min-heap
      keyed on (clock, tid) — the same ordering the old linear scan computed
      per step — so a scheduling decision is O(log runnable) instead of
      O(nthreads).
 
-   - The fused fast path: at a yield point the running thread compares its
-     own clock against the heap minimum.  If the thread would be re-picked
-     anyway (strictly earliest, ties to lowest tid), it charges the request
-     inline — no effect performed, no continuation switch, no request
-     record allocated — which is exactly what the scheduler would have done
-     before resuming it.  The cost-model side effects therefore happen in
-     the identical global order and every simulated outcome (clocks, cache
-     and TLB state, stats, schedule) is byte-identical to the slow path.
-     The fast path is disabled under [Random_order]/[Scripted] (every yield
-     is a scheduling decision there), under a non-trivial fault plan (the
-     plan is consulted at scheduler yields), under [run ~max_steps] (steps
-     are counted at scheduler yields), and via {!set_fused} (differential
-     testing). *)
+   - Leader-tenure batching.  At a yield point the running thread compares
+     its own clock against the heap minimum.  If the thread would be
+     re-picked anyway (strictly earliest, ties to lowest tid), it charges
+     the request inline — no effect performed, no continuation switch, no
+     allocation — which is exactly what the scheduler would have done
+     before resuming it.  Rather than re-proving leadership per access, the
+     winning comparison is cached as a clock bound [tenure_until]: the
+     thread remains strict leader for every access that completes below
+     that bound, because heap keys only move between the explicit
+     invalidation points enumerated in [tenure_clear]'s callers (spawn,
+     reset_clocks, neutralization, plan/fusion changes, run entry) and the
+     thread itself only suspends once it is no longer leader.  The
+     steady-state access check is therefore a single integer compare.
+     Fences and events always re-validate against the live heap minimum
+     (refreshing the bound on success); the per-access profiler and
+     translation-cache checks stay dynamic.  The cost-model side effects
+     happen in the identical global order, so every simulated outcome
+     (clocks, cache and TLB state, stats, schedule) is byte-identical to
+     the slow path.  The fast path is disabled under
+     [Random_order]/[Scripted] (every yield is a scheduling decision
+     there), under a non-trivial fault plan (the plan is consulted at
+     scheduler yields), under [run ~max_steps] (steps are counted at
+     scheduler yields), and via {!set_fused} (differential testing).
+
+   - Run-ahead parking ({!set_runahead}).  A near-leader thread that fails
+     the leadership check would normally perform an effect and wait for the
+     scheduler to walk the other threads forward.  Instead, it parks: it
+     records its request in its slot, enters the heap as [Parked], and
+     drives the scheduler loop from its own stack frame ([drain]),
+     executing the other threads in exactly the order the outer loop would
+     have.  When it pops itself — it is now the scheduling minimum — it
+     commits the recorded request switch-free, mirroring the scheduler's
+     trivial-plan processing line by line (including neutralization
+     delivery).  If a fault plan appeared while parked, it bails to a real
+     effect so the plan is consulted at a true scheduler yield.  Only one
+     thread parks at a time ([parked]); threads woken inside a drain
+     suspend via the plain effect path.  Because the drained threads run in
+     the identical global order and the commit replays the scheduler's own
+     bookkeeping, parking is observationally identical to the slow path —
+     it only replaces two continuation switches per rotation with ordinary
+     function calls. *)
 
 type access_kind = Load | Store | Rmw
 type fence_kind = Full | Compiler
 type event_kind = Minor_fault | Syscall | Pause
 
-type request =
-  | Access of { vpage : int; paddr : int; kind : access_kind }
-  | Fence of fence_kind
-  | Event of event_kind
+(* Pending requests are flattened into per-slot integer fields (no request
+   record, no effect payload): [req_tag] selects the operation, and
+   [req_vpage]/[req_paddr] carry the access operands.  Tags: *)
+let tag_load = 0
+let tag_store = 1
+let tag_rmw = 2
+let tag_fence_full = 3
+let tag_fence_compiler = 4
+let tag_minor_fault = 5
+let tag_syscall = 6
+let tag_pause = 7
 
 type scripted = {
   prefix : int array;  (* scheduling choices to replay, as runnable-set
@@ -59,15 +94,14 @@ type scripted = {
 
 type policy = Min_clock | Random_order of int | Scripted of scripted
 
-type _ Effect.t += Yield : request -> unit Effect.t
+(* Payload-free: the suspending thread has already written its request into
+   its slot's [req_*] fields, so the effect allocates nothing beyond the
+   captured continuation. *)
+type _ Effect.t += Yield : unit Effect.t
 
 exception Neutralized
 
 type signal_outcome = Posted | Already_pending | Dead
-
-type outcome =
-  | Done
-  | Yielded of request * (unit, outcome) Effect.Deep.continuation
 
 type fault_stats = {
   mutable yields : int;
@@ -100,7 +134,9 @@ type t = {
   hpos : int array;  (* tid -> heap index, -1 when not in the heap *)
   mutable hlen : int;
   mutable fused : bool;  (* user toggle for the inline fast path *)
+  mutable runahead : bool;  (* user toggle for the parking tier *)
   mutable inline_ok : bool;  (* set by [run]: fused && Min_clock && no cap *)
+  mutable parked : int;  (* tid driving a drain from its own frame, or -1 *)
 }
 
 and slot = {
@@ -108,6 +144,14 @@ and slot = {
   mutable clock : int;
   mutable pending : pending;
   fstats : fault_stats;
+  (* --- leader tenure --- *)
+  mutable tenure_until : int;
+      (* the thread is a proven strict leader for any access completing
+         with [clock < tenure_until]; 0 = no tenure (revalidate) *)
+  (* --- flattened suspended request --- *)
+  mutable req_tag : int;
+  mutable req_vpage : int;
+  mutable req_paddr : int;
   (* --- neutralization (simulated async signals) --- *)
   mutable checkpoint : bool;  (* a recovery checkpoint is registered *)
   mutable masked : int;  (* signal-mask depth; > 0 defers delivery *)
@@ -120,7 +164,8 @@ and slot = {
 and pending =
   | Idle
   | Start of (ctx -> unit)
-  | Blocked of request * (unit, outcome) Effect.Deep.continuation
+  | Blocked of (unit, unit) Effect.Deep.continuation
+  | Parked  (* in the heap, but running a [drain] from its own frame *)
   | Crashed  (* fault-injected fail-stop; the slot is permanently dead *)
 
 and ctx = { tid : int; eng : t option; prng : Prng.t }
@@ -165,7 +210,9 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
       hpos = Array.make nthreads (-1);
       hlen = 0;
       fused = true;
+      runahead = true;
       inline_ok = false;
+      parked = -1;
     }
   in
   t.slots <-
@@ -175,6 +222,10 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
           clock = 0;
           pending = Idle;
           fstats = fresh_fault_stats ();
+          tenure_until = 0;
+          req_tag = 0;
+          req_vpage = -1;
+          req_paddr = 0;
           checkpoint = false;
           masked = 0;
           signal = false;
@@ -258,7 +309,7 @@ let heap_rebuild t =
     for tid = 0 to t.nthreads - 1 do
       match t.slots.(tid).pending with
       | Idle | Crashed -> ()
-      | Start _ | Blocked _ -> heap_push t tid
+      | Start _ | Blocked _ | Parked -> heap_push t tid
     done
   end
 
@@ -271,6 +322,33 @@ let[@inline] still_leader t ~tid clock =
   let u = Array.unsafe_get t.heap 0 in
   let cu = (Array.unsafe_get t.slots u).clock in
   clock < cu || (clock = cu && tid < u)
+
+(* Clock bound below which [tid] (running, not in the heap) stays strict
+   leader: [still_leader t ~tid c] holds for every [c < tenure_bound t ~tid].
+   With an empty heap there is no competitor, so the tenure is unbounded
+   (only {!tenure_clear} callers — spawn, neutralize, … — can end it). *)
+let[@inline] tenure_bound t ~tid =
+  if t.hlen = 0 then max_int
+  else begin
+    let u = Array.unsafe_get t.heap 0 in
+    let cu = (Array.unsafe_get t.slots u).clock in
+    if tid < u then cu + 1 else cu
+  end
+
+(* Invalidate every cached tenure.  Called whenever a heap key can move
+   other than by the owner's own monotone clock advance, or whenever the
+   fast-path preconditions change out of band:
+   - [run] entry: [inline_ok] is recomputed per run;
+   - [spawn]: a new entry may undercut the cached minimum;
+   - [reset_clocks]: clocks (and therefore bounds) restart from zero;
+   - [Mem.neutralize] (Posted): the victim's clock may be pulled back,
+     and the victim itself must stop fusing so delivery can happen;
+   - [set_fused] / [set_fault_plan]: precondition changes. *)
+let tenure_clear t =
+  let slots = t.slots in
+  for i = 0 to Array.length slots - 1 do
+    slots.(i).tenure_until <- 0
+  done
 
 (* --- request costs -------------------------------------------------------- *)
 
@@ -306,30 +384,244 @@ let[@inline] charge_event t kind =
       t.cost.syscall
   | Pause -> t.cost.pause
 
-let cost_of_request t ~tid = function
-  | Access { vpage; paddr; kind } -> charge_access t ~tid ~vpage ~paddr ~kind
-  | Fence kind -> charge_fence t kind
-  | Event kind -> charge_event t kind
+(* Cost of the request recorded in [slot]'s [req_*] fields. *)
+let cost_of_req t ~tid slot =
+  let tag = slot.req_tag in
+  if tag <= tag_rmw then
+    let kind =
+      if tag = tag_load then Load else if tag = tag_store then Store else Rmw
+    in
+    charge_access t ~tid ~vpage:slot.req_vpage ~paddr:slot.req_paddr ~kind
+  else if tag = tag_fence_full then charge_fence t Full
+  else if tag = tag_fence_compiler then charge_fence t Compiler
+  else if tag = tag_minor_fault then charge_event t Minor_fault
+  else if tag = tag_syscall then charge_event t Syscall
+  else charge_event t Pause
 
 (* --- fault injection / observability wiring -------------------------------- *)
 
-let set_fault_plan t plan = t.plan <- plan
+let set_fault_plan t plan =
+  t.plan <- plan;
+  (* triviality is a fast-path precondition cached inside tenures *)
+  tenure_clear t
+
 let fault_plan t = t.plan
 let set_trace t tr = t.trace <- tr
 let trace t = t.trace
 let set_profile t p = t.prof <- p
 let profile t = t.prof
-let set_fused t on = t.fused <- on
+
+let set_fused t on =
+  t.fused <- on;
+  tenure_clear t
+
 let fused t = t.fused
+let set_runahead t on = t.runahead <- on
+let runahead t = t.runahead
 let fault_stats t ~tid = t.slots.(tid).fstats
 let crashed t ~tid = t.slots.(tid).fstats.crashed
 
 (* Total yield points executed (all threads, all phases): the engine's
    simulated step count, identical whether a yield went through the
-   scheduler or the fused inline path.  [bench --host-throughput] reports
-   steps per host second from this. *)
+   scheduler, the fused inline path, or a parked commit.  [bench
+   --host-throughput] reports steps per host second from this. *)
 let steps t =
   Array.fold_left (fun acc s -> acc + s.fstats.yields) 0 t.slots
+
+(* --- scheduler core ------------------------------------------------------- *)
+
+(* Deliver the pending neutralization signal to [tid] at one of its yield
+   points: the handler runs before the victim's next instruction, so the
+   suspended access never executes (no cache/TLB side effect) and the
+   thread unwinds to its checkpoint.  Shared by the scheduler's blocked
+   path (followed by [discontinue]) and a parked commit (followed by a
+   plain [raise] — the victim is already running on this stack). *)
+let deliver_signal t ~tid slot =
+  slot.signal <- false;
+  slot.fstats.neutralized <- slot.fstats.neutralized + 1;
+  let cost = t.cost.neutralize_deliver in
+  slot.clock <- slot.clock + cost;
+  if Oamem_obs.Profile.enabled t.prof then
+    Oamem_obs.Profile.charge t.prof ~tid cost;
+  if Oamem_obs.Trace.enabled t.trace then
+    Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+      Oamem_obs.Trace.Neutralized
+
+(* Commit the recorded request of a thread that became the scheduling
+   minimum: the scheduler's trivial-plan [Delay {stall = 0; jitter = 0}]
+   processing, minus the continuation switch (the owner is running). *)
+let commit_req t ~tid slot =
+  let profiling = Oamem_obs.Profile.enabled t.prof in
+  let invs_before =
+    if profiling then Hierarchy.remote_invalidations t.hierarchy else 0
+  in
+  let cost = cost_of_req t ~tid slot in
+  slot.clock <- slot.clock + cost;
+  if profiling then begin
+    Oamem_obs.Profile.charge t.prof ~tid cost;
+    if
+      (slot.req_tag = tag_store || slot.req_tag = tag_rmw)
+      && Hierarchy.remote_invalidations t.hierarchy > invs_before
+    then Oamem_obs.Profile.note_invalidation t.prof ~tid ~addr:slot.req_paddr
+  end
+
+let start_thread t slot f =
+  let tid = slot.ctx.tid in
+  (* settle at suspension time: the request is already in the slot's
+     [req_*] fields, so parking the continuation is all that is left of the
+     old settle step.  The handler is hoisted so a yield does not allocate
+     the [Some]-wrapped closure afresh on every perform. *)
+  let on_yield =
+    Some
+      (fun (k : (unit, unit) Effect.Deep.continuation) ->
+        slot.pending <- Blocked k;
+        if t.use_heap then heap_push t tid)
+  in
+  Effect.Deep.match_with f slot.ctx
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              (* [Yield : unit Effect.t], so the GADT equation [a = unit]
+                 makes the hoisted handler's type line up *)
+              (on_yield : ((a, unit) Effect.Deep.continuation -> unit) option)
+          | _ -> None);
+    }
+
+(* Process one scheduling decision for [tid] (already popped from the
+   heap / chosen by the scan).  Factored out of [run] so a parked thread's
+   [drain] loop can execute other threads exactly as the outer loop would. *)
+let step t tid =
+  let slot = t.slots.(tid) in
+  match slot.pending with
+  | Idle | Crashed | Parked -> assert false
+  | Start f ->
+      slot.pending <- Idle;
+      (try start_thread t slot f
+       with e ->
+         slot.pending <- Idle;
+         raise e)
+  | Blocked k -> (
+      slot.pending <- Idle;
+      let fs = slot.fstats in
+      fs.yields <- fs.yields + 1;
+      if slot.signal && slot.checkpoint && slot.masked = 0 then begin
+        (* Deliver the pending neutralization signal instead of the
+           blocked request.  This yield bypasses the fault plan — the
+           signal handler, not user code, runs at this point. *)
+        deliver_signal t ~tid slot;
+        try Effect.Deep.discontinue k Neutralized
+        with e ->
+          slot.pending <- Idle;
+          raise e
+      end
+      else if Fault_plan.is_trivial t.plan then begin
+        (* trivial plan: [on_yield] is the constant [Delay {stall = 0;
+           jitter = 0}], so this is the Delay branch below with the zero
+           stall/jitter arms folded away — the scheduler's hottest line *)
+        commit_req t ~tid slot;
+        try Effect.Deep.continue k ()
+        with e ->
+          slot.pending <- Idle;
+          raise e
+      end
+      else
+        match Fault_plan.on_yield t.plan ~tid ~yield:fs.yields with
+        | Fault_plan.Kill ->
+            (* fail-stop: drop the continuation, never resume the slot *)
+            fs.crashed <- true;
+            slot.pending <- Crashed;
+            if Oamem_obs.Trace.enabled t.trace then
+              Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+                Oamem_obs.Trace.Crash
+        | Fault_plan.Delay { stall; jitter } ->
+            if stall > 0 then begin
+              fs.stalls_injected <- fs.stalls_injected + 1;
+              fs.stall_cycles <- fs.stall_cycles + stall;
+              if Oamem_obs.Trace.enabled t.trace then
+                Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
+                  (Oamem_obs.Trace.Stall { cycles = stall })
+            end;
+            if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
+            let profiling = Oamem_obs.Profile.enabled t.prof in
+            let invs_before =
+              if profiling then Hierarchy.remote_invalidations t.hierarchy
+              else 0
+            in
+            let cost = cost_of_req t ~tid slot + stall + jitter in
+            slot.clock <- slot.clock + cost;
+            if stall > 0 then slot.stalled_until <- slot.clock;
+            if profiling then begin
+              (* the yielding thread's span stack is untouched until its
+                 continuation resumes, so the innermost open span is the
+                 one that issued this request *)
+              Oamem_obs.Profile.charge t.prof ~tid cost;
+              if
+                (slot.req_tag = tag_store || slot.req_tag = tag_rmw)
+                && Hierarchy.remote_invalidations t.hierarchy > invs_before
+              then
+                Oamem_obs.Profile.note_invalidation t.prof ~tid
+                  ~addr:slot.req_paddr
+            end;
+            (try Effect.Deep.continue k ()
+             with e ->
+               slot.pending <- Idle;
+               raise e))
+
+(* Run other threads, in exact scheduler order, until the parked thread
+   [tid] itself surfaces as the heap minimum (its pop ends the drain and
+   leaves it out of the heap, just as the outer loop's pop would have). *)
+let rec drain t tid =
+  let m = heap_pop t in
+  if m <> tid then begin
+    step t m;
+    drain t tid
+  end
+
+(* The run-ahead tier: instead of suspending through an effect, the thread
+   enters the heap as [Parked] and drives the scheduler from its own frame.
+   Preconditions (checked by [suspend]): mid-[run] under [Min_clock] with
+   no step cap, trivial fault plan, no pending signal, no other parked
+   thread.  On self-pop it replays the scheduler's processing of its own
+   yield: count the step, deliver a signal posted while parked (plain raise
+   — we are on the victim's stack), otherwise charge the recorded request.
+   If a fault plan was installed while parked, bail to a real effect
+   without counting the step — the scheduler will count it and consult the
+   plan; delivery order is unaffected because delivery bypasses the plan. *)
+let park t ~tid slot =
+  slot.pending <- Parked;
+  t.parked <- tid;
+  heap_push t tid;
+  drain t tid;
+  t.parked <- -1;
+  slot.pending <- Idle;
+  if Fault_plan.is_trivial t.plan then begin
+    let fs = slot.fstats in
+    fs.yields <- fs.yields + 1;
+    if slot.signal && slot.checkpoint && slot.masked = 0 then begin
+      deliver_signal t ~tid slot;
+      raise Neutralized
+    end
+    else commit_req t ~tid slot
+  end
+  else Effect.perform Yield
+
+(* Slow-path suspension for a request already recorded in the slot: park if
+   the run-ahead tier applies, otherwise perform the effect.  Clearing the
+   owner's tenure keeps the invariant that a suspended thread always
+   revalidates on resume (its cached bound is stale by construction: it
+   suspends precisely because it is no longer leader). *)
+let suspend t ~tid slot =
+  slot.tenure_until <- 0;
+  if
+    t.runahead && t.parked < 0 && t.inline_ok
+    && Fault_plan.is_trivial t.plan
+    && not slot.signal
+  then park t ~tid slot
+  else Effect.perform Yield
 
 (* --- Mem: the fused per-thread memory-access interface --------------------- *)
 
@@ -369,9 +661,9 @@ module Mem = struct
         if Oamem_obs.Profile.enabled t.prof then
           Oamem_obs.Profile.note_cas_failure t.prof ~tid:c.tid ~addr
 
-  (* The inline fast path.  Preconditions checked by the callers below:
-     the engine is mid-[run] under [Min_clock] with no step cap, the fault
-     plan is trivial, and this thread is still the scheduling leader.  The
+  (* The inline fast path.  [revalidate] checks the full preconditions
+     against the live heap; a passing check is cached as a tenure bound so
+     the steady state needs only the [clock < tenure_until] compare.  The
      bookkeeping mirrors the scheduler's yield processing line by line. *)
 
   let[@inline] finish_inline t ~tid slot cost =
@@ -379,65 +671,99 @@ module Mem = struct
     if Oamem_obs.Profile.enabled t.prof then
       Oamem_obs.Profile.charge t.prof ~tid cost
 
-  let[@inline] inline_ready t (c : ctx) =
+  let[@inline] revalidate t ~tid slot =
     t.inline_ok
     && Fault_plan.is_trivial t.plan
     (* a pending neutralization signal forces the slow path: delivery
        happens only at scheduler yields, so the leader must stop fusing *)
-    && (not t.slots.(c.tid).signal)
-    && still_leader t ~tid:c.tid t.slots.(c.tid).clock
+    && (not slot.signal)
+    && still_leader t ~tid slot.clock
+
+  let inline_access t ~tid slot ~vpage ~paddr ~kind =
+    let fs = slot.fstats in
+    fs.yields <- fs.yields + 1;
+    if Oamem_obs.Profile.enabled t.prof then begin
+      let invs_before = Hierarchy.remote_invalidations t.hierarchy in
+      let cost = charge_access t ~tid ~vpage ~paddr ~kind in
+      slot.clock <- slot.clock + cost;
+      Oamem_obs.Profile.charge t.prof ~tid cost;
+      match kind with
+      | (Store | Rmw)
+        when Hierarchy.remote_invalidations t.hierarchy > invs_before ->
+          Oamem_obs.Profile.note_invalidation t.prof ~tid ~addr:paddr
+      | _ -> ()
+    end
+    else begin
+      let cost = charge_access t ~tid ~vpage ~paddr ~kind in
+      slot.clock <- slot.clock + cost
+    end
 
   let access (c : ctx) ~vpage ~paddr ~kind =
     match c.eng with
     | None -> ()
     | Some t ->
-        if inline_ready t c then begin
-          let tid = c.tid in
-          let slot = t.slots.(tid) in
-          let fs = slot.fstats in
-          fs.yields <- fs.yields + 1;
-          if Oamem_obs.Profile.enabled t.prof then begin
-            let invs_before = Hierarchy.remote_invalidations t.hierarchy in
-            let cost = charge_access t ~tid ~vpage ~paddr ~kind in
-            slot.clock <- slot.clock + cost;
-            Oamem_obs.Profile.charge t.prof ~tid cost;
-            match kind with
-            | (Store | Rmw)
-              when Hierarchy.remote_invalidations t.hierarchy > invs_before
-              ->
-                Oamem_obs.Profile.note_invalidation t.prof ~tid ~addr:paddr
-            | _ -> ()
-          end
-          else begin
-            let cost = charge_access t ~tid ~vpage ~paddr ~kind in
-            slot.clock <- slot.clock + cost
-          end
+        let tid = c.tid in
+        let slot = Array.unsafe_get t.slots tid in
+        if slot.clock < slot.tenure_until then
+          (* mid-tenure: leadership is proven through the bound *)
+          inline_access t ~tid slot ~vpage ~paddr ~kind
+        else if revalidate t ~tid slot then begin
+          slot.tenure_until <- tenure_bound t ~tid;
+          inline_access t ~tid slot ~vpage ~paddr ~kind
         end
-        else Effect.perform (Yield (Access { vpage; paddr; kind }))
+        else begin
+          slot.req_tag <-
+            (match kind with
+            | Load -> tag_load
+            | Store -> tag_store
+            | Rmw -> tag_rmw);
+          slot.req_vpage <- vpage;
+          slot.req_paddr <- paddr;
+          suspend t ~tid slot
+        end
+
+  (* Fences and events always revalidate against the live heap minimum —
+     they are the tenure re-validation points — but a passing check still
+     refreshes the bound for the accesses that follow. *)
 
   let fence (c : ctx) kind =
     match c.eng with
     | None -> ()
     | Some t ->
-        if inline_ready t c then begin
-          let tid = c.tid in
-          let slot = t.slots.(tid) in
+        let tid = c.tid in
+        let slot = t.slots.(tid) in
+        if revalidate t ~tid slot then begin
+          slot.tenure_until <- tenure_bound t ~tid;
           slot.fstats.yields <- slot.fstats.yields + 1;
           finish_inline t ~tid slot (charge_fence t kind)
         end
-        else Effect.perform (Yield (Fence kind))
+        else begin
+          slot.req_tag <-
+            (match kind with
+            | Full -> tag_fence_full
+            | Compiler -> tag_fence_compiler);
+          suspend t ~tid slot
+        end
 
   let event (c : ctx) kind =
     match c.eng with
     | None -> ()
     | Some t ->
-        if inline_ready t c then begin
-          let tid = c.tid in
-          let slot = t.slots.(tid) in
+        let tid = c.tid in
+        let slot = t.slots.(tid) in
+        if revalidate t ~tid slot then begin
+          slot.tenure_until <- tenure_bound t ~tid;
           slot.fstats.yields <- slot.fstats.yields + 1;
           finish_inline t ~tid slot (charge_event t kind)
         end
-        else Effect.perform (Yield (Event kind))
+        else begin
+          slot.req_tag <-
+            (match kind with
+            | Minor_fault -> tag_minor_fault
+            | Syscall -> tag_syscall
+            | Pause -> tag_pause);
+          suspend t ~tid slot
+        end
 
   let pause (c : ctx) = event c Pause
 
@@ -500,10 +826,11 @@ module Mem = struct
      to the poster; no yield, so the post is atomic under every policy.
      After [Posted] the poster may treat the victim as quiesced: the victim
      executes no further simulated access before its signal is delivered
-     (pending signals disable its fused path, and the scheduler checks for
-     delivery before processing its blocked request).  A signal also cuts
-     an injected stall short — the victim's wake-up is pulled back to the
-     poster's clock, as a signal interrupting nanosleep. *)
+     (pending signals disable its fused path — every cached tenure is
+     dropped here — and the scheduler checks for delivery before processing
+     its blocked or parked request).  A signal also cuts an injected stall
+     short — the victim's wake-up is pulled back to the poster's clock, as
+     a signal interrupting nanosleep. *)
   let neutralize (c : ctx) ~victim =
     match c.eng with
     | None -> Dead
@@ -515,10 +842,13 @@ module Mem = struct
         (match vslot.pending with
         | Crashed -> Dead
         | Idle when victim <> c.tid -> Dead  (* finished or never started *)
-        | Idle | Start _ | Blocked _ ->
+        | Idle | Start _ | Blocked _ | Parked ->
             if vslot.signal then Already_pending
             else begin
               vslot.signal <- true;
+              (* the pullback below can lower a heap key, and the victim
+                 must revalidate (and stop fusing) before its next access *)
+              tenure_clear t;
               let now = t.slots.(c.tid).clock in
               if vslot.stalled_until > now && vslot.clock > now then begin
                 vslot.clock <- now;
@@ -540,34 +870,23 @@ let spawn t ~tid f =
   let slot = t.slots.(tid) in
   (match slot.pending with
   | Idle -> ()
-  | Start _ | Blocked _ -> invalid_arg "Engine.spawn: slot busy"
+  | Start _ | Blocked _ | Parked -> invalid_arg "Engine.spawn: slot busy"
   | Crashed -> invalid_arg "Engine.spawn: slot crashed");
   slot.pending <- Start f;
+  (* the new entry may undercut a cached minimum *)
+  tenure_clear t;
   if t.use_heap then heap_push t tid
-
-let start_thread ctx f =
-  Effect.Deep.match_with f ctx
-    {
-      retc = (fun () -> Done);
-      exnc = raise;
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Yield r ->
-              Some
-                (fun (k : (a, outcome) Effect.Deep.continuation) ->
-                  Yielded (r, k))
-          | _ -> None);
-    }
 
 (* Pick the next slot to resume for the scan-based policies: a uniformly
    random runnable slot ([Random_order]) or the scripted/first runnable
-   one ([Scripted]).  [Min_clock] uses the heap index instead. *)
+   one ([Scripted]).  [Min_clock] uses the heap index instead; [Parked]
+   cannot occur here (parking requires the heap path). *)
 let pick_scan t =
   let runnable = ref 0 in
   for tid = 0 to t.nthreads - 1 do
     match t.slots.(tid).pending with
     | Idle | Crashed -> ()
+    | Parked -> assert false
     | Start _ | Blocked _ -> incr runnable
   done;
   let nth_runnable n =
@@ -576,6 +895,7 @@ let pick_scan t =
     for tid = 0 to t.nthreads - 1 do
       (match t.slots.(tid).pending with
       | Idle | Crashed -> ()
+      | Parked -> assert false
       | Start _ | Blocked _ ->
           if !seen = n && !chosen < 0 then chosen := tid;
           incr seen)
@@ -601,16 +921,12 @@ let pick_scan t =
 
 exception Step_limit_exceeded
 
-(* Park a resumed thread's outcome back into its slot.  Top level (not a
-   per-step closure): the scheduler loop runs once per simulated step. *)
-let settle t tid slot = function
-  | Done -> slot.pending <- Idle
-  | Yielded (r, k) ->
-      slot.pending <- Blocked (r, k);
-      if t.use_heap then heap_push t tid
-
 let run ?max_steps t =
   t.inline_ok <- t.fused && t.use_heap && max_steps = None;
+  (* a prior run aborted by an exception can leave a stale park marker;
+     tenures cache this run's preconditions, so they start empty *)
+  t.parked <- -1;
+  tenure_clear t;
   let steps = ref 0 in
   let rec loop () =
     let tid = if t.use_heap then heap_pop t else pick_scan t in
@@ -623,86 +939,7 @@ let run ?max_steps t =
           if t.use_heap then heap_push t tid;
           raise Step_limit_exceeded
       | _ -> ());
-      let slot = t.slots.(tid) in
-      (match slot.pending with
-      | Idle | Crashed -> assert false
-      | Start f ->
-          slot.pending <- Idle;
-          settle t tid slot
-            (try start_thread slot.ctx f
-             with e ->
-               slot.pending <- Idle;
-               raise e)
-      | Blocked (request, k) -> (
-          slot.pending <- Idle;
-          let fs = slot.fstats in
-          fs.yields <- fs.yields + 1;
-          if slot.signal && slot.checkpoint && slot.masked = 0 then begin
-            (* Deliver the pending neutralization signal instead of the
-               blocked request: the handler runs before the victim's next
-               instruction, so the access never executes (no cache/TLB
-               side effect) and the thread unwinds to its checkpoint.
-               This yield bypasses the fault plan — the signal handler,
-               not user code, runs at this point. *)
-            slot.signal <- false;
-            fs.neutralized <- fs.neutralized + 1;
-            let cost = t.cost.neutralize_deliver in
-            slot.clock <- slot.clock + cost;
-            if Oamem_obs.Profile.enabled t.prof then
-              Oamem_obs.Profile.charge t.prof ~tid cost;
-            if Oamem_obs.Trace.enabled t.trace then
-              Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
-                Oamem_obs.Trace.Neutralized;
-            settle t tid slot
-              (try Effect.Deep.discontinue k Neutralized
-               with e ->
-                 slot.pending <- Idle;
-                 raise e)
-          end
-          else
-          match Fault_plan.on_yield t.plan ~tid ~yield:fs.yields with
-          | Fault_plan.Kill ->
-              (* fail-stop: drop the continuation, never resume the slot *)
-              fs.crashed <- true;
-              slot.pending <- Crashed;
-              if Oamem_obs.Trace.enabled t.trace then
-                Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
-                  Oamem_obs.Trace.Crash
-          | Fault_plan.Delay { stall; jitter } ->
-              if stall > 0 then begin
-                fs.stalls_injected <- fs.stalls_injected + 1;
-                fs.stall_cycles <- fs.stall_cycles + stall;
-                if Oamem_obs.Trace.enabled t.trace then
-                  Oamem_obs.Trace.emit t.trace ~tid ~at:slot.clock
-                    (Oamem_obs.Trace.Stall { cycles = stall })
-              end;
-              if jitter > 0 then fs.jitter_cycles <- fs.jitter_cycles + jitter;
-              let profiling = Oamem_obs.Profile.enabled t.prof in
-              let invs_before =
-                if profiling then Hierarchy.remote_invalidations t.hierarchy
-                else 0
-              in
-              let cost = cost_of_request t ~tid request + stall + jitter in
-              slot.clock <- slot.clock + cost;
-              if stall > 0 then slot.stalled_until <- slot.clock;
-              if profiling then begin
-                (* the yielding thread's span stack is untouched until its
-                   continuation resumes, so the innermost open span is the
-                   one that issued this request *)
-                Oamem_obs.Profile.charge t.prof ~tid cost;
-                match request with
-                | Access { paddr; kind = Store | Rmw; _ }
-                  when Hierarchy.remote_invalidations t.hierarchy
-                       > invs_before ->
-                    Oamem_obs.Profile.note_invalidation t.prof ~tid
-                      ~addr:paddr
-                | _ -> ()
-              end;
-              settle t tid slot
-                (try Effect.Deep.continue k ()
-                 with e ->
-                   slot.pending <- Idle;
-                   raise e)));
+      step t tid;
       loop ()
     end
   in
@@ -720,6 +957,8 @@ let reset_clocks t =
       s.clock <- 0;
       s.stalled_until <- 0)
     t.slots;
+  (* tenure bounds are absolute clock values: all stale after a reset *)
+  tenure_clear t;
   (* heap keys are clocks: re-derive the index or later pops would follow
      the stale pre-reset order *)
   heap_rebuild t

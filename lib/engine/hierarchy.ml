@@ -12,14 +12,18 @@
    The directory is not told about silent evictions, so it may conservatively
    over-invalidate; this only adds a small amount of cost noise.
 
-   The directory is an open-addressing int->int table (linear probing over
-   two flat arrays, multiplicative hashing) rather than a [Hashtbl]: block
-   numbers span both the dense frame-pool region and the sparse metadata
-   region near 2^50, and this runs on every simulated access, where the
-   generic hash call, bucket-list allocation and option boxing of [Hashtbl]
-   dominated the simulator's host-side profile.  Absent key = empty sharer
-   mask, exactly like the hashtable it replaced; entries are never deleted
-   (masks only get rewritten), so probing needs no tombstones. *)
+   The directory is an open-addressing int->int table (linear probing,
+   multiplicative hashing) rather than a [Hashtbl]: block numbers span both
+   the dense frame-pool region and the sparse metadata region near 2^50,
+   and this runs on every simulated access, where the generic hash call,
+   bucket-list allocation and option boxing of [Hashtbl] dominated the
+   simulator's host-side profile.  Key and sharer mask are interleaved in a
+   single flat array (block at [2i], mask at [2i + 1]) so one probe touches
+   one host cacheline — the table grows to millions of entries on
+   no-reclaim workloads, where a second parallel array would double the
+   host-side DRAM misses.  Absent key = empty sharer mask, exactly like the
+   hashtable it replaced; entries are never deleted (masks only get
+   rewritten), so probing needs no tombstones. *)
 
 type config = {
   l1_sets : int;
@@ -65,8 +69,9 @@ type t = {
   l1 : Cache.t array;  (* per thread *)
   l2 : Cache.t array;  (* per group of [threads_per_l2] threads *)
   l3 : Cache.t;
-  mutable dir_keys : int array;  (* block numbers; [dir_empty] = free slot *)
-  mutable dir_vals : int array;  (* sharer bitmasks, parallel to [dir_keys] *)
+  mutable dir : int array;
+      (* interleaved slots: block number at [2i] ([dir_empty] = free),
+         sharer bitmask at [2i + 1] *)
   mutable dir_count : int;  (* occupied slots; grow at 50% load *)
   mutable remote_invalidations : int;
 }
@@ -98,8 +103,7 @@ let create ?(cfg = opteron_6274_config) ~cost ~nthreads () =
           Cache.create ~name:(Printf.sprintf "L2.%d" i) ~sets:cfg.l2_sets
             ~ways:cfg.l2_ways);
     l3 = Cache.create ~name:"L3" ~sets:cfg.l3_sets ~ways:cfg.l3_ways;
-    dir_keys = Array.make 8192 dir_empty;
-    dir_vals = Array.make 8192 0;
+    dir = Array.make (2 * 8192) dir_empty;
     dir_count = 0;
     remote_invalidations = 0;
   }
@@ -107,46 +111,52 @@ let create ?(cfg = opteron_6274_config) ~cost ~nthreads () =
 let l2_bank t tid = tid / t.cfg.threads_per_l2
 
 (* Slot holding [block], or the free slot where it belongs.  The table is
-   kept at most half full, so an empty slot is always reachable.  Top-level
-   probe loop (not a local closure): this runs on every simulated access and
-   must not allocate. *)
-let rec dir_probe keys block m i =
-  let k = Array.unsafe_get keys i in
+   kept at most half full, so an empty slot is always reachable.  [m] is the
+   slot-index mask (half the array length minus one).  Top-level probe loop
+   (not a local closure): this runs on every simulated access and must not
+   allocate. *)
+let rec dir_probe dir block m i =
+  let k = Array.unsafe_get dir (2 * i) in
   if k = block || k = dir_empty then i
-  else dir_probe keys block m ((i + 1) land m)
+  else dir_probe dir block m ((i + 1) land m)
 
-let[@inline] dir_slot keys block =
-  let m = Array.length keys - 1 in
-  dir_probe keys block m (dir_hash block m)
+let[@inline] dir_slot dir block =
+  let m = (Array.length dir / 2) - 1 in
+  dir_probe dir block m (dir_hash block m)
 
 let[@inline] sharers t block =
-  let keys = t.dir_keys in
-  let i = dir_slot keys block in
-  if Array.unsafe_get keys i = block then Array.unsafe_get t.dir_vals i else 0
+  let dir = t.dir in
+  let i = dir_slot dir block in
+  if Array.unsafe_get dir (2 * i) = block then Array.unsafe_get dir ((2 * i) + 1)
+  else 0
 
 let dir_grow t =
-  let old_keys = t.dir_keys and old_vals = t.dir_vals in
-  let n = 2 * Array.length old_keys in
-  t.dir_keys <- Array.make n dir_empty;
-  t.dir_vals <- Array.make n 0;
-  Array.iteri
-    (fun i k ->
-      if k <> dir_empty then begin
-        let j = dir_slot t.dir_keys k in
-        t.dir_keys.(j) <- k;
-        t.dir_vals.(j) <- old_vals.(i)
-      end)
-    old_keys
+  let old = t.dir in
+  let n = 2 * Array.length old in
+  let dir = Array.make n dir_empty in
+  t.dir <- dir;
+  for i = 0 to (Array.length old / 2) - 1 do
+    let k = Array.unsafe_get old (2 * i) in
+    if k <> dir_empty then begin
+      let j = dir_slot dir k in
+      dir.(2 * j) <- k;
+      dir.((2 * j) + 1) <- old.((2 * i) + 1)
+    end
+  done
 
-let[@inline] dir_set t block mask =
-  let keys = t.dir_keys in
-  let i = dir_slot keys block in
-  if Array.unsafe_get keys i = block then Array.unsafe_set t.dir_vals i mask
+(* Write the mask of an already-probed slot [i] (the slot [block] hashes
+   to, found by the caller's single probe): overwrite in place if the block
+   is resident, otherwise install it and grow at 50% load.  Nothing between
+   the caller's probe and this call may touch the directory. *)
+let[@inline] dir_put t i block mask =
+  let dir = t.dir in
+  if Array.unsafe_get dir (2 * i) = block then
+    Array.unsafe_set dir ((2 * i) + 1) mask
   else begin
-    Array.unsafe_set keys i block;
-    Array.unsafe_set t.dir_vals i mask;
+    Array.unsafe_set dir (2 * i) block;
+    Array.unsafe_set dir ((2 * i) + 1) mask;
     t.dir_count <- t.dir_count + 1;
-    if 2 * t.dir_count > Array.length keys then dir_grow t
+    if 4 * t.dir_count > Array.length dir then dir_grow t
   end
 
 (* Invalidate every remote copy of [block] named by the non-empty sharer
@@ -172,20 +182,29 @@ let access t ~tid ~kind block =
     else c.dram
   in
   let coherence_cost =
+    (* one directory probe serves both the sharer read and the mask update
+       ([invalidate_others] only touches the caches, so slot [i] stays
+       valid across it) *)
     let bit = 1 lsl tid in
-    let mask = sharers t block in
+    let dir = t.dir in
+    let i = dir_slot dir block in
+    let mask =
+      if Array.unsafe_get dir (2 * i) = block then
+        Array.unsafe_get dir ((2 * i) + 1)
+      else 0
+    in
     match kind with
     | Load ->
-        if mask land bit = 0 then dir_set t block (mask lor bit);
+        if mask land bit = 0 then dir_put t i block (mask lor bit);
         0
     | Store | Rmw ->
         if mask land lnot bit = 0 then begin
-          if mask <> bit then dir_set t block bit;
+          if mask <> bit then dir_put t i block bit;
           0
         end
         else begin
           invalidate_others t ~tid (mask land lnot bit) block;
-          dir_set t block bit;
+          dir_put t i block bit;
           c.invalidation
         end
   in
@@ -234,8 +253,7 @@ let clear (t : t) =
   Array.iter Cache.clear t.l1;
   Array.iter Cache.clear t.l2;
   Cache.clear t.l3;
-  Array.fill t.dir_keys 0 (Array.length t.dir_keys) dir_empty;
-  Array.fill t.dir_vals 0 (Array.length t.dir_vals) 0;
+  Array.fill t.dir 0 (Array.length t.dir) dir_empty;
   t.dir_count <- 0
 
 let pp_stats ppf s =

@@ -48,6 +48,12 @@ type t = {
   (* Per-thread last-translation cache, keyed on the page-table epoch: a
      cached entry is valid iff no page-table entry has changed since it was
      filled, so mapping calls and fault-in races invalidate it for free.
+     The epoch is compared on EVERY lookup, not once per scheduling slice:
+     a thread holding an engine leader tenure runs many accesses without a
+     context switch, and may itself unmap/remap a page mid-tenure — the
+     per-access epoch check makes that self-remap (and any remap a drained
+     peer performs while the holder is parked) visible on the very next
+     access, with no tenure-boundary hook needed here.
      [tc_fw] is -1 for a copy-on-write page: reads are served from the
      cached zero frame but writes must take the fault-in slow path. *)
   mutable tc_enabled : bool;

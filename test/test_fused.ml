@@ -101,6 +101,159 @@ let test_runner_differential () =
         = Json.to_string (Export.metrics_json f.Runner.metrics)))
     [ ("oa-ver", 1); ("oa-ver", 4); ("nr", 2); ("hp", 2) ]
 
+(* --- tenure differentials -------------------------------------------------- *)
+
+(* The leader-tenure and run-ahead parking tiers must be observationally
+   invisible: every scenario below runs under the three engine modes —
+   slow path, fused tenure-only, fused + run-ahead parking — and the
+   simulated outcome (clocks, yields, fault accounting, cache/TLB state)
+   must be byte-identical across all three. *)
+
+let assert_sim_equal label ~nthreads (expected : Engine.t) (got : Engine.t) =
+  for tid = 0 to nthreads - 1 do
+    let n what = Printf.sprintf "%s: %s of thread %d" label what tid in
+    check_int (n "clock") (Engine.clock expected ~tid) (Engine.clock got ~tid);
+    let fe = Engine.fault_stats expected ~tid
+    and fg = Engine.fault_stats got ~tid in
+    check_int (n "yields") fe.Engine.yields fg.Engine.yields;
+    check_int (n "stalls") fe.Engine.stalls_injected fg.Engine.stalls_injected;
+    check_int (n "stall cycles") fe.Engine.stall_cycles fg.Engine.stall_cycles;
+    check_int (n "neutralizations") fe.Engine.neutralized fg.Engine.neutralized
+  done;
+  let n what = Printf.sprintf "%s: %s" label what in
+  check_int (n "steps") (Engine.steps expected) (Engine.steps got);
+  let se = Engine.stats expected and sg = Engine.stats got in
+  check_int (n "accesses") se.Engine.accesses sg.Engine.accesses;
+  check_int (n "fences") se.Engine.fences sg.Engine.fences;
+  check_int (n "faults") se.Engine.faults sg.Engine.faults;
+  check_int (n "l1 hits") se.Engine.cache.Hierarchy.l1.Cache.hits
+    sg.Engine.cache.Hierarchy.l1.Cache.hits;
+  check_int (n "remote invalidations")
+    se.Engine.cache.Hierarchy.remote_invalidations
+    sg.Engine.cache.Hierarchy.remote_invalidations;
+  check_int (n "tlb misses") se.Engine.tlb.Tlb.misses sg.Engine.tlb.Tlb.misses
+
+(* [build ()] creates an engine and spawns its threads; each mode gets a
+   fresh instance.  Returns the slow-path engine for scenario-specific
+   assertions (e.g. that the fault being tested actually fired). *)
+let tri_modal label ~nthreads build =
+  let under ~fused ~runahead =
+    let eng = build () in
+    Engine.set_fused eng fused;
+    Engine.set_runahead eng runahead;
+    Engine.run eng;
+    eng
+  in
+  let slow = under ~fused:false ~runahead:false in
+  let tenure_only = under ~fused:true ~runahead:false in
+  let full = under ~fused:true ~runahead:true in
+  assert_sim_equal (label ^ " (tenure-only vs slow)") ~nthreads slow
+    tenure_only;
+  assert_sim_equal (label ^ " (run-ahead vs slow)") ~nthreads slow full;
+  slow
+
+(* A cheap streaming thread against an expensive rival: thread 0's clock
+   repeatedly crosses its tenure bound (thread 1's suspension clock + 1),
+   forcing mid-stream revalidation, parking and leadership handoff in both
+   directions. *)
+let test_leader_overtaken_mid_tenure () =
+  let build () =
+    let eng = Engine.create ~nthreads:2 () in
+    Engine.spawn eng ~tid:0 (fun ctx ->
+        for _ = 1 to 600 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load
+        done);
+    Engine.spawn eng ~tid:1 (fun ctx ->
+        for i = 1 to 60 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:(64 * i) ~kind:Engine.Rmw
+        done);
+    eng
+  in
+  ignore (tri_modal "overtake" ~nthreads:2 build)
+
+(* A neutralization posted against a tenure-holding victim: the Posted
+   branch may pull the victim's clock back, so every live tenure bound is
+   stale and must be dropped.  Thread 2 is a cheap bystander whose tenures
+   span the post. *)
+let test_neutralize_breaks_tenure () =
+  let build () =
+    let eng = Engine.create ~nthreads:3 () in
+    Engine.spawn eng ~tid:0 (fun ctx ->
+        let n = ref 0 in
+        Engine.Mem.checkpoint ctx
+          ~recover:(fun () -> ())
+          (fun () ->
+            while !n < 2_000 do
+              incr n;
+              Engine.Mem.access ctx ~vpage:(-1) ~paddr:16 ~kind:Engine.Load
+            done));
+    Engine.spawn eng ~tid:1 (fun ctx ->
+        for i = 1 to 40 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:(64 * i) ~kind:Engine.Rmw;
+          if i = 3 then
+            check_bool "signal posted" true
+              (Engine.Mem.neutralize ctx ~victim:0 = Engine.Posted)
+        done);
+    Engine.spawn eng ~tid:2 (fun ctx ->
+        for _ = 1 to 2_000 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:24 ~kind:Engine.Load
+        done);
+    eng
+  in
+  let slow = tri_modal "neutralize" ~nthreads:3 build in
+  check_int "victim was neutralized once" 1
+    (Engine.fault_stats slow ~tid:0).Engine.neutralized
+
+(* reset_clocks issued from inside a running thread, mid-tenure: bounds are
+   absolute clock values, so a reset that zeroes the clocks but kept the
+   bounds would leave thread 0 inlining against a stale future bound while
+   every heap key restarts from zero. *)
+let test_reset_clocks_mid_tenure () =
+  let build () =
+    let eng = Engine.create ~nthreads:2 () in
+    Engine.spawn eng ~tid:0 (fun ctx ->
+        for i = 1 to 300 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load;
+          if i = 150 then Engine.reset_clocks eng
+        done);
+    Engine.spawn eng ~tid:1 (fun ctx ->
+        for i = 1 to 30 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:(64 * i) ~kind:Engine.Rmw
+        done);
+    eng
+  in
+  ignore (tri_modal "reset mid-tenure" ~nthreads:2 build)
+
+(* A fault plan installed mid-run while the fused engine is deep in a
+   tenure (and, under run-ahead, while a thread is parked): the flip must
+   tear down the tenure and the parked thread must fall back to the
+   scheduler without its bail counting as an extra yield, so the stall
+   lands on exactly the same yield as on the slow path. *)
+let test_plan_flip_mid_tenure () =
+  let build () =
+    let eng = Engine.create ~nthreads:2 () in
+    Engine.spawn eng ~tid:0 (fun ctx ->
+        for _ = 1 to 6_000 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:8 ~kind:Engine.Load
+        done);
+    Engine.spawn eng ~tid:1 (fun ctx ->
+        for i = 1 to 40 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:(64 * i) ~kind:Engine.Rmw;
+          if i = 2 then
+            Engine.set_fault_plan eng
+              (Fault_plan.make
+                 [
+                   Fault_plan.Stall
+                     { tid = 0; at_yield = 4_000; cycles = 9_000 };
+                 ])
+        done);
+    eng
+  in
+  let slow = tri_modal "plan flip" ~nthreads:2 build in
+  let fs = Engine.fault_stats slow ~tid:0 in
+  check_int "stall fired after the flip" 1 fs.Engine.stalls_injected;
+  check_int "stall cycles charged" 9_000 fs.Engine.stall_cycles
+
 (* --- measurement reset ----------------------------------------------------- *)
 
 (* Mid-run clock reset must rebuild the scheduler heap: its keys are the
@@ -158,6 +311,40 @@ let test_flush_forces_refill () =
   ignore (Vmem.load vm ctx addr);
   check_int "flush forces a refill" (fills + 1) (Vmem.tc_fills vm)
 
+(* Remap under a permanent tenure: with one thread the fused engine holds
+   an unbounded tenure, so the unmap/map_anon pair and the reload all run
+   inline.  The page-table epoch bump must still invalidate the thread's
+   translation-cache entry — the reload has to see the fresh zero mapping
+   (and take its fault), not the dead frame the cache translated to. *)
+let test_tc_epoch_bump_mid_tenure () =
+  let run ~fused =
+    let vm = Vmem.create ~max_pages:64 Geometry.default in
+    let eng = Engine.create ~nthreads:1 () in
+    Engine.set_fused eng fused;
+    Vmem.set_translation_cache vm fused;
+    let seen = ref [] in
+    Engine.spawn eng ~tid:0 (fun ctx ->
+        let addr = mapped_addr vm ctx in
+        let vpage = Geometry.page_of_addr Geometry.default addr in
+        Vmem.store vm ctx addr 7;
+        seen := Vmem.load vm ctx addr :: !seen;
+        (* warm the translation-cache entry so the stale path is reachable *)
+        ignore (Vmem.load vm ctx addr);
+        Vmem.unmap vm ctx ~vpage ~npages:1;
+        Vmem.map_anon vm ctx ~vpage ~npages:1;
+        seen := Vmem.load vm ctx addr :: !seen);
+    Engine.run eng;
+    (List.rev !seen, Vmem.minor_faults vm, Engine.clock eng ~tid:0,
+     Engine.steps eng)
+  in
+  let fv, ffaults, fclock, fsteps = run ~fused:true in
+  let sv, sfaults, sclock, ssteps = run ~fused:false in
+  check_bool "remap is visible mid-tenure" true (fv = [ 7; 0 ]);
+  check_bool "loaded values identical" true (fv = sv);
+  check_int "minor faults identical" sfaults ffaults;
+  check_int "clock identical" sclock fclock;
+  check_int "steps identical" ssteps fsteps
+
 let test_reset_measurement_flushes_translation_cache () =
   let sys =
     System.create
@@ -210,6 +397,33 @@ let test_fused_access_allocates_nothing () =
     (Printf.sprintf "inline access path allocates nothing (%.0f words)" !words)
     true (!words = 0.0)
 
+(* The inline path must stay allocation-free under a *finite* tenure too:
+   thread 1 charges itself far ahead, so thread 0 holds a long bounded
+   tenure (non-empty heap) rather than the single-thread unbounded one.
+   Only the inline tier is measured — the parked-commit path inherently
+   allocates on the *other* threads' side (their suspensions capture
+   continuations), which is why the warm-up does two accesses: the second
+   one triggers the park/drain dance that establishes the long tenure. *)
+let test_finite_tenure_inline_allocates_nothing () =
+  let eng = Engine.create ~nthreads:2 () in
+  let words = ref 0.0 in
+  Engine.spawn eng ~tid:0 (fun ctx ->
+      Engine.Mem.access ctx ~vpage:0 ~paddr:42 ~kind:Engine.Load;
+      Engine.Mem.access ctx ~vpage:0 ~paddr:42 ~kind:Engine.Load;
+      let before = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Engine.Mem.access ctx ~vpage:0 ~paddr:42 ~kind:Engine.Load
+      done;
+      words := Gc.minor_words () -. before);
+  Engine.spawn eng ~tid:1 (fun ctx ->
+      Engine.Mem.charge ctx 10_000_000;
+      Engine.Mem.access ctx ~vpage:0 ~paddr:7 ~kind:Engine.Load);
+  Engine.run eng;
+  check_bool
+    (Printf.sprintf "finite-tenure inline path allocates nothing (%.0f words)"
+       !words)
+    true (!words = 0.0)
+
 let test_vmem_hit_path_allocates_nothing () =
   let vm = Vmem.create ~max_pages:64 Geometry.default in
   let eng = Engine.create ~nthreads:1 () in
@@ -238,6 +452,21 @@ let () =
             test_engine_differential;
           Alcotest.test_case "runner: fused = slow path" `Quick
             test_runner_differential;
+        ] );
+      ( "tenure",
+        [
+          Alcotest.test_case "leader overtaken mid-tenure" `Quick
+            test_leader_overtaken_mid_tenure;
+          Alcotest.test_case "neutralize breaks a tenure" `Quick
+            test_neutralize_breaks_tenure;
+          Alcotest.test_case "reset_clocks mid-tenure" `Quick
+            test_reset_clocks_mid_tenure;
+          Alcotest.test_case "plan flip mid-tenure (run-ahead rollback)"
+            `Quick test_plan_flip_mid_tenure;
+          Alcotest.test_case "translation-cache epoch bump mid-tenure" `Quick
+            test_tc_epoch_bump_mid_tenure;
+          Alcotest.test_case "finite-tenure inline allocates nothing" `Quick
+            test_finite_tenure_inline_allocates_nothing;
         ] );
       ( "reset",
         [
