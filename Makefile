@@ -1,4 +1,4 @@
-.PHONY: all build test check clean repro quick sweep bench bench-sweep bench-host bench-host-smoke metrics fuzz profile perfgate fault-matrix
+.PHONY: all build test check clean repro quick sweep bench bench-sweep bench-host bench-host-smoke bench-service metrics fuzz profile perfgate perfgate-service fault-matrix
 
 all: build
 
@@ -56,6 +56,13 @@ bench-host-smoke:
 	dune exec bench/main.exe -- --host-throughput --smoke \
 	  --out BENCH_HOST.smoke.json
 
+# Service-scenario SLA baseline (E14): the four-phase Zipfian store per
+# scheme, with per-phase op p99 and peak unreclaimed embedded as a
+# "phases" array — what perfgate's phase_p99 / phase_unreclaimed
+# dimensions gate against.
+bench-service:
+	dune exec bench/main.exe -- --service --out BENCH_SERVICE.json
+
 # Machine-readable metrics baseline: a small E1-style sweep with the full
 # metrics snapshot and cycle-attribution profile per run.  CI archives the
 # JSON as an artifact; it is also the committed perf-regression baseline.
@@ -77,6 +84,14 @@ perfgate:
 	dune exec bench/main.exe -- --profile --out BENCH_E1.current.json
 	dune exec bin/perfgate.exe -- BENCH_E1.json BENCH_E1.current.json \
 	  --relative debra:ebr
+
+# Phase-scoped SLA gate (nightly): rerun the service scenario and compare
+# per-phase op p99 and peak unreclaimed against the committed
+# BENCH_SERVICE.json.  Both dimensions are simulated and deterministic, so
+# they gate hard.
+perfgate-service:
+	dune exec bench/main.exe -- --service --out BENCH_SERVICE.current.json
+	dune exec bin/perfgate.exe -- BENCH_SERVICE.json BENCH_SERVICE.current.json
 
 # Nightly fault matrix: E13 across every scheme x {no-fault, stall, crash}
 # with the lifecycle sanitizer on; per-leg garbage curves land in

@@ -311,6 +311,63 @@ let run_host_throughput ~smoke ~out =
     exit 1
   end
 
+(* --- Part 2b': service scenario dump (BENCH_SERVICE.json) --------------------- *)
+
+(* `bench --service [--out PATH]` runs the E14 service scenario (Zipfian
+   session store, four scripted phases ending in a memory-pressure wave)
+   once per scheme and writes a perfgate-compatible document whose results
+   additionally embed a "phases" array: per-phase op p99 and peak
+   unreclaimed nodes.  Perfgate gates those as the phase_p99 /
+   phase_unreclaimed dimensions — the SLA view a whole-run p99 can hide
+   (see EXPERIMENTS.md E14). *)
+
+let run_service_dump ~out =
+  let schemes = Oamem_reclaim.Registry.names in
+  let results =
+    List.map
+      (fun scheme ->
+        let r = Service.run { Service.default_spec with Service.scheme } in
+        let phase_json (p : Service.phase_stats) =
+          Json.Obj
+            [
+              ("phase", Json.String p.Service.phase);
+              ("ops", Json.Int p.Service.ops);
+              ("p50", Json.Int p.Service.p50);
+              ("p99", Json.Int p.Service.p99);
+              ("peak_unreclaimed", Json.Int p.Service.peak_unreclaimed);
+              ( "pressure_recoveries",
+                Json.Int p.Service.pressure_recoveries );
+            ]
+        in
+        Printf.printf "%-7s %2dT  %.3f Mops  (%d phases)\n%!" scheme
+          r.Service.rspec.Service.threads r.Service.throughput_mops
+          (List.length r.Service.per_phase);
+        Json.Obj
+          [
+            ("scheme", Json.String scheme);
+            ("threads", Json.Int r.Service.rspec.Service.threads);
+            ("throughput_mops", Json.Float r.Service.throughput_mops);
+            ( "phases",
+              Json.List
+                (List.map phase_json
+                   (r.Service.per_phase @ [ r.Service.overall ])) );
+          ])
+      schemes
+  in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "E14");
+        ("structure", Json.String "service(hash-set)");
+        ("results", Json.List results);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d schemes)\n%!" out (List.length results)
+
 (* --- Part 2c: sweep timing (BENCH_SWEEP.json) --------------------------------- *)
 
 (* `bench --sweep-timing [--jobs N] [--out PATH]` runs the quick experiment
@@ -396,9 +453,11 @@ let () =
   let host_throughput = List.mem "--host-throughput" argv in
   let smoke = List.mem "--smoke" argv in
   let sweep_timing = List.mem "--sweep-timing" argv in
+  let service = List.mem "--service" argv in
   let out_default =
     if host_throughput then "BENCH_HOST.json"
     else if sweep_timing then "BENCH_SWEEP.json"
+    else if service then "BENCH_SERVICE.json"
     else "BENCH_E1.json"
   in
   let find_opt_arg name dfl parse =
@@ -412,6 +471,7 @@ let () =
   let out = find_opt_arg "--out" out_default Fun.id in
   let jobs = find_opt_arg "--jobs" 1 int_of_string in
   if host_throughput then run_host_throughput ~smoke ~out
+  else if service then run_service_dump ~out
   else if sweep_timing then
     run_sweep_timing ~jobs:(max 2 jobs) ~out
   else if metrics_only || profile then run_metrics_dump ~profile ~out

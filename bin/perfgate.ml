@@ -65,6 +65,17 @@ let max_host_drop_arg =
            per host-second); checked only when both documents carry the \
            field.")
 
+let max_unreclaimed_arg =
+  Arg.(
+    value
+    & opt float
+        Perfgate.default_thresholds.Perfgate.max_unreclaimed_increase
+    & info [ "max-unreclaimed" ] ~docv:"FRACTION"
+        ~doc:
+          "Maximum tolerated relative increase in a service phase's peak \
+           unreclaimed nodes; checked per phase of results carrying a \
+           'phases' array (BENCH_SERVICE.json).")
+
 let warn_dim_arg =
   Arg.(
     value
@@ -98,16 +109,21 @@ let parse_relative spec =
 (* The coarse dimension a verdict's metric belongs to, for --warn-dim
    selection: "missing" rows count as throughput (a silently shrunk sweep
    must stay a hard failure unless everything warns). *)
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
 let dimension metric =
   if metric = "host_steps_per_sec" then "host_steps_per_sec"
-  else if String.length metric >= 4 && String.sub metric 0 4 = "p99:" then
-    "p99"
+  else if has_prefix "phase_p99:" metric then "phase_p99"
+  else if has_prefix "phase_unreclaimed:" metric then "phase_unreclaimed"
+  else if has_prefix "p99:" metric then "p99"
   else "throughput"
 
-let all_dimensions = [ "throughput"; "p99"; "host_steps_per_sec" ]
+let all_dimensions =
+  [ "throughput"; "p99"; "host_steps_per_sec"; "phase_p99";
+    "phase_unreclaimed" ]
 
 let run baseline current warn_only warn_dims max_drop max_p99 max_host_drop
-    relative =
+    max_unreclaimed relative =
   List.iter
     (fun d ->
       if not (List.mem d all_dimensions) then begin
@@ -121,6 +137,7 @@ let run baseline current warn_only warn_dims max_drop max_p99 max_host_drop
       Perfgate.max_throughput_drop = max_drop;
       max_p99_increase = max_p99;
       max_host_drop;
+      max_unreclaimed_increase = max_unreclaimed;
     }
   in
   let current_doc = read_json current in
@@ -165,4 +182,4 @@ let () =
           Term.(
             const run $ baseline_arg $ current_arg $ warn_only_arg
             $ warn_dim_arg $ max_drop_arg $ max_p99_arg $ max_host_drop_arg
-            $ relative_arg)))
+            $ max_unreclaimed_arg $ relative_arg)))

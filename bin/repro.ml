@@ -523,6 +523,112 @@ let profile_cmd =
       const run $ scheme_arg $ threads_arg $ horizon_arg $ seed_arg $ out_arg
       $ folded_arg $ diff_arg $ top_arg)
 
+(* --- phase-scoped service timeline ----------------------------------------- *)
+
+let timeline_cmd =
+  let module Export = Oamem_obs.Export in
+  let scheme_arg =
+    Arg.(
+      value & opt string "oa-ver"
+      & info [ "s"; "scheme" ] ~docv:"NAME" ~doc:"Reclamation scheme.")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "t"; "threads" ] ~docv:"N"
+          ~doc:"Worker threads (one extra slot runs the gauge sampler).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "horizon" ] ~docv:"CYCLES"
+          ~doc:"Total phased horizon in simulated cycles.")
+  in
+  let initial_arg =
+    Arg.(
+      value & opt int 2_048
+      & info [ "initial" ] ~docv:"N" ~doc:"Prefilled store size.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "window" ] ~docv:"CYCLES"
+          ~doc:"Timeline window width in simulated cycles.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the timeline (windows, phases, gauges) as JSON.")
+  in
+  let csv_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-out" ] ~docv:"FILE"
+          ~doc:"Write the per-window timeline as CSV.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace of the run with per-window counter tracks \
+             appended.")
+  in
+  let run scheme threads horizon initial window seed out csv_out trace_out =
+    let spec =
+      {
+        Service.scheme;
+        threads;
+        initial;
+        window;
+        sample_interval = max 200 (window / 5);
+        seed;
+        phases = Service.default_phases ~horizon_cycles:horizon;
+      }
+    in
+    let r = Service.run spec in
+    Printf.printf
+      "service: %s store of %d keys, %d worker thread(s), horizon %d, seed \
+       %d\nthroughput %.4f Mops/s over %.2f sim-ms\n\n"
+      scheme initial threads horizon seed r.Service.throughput_mops
+      (r.Service.sim_seconds *. 1e3);
+    List.iter
+      (fun s -> Format.printf "%a@." Service.pp_phase_stats s)
+      (r.Service.per_phase @ [ r.Service.overall ]);
+    Option.iter
+      (fun file ->
+        Export.write_timeline file r.Service.timeline;
+        Printf.printf "\nwrote %s\n" file)
+      out;
+    Option.iter
+      (fun file ->
+        Export.write_timeline_csv file r.Service.timeline;
+        Printf.printf "wrote %s\n" file)
+      csv_out;
+    Option.iter
+      (fun file ->
+        Export.write_chrome_trace ~timeline:r.Service.timeline file
+          (Oamem_core.System.trace r.Service.system);
+        Printf.printf "wrote %s\n" file)
+      trace_out
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run the phase-scripted Zipfian service scenario (E14) for one \
+          scheme and print its per-phase SLA stats; optionally export the \
+          timeline as JSON/CSV or a Chrome trace with counter tracks.")
+    Term.(
+      const run $ scheme_arg $ threads_arg $ horizon_arg $ initial_arg
+      $ window_arg $ seed_arg $ out_arg $ csv_out_arg $ trace_out_arg)
+
 let replay_cmd =
   let file_arg =
     Arg.(
@@ -561,5 +667,5 @@ let () =
           (Cmd.info "repro" ~doc)
           [
             list_cmd; run_cmd; all_cmd; sweep_cmd; fuzz_cmd; replay_cmd;
-            profile_cmd;
+            profile_cmd; timeline_cmd;
           ]))

@@ -20,6 +20,7 @@ module Alloc_config = Oamem_lrmalloc.Config
 module Metrics = Oamem_obs.Metrics
 module Trace = Oamem_obs.Trace
 module Profile = Oamem_obs.Profile
+module Timeline = Oamem_obs.Timeline
 module Sanitizer = Oamem_sanitize.Sanitizer
 
 type config = {
@@ -39,6 +40,9 @@ type config = {
   trace_capacity : int;  (** ring capacity per thread *)
   sanitize : bool;  (** enable the memory-lifecycle sanitizer *)
   profile : bool;  (** start with the cycle-attribution profiler enabled *)
+  timeline : int option;
+      (** window width in simulated cycles: build a {!Oamem_obs.Timeline}
+          over the trace and profiler streams (forces both on) *)
 }
 
 module Config = struct
@@ -50,7 +54,7 @@ module Config = struct
       ?(shared_region_pages = 1) ?(alloc_cfg = Alloc_config.default)
       ?(scheme = "oa-ver") ?(scheme_cfg = Scheme.default_config)
       ?(trace = false) ?(trace_capacity = 8192) ?(sanitize = false)
-      ?(profile = false) () =
+      ?(profile = false) ?timeline () =
     {
       nthreads;
       policy;
@@ -68,6 +72,7 @@ module Config = struct
       trace_capacity;
       sanitize;
       profile;
+      timeline;
     }
 end
 
@@ -83,12 +88,13 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   profile : Profile.t;
+  timeline : Timeline.t;
   sanitizer : Sanitizer.t option;
 }
 
 (* One named view over every subsystem's stats record.  Counters reset with
    the registry (measurement reset); gauges are instantaneous readings. *)
-let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) =
+let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) ~trace =
   let reg ?reset name kind read = Metrics.register m ?reset ~name ~kind read in
   (* engine: accesses, fences, faults, syscalls + cache/TLB detail; one
      shared reset closure zeroes all of them *)
@@ -153,7 +159,13 @@ let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) =
   reg ~reset:vreset "vmem.cow_cas_faults" Metrics.Counter (fun () ->
       Vmem.cow_cas_faults vmem);
   reg ~reset:vreset "vmem.frames_released" Metrics.Counter (fun () ->
-      Frames.freed_total (Vmem.frames vmem))
+      Frames.freed_total (Vmem.frames vmem));
+  (* observability about observability: ring overwrites would otherwise be
+     silent data loss in every exported trace *)
+  reg
+    ~reset:(fun () -> Trace.reset_dropped trace)
+    "obs.trace_dropped" Metrics.Counter
+    (fun () -> Trace.dropped trace)
 
 let create (config : config) =
   let engine =
@@ -211,8 +223,23 @@ let create (config : config) =
   let profile = Profile.create ~nthreads:config.nthreads () in
   Profile.set_enabled profile config.profile;
   Engine.set_profile engine profile;
+  (* The timeline consumes the trace and profiler streams, so configuring
+     one forces both sources on; the sinks are only installed here — with
+     no timeline the emit paths keep their no-op defaults. *)
+  let timeline =
+    match config.timeline with
+    | None -> Timeline.null
+    | Some width ->
+        let tl = Timeline.create ~width () in
+        Timeline.set_enabled tl true;
+        Trace.set_enabled trace true;
+        Profile.set_enabled profile true;
+        Trace.set_sink trace (Timeline.note_event tl);
+        Profile.set_leave_hook profile (Timeline.note_latency tl);
+        tl
+  in
   let metrics = Metrics.create () in
-  register_metrics metrics ~engine ~vmem ~alloc ~scheme;
+  register_metrics metrics ~engine ~vmem ~alloc ~scheme ~trace;
   Option.iter
     (fun s ->
       Metrics.register metrics ~name:"sanitizer.violations"
@@ -228,6 +255,7 @@ let create (config : config) =
     metrics;
     trace;
     profile;
+    timeline;
     sanitizer;
   }
 
@@ -298,6 +326,7 @@ let trace t = t.trace
 let set_tracing t on = Trace.set_enabled t.trace on
 let profile t = t.profile
 let set_profiling t on = Profile.set_enabled t.profile on
+let timeline t = t.timeline
 
 (* [Engine.reset_clocks] rebuilds the scheduler's heap index (its keys are
    the clocks being zeroed) and the translation-cache flush drops frames
@@ -310,4 +339,5 @@ let reset_measurement t =
   Vmem.flush_translation_cache t.vmem;
   Metrics.reset t.metrics;
   Trace.clear t.trace;
-  Profile.reset t.profile
+  Profile.reset t.profile;
+  Timeline.reset t.timeline

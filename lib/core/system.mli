@@ -37,6 +37,11 @@ type config = {
   profile : bool;
       (** start with the cycle-attribution profiler enabled (default off) —
           see {!Oamem_obs.Profile} *)
+  timeline : int option;
+      (** build a {!Oamem_obs.Timeline} with windows of this many simulated
+          cycles over the trace and profiler streams (default [None]);
+          configuring it forces [trace] and [profile] on, since those are
+          its sources *)
 }
 
 (** Configuration builder: [Config.make ()] is the default configuration
@@ -63,6 +68,7 @@ module Config : sig
     ?trace_capacity:int ->
     ?sanitize:bool ->
     ?profile:bool ->
+    ?timeline:int ->
     unit ->
     config
 end
@@ -138,6 +144,12 @@ val profile : t -> Oamem_obs.Profile.t
     structures; see {!Oamem_obs.Profile} for the span model. *)
 
 val set_profiling : t -> bool -> unit
+
+val timeline : t -> Oamem_obs.Timeline.t
+(** The simulated-time windowed aggregation over the trace and profiler
+    streams (configured via the [timeline] config field; {!Oamem_obs.Timeline.null}
+    otherwise).  Reset by {!reset_measurement} like the other
+    observability state. *)
 
 (** {2 Lifecycle sanitizer} *)
 

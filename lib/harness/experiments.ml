@@ -1062,6 +1062,168 @@ let robustness =
              pressure_rows));
   }
 
+(* --- E14: phase-scoped service SLA ------------------------------------------ *)
+
+let service =
+  {
+    id = "service";
+    title = "Zipfian service scenario: per-phase SLA across schemes";
+    paper_ref = "library extension (E14)";
+    expected =
+      "Phase-level p99 orderings differ from the whole-run ordering: schemes \
+       that win on average lose in specific phases (restart-prone schemes in \
+       the flash crowd, quota-pressured ones in the memory wave).";
+    run =
+      (fun cfg ->
+        doc_of @@ fun emit ->
+        emit
+          (Report.section
+             "E14 — Zipfian service scenario: per-phase SLA across schemes");
+        (* the scenario's point is the full scheme comparison; an explicit
+           -s narrows it, the CLI's default (the paper methods) widens to
+           every registered scheme *)
+        let schemes =
+          if cfg.schemes = Registry.paper_methods then Registry.names
+          else cfg.schemes
+        in
+        let threads = min 8 (List.fold_left max 1 cfg.threads) in
+        let initial = max 256 (cfg.fig6_size / 50) in
+        let window = max 1_000 (cfg.horizon_cycles / 40) in
+        let phases = Service.default_phases ~horizon_cycles:cfg.horizon_cycles in
+        emit
+          (Report.textf
+             "One store (%d keys, %d worker threads) lives through %s; \
+              timeline windows of %d cycles slice per-phase latency and \
+              reclamation behaviour.\n\n"
+             initial threads
+             (String.concat " -> "
+                (List.map
+                   (fun (p : Service.phase_spec) -> p.Service.pname)
+                   phases))
+             window);
+        let spec_of scheme =
+          {
+            Service.scheme;
+            threads;
+            initial;
+            window;
+            sample_interval = max 200 (window / 5);
+            seed = cfg.seed;
+            phases;
+          }
+        in
+        let results =
+          Pool.map_exn ~jobs:cfg.jobs
+            (fun scheme -> (scheme, Service.run (spec_of scheme)))
+            schemes
+        in
+        let row scheme (s : Service.phase_stats) =
+          [
+            scheme;
+            s.Service.phase;
+            string_of_int s.Service.ops;
+            string_of_int s.Service.p50;
+            string_of_int s.Service.p99;
+            string_of_int s.Service.max_cycles;
+            string_of_int s.Service.restarts;
+            string_of_int s.Service.warnings;
+            string_of_int s.Service.neutralized;
+            string_of_int s.Service.frames_released;
+            string_of_int s.Service.peak_unreclaimed;
+            string_of_int s.Service.pressure_recoveries;
+          ]
+        in
+        let header =
+          [
+            "scheme"; "phase"; "ops"; "p50"; "p99"; "max"; "restarts";
+            "warnings"; "neutralized"; "released"; "peak unreclaimed";
+            "pressure";
+          ]
+        in
+        let sla_rows =
+          List.concat_map
+            (fun (scheme, (r : Service.result)) ->
+              List.map (row scheme) (r.Service.per_phase @ [ r.Service.overall ]))
+            results
+        in
+        emit (Report.table ~header sla_rows);
+        emit
+          (Report.table
+             ~header:[ "scheme"; "Mops/s"; "ops"; "sim ms" ]
+             (List.map
+                (fun (scheme, (r : Service.result)) ->
+                  [
+                    scheme;
+                    fmt_mops r.Service.throughput_mops;
+                    string_of_int r.Service.overall.Service.ops;
+                    Printf.sprintf "%.2f" (r.Service.sim_seconds *. 1e3);
+                  ])
+                results));
+        (* The SLA punchline: scheme pairs whose per-phase p99 order
+           contradicts their whole-run p99 order. *)
+        let p99_in (r : Service.result) name =
+          List.find_opt
+            (fun s -> String.equal s.Service.phase name)
+            r.Service.per_phase
+          |> Option.map (fun s -> s.Service.p99)
+        in
+        let phase_names =
+          match results with
+          | (_, r) :: _ ->
+              List.map (fun s -> s.Service.phase) r.Service.per_phase
+          | [] -> []
+        in
+        let rec pairs = function
+          | [] -> []
+          | x :: tl -> List.map (fun y -> (x, y)) tl @ pairs tl
+        in
+        let inversions =
+          List.concat_map
+            (fun ((s1, (r1 : Service.result)), (s2, (r2 : Service.result))) ->
+              let o1 = r1.Service.overall.Service.p99
+              and o2 = r2.Service.overall.Service.p99 in
+              if o1 = o2 then []
+              else
+                List.filter_map
+                  (fun ph ->
+                    match (p99_in r1 ph, p99_in r2 ph) with
+                    | Some a, Some b when a <> b && compare a b <> compare o1 o2
+                      ->
+                        Some
+                          (Printf.sprintf
+                             "  %-13s %s p99 %d vs %s %d — whole-run order \
+                              is %d vs %d"
+                             ph s1 a s2 b o1 o2)
+                    | _ -> None)
+                  phase_names)
+            (pairs results)
+        in
+        emit
+          (Report.text
+             (match inversions with
+             | [] ->
+                 "No phase-level p99 ordering inversions at this scale.\n\n"
+             | inv ->
+                 Printf.sprintf
+                   "Phase-level p99 orderings that contradict the whole-run \
+                    ordering (%d):\n%s\n\n"
+                   (List.length inv)
+                   (String.concat "\n" inv)));
+        emit (Report.csv ~filename:"service_sla.csv" ~header sla_rows);
+        List.iter
+          (fun (scheme, (r : Service.result)) ->
+            emit
+              (Report.json_artifact
+                 ~filename:(Printf.sprintf "timeline_%s.json" scheme)
+                 (Export.timeline_json r.Service.timeline));
+            let theader, trows = Export.timeline_csv r.Service.timeline in
+            emit
+              (Report.csv
+                 ~filename:(Printf.sprintf "timeline_%s.csv" scheme)
+                 ~header:theader trows))
+          results);
+  }
+
 let all =
   [
     fig4a;
@@ -1080,6 +1242,7 @@ let all =
     cache_sweep;
     vbr_stack;
     robustness;
+    service;
   ]
 
 let find id =

@@ -29,10 +29,19 @@ type thresholds = {
          simulator, so it is noisy by nature: the threshold is generous and
          CI runs it warn-only.  Gated only when both documents carry
          host_steps_per_sec. *)
+  max_unreclaimed_increase : float;
+      (* fraction of baseline per-phase peak unreclaimed nodes, e.g. 0.25;
+         checked per service phase where both documents carry a positive
+         baseline *)
 }
 
 let default_thresholds =
-  { max_throughput_drop = 0.10; max_p99_increase = 0.25; max_host_drop = 0.50 }
+  {
+    max_throughput_drop = 0.10;
+    max_p99_increase = 0.25;
+    max_host_drop = 0.50;
+    max_unreclaimed_increase = 0.25;
+  }
 
 type verdict = {
   scheme : string;
@@ -62,6 +71,19 @@ let host_steps_per_sec r =
   match Json.member "host_steps_per_sec" r with
   | Json.Null -> None
   | j -> Some (Json.to_float j)
+
+(* (phase, p99, peak_unreclaimed) per entry of a result's embedded "phases"
+   array (BENCH_SERVICE.json documents); [] elsewhere. *)
+let phases r =
+  match Json.member "phases" r with
+  | Json.Null -> []
+  | j ->
+      List.map
+        (fun p ->
+          ( Json.(to_str (member "phase" p)),
+            ( Json.(to_int (member "p99" p)),
+              Json.(to_int (member "peak_unreclaimed" p)) ) ))
+        (Json.to_list j)
 
 (* (frame, count, p99) for every op.* latency entry of a result's embedded
    profile; [] when the document predates profiles. *)
@@ -152,7 +174,46 @@ let compare_results ?(thresholds = default_thresholds) ~baseline ~current () =
                       })
               (op_p99s br)
           in
-          (tput :: host) @ lat)
+          let cur_phases = phases cr in
+          let phase =
+            List.concat_map
+              (fun (name, (bp99, bunr)) ->
+                match List.assoc_opt name cur_phases with
+                | None -> []  (* phase absent now: nothing to gate *)
+                | Some (cp99, cunr) ->
+                    let p99 =
+                      let b = float_of_int bp99 and c = float_of_int cp99 in
+                      let change = rel_change ~baseline:b ~current:c in
+                      {
+                        scheme;
+                        threads;
+                        metric = "phase_p99:" ^ name;
+                        baseline = b;
+                        current = c;
+                        change;
+                        regressed =
+                          bp99 > 0 && change > thresholds.max_p99_increase;
+                      }
+                    in
+                    let unr =
+                      let b = float_of_int bunr and c = float_of_int cunr in
+                      let change = rel_change ~baseline:b ~current:c in
+                      {
+                        scheme;
+                        threads;
+                        metric = "phase_unreclaimed:" ^ name;
+                        baseline = b;
+                        current = c;
+                        change;
+                        regressed =
+                          bunr > 0
+                          && change > thresholds.max_unreclaimed_increase;
+                      }
+                    in
+                    [ p99; unr ])
+              (phases br)
+          in
+          (tput :: host) @ lat @ phase)
     base
 
 (* Relative gate *within* the current document: [scheme]'s throughput must

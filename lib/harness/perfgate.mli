@@ -20,6 +20,11 @@ type thresholds = {
           inherently noisy — the default is generous and CI runs it
           warn-only.  Checked only where both documents carry
           [host_steps_per_sec]. *)
+  max_unreclaimed_increase : float;
+      (** maximum tolerated relative increase in a service phase's peak
+          unreclaimed nodes (default 0.25).  Checked per phase of a
+          result's embedded ["phases"] array (BENCH_SERVICE.json), only
+          where the baseline value is positive. *)
 }
 
 val default_thresholds : thresholds
@@ -44,6 +49,10 @@ val compare_results :
     both documents embed a profile for the configuration — baselines
     predating [bench --profile] get throughput-only gating — and the
     [host_steps_per_sec] check only where both documents carry the field.
+    Results carrying a ["phases"] array (service scenario documents) get
+    two further verdicts per phase both documents ran:
+    ["phase_p99:<name>"] against [max_p99_increase] and
+    ["phase_unreclaimed:<name>"] against [max_unreclaimed_increase].
     A baseline configuration missing from [current] yields a single
     regressed ["missing"] verdict. *)
 

@@ -6,14 +6,17 @@
     thread lanes, stalls render as duration slices and everything else as
     instant events. *)
 
-val chrome_trace : Trace.t -> Json.t
+val chrome_trace : ?timeline:Timeline.t -> Trace.t -> Json.t
 (** The trace as a Chrome trace_event document:
     [{"traceEvents": [...], "displayTimeUnit": "ns", ...}].  One event per
     buffered {!Trace.event}; [Stall] becomes a complete ("ph":"X") slice of
     its duration, every other kind an instant ("ph":"i").  Event arguments
-    (addresses, counts, states) land in ["args"]. *)
+    (addresses, counts, states) land in ["args"].  With [timeline], the
+    per-window counter tracks ({!timeline_counter_events}) are appended.
+    When ring overwrites dropped events, ["otherData"] carries a
+    ["warning"] field. *)
 
-val write_chrome_trace : string -> Trace.t -> unit
+val write_chrome_trace : ?timeline:Timeline.t -> string -> Trace.t -> unit
 (** Write {!chrome_trace} to a file. *)
 
 val metrics_json : ?extra:(string * Json.t) list -> Metrics.snapshot -> Json.t
@@ -22,7 +25,9 @@ val metrics_json : ?extra:(string * Json.t) list -> Metrics.snapshot -> Json.t
     [extra] fields (experiment name, scheme, throughput) are prepended.
     Histograms with zero observations are omitted — an unused histogram
     would serialise as [{"count": 0, "max": 0, "buckets": []}], which is
-    noise and a trap for consumers assuming at least one bucket. *)
+    noise and a trap for consumers assuming at least one bucket.  When the
+    snapshot's [obs.trace_dropped] counter is nonzero a trailing
+    ["warning"] field says how many events the document is missing. *)
 
 val write_metrics : ?extra:(string * Json.t) list -> string -> Metrics.snapshot -> unit
 
@@ -31,6 +36,32 @@ val write_csv : string -> header:string list -> string list list -> unit
     numbers and bare identifiers, nothing needing quoting).  Raises
     [Invalid_argument] if any row's cell count differs from the header's —
     ragged rows silently shift columns in downstream tooling. *)
+
+(** {2 Timelines} *)
+
+val timeline_json : Timeline.t -> Json.t
+(** The timeline as
+    [{"window_cycles", "gauges", "phases": [...], "windows": [...]}]: each
+    phase carries its counter columns, gauge last/max, merged [op.*]
+    latency summary (count/p50/p99/max via {!Profile.percentile}) and
+    per-frame latencies; each window the same minus the per-frame detail.
+    Deterministic: windows ascend, phases follow marker order. *)
+
+val write_timeline : string -> Timeline.t -> unit
+
+val timeline_csv : Timeline.t -> string list * string list list
+(** [(header, rows)], one row per populated window: index, start cycle,
+    phase label, every counter column, merged op count/p50/p99/max, and
+    last/max per registered gauge (empty cells where never sampled).  Feed
+    to {!write_csv} or a [Report] CSV artifact. *)
+
+val write_timeline_csv : string -> Timeline.t -> unit
+
+val timeline_counter_events : Timeline.t -> Json.t list
+(** Chrome trace_event counter ("ph":"C") tracks: one sample per populated
+    window for every column nonzero somewhere in the run and every sampled
+    gauge, named ["timeline.<column>"].  Appended to {!chrome_trace} via
+    its [timeline] argument. *)
 
 (** {2 Profiles} *)
 

@@ -88,6 +88,15 @@ let frame_name = function
   | Vmem_fault_in -> "vmem.fault_in"
   | Vmem_remap -> "vmem.remap"
 
+(* The whole-operation frames (SLA views aggregate these; [Op_restart] and
+   [Op_neutralized] are nested retry spans, not operations). *)
+let op_frames =
+  List.filter
+    (fun f ->
+      let n = frame_name f in
+      String.length n > 3 && String.sub n 0 3 = "op.")
+    all_frames
+
 (* --- call trie ------------------------------------------------------------ *)
 
 type node = {
@@ -109,6 +118,10 @@ let bucket_of v =
   let v = max 0 v in
   let rec go b bound = if v <= bound - 1 then b else go (b + 1) (bound * 2) in
   go 0 1
+
+(* Shared with Timeline, so per-window histograms bucket identically. *)
+let log2_bucket = bucket_of
+let log2_nbuckets = nbuckets
 
 type hist = {
   hbuckets : int array;
@@ -149,7 +162,12 @@ type t = {
   stacks : (node * int) list array;  (* per-tid: (span, enter time) *)
   hists : hist array;  (* per frame_index *)
   addrs : (int, contended) Hashtbl.t;
+  mutable on_leave : frame -> now:int -> dur:int -> unit;
+      (* span-close sink (Timeline); the default is a no-op so [leave]
+         needs no option check *)
 }
+
+let no_leave _ ~now:_ ~dur:_ = ()
 
 let create ~nthreads () =
   {
@@ -158,6 +176,7 @@ let create ~nthreads () =
     stacks = Array.make (max 0 nthreads) [];
     hists = Array.init nframes (fun _ -> fresh_hist ());
     addrs = Hashtbl.create 256;
+    on_leave = no_leave;
   }
 
 let null = create ~nthreads:0 ()
@@ -165,6 +184,7 @@ let null = create ~nthreads:0 ()
 let enabled t = t.on
 let set_enabled t v = if Array.length t.stacks > 0 then t.on <- v
 let nthreads t = Array.length t.stacks
+let set_leave_hook t f = t.on_leave <- f
 
 let rec reset_node n =
   n.self_cycles <- 0;
@@ -205,7 +225,9 @@ let leave t ~tid ~now =
     | [] -> ()
     | (node, entered) :: rest ->
         t.stacks.(tid) <- rest;
-        hist_observe t.hists.(frame_index node.nframe) (max 0 (now - entered))
+        let dur = max 0 (now - entered) in
+        hist_observe t.hists.(frame_index node.nframe) dur;
+        t.on_leave node.nframe ~now ~dur
 
 let charge t ~tid cycles =
   if t.on && in_range t tid then
@@ -317,15 +339,31 @@ let latencies t =
       end)
     all_frames
 
+(* Percentiles interpolate linearly inside the covering log2 bucket instead
+   of snapping to its upper bound (which overestimated by up to 2x at high
+   ranks).  The bucket holding rank r spans values [lo, hi] with
+   lo = 2^(b-1) (0 for bucket 0) and hi = min (2^b - 1) max_cycles — the
+   max clamp keeps the top bucket exact; lo + (hi - lo) * r_in / n reaches
+   hi exactly at the bucket's last rank, so single-observation buckets and
+   q = 1.0 keep their pre-interpolation exact values.  A histogram whose
+   sum equals count * max holds only one distinct value (observations never
+   exceed max), so every percentile is exactly max. *)
 let percentile l q =
   if l.count = 0 then 0
+  else if l.sum = l.count * l.max_cycles then l.max_cycles
   else begin
     let rank =
       max 1 (min l.count (int_of_float (ceil (q *. float_of_int l.count))))
     in
     let rec go cum = function
       | [] -> l.max_cycles
-      | (le, n) :: rest -> if cum + n >= rank then le else go (cum + n) rest
+      | (le, n) :: rest ->
+          if cum + n >= rank then begin
+            let lo = if le = 0 then 0 else (le + 1) / 2 in
+            let hi = min le l.max_cycles in
+            lo + ((hi - lo) * (rank - cum) / n)
+          end
+          else go (cum + n) rest
     in
     min (go 0 l.buckets) l.max_cycles
   end

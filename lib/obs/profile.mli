@@ -57,6 +57,23 @@ val frame_name : frame -> string
 
 val all_frames : frame list
 
+val frame_index : frame -> int
+(** Dense index in [0, nframes): position in {!all_frames}. *)
+
+val op_frames : frame list
+(** The whole-operation frames (names starting ["op."]) — what SLA views
+    merge into "op latency"; excludes the nested [Op_restart] /
+    [Op_neutralized] retry spans. *)
+
+val nframes : int
+
+val log2_bucket : int -> int
+(** Histogram bucket of a duration: bucket [b] holds
+    [(2^(b-1) - 1, 2^b - 1]], bucket 0 holds exactly 0 (Metrics-compatible;
+    shared with {!Timeline} so per-window histograms bucket identically). *)
+
+val log2_nbuckets : int
+
 type t
 
 val create : nthreads:int -> unit -> t
@@ -91,6 +108,11 @@ val leave : t -> tid:int -> now:int -> unit
 val charge : t -> tid:int -> int -> unit
 (** Charge cycles to [tid]'s innermost open span; cycles spent outside any
     span accumulate as {!unattributed_cycles}. *)
+
+val set_leave_hook : t -> (frame -> now:int -> dur:int -> unit) -> unit
+(** Install a span-close sink: called from {!leave} with the closed frame,
+    the closing simulated time and the span duration (the {!Timeline}
+    ingestion path).  One hook; installing replaces the previous one. *)
 
 val note_cas_failure : t -> tid:int -> addr:int -> unit
 (** A CAS on simulated address [addr] failed: charge one retry to the
@@ -136,9 +158,12 @@ val latencies : t -> latency list
 (** One entry per frame with at least one closed span, in frame order. *)
 
 val percentile : latency -> float -> int
-(** [percentile l q] for [q] in [0, 1]: the smallest bucket upper bound
-    covering rank [ceil (q * count)], clamped to the exact maximum (so
-    [percentile l 1.0 = l.max_cycles]); 0 when empty. *)
+(** [percentile l q] for [q] in [0, 1]: locate the log2 bucket covering
+    rank [ceil (q * count)] and interpolate linearly inside it by rank,
+    clamped to the exact maximum.  Buckets holding a single distinct value
+    (0, 1, or a single observation) and [q = 1.0] stay exact
+    ([percentile l 1.0 = l.max_cycles]); a constant stream returns that
+    constant for every [q]; 0 when empty. *)
 
 (** {2 Contention attribution} *)
 

@@ -1,0 +1,127 @@
+(** Simulated-time windowed aggregation over the trace and the profiler.
+
+    A timeline slices a run into fixed-width windows of simulated cycles
+    and, in parallel, into named {e phases} opened by {!phase} markers.
+    Every trace event ({!Trace.kind}), every closed profiler span (frame +
+    duration) and every explicit gauge sample is charged to both the window
+    containing its timestamp and the phase that was open when it was
+    recorded, so per-window and per-phase op latency percentiles are exact
+    (same log2 histograms as {!Profile}, same {!Profile.percentile}).
+
+    Discipline matches the rest of [lib/obs]: off by default, the disabled
+    path is allocation-free (ingestion guards on {!enabled} before touching
+    any state, and the sinks are only installed when a timeline is
+    configured), and all views sort their keys, so exports are
+    byte-identical across runs of the same seed and across worker-domain
+    counts.
+
+    Charging rules (see DESIGN.md "Timelines and phases"):
+    - windows are keyed by timestamp: an event at cycle [c] lands in window
+      [c / width]; a span lands in the window of its {e completion} time;
+    - phases are keyed by marker order: everything recorded after
+      [phase t ~at name] and before the next marker is charged to [name],
+      even if the emitting thread's clock had already run past the marker
+      (threads overshoot a horizon by at most one operation);
+    - re-marking an existing phase name accumulates into the same phase. *)
+
+type t
+
+(** Counted trace events, one column per kind (plus the carried amounts:
+    [Reclaim_freed] sums [Reclaim_phase.freed], [Frames_released] sums the
+    released counts). *)
+type column =
+  | Allocs
+  | Frees
+  | Retires
+  | Reclaim_phases
+  | Reclaim_freed
+  | Warnings
+  | Warnings_piggybacked
+  | Restarts
+  | Faults_in
+  | Frames_released
+  | Superblock_transitions
+  | Stalls
+  | Crashes
+  | Neutralize_posts
+  | Neutralized
+
+val columns : column list
+val column_name : column -> string
+
+val create : width:int -> unit -> t
+(** A disabled timeline with windows of [width] simulated cycles.  The
+    implicit initial phase is ["init"]; it is dropped from {!phase_aggs}
+    when nothing was charged to it. *)
+
+val null : t
+(** A shared never-enabled sink (width 0); {!set_enabled} is a no-op. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val width : t -> int
+
+val reset : t -> unit
+(** Drop every window, phase and gauge sample (the measurement-reset
+    path); registered gauges and the enable flag survive. *)
+
+(** {2 Ingestion} — wired by [System], or called by a harness driver. *)
+
+val note_event : t -> Trace.event -> unit
+(** The {!Trace.set_sink} target: charge one trace event. *)
+
+val note_latency : t -> Profile.frame -> now:int -> dur:int -> unit
+(** The {!Profile.set_leave_hook} target: a span of [frame] closed at
+    simulated time [now] after [dur] cycles. *)
+
+val phase : t -> at:int -> string -> unit
+(** Open phase [name] at simulated cycle [at]: subsequent events, spans and
+    samples are charged to it until the next marker. *)
+
+val register_gauge : t -> string -> int
+(** Declare a sampled gauge (before the run); returns its id for
+    {!sample_gauge}.  Re-registering a name returns the existing id. *)
+
+val sample_gauge : t -> at:int -> int -> int -> unit
+(** [sample_gauge t ~at gauge_id value]: record an instantaneous gauge
+    value (charged to window [at / width] and the open phase; views expose
+    last and max per slice). *)
+
+(** {2 Views} — deterministic: windows ascending, phases in marker order. *)
+
+type agg
+(** One slice (a window or a phase) of accumulated columns, per-frame
+    latency histograms and gauge samples. *)
+
+val marks : t -> (string * int) list
+(** Phase markers in order, including the implicit [("init", 0)]. *)
+
+val window_aggs : t -> (int * agg) list
+(** Populated windows, ascending by index; window [i] covers cycles
+    [[i * width, (i+1) * width)]. *)
+
+val phase_aggs : t -> (string * agg) list
+(** Phases in first-marker order; ["init"] only when it recorded
+    anything. *)
+
+val phase_of_cycle : t -> int -> string
+(** Name of the last marker at or before the given cycle (labels windows
+    in exports; distinct from the charging rule, which follows marker
+    order). *)
+
+val agg_count : agg -> column -> int
+
+val agg_latency : agg -> Profile.frame -> Profile.latency option
+(** This slice's latency histogram for one frame, [None] when empty;
+    feed to {!Profile.percentile}. *)
+
+val agg_latency_merged : agg -> Profile.frame list -> Profile.latency option
+(** Bucket-wise merge over several frames (e.g. all [op.*] frames for an
+    SLA view); [lframe] is the first listed frame. *)
+
+val agg_gauge : agg -> int -> (int * int) option
+(** [(last, max)] of a gauge id within this slice, [None] if never
+    sampled here. *)
+
+val gauges : t -> string list
+(** Registered gauge names, in registration order (= id order). *)

@@ -33,9 +33,17 @@ type ring = {
   mutable dropped : int;
 }
 
-type t = { mutable enabled : bool; rings : ring array; capacity : int }
+type t = {
+  mutable enabled : bool;
+  rings : ring array;
+  capacity : int;
+  mutable sink : event -> unit;
+      (* every emitted event, before it can be overwritten (Timeline); the
+         default is a no-op so [emit] needs no option check *)
+}
 
 let dummy = { tid = -1; at = 0; kind = Restart }
+let no_sink (_ : event) = ()
 
 let create ?(capacity = 8192) ~nthreads () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
@@ -45,21 +53,26 @@ let create ?(capacity = 8192) ~nthreads () =
       Array.init (max 0 nthreads) (fun _ ->
           { buf = Array.make capacity dummy; len = 0; next = 0; dropped = 0 });
     capacity;
+    sink = no_sink;
   }
 
-let null = { enabled = false; rings = [||]; capacity = 0 }
+let null = { enabled = false; rings = [||]; capacity = 0; sink = no_sink }
 
 let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
 let nthreads t = Array.length t.rings
 let capacity t = t.capacity
+let set_sink t f = t.sink <- f
 
 let emit t ~tid ~at kind =
   if t.enabled && tid >= 0 && tid < Array.length t.rings then begin
     let r = t.rings.(tid) in
-    r.buf.(r.next) <- { tid; at; kind };
+    let e = { tid; at; kind } in
+    r.buf.(r.next) <- e;
     r.next <- (r.next + 1) mod t.capacity;
-    if r.len < t.capacity then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+    if r.len < t.capacity then r.len <- r.len + 1
+    else r.dropped <- r.dropped + 1;
+    t.sink e
   end
 
 let clear t =
@@ -69,6 +82,8 @@ let clear t =
       r.next <- 0;
       r.dropped <- 0)
     t.rings
+
+let reset_dropped t = Array.iter (fun r -> r.dropped <- 0) t.rings
 
 let recorded t = Array.fold_left (fun acc r -> acc + r.len) 0 t.rings
 let dropped t = Array.fold_left (fun acc r -> acc + r.dropped) 0 t.rings

@@ -56,6 +56,12 @@ val emit : t -> tid:int -> at:int -> kind -> unit
 (** No-op when disabled or [tid] has no ring (e.g. an external context on a
     [null] trace). *)
 
+val set_sink : t -> (event -> unit) -> unit
+(** Install an event sink: called from {!emit} with every recorded event,
+    before ring wrap-around can drop it — the {!Timeline} ingestion path,
+    which therefore sees the full stream even when the rings overwrite.
+    One sink; installing replaces the previous one. *)
+
 val clear : t -> unit
 (** Drop every buffered event (the measurement-reset path). *)
 
@@ -63,7 +69,12 @@ val recorded : t -> int
 (** Events currently buffered, over all threads. *)
 
 val dropped : t -> int
-(** Events overwritten by ring wrap-around since the last {!clear}. *)
+(** Events overwritten by ring wrap-around since the last {!clear}.
+    Surfaced in the metrics registry as the [obs.trace_dropped] counter. *)
+
+val reset_dropped : t -> unit
+(** Zero the per-ring overwrite counts without dropping buffered events
+    (the [obs.trace_dropped] counter's reset hook). *)
 
 val thread_events : t -> tid:int -> event list
 (** One thread's buffered events, oldest first — monotone in [at]. *)

@@ -39,8 +39,9 @@ let test_percentile_uniform () =
   check_int "count" 100 l.Profile.count;
   check_int "sum" 700 l.Profile.sum;
   check_int "max" 7 l.Profile.max_cycles;
-  (* 7 = 2^3 - 1 is itself a bucket upper bound, so every percentile of a
-     constant stream is exact *)
+  (* a constant stream satisfies sum = count * max, which percentile
+     recognises as "one distinct value": every percentile is exactly 7
+     rather than an interpolated point inside the (3, 7] bucket *)
   check_int "p50" 7 (Profile.percentile l 0.50);
   check_int "p99" 7 (Profile.percentile l 0.99);
   check_int "p100" 7 (Profile.percentile l 1.0)
@@ -69,7 +70,10 @@ let test_percentile_buckets () =
     (l.Profile.buckets = [ (0, 1); (1, 1); (3, 2) ]);
   check_int "p25 -> le 0" 0 (Profile.percentile l 0.25);
   check_int "p50 -> le 1" 1 (Profile.percentile l 0.50);
-  check_int "p75 -> le 3" 3 (Profile.percentile l 0.75);
+  (* rank 3 falls on the (1, 3] bucket's first of two observations:
+     interpolation gives lo + (hi - lo) * 1/2 = 2 — the exact order
+     statistic, where pre-interpolation snapping said 3 *)
+  check_int "p75 interpolates to 2" 2 (Profile.percentile l 0.75);
   check_int "empty percentile" 0
     (Profile.percentile
        {
@@ -80,6 +84,32 @@ let test_percentile_buckets () =
          buckets = [];
        }
        0.5)
+
+let test_percentile_interpolation () =
+  (* 100 observations spread 0..99: interpolation recovers the exact order
+     statistic at every rank here (ranks distribute evenly inside each
+     bucket), where snapping to bucket upper bounds answered 63/127 *)
+  let p = Profile.create ~nthreads:1 () in
+  Profile.set_enabled p true;
+  for v = 0 to 99 do
+    observe_duration p v
+  done;
+  let l = the_latency p in
+  check_int "p50" 49 (Profile.percentile l 0.50);
+  check_int "p75" 74 (Profile.percentile l 0.75);
+  check_int "p99" 98 (Profile.percentile l 0.99);
+  check_int "p100 is exact max" 99 (Profile.percentile l 1.0)
+
+let test_percentile_single_observation_bucket () =
+  (* one observation per bucket: rank_in = n = 1, so interpolation lands on
+     the bucket's clamped upper bound — exactly the pre-interpolation
+     answer (the snapping path is a regression-pinned special case) *)
+  let p = Profile.create ~nthreads:1 () in
+  Profile.set_enabled p true;
+  List.iter (observe_duration p) [ 4; 1000 ];
+  let l = the_latency p in
+  check_int "p50 snaps to bucket bound" 7 (Profile.percentile l 0.50);
+  check_int "p100 clamps to exact max" 1000 (Profile.percentile l 1.0)
 
 (* --- a real run: reconciliation and determinism --------------------------- *)
 
@@ -395,6 +425,10 @@ let () =
             test_percentile_outlier;
           Alcotest.test_case "log2 bucket boundaries" `Quick
             test_percentile_buckets;
+          Alcotest.test_case "interpolation inside wide buckets" `Quick
+            test_percentile_interpolation;
+          Alcotest.test_case "single-observation buckets snap" `Quick
+            test_percentile_single_observation_bucket;
         ] );
       ( "attribution",
         [

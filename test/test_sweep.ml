@@ -144,6 +144,26 @@ let test_sweep_reports_failing_job () =
       check_bool "later job still completes" true (Result.is_ok c.Sweep.doc)
   | _ -> Alcotest.fail "expected three outcomes")
 
+(* The service experiment (E14) shards its scheme list across cfg.jobs
+   domains and renders timelines per scheme; its doc and artifacts
+   (timeline JSON/CSV) must be byte-identical at any -j. *)
+let test_service_experiment_identical_across_jobs () =
+  let e = Experiments.find "service" in
+  let seq = e.Experiments.run sweep_cfg in
+  let par = e.Experiments.run { sweep_cfg with Experiments.jobs = 4 } in
+  check_string "service doc byte-identical across -j" (Report.to_string seq)
+    (Report.to_string par);
+  let artifact_dump doc =
+    String.concat ""
+      (List.map
+         (fun (a : Report.artifact) -> a.Report.filename ^ a.Report.content)
+         (Report.artifacts doc))
+  in
+  check_bool "service run produced timeline artifacts" true
+    (Report.artifacts seq <> []);
+  check_string "timeline artifacts byte-identical across -j"
+    (artifact_dump seq) (artifact_dump par)
+
 (* --- fuzz matrix: determinism ----------------------------------------------------- *)
 
 let fuzz_cells =
@@ -207,6 +227,9 @@ let suite =
       `Quick,
       test_sweep_internal_sharding_identical );
     ("sweep reports failing job", `Quick, test_sweep_reports_failing_job);
+    ( "service experiment identical across jobs",
+      `Quick,
+      test_service_experiment_identical_across_jobs );
     ( "fuzz matrix identical across jobs",
       `Quick,
       test_fuzz_matrix_identical_across_jobs );
