@@ -79,11 +79,16 @@ profile:
 # Perf-regression gate: rerun the profiled sweep and compare throughput and
 # per-op p99 latency against the committed BENCH_E1.json baseline.  The
 # relative leg additionally requires DEBRA's no-fault throughput to stay
-# within the drop threshold of EBR's inside the fresh run itself.
+# within the drop threshold of EBR's inside the fresh run itself.  The
+# second invocation tracks IMR against OA-BIT warn-only: IMR's
+# revoke-broadcast pricing is expected to trail OA-BIT on contended
+# workloads, so the ratio is observability, never a failure.
 perfgate:
 	dune exec bench/main.exe -- --profile --out BENCH_E1.current.json
 	dune exec bin/perfgate.exe -- BENCH_E1.json BENCH_E1.current.json \
 	  --relative debra:ebr
+	dune exec bin/perfgate.exe -- BENCH_E1.json BENCH_E1.current.json \
+	  --warn-only --relative imr:oa-bit
 
 # Phase-scoped SLA gate (nightly): rerun the service scenario and compare
 # per-phase op p99 and peak unreclaimed against the committed

@@ -145,9 +145,12 @@ module Json = Oamem_obs.Json
 module Export = Oamem_obs.Export
 
 let run_metrics_dump ~profile ~out =
-  (* the paper's four methods plus the epoch pair the relative gate
-     compares: DEBRA's no-fault throughput must track EBR's *)
-  let schemes = Oamem_reclaim.Registry.paper_methods @ [ "ebr"; "debra" ] in
+  (* the paper's four methods, the epoch pair the relative gate compares
+     (DEBRA's no-fault throughput must track EBR's), and IMR for the
+     warn-only imr:oa-bit gate *)
+  let schemes =
+    Oamem_reclaim.Registry.paper_methods @ [ "ebr"; "debra"; "imr" ]
+  in
   let threads = [ 1; 4 ] in
   let results =
     List.concat_map

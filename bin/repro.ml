@@ -141,6 +141,62 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the experiments.") Term.(const run $ const ())
 
+(* The scheme table (including the one in README.md) is generated from the
+   registry — name, one-line doc and capability record — so prose cannot
+   drift from the code. *)
+let schemes_cmd =
+  let md_arg =
+    Arg.(
+      value & flag
+      & info [ "md" ] ~doc:"Emit the table as Markdown (the README scheme table).")
+  in
+  let run md =
+    let module Registry = Oamem_reclaim.Registry in
+    let module Scheme = Oamem_reclaim.Scheme in
+    let caps_string (c : Scheme.caps) =
+      let flags =
+        [
+          (c.Scheme.hazard_writes, "hazard-writes");
+          (c.Scheme.neutralizes, "neutralizes");
+          (c.Scheme.recycles_retired, "recycles-retired");
+          (c.Scheme.leaks_by_design, "leaks");
+          (c.Scheme.conditional_access, "cond-access");
+          (c.Scheme.frees_immediately, "immediate-free");
+        ]
+      in
+      match
+        List.filter_map (fun (b, s) -> if b then Some s else None) flags
+      with
+      | [] -> "—"
+      | fs -> String.concat ", " fs
+    in
+    if md then begin
+      Printf.printf "| scheme | mechanism | capabilities |\n";
+      Printf.printf "|--------|-----------|--------------|\n";
+      List.iter
+        (fun (e : Registry.entry) ->
+          Printf.printf "| `%s` | %s | %s |\n" e.Registry.name e.Registry.doc
+            (caps_string e.Registry.caps))
+        Registry.all
+    end
+    else begin
+      Printf.printf "%-8s %-60s %s\n" "scheme" "mechanism" "capabilities";
+      Printf.printf "%s\n" (String.make 104 '-');
+      List.iter
+        (fun (e : Registry.entry) ->
+          Printf.printf "%-8s %-60s %s\n" e.Registry.name e.Registry.doc
+            (caps_string e.Registry.caps))
+        Registry.all
+    end
+  in
+  Cmd.v
+    (Cmd.info "schemes"
+       ~doc:
+         "List the registered reclamation schemes with their one-line \
+          descriptions and capability records ($(b,--md) emits the README \
+          scheme table).")
+    Term.(const run $ md_arg)
+
 (* Render a doc and write its artifacts, on the coordinating domain:
    [in_dir] artifacts (CSV dumps, garbage curves) go under --csv DIR when
    given, the rest (traces, metrics) to their exact paths. *)
@@ -666,6 +722,6 @@ let () =
        (Cmd.group
           (Cmd.info "repro" ~doc)
           [
-            list_cmd; run_cmd; all_cmd; sweep_cmd; fuzz_cmd; replay_cmd;
-            profile_cmd; timeline_cmd;
+            list_cmd; schemes_cmd; run_cmd; all_cmd; sweep_cmd; fuzz_cmd;
+            replay_cmd; profile_cmd; timeline_cmd;
           ]))

@@ -126,6 +126,7 @@ let register_metrics m ~engine ~vmem ~alloc ~(scheme : Scheme.ops) ~trace =
   s "reclaim_phases" (fun () -> ss.Scheme.reclaim_phases);
   s "neutralized" (fun () -> ss.Scheme.neutralized);
   s "seized" (fun () -> ss.Scheme.seized);
+  s "cond_fails" (fun () -> ss.Scheme.cond_fails);
   reg "scheme.unreclaimed" Metrics.Gauge (fun () -> Scheme.unreclaimed ss);
   reg "scheme.pinned" Metrics.Gauge (fun () -> Scheme.pinned ss);
   scheme.Scheme.sink.Scheme.reclaim_hist <-
@@ -183,15 +184,25 @@ let create (config : config) =
     Lrmalloc.create ~cfg:config.alloc_cfg ~vmem ~meta
       ~nthreads:config.nthreads ()
   in
+  let entry = Registry.find config.scheme in
   (* The sanitizer's allocator hooks go in *before* the scheme is built so
-     recycling pools allocated during scheme construction are shadowed. *)
+     recycling pools allocated during scheme construction are shadowed.
+     Its policy is the scheme's capability declaration; the only cap that
+     can depend on the instance config is DEBRA's [neutralizes] switch, so
+     apply it here to keep the policy consistent with the constructed
+     [ops.caps]. *)
   let sanitizer =
     if not config.sanitize then None
     else begin
-      let s =
-        Sanitizer.create ~vmem ~nthreads:config.nthreads
-          (Sanitizer.policy_of_scheme config.scheme)
+      let caps =
+        {
+          entry.Registry.caps with
+          Scheme.neutralizes =
+            entry.Registry.caps.Scheme.neutralizes
+            && config.scheme_cfg.Scheme.neutralize;
+        }
       in
+      let s = Sanitizer.create ~vmem ~nthreads:config.nthreads caps in
       Vmem.set_access_hook vmem (Some (Sanitizer.on_access s));
       Lrmalloc.set_lifecycle alloc (Some (Sanitizer.lifecycle s));
       Heap.set_range_hook (Lrmalloc.heap alloc)
@@ -200,7 +211,7 @@ let create (config : config) =
     end
   in
   let scheme =
-    (Registry.find config.scheme) config.scheme_cfg ~alloc ~meta
+    entry.Registry.make config.scheme_cfg ~alloc ~meta
       ~nthreads:config.nthreads
   in
   let scheme =

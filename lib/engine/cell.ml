@@ -66,23 +66,36 @@ let get ctx t =
   account ctx Engine.Load t;
   Atomic.get t.v
 
+(* Conditional access (IMR): a store or RMW committed while the thread's
+   accessible flag is revoked is squashed by the simulated hardware — the
+   cost is charged (the request reached the coherence fabric) but the
+   mutation is dropped, and CAS-like operations report failure.  The engine
+   sets the squash latch at commit time; masked sections are exempt. *)
+
 let set ctx t x =
   account ctx Engine.Store t;
-  Atomic.set t.v x
+  if not (Engine.Mem.squashed ctx) then Atomic.set t.v x
 
 let cas ctx t ~expect ~desired =
   account ctx Engine.Rmw t;
-  let ok = Atomic.compare_and_set t.v expect desired in
-  if not ok then Engine.Mem.note_cas_failure ctx ~addr:t.addr;
-  ok
+  if Engine.Mem.squashed ctx then begin
+    Engine.Mem.note_cas_failure ctx ~addr:t.addr;
+    false
+  end
+  else begin
+    let ok = Atomic.compare_and_set t.v expect desired in
+    if not ok then Engine.Mem.note_cas_failure ctx ~addr:t.addr;
+    ok
+  end
 
 let exchange ctx t x =
   account ctx Engine.Rmw t;
-  Atomic.exchange t.v x
+  if Engine.Mem.squashed ctx then Atomic.get t.v else Atomic.exchange t.v x
 
 let fetch_and_add ctx t d =
   account ctx Engine.Rmw t;
-  Atomic.fetch_and_add t.v d
+  if Engine.Mem.squashed ctx then Atomic.get t.v
+  else Atomic.fetch_and_add t.v d
 
 let peek t = Atomic.get t.v
 let poke t x = Atomic.set t.v x

@@ -25,6 +25,14 @@ type t = {
   neutralize_deliver : int;
       (** delivering a neutralization signal to its victim: handler entry
           plus the longjmp back to the checkpoint *)
+  cond_access_extra : int;
+      (** extra coherence-directory check per conditional access, on top of
+          the (usually L1-hit) load of the thread's own accessible-flag
+          line *)
+  revoke_broadcast : int;
+      (** posting one access revocation: the directory-assisted broadcast
+          that flips a victim's accessible flag, beyond the per-victim
+          flag-line store (which pays normal invalidation costs) *)
   ghz : float;  (** clock frequency used to convert cycles to seconds *)
 }
 
@@ -50,6 +58,8 @@ let opteron_6274 =
     checkpoint_set = 50;
     neutralize_post = 1500;
     neutralize_deliver = 2500;
+    cond_access_extra = 2;
+    revoke_broadcast = 90;
     ghz = 2.2;
   }
 
@@ -74,6 +84,8 @@ let uniform =
     checkpoint_set = 1;
     neutralize_post = 1;
     neutralize_deliver = 1;
+    cond_access_extra = 0;
+    revoke_broadcast = 1;
     ghz = 1.0;
   }
 

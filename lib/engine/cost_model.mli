@@ -27,6 +27,12 @@ type t = {
   neutralize_deliver : int;
       (** delivering a neutralization signal: handler entry plus the
           longjmp back to the victim's checkpoint *)
+  cond_access_extra : int;
+      (** extra coherence-directory traffic per conditional access, beyond
+          the flag-line load itself *)
+  revoke_broadcast : int;
+      (** posting one access revocation: the directory-assisted broadcast,
+          beyond the per-victim flag-line store *)
   ghz : float;  (** clock frequency for converting cycles to seconds *)
 }
 

@@ -159,6 +159,19 @@ and slot = {
   mutable stalled_until : int;
       (* clock value at the end of the last injected stall; lets a signal
          wake the victim out of the stall (nanosleep is interrupted) *)
+  (* --- conditional access (simulated hardware accessible flag) --- *)
+  mutable accessible : bool;
+      (* the thread's per-thread accessible flag; a revocation clears it,
+         a [Mem.grant_access] (the thread itself, on restart) sets it *)
+  mutable squashed : bool;
+      (* outcome of the last committed Store/Rmw: [true] iff it was issued
+         with the flag revoked outside a masked section, i.e. the simulated
+         hardware squashed the value mutation (a conditional CAS fails) *)
+  mutable exempt : int;
+      (* squash-exemption depth; > 0 marks trusted runtime code (allocator
+         metadata) whose plain stores/CASes are never conditional accesses,
+         so a pending revocation cannot squash them.  Orthogonal to
+         [masked]: exemption does not defer signal delivery. *)
 }
 
 and pending =
@@ -230,6 +243,9 @@ let create ?(policy = Min_clock) ?(cost = Cost_model.opteron_6274)
           masked = 0;
           signal = false;
           stalled_until = 0;
+          accessible = true;
+          squashed = false;
+          exempt = 0;
         });
   t
 
@@ -367,6 +383,39 @@ let[@inline] charge_access t ~tid ~vpage ~paddr ~kind =
   let block = Geometry.block_of_addr t.geom paddr in
   tlb_cost + Hierarchy.access t.hierarchy ~tid ~kind:hkind block
 
+(* Per-thread accessible-flag lines, modelled as real simulated addresses so
+   conditional accesses and revocations flow through the coherence directory
+   like any other shared-line traffic: a revocation's store invalidates the
+   victim's cached copy, and the victim's next flag check pays the remote
+   miss — with the invalidation attributed by the profiler exactly as for a
+   data line.  The base sits far above the [Cell] metadata heap (1 lsl 50,
+   growing upward) and the data address space, so flag lines never collide
+   with simulated data. *)
+let flag_base = 1 lsl 52
+
+let[@inline] flag_addr t tid = flag_base + (tid * Geometry.line_words t.geom)
+
+(* Charge a flag-line access to [tid]'s clock without yielding: like a
+   neutralization post, flag traffic is atomic under every policy, so the
+   fused and slow paths charge it identically. *)
+let charge_flag_access t ~tid ~owner ~kind ~extra =
+  let paddr = flag_addr t owner in
+  let vpage = Geometry.page_of_addr t.geom paddr in
+  let profiling = Oamem_obs.Profile.enabled t.prof in
+  let invs_before =
+    if profiling then Hierarchy.remote_invalidations t.hierarchy else 0
+  in
+  let cost = extra + charge_access t ~tid ~vpage ~paddr ~kind in
+  let slot = t.slots.(tid) in
+  slot.clock <- slot.clock + cost;
+  if profiling then begin
+    Oamem_obs.Profile.charge t.prof ~tid cost;
+    if
+      kind <> Load
+      && Hierarchy.remote_invalidations t.hierarchy > invs_before
+    then Oamem_obs.Profile.note_invalidation t.prof ~tid ~addr:paddr
+  end
+
 let[@inline] charge_fence t kind =
   match kind with
   | Full ->
@@ -387,11 +436,20 @@ let[@inline] charge_event t kind =
 (* Cost of the request recorded in [slot]'s [req_*] fields. *)
 let cost_of_req t ~tid slot =
   let tag = slot.req_tag in
-  if tag <= tag_rmw then
+  if tag <= tag_rmw then begin
     let kind =
       if tag = tag_load then Load else if tag = tag_store then Store else Rmw
     in
+    (* conditional access: a Store/Rmw committed with the accessible flag
+       revoked (outside a masked section) performs no value mutation —
+       [Cell]/[Vmem] consult [Mem.squashed] right after this commit.
+       Evaluated at commit time in both the scheduler and inline paths, so
+       the outcome is identical whichever path charged the request. *)
+    if kind <> Load then
+      slot.squashed <-
+        (not slot.accessible) && slot.masked = 0 && slot.exempt = 0;
     charge_access t ~tid ~vpage:slot.req_vpage ~paddr:slot.req_paddr ~kind
+  end
   else if tag = tag_fence_full then charge_fence t Full
   else if tag = tag_fence_compiler then charge_fence t Compiler
   else if tag = tag_minor_fault then charge_event t Minor_fault
@@ -675,13 +733,21 @@ module Mem = struct
     t.inline_ok
     && Fault_plan.is_trivial t.plan
     (* a pending neutralization signal forces the slow path: delivery
-       happens only at scheduler yields, so the leader must stop fusing *)
+       happens only at scheduler yields, so the leader must stop fusing.
+       A pending revocation does the same — the revoked thread leaves the
+       inline path until it re-grants its own flag, mirroring the posted
+       signal *)
     && (not slot.signal)
+    && slot.accessible
     && still_leader t ~tid slot.clock
 
   let inline_access t ~tid slot ~vpage ~paddr ~kind =
     let fs = slot.fstats in
     fs.yields <- fs.yields + 1;
+    (* same commit-time squash evaluation as [cost_of_req] *)
+    if kind <> Load then
+      slot.squashed <-
+        (not slot.accessible) && slot.masked = 0 && slot.exempt = 0;
     if Oamem_obs.Profile.enabled t.prof then begin
       let invs_before = Hierarchy.remote_invalidations t.hierarchy in
       let cost = charge_access t ~tid ~vpage ~paddr ~kind in
@@ -814,6 +880,20 @@ module Mem = struct
         slot.masked <- slot.masked + 1;
         Fun.protect ~finally:(fun () -> slot.masked <- slot.masked - 1) f
 
+  (* Exempt [f]'s accesses from conditional-access squashing: trusted
+     runtime code (allocator metadata walks, superblock anchors) is not
+     part of any scheme's optimistic protocol, so a pending revocation
+     must not make its CASes fail — a revoked bystander flushing its
+     thread cache would otherwise retry a squashed anchor CAS forever.
+     Unlike [masked] this defers nothing: signals still deliver. *)
+  let unconditional (c : ctx) f =
+    match c.eng with
+    | None -> f ()
+    | Some t ->
+        let slot = t.slots.(c.tid) in
+        slot.exempt <- slot.exempt + 1;
+        Fun.protect ~finally:(fun () -> slot.exempt <- slot.exempt - 1) f
+
   let signal_pending (c : ctx) ~tid =
     match c.eng with None -> false | Some t -> t.slots.(tid).signal
 
@@ -861,6 +941,76 @@ module Mem = struct
                   (Oamem_obs.Trace.Neutralize_post { victim });
               Posted
             end)
+
+  (* --- conditional access: simulated revocable accessible flags -------- *)
+
+  (* One conditional access: load the calling thread's own flag line (an L1
+     hit in the steady state; a remote miss right after a revocation, which
+     is how the revocation's coherence traffic lands on the victim) plus the
+     fixed directory-check overhead, then report the flag.  Charged without
+     a yield — the check is atomic with its outcome, exactly as the
+     simulated hardware would resolve it at the access. *)
+  let cond_access (c : ctx) =
+    match c.eng with
+    | None -> true
+    | Some t ->
+        let tid = c.tid in
+        charge_flag_access t ~tid ~owner:tid ~kind:Load
+          ~extra:t.cost.cond_access_extra;
+        t.slots.(tid).accessible
+
+  (* Re-grant the calling thread's own flag (a store on its own flag line);
+     the restart path of a scheme that failed a conditional access. *)
+  let grant_access (c : ctx) =
+    match c.eng with
+    | None -> ()
+    | Some t ->
+        let tid = c.tid in
+        charge_flag_access t ~tid ~owner:tid ~kind:Store ~extra:0;
+        t.slots.(tid).accessible <- true
+
+  (* Revoke [victim]'s accessible flag.  The poster pays the fixed
+     broadcast cost plus an exclusive-ownership store on the victim's flag
+     line (the directory attributes the invalidation like any other remote
+     store).  No yield: like a neutralization post, the revocation is
+     atomic under every policy.  A pending revocation clears every cached
+     leader tenure, exactly like a posted neutralization — the victim must
+     revalidate (and fail, staying off the fused path) before its next
+     access.  Unlike neutralize there is no stall pullback: immediate
+     reclamation does not wait for the laggard; its next conditional access
+     or squashed store restarts it whenever it wakes. *)
+  let revoke (c : ctx) ~victim =
+    match c.eng with
+    | None -> Dead
+    | Some t ->
+        if victim < 0 || victim >= t.nthreads then
+          invalid_arg "Engine.Mem.revoke: bad victim";
+        charge c t.cost.revoke_broadcast;
+        let vslot = t.slots.(victim) in
+        (match vslot.pending with
+        | Crashed -> Dead
+        | Idle when victim <> c.tid -> Dead  (* finished or never started *)
+        | Idle | Start _ | Blocked _ | Parked ->
+            if not vslot.accessible then Already_pending
+            else begin
+              charge_flag_access t ~tid:c.tid ~owner:victim ~kind:Store
+                ~extra:0;
+              vslot.accessible <- false;
+              tenure_clear t;
+              if Oamem_obs.Trace.enabled t.trace then
+                Oamem_obs.Trace.emit t.trace ~tid:c.tid
+                  ~at:t.slots.(c.tid).clock
+                  (Oamem_obs.Trace.Revoke_post { victim });
+              Posted
+            end)
+
+  (* Cost-free queries (sanitizer, tests): is [tid]'s flag revoked, and was
+     the calling thread's last committed Store/Rmw squashed? *)
+  let access_revoked (c : ctx) ~tid =
+    match c.eng with None -> false | Some t -> not t.slots.(tid).accessible
+
+  let squashed (c : ctx) =
+    match c.eng with None -> false | Some t -> t.slots.(c.tid).squashed
 end
 
 (* --- scheduler ----------------------------------------------------------- *)

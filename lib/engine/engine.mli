@@ -153,6 +153,55 @@ module Mem : sig
   (** Whether thread slot [tid] was fail-stopped by fault injection —
       the pthread_tryjoin analogue schemes use to seize a dead thread's
       deferred frees. *)
+
+  (** {3 Conditional access} — a deterministic simulation of the revocable
+      per-thread "accessible" flag of Singh, Brown & Spear's immediate-
+      reclamation hardware primitive.  Flag lines are real simulated
+      addresses, so revocations and flag checks flow through the coherence
+      directory (and the profiler's contention attribution) like any other
+      shared-line traffic.  See DESIGN.md "Conditional access". *)
+
+  val cond_access : t -> bool
+  (** One conditional access: charge a load of the calling thread's own
+      flag line plus [cond_access_extra] directory-check cycles (no yield —
+      the check is atomic with its outcome) and return the flag.  [false]
+      means a revocation is pending: the scheme must restart the operation
+      (after {!grant_access}).  Always [true] for an external context. *)
+
+  val grant_access : t -> unit
+  (** Re-grant the calling thread's own flag (a store on its flag line):
+      the restart path after a failed {!cond_access}. *)
+
+  val revoke : t -> victim:int -> signal_outcome
+  (** Revoke [victim]'s accessible flag (charged [revoke_broadcast] plus a
+      remote store on the victim's flag line; no yield, so the revocation
+      is atomic).  After [Posted], any Store/Rmw the victim commits outside
+      a {!masked} section is {e squashed} — the value mutation does not
+      happen and CAS-like operations report failure — and its next
+      {!cond_access} returns [false]; a poster may therefore free memory
+      the victim could still be reading immediately after revoking.  A
+      pending revocation clears every cached leader tenure, exactly like a
+      posted neutralization, and keeps the victim off the fused fast path
+      until it re-grants its own flag.  Posting to a crashed or finished
+      thread returns [Dead] (safe: it never accesses again); a victim whose
+      flag is already revoked returns [Already_pending]. *)
+
+  val unconditional : t -> (unit -> 'a) -> 'a
+  (** Exempt every access made during the callback from conditional-access
+      squashing; nests.  For trusted runtime code — allocator metadata
+      walks, superblock anchor CASes — that is not part of any scheme's
+      optimistic protocol and must make progress even on a thread whose
+      flag is revoked (e.g. a bystander flushing its thread cache).
+      Orthogonal to {!masked}: signal delivery is not deferred. *)
+
+  val access_revoked : t -> tid:int -> bool
+  (** Cost-free: whether [tid]'s accessible flag is currently revoked
+      (sanitizer and test hook). *)
+
+  val squashed : t -> bool
+  (** Cost-free: whether the calling thread's last committed Store/Rmw was
+      squashed by a pending revocation.  [Cell]/[Vmem] consult this right
+      after the access charge to suppress the value mutation. *)
 end
 
 (** {2 Scheduler} *)

@@ -811,7 +811,17 @@ let robustness =
               nodes.%s\n\n"
              spec.Robustness.stall_at_yield spec.Robustness.workers bound
              (if cfg.sanitize then "  Lifecycle sanitizer: on." else ""));
-        let schemes = [ "nr"; "ebr"; "ibr"; "hp"; "oa-bit"; "oa-ver"; "debra" ] in
+        (* Matrix membership comes from the capability record, not a name
+           list: every registered scheme runs except the ones that recycle
+           retired blocks in-place (the original OA pools), whose reuse the
+           unreclaimed monitor cannot attribute. *)
+        let schemes =
+          List.filter_map
+            (fun (e : Registry.entry) ->
+              if e.Registry.caps.Scheme.recycles_retired then None
+              else Some e.Registry.name)
+            Registry.all
+        in
         (* Every leg is an independent seeded run; shard them across
            cfg.jobs domains and reassemble in canonical order.  The
            labelled pair rows include the DEBRA ablation with
@@ -852,7 +862,8 @@ let robustness =
             leg_results
         in
         let verdict label (s : Robustness.result) (c : Robustness.result) =
-          if label = "nr" then "leaks in both (by design)"
+          if Registry.mem label && (Registry.caps label).Scheme.leaks_by_design
+          then "leaks in both (by design)"
           else if
             s.Robustness.final_unreclaimed > 2 * bound
             && s.Robustness.final_unreclaimed
@@ -884,10 +895,16 @@ let robustness =
                     verdict label s c;
                   ])
                 pairs));
-        (* Garbage-over-time chart for the stalled variant (NR excluded: its
-           monotone leak would flatten every other series). *)
+        (* Garbage-over-time chart for the stalled variant (leak-by-design
+           schemes excluded: their monotone leak would flatten every other
+           series). *)
         let charted =
-          List.filter (fun (label, _) -> label <> "nr") pairs
+          List.filter
+            (fun (label, _) ->
+              not
+                (Registry.mem label
+                && (Registry.caps label).Scheme.leaks_by_design))
+            pairs
         in
         let series =
           List.map
@@ -1224,6 +1241,152 @@ let service =
           results);
   }
 
+(* --- E15: conditional-access immediate reclamation --------------------------- *)
+
+let immediate =
+  {
+    id = "immediate";
+    title =
+      "IMR (conditional-access immediate reclamation) vs OA-BIT / OA-VER \
+       across the figure workloads";
+    paper_ref = "Section 6 (hardware-supported variants) — E15 extension";
+    expected =
+      "IMR stays within the OA envelope on every figure workload while \
+       freeing each retired node immediately (unreclaimed ~0, no limbo \
+       drain); its costs are one revocation broadcast per victim per retire \
+       and the conditional-access failures that surface as restarts";
+    run =
+      (fun cfg ->
+        doc_of @@ fun emit ->
+        emit
+          (Report.section
+             "E15 — immediate reclamation under simulated conditional access");
+        (* The simulated-hardware cost assumptions, side by side: what the
+           coherence directory charges for each primitive the compared
+           schemes lean on.  Printed from the model the cells run under, so
+           the table cannot drift from the measurement. *)
+        let cm = Cost_model.opteron_6274 in
+        emit
+          (Report.table
+             ~header:[ "cost-model parameter"; "cycles"; "charged when" ]
+             [
+               [
+                 "l1_hit";
+                 string_of_int cm.Cost_model.l1_hit;
+                 "every access, incl. the OA warning check";
+               ];
+               [
+                 "fence_full";
+                 string_of_int cm.Cost_model.fence_full;
+                 "IMR validate and retire; OA reclaim-phase fences";
+               ];
+               [
+                 "invalidation";
+                 string_of_int cm.Cost_model.invalidation;
+                 "remote store to a cached line (flag lines included)";
+               ];
+               [
+                 "cond_access_extra";
+                 string_of_int cm.Cost_model.cond_access_extra;
+                 "each conditional access: directory check beyond the \
+                  flag-line load";
+               ];
+               [
+                 "revoke_broadcast";
+                 string_of_int cm.Cost_model.revoke_broadcast;
+                 "each IMR retire: one revocation post per victim thread";
+               ];
+               [
+                 "neutralize_post";
+                 string_of_int cm.Cost_model.neutralize_post;
+                 "DEBRA-style signal post (software baseline for the same \
+                  job)";
+               ];
+             ]);
+        let threads = min 8 (List.fold_left max 1 cfg.threads) in
+        (* The six figure workloads (E1-E6), one cell per (figure, scheme).
+           Every cell is an independent seeded run, sharded across cfg.jobs
+           domains and reassembled in canonical order — results are
+           identical at any -j. *)
+        let figures =
+          [
+            ("fig4a", Runner.List_set, cfg.fig4_size, Workload.update_only, 16, 8);
+            ("fig4b", Runner.List_set, cfg.fig4_size, Workload.balanced, 16, 8);
+            ("fig5a", Runner.Hash_set, 10_000, Workload.update_only, 64, 2);
+            ("fig5b", Runner.Hash_set, 10_000, Workload.balanced, 64, 2);
+            ("fig6a", Runner.Hash_set, cfg.fig6_size, Workload.update_only, 64, 2);
+            ("fig6b", Runner.Hash_set, cfg.fig6_size, Workload.balanced, 64, 2);
+          ]
+        in
+        let schemes = [ "oa-bit"; "oa-ver"; "imr" ] in
+        let cells =
+          List.concat_map
+            (fun fig -> List.map (fun scheme -> (fig, scheme)) schemes)
+            figures
+        in
+        let run_cell ((_, structure, initial, mix, threshold, mult), scheme) =
+          Runner.run
+            {
+              Runner.default_spec with
+              Runner.scheme;
+              threads;
+              structure;
+              workload = Workload.make ~mix ~initial ();
+              horizon_cycles = mult * cfg.horizon_cycles;
+              threshold;
+              seed = cfg.seed;
+            }
+        in
+        let results = Pool.map_exn ~jobs:cfg.jobs run_cell cells in
+        let header =
+          [
+            "figure"; "scheme"; "Mops/s"; "restarts"; "cond-fails"; "freed";
+            "retired-freed";
+          ]
+        in
+        let rows =
+          List.map2
+            (fun ((figname, _, _, _, _, _), scheme) r ->
+              let m = r.Runner.metrics in
+              let retired = Metrics.find m "scheme.retired"
+              and freed = Metrics.find m "scheme.freed" in
+              [
+                figname;
+                scheme;
+                fmt_mops r.Runner.throughput_mops;
+                string_of_int (Metrics.find m "scheme.restarts");
+                string_of_int (Metrics.find m "scheme.cond_fails");
+                string_of_int freed;
+                string_of_int (retired - freed);
+              ])
+            cells results
+        in
+        emit (Report.table ~header rows);
+        (* The punchline, per figure: how much throughput the immediate-free
+           property costs against each hazard-pointer OA flavour. *)
+        let tagged =
+          List.map2
+            (fun ((fig, _, _, _, _, _), scheme) r -> ((fig, scheme), r))
+            cells results
+        in
+        let mops fig scheme =
+          (List.assoc (fig, scheme) tagged).Runner.throughput_mops
+        in
+        let ratio a b = if b > 0. then Printf.sprintf "%.2f" (a /. b) else "-" in
+        emit
+          (Report.table
+             ~header:[ "figure"; "imr / oa-bit"; "imr / oa-ver" ]
+             (List.map
+                (fun (fig, _, _, _, _, _) ->
+                  [
+                    fig;
+                    ratio (mops fig "imr") (mops fig "oa-bit");
+                    ratio (mops fig "imr") (mops fig "oa-ver");
+                  ])
+                figures));
+        emit (Report.csv ~filename:"immediate.csv" ~header rows));
+  }
+
 let all =
   [
     fig4a;
@@ -1243,6 +1406,7 @@ let all =
     vbr_stack;
     robustness;
     service;
+    immediate;
   ]
 
 let find id =

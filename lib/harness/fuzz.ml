@@ -65,7 +65,9 @@ let run_once sc ~scheme prefix =
 
 (* --- the scenario registry ------------------------------------------------ *)
 
-let all_schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr"; "debra" ]
+(* Every registered scheme, from the single resolution point — a scheme
+   added to the registry (e.g. imr) is fuzzed without touching this file. *)
+let all_schemes = Oamem_reclaim.Registry.names
 
 let list_insert_delete =
   {
@@ -264,6 +266,51 @@ let stall_neutralize_churn =
                  (String.concat ";" (List.map string_of_int final))));
   }
 
+(* IMR frees immediately after revoking access, so a thread stalled
+   mid-traversal is guaranteed to have the memory under its feet freed —
+   every schedule exercises the squash-and-restart path, and the
+   prefix-derived stall moves the revocation window around. *)
+let revoke_churn =
+  {
+    name = "revoke-churn";
+    descr = "IMR immediate-free churn with a prefix-derived mid-op stall";
+    nthreads = 2;
+    schemes = [ "imr" ];
+    expect_fail = false;
+    plan =
+      Some
+        (fun prefix ->
+          let h =
+            Array.fold_left (fun a c -> ((a * 31) + c + 1) land max_int) 17
+              prefix
+          in
+          Oamem_faults.Scenario.stall_one ~tid:(h mod 2)
+            ~at_yield:(1 + (h / 7 mod 60))
+            ~cycles:1_000_000);
+    build =
+      (fun sys ->
+        let setup_ctx = Engine.external_ctx () in
+        let h = System.hash_set sys setup_ctx ~expected_size:2 in
+        Michael_hash.prefill h setup_ctx [ 10; 20; 30; 40 ];
+        let ok = Array.make 6 false in
+        System.spawn sys ~tid:0 (fun ctx ->
+            ok.(0) <- Michael_hash.delete h ctx 10;
+            ok.(1) <- Michael_hash.insert h ctx 50;
+            ok.(2) <- Michael_hash.delete h ctx 50);
+        System.spawn sys ~tid:1 (fun ctx ->
+            ok.(3) <- Michael_hash.delete h ctx 30;
+            ok.(4) <- Michael_hash.insert h ctx 70;
+            ok.(5) <- Michael_hash.insert h ctx 90);
+        fun () ->
+          if not (Array.for_all Fun.id ok) then
+            failwith "operation failed unexpectedly";
+          let final = List.sort compare (Michael_hash.to_list h) in
+          if final <> [ 20; 40; 70; 90 ] then
+            failwith
+              (Printf.sprintf "bad final state: [%s]"
+                 (String.concat ";" (List.map string_of_int final))));
+  }
+
 (* A seeded bug: a non-atomic read-modify-write.  Most schedules pass; the
    fuzzer must find one that loses an update, shrink it, and the repro must
    replay.  Used by the tests and `repro fuzz --include-expected'. *)
@@ -294,7 +341,7 @@ let buggy_counter =
 let scenarios =
   [
     list_insert_delete; list_mixed; ms_queue; michael_hash;
-    stall_neutralize_churn; buggy_counter;
+    stall_neutralize_churn; revoke_churn; buggy_counter;
   ]
 
 let find_scenario name =

@@ -66,13 +66,18 @@ let with_span ctx frame f =
         raise e
   end
 
-(* Run [f] as an allocator-internal section for the observer. *)
+(* Run [f] as an allocator-internal section: exempt from conditional-access
+   squashing (the allocator is trusted runtime code, not part of any
+   scheme's optimistic protocol — a revoked thread must still be able to
+   flush its cache or walk superblock anchors without its CASes failing
+   forever), and flagged for the lifecycle observer when one is attached. *)
 let with_internal t ctx f =
-  match t.lifecycle with
-  | None -> f ()
-  | Some h ->
-      h.enter ctx;
-      Fun.protect ~finally:(fun () -> h.leave ctx) f
+  Engine.Mem.unconditional ctx (fun () ->
+      match t.lifecycle with
+      | None -> f ()
+      | Some h ->
+          h.enter ctx;
+          Fun.protect ~finally:(fun () -> h.leave ctx) f)
 
 let emit t ctx kind =
   let tr = Heap.trace t.heap in
@@ -143,7 +148,7 @@ let recover_pressure t ctx =
           Frames.set_quota frames (Some (q + cfg.Config.pressure_reserve_frames)))
         saved;
       flush_thread_cache t ctx;
-      Heap.trim t.heap ctx);
+      Engine.Mem.unconditional ctx (fun () -> Heap.trim t.heap ctx));
   let hs = Heap.stats t.heap in
   hs.Heap.pressure_recoveries <- hs.Heap.pressure_recoveries + 1
 
@@ -246,6 +251,8 @@ let free t ctx addr =
    in the given contexts) and release lingering empty superblocks. *)
 let flush_all t ctxs =
   List.iter (fun ctx -> flush_thread_cache t ctx) ctxs;
-  match ctxs with [] -> () | ctx :: _ -> Heap.trim t.heap ctx
+  match ctxs with
+  | [] -> ()
+  | ctx :: _ -> Engine.Mem.unconditional ctx (fun () -> Heap.trim t.heap ctx)
 
 let stats t = Heap.stats t.heap

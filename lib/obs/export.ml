@@ -9,8 +9,9 @@ let args_of_kind (k : Trace.kind) : (string * Json.t) list =
   | Superblock_transition { desc; state } ->
       [ ("desc", Int desc); ("state", String state) ]
   | Stall { cycles } -> [ ("cycles", Int cycles) ]
-  | Neutralize_post { victim } -> [ ("victim", Int victim) ]
-  | Restart | Crash | Neutralized -> []
+  | Neutralize_post { victim } | Revoke_post { victim } ->
+      [ ("victim", Int victim) ]
+  | Restart | Crash | Neutralized | Cond_fail -> []
 
 let category_of_kind (k : Trace.kind) =
   match k with
@@ -19,6 +20,7 @@ let category_of_kind (k : Trace.kind) =
   | Fault_in _ | Frames_released _ -> "vmem"
   | Superblock_transition _ -> "superblock"
   | Stall _ | Crash | Neutralize_post _ | Neutralized -> "fault"
+  | Revoke_post _ | Cond_fail -> "reclaim"
 
 let chrome_event (e : Trace.event) : Json.t =
   let common =

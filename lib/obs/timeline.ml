@@ -27,6 +27,8 @@ type column =
   | Crashes
   | Neutralize_posts
   | Neutralized
+  | Revoke_posts
+  | Cond_fails
 
 let column_index = function
   | Allocs -> 0
@@ -44,14 +46,17 @@ let column_index = function
   | Crashes -> 12
   | Neutralize_posts -> 13
   | Neutralized -> 14
+  | Revoke_posts -> 15
+  | Cond_fails -> 16
 
-let ncols = 15
+let ncols = 17
 
 let columns =
   [
     Allocs; Frees; Retires; Reclaim_phases; Reclaim_freed; Warnings;
     Warnings_piggybacked; Restarts; Faults_in; Frames_released;
     Superblock_transitions; Stalls; Crashes; Neutralize_posts; Neutralized;
+    Revoke_posts; Cond_fails;
   ]
 
 let column_name = function
@@ -70,6 +75,8 @@ let column_name = function
   | Crashes -> "crashes"
   | Neutralize_posts -> "neutralize_posts"
   | Neutralized -> "neutralized"
+  | Revoke_posts -> "revoke_posts"
+  | Cond_fails -> "cond_fails"
 
 (* Per-frame latency histogram, same log2 bucketing as Profile so
    [Profile.percentile] applies unchanged to the per-slice views. *)
@@ -199,6 +206,8 @@ let charge_kind agg (kind : Trace.kind) =
   | Trace.Crash -> bump agg Crashes 1
   | Trace.Neutralize_post _ -> bump agg Neutralize_posts 1
   | Trace.Neutralized -> bump agg Neutralized 1
+  | Trace.Revoke_post _ -> bump agg Revoke_posts 1
+  | Trace.Cond_fail -> bump agg Cond_fails 1
 
 let note_event t (e : Trace.event) =
   if t.on then begin

@@ -45,6 +45,8 @@ type column =
   | Crashes
   | Neutralize_posts
   | Neutralized
+  | Revoke_posts
+  | Cond_fails
 
 val columns : column list
 val column_name : column -> string

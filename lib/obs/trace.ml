@@ -21,6 +21,8 @@ type kind =
   | Crash
   | Neutralize_post of { victim : int }
   | Neutralized
+  | Revoke_post of { victim : int }
+  | Cond_fail
 
 type event = { tid : int; at : int; kind : kind }
 
@@ -120,6 +122,8 @@ let kind_name = function
   | Crash -> "crash"
   | Neutralize_post _ -> "neutralize_post"
   | Neutralized -> "neutralized"
+  | Revoke_post _ -> "revoke_post"
+  | Cond_fail -> "cond_fail"
 
 let pp_event ppf e =
   Fmt.pf ppf "[%d@%d] %s" e.tid e.at (kind_name e.kind);
@@ -133,5 +137,6 @@ let pp_event ppf e =
   | Superblock_transition { desc; state } ->
       Fmt.pf ppf " desc=%d state=%s" desc state
   | Stall { cycles } -> Fmt.pf ppf " cycles=%d" cycles
-  | Neutralize_post { victim } -> Fmt.pf ppf " victim=%d" victim
-  | Restart | Crash | Neutralized -> ()
+  | Neutralize_post { victim } | Revoke_post { victim } ->
+      Fmt.pf ppf " victim=%d" victim
+  | Restart | Crash | Neutralized | Cond_fail -> ()

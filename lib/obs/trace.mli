@@ -33,6 +33,11 @@ type kind =
   | Neutralized
       (** a posted signal was delivered to this thread, unwinding it to
           its checkpoint *)
+  | Revoke_post of { victim : int }
+      (** this thread revoked [victim]'s conditional-access flag *)
+  | Cond_fail
+      (** a conditional access by this thread failed (flag revoked),
+          restarting its operation *)
 
 type event = { tid : int; at : int; kind : kind }
 (** [at] is the emitting thread's simulated clock, in cycles. *)

@@ -62,6 +62,16 @@ type thread_state = {
   buckets : Limbo.t array;  (* 3 buckets, indexed by epoch mod 3 *)
 }
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = false;
+    neutralizes = true;
+    recycles_retired = false;
+    leaks_by_design = false;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     ~nthreads : Scheme.ops =
   let geom = Oamem_vmem.Vmem.geometry (Oamem_lrmalloc.Lrmalloc.vmem lr) in
@@ -153,6 +163,9 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   let masked ctx f = Engine.Mem.masked ctx f in
   {
     Scheme.name = "debra";
+    (* [neutralizes] tracks the config switch: with [neutralize = false]
+       the scheme degrades to plain EBR and never posts a signal. *)
+    caps = { caps with Scheme.neutralizes = cfg.Scheme.neutralize };
     alloc =
       (fun ctx size ->
         masked ctx (fun () -> Oamem_lrmalloc.Lrmalloc.malloc lr ctx size));

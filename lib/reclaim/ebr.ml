@@ -13,6 +13,16 @@ type thread_state = {
   buckets : Limbo.t array;  (* 3 buckets, indexed by epoch mod 3 *)
 }
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = false;
+    neutralizes = false;
+    recycles_retired = false;
+    leaks_by_design = false;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     ~nthreads : Scheme.ops =
   let geom = Oamem_vmem.Vmem.geometry (Oamem_lrmalloc.Lrmalloc.vmem lr) in
@@ -58,6 +68,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   {
     Scheme.name = "ebr";
+    caps;
     alloc = (fun ctx size -> Oamem_lrmalloc.Lrmalloc.malloc lr ctx size);
     retire =
       (fun ctx addr ->

@@ -9,6 +9,16 @@ open Oamem_engine
 
 type thread_state = { limbo : Limbo.t }
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = true;
+    neutralizes = false;
+    recycles_retired = false;
+    leaks_by_design = false;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     ~nthreads : Scheme.ops =
   let geom = Oamem_vmem.Vmem.geometry (Oamem_lrmalloc.Lrmalloc.vmem lr) in
@@ -35,6 +45,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   {
     Scheme.name = "hp";
+    caps;
     alloc = (fun ctx size -> Oamem_lrmalloc.Lrmalloc.malloc lr ctx size);
     retire =
       (fun ctx addr ->

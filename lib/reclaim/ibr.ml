@@ -25,6 +25,16 @@ type thread_state = {
 
 let header_words = 2
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = false;
+    neutralizes = false;
+    recycles_retired = false;
+    leaks_by_design = false;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     ~nthreads : Scheme.ops =
   let vmem = Oamem_lrmalloc.Lrmalloc.vmem lr in
@@ -65,6 +75,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   {
     Scheme.name = "ibr";
+    caps;
     alloc =
       (fun ctx size ->
         let header = Oamem_lrmalloc.Lrmalloc.malloc lr ctx (size + header_words) in

@@ -1,4 +1,5 @@
-(** Reclamation scheme: the original OA method with fixed recycling pools (Cohen & Petrank 2015). *)
+(** Reclamation scheme: IMR — immediate reclamation via conditional-access
+    revocation (free on retire, no limbo, no grace period). *)
 
 open Oamem_engine
 

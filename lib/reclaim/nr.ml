@@ -5,11 +5,22 @@
 
 open Oamem_engine
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = false;
+    neutralizes = false;
+    recycles_retired = false;
+    leaks_by_design = true;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (_cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t)
     ~meta:(_ : Cell.heap) ~nthreads:(_ : int) : Scheme.ops =
   let sink = Scheme.fresh_sink () in
   {
     Scheme.name = "nr";
+    caps;
     alloc = (fun ctx size -> Oamem_lrmalloc.Lrmalloc.malloc lr ctx size);
     retire =
       (fun ctx addr ->

@@ -2,6 +2,10 @@
 
 open Oamem_engine
 
+val caps : Scheme.caps
+(** Static capability declaration (the default-config view; the [ops]
+    record's [caps] is authoritative per instance). *)
+
 val make :
   Scheme.config ->
   alloc:Oamem_lrmalloc.Lrmalloc.t ->

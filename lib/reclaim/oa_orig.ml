@@ -23,6 +23,16 @@ open Oamem_engine
 
 type thread_state = { warning : Cell.t }
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = true;
+    neutralizes = false;
+    recycles_retired = true;
+    leaks_by_design = true;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     ~nthreads : Scheme.ops =
   let vmem = Oamem_lrmalloc.Lrmalloc.vmem lr in
@@ -98,6 +108,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   {
     Scheme.name = "oa";
+    caps;
     alloc;
     retire =
       (fun ctx addr ->

@@ -18,6 +18,16 @@ type thread_state = {
   mutable last_retire_time : int;
 }
 
+let caps : Scheme.caps =
+  {
+    hazard_writes = true;
+    neutralizes = false;
+    recycles_retired = false;
+    leaks_by_design = false;
+    conditional_access = false;
+    frees_immediately = false;
+  }
+
 let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
     ~nthreads : Scheme.ops =
   let geom = Oamem_vmem.Vmem.geometry (Oamem_lrmalloc.Lrmalloc.vmem lr) in
@@ -92,6 +102,7 @@ let make (cfg : Scheme.config) ~alloc:(lr : Oamem_lrmalloc.Lrmalloc.t) ~meta
   in
   {
     Scheme.name = "oa-ver";
+    caps;
     alloc = (fun ctx size -> Oamem_lrmalloc.Lrmalloc.palloc lr ctx size);
     retire;
     cancel = (fun ctx addr -> Oamem_lrmalloc.Lrmalloc.free lr ctx addr);

@@ -1,4 +1,8 @@
-(* Name -> reclamation-scheme factory, for the CLI and the harness. *)
+(* The single point where a scheme name resolves to anything: constructor,
+   capability record and one-line description.  Every consumer that used to
+   keep its own hand-rolled scheme list or name-string policy table (the
+   CLI, the benches, the harness experiments, the sanitizer wiring) goes
+   through [find]/[all] instead. *)
 
 open Oamem_engine
 
@@ -9,27 +13,83 @@ type factory =
   nthreads:int ->
   Scheme.ops
 
-let all : (string * factory) list =
+type entry = {
+  name : string;
+  doc : string;  (* one line, for --help and the README scheme table *)
+  caps : Scheme.caps;  (* static default-config view (see Scheme.caps) *)
+  make : factory;
+}
+
+let all : entry list =
   [
-    ("nr", Nr.make);
-    ("oa", Oa_orig.make);
-    ("oa-bit", Oa_bit.make);
-    ("oa-ver", Oa_ver.make);
-    ("hp", Hp.make);
-    ("ebr", Ebr.make);
-    ("ibr", Ibr.make);
-    ("debra", Debra.make);
+    {
+      name = "nr";
+      doc = "no reclamation: leak everything (baseline)";
+      caps = Nr.caps;
+      make = Nr.make;
+    };
+    {
+      name = "oa";
+      doc = "original optimistic access over fixed recycling pools";
+      caps = Oa_orig.caps;
+      make = Oa_orig.make;
+    };
+    {
+      name = "oa-bit";
+      doc = "OA with per-thread warning bits over palloc (Algorithm 1)";
+      caps = Oa_bit.caps;
+      make = Oa_bit.make;
+    };
+    {
+      name = "oa-ver";
+      doc = "OA with a monotonic global version clock (Algorithm 2)";
+      caps = Oa_ver.caps;
+      make = Oa_ver.make;
+    };
+    {
+      name = "hp";
+      doc = "hazard pointers: publish + fence per traversed node";
+      caps = Hp.caps;
+      make = Hp.make;
+    };
+    {
+      name = "ebr";
+      doc = "epoch-based reclamation with three limbo buckets";
+      caps = Ebr.caps;
+      make = Ebr.make;
+    };
+    {
+      name = "ibr";
+      doc = "2GE interval-based reclamation (birth/retire eras)";
+      caps = Ibr.caps;
+      make = Ibr.make;
+    };
+    {
+      name = "debra";
+      doc = "DEBRA+ epochs with neutralization signals for laggards";
+      caps = Debra.caps;
+      make = Debra.make;
+    };
+    {
+      name = "imr";
+      doc = "immediate reclamation via conditional-access revocation";
+      caps = Imr.caps;
+      make = Imr.make;
+    };
   ]
 
-let names = List.map fst all
+let names = List.map (fun e -> e.name) all
 
 let find name =
-  match List.assoc_opt name all with
-  | Some f -> f
+  match List.find_opt (fun e -> String.equal e.name name) all with
+  | Some e -> e
   | None ->
       invalid_arg
         (Printf.sprintf "unknown reclamation scheme %S (known: %s)" name
            (String.concat ", " names))
+
+let caps name = (find name).caps
+let mem name = List.exists (fun e -> String.equal e.name name) all
 
 (* The four methods compared in the paper's evaluation, in its order. *)
 let paper_methods = [ "nr"; "oa"; "oa-bit"; "oa-ver" ]

@@ -1,4 +1,9 @@
-(** Name -> reclamation-scheme factory. *)
+(** The single resolution point for reclamation-scheme names.
+
+    A scheme name resolves here — and only here — to its constructor, its
+    {!Scheme.caps} record and a one-line description.  No other component
+    may match on scheme name strings: consumers branch on [caps] fields
+    instead. *)
 
 open Oamem_engine
 
@@ -9,11 +14,28 @@ type factory =
   nthreads:int ->
   Scheme.ops
 
-val all : (string * factory) list
+type entry = {
+  name : string;
+  doc : string;  (** one line, for [--help] and the README scheme table *)
+  caps : Scheme.caps;
+      (** static default-config view; the constructed [ops.caps] is
+          authoritative per instance (DEBRA's [neutralizes] follows its
+          config switch) *)
+  make : factory;
+}
+
+val all : entry list
+(** Every registered scheme, in presentation order. *)
+
 val names : string list
 
-val find : string -> factory
+val find : string -> entry
 (** Raises [Invalid_argument] for unknown names. *)
+
+val caps : string -> Scheme.caps
+(** [caps name = (find name).caps]. *)
+
+val mem : string -> bool
 
 val paper_methods : string list
 (** [nr; oa; oa-bit; oa-ver] — the four methods of the paper's §5. *)

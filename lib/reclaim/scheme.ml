@@ -37,6 +37,7 @@ type stats = {
   mutable reclaim_phases : int;  (** limbo scans / recycling phases *)
   mutable neutralized : int;  (** ops recovered after a neutralization *)
   mutable seized : int;  (** limbo nodes seized from dead threads' bags *)
+  mutable cond_fails : int;  (** failed conditional accesses (IMR) *)
 }
 
 let fresh_stats () =
@@ -49,6 +50,7 @@ let fresh_stats () =
     reclaim_phases = 0;
     neutralized = 0;
     seized = 0;
+    cond_fails = 0;
   }
 
 (* Retired-but-unreclaimed nodes: the garbage a stalled thread can pin. *)
@@ -71,7 +73,8 @@ let reset_stats s =
   s.warnings_piggybacked <- 0;
   s.reclaim_phases <- 0;
   s.neutralized <- 0;
-  s.seized <- 0
+  s.seized <- 0;
+  s.cond_fails <- 0
 
 (* The shared emit path: every scheme (and the data structures driving one)
    reports reclamation activity through a sink, which bumps the stats record
@@ -125,8 +128,39 @@ let note_neutralized sink ctx =
    until actually freed, but are no longer pinned forever. *)
 let note_seized sink n = sink.stats.seized <- sink.stats.seized + n
 
+(* A conditional access failed: the thread's accessible flag was revoked
+   and its operation restarts (IMR's analogue of a fired warning bit). *)
+let note_cond_fail sink ctx =
+  sink.stats.cond_fails <- sink.stats.cond_fails + 1;
+  emit sink ctx Trace.Cond_fail
+
+(* Declarative capabilities: every behavioural property a consumer used to
+   infer from the scheme's name, stated once in the scheme's [ops].  The
+   sanitizer's suppression policy, the fault-matrix legs and the README
+   scheme table are all derived from this record — no name-string matching
+   outside [Registry]. *)
+type caps = {
+  hazard_writes : bool;
+      (** publishes hazard pointers: a store to a retired node is legal only
+          under a covering hazard *)
+  neutralizes : bool;
+      (** posts neutralization signals; stores by a signal-pending thread
+          are squashed-in-effect (DEBRA+) *)
+  recycles_retired : bool;
+      (** recycles retired nodes in place without freeing (OA-orig pools) *)
+  leaks_by_design : bool;
+      (** never reclaims: retired nodes outliving the run are expected *)
+  conditional_access : bool;
+      (** accesses run under a revocable accessible flag; stores by a
+          revoked thread are squashed by the simulated hardware *)
+  frees_immediately : bool;
+      (** frees retired nodes immediately after revoking access — no limbo
+          list, no grace period (IMR) *)
+}
+
 type ops = {
   name : string;
+  caps : caps;
   alloc : Engine.ctx -> int -> int;
   retire : Engine.ctx -> int -> unit;
   cancel : Engine.ctx -> int -> unit;
@@ -267,6 +301,6 @@ let profiled (ops : ops) =
 let pp_stats ppf s =
   Fmt.pf ppf
     "retired=%d freed=%d restarts=%d warnings=%d piggyback=%d phases=%d \
-     neutralized=%d seized=%d"
+     neutralized=%d seized=%d cond_fails=%d"
     s.retired s.freed s.restarts s.warnings_fired s.warnings_piggybacked
-    s.reclaim_phases s.neutralized s.seized
+    s.reclaim_phases s.neutralized s.seized s.cond_fails

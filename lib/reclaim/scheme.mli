@@ -23,6 +23,9 @@ type stats = {
       (** operations recovered after a delivered neutralization signal *)
   mutable seized : int;
       (** limbo nodes seized from dead (crashed/finished) threads' bags *)
+  mutable cond_fails : int;
+      (** failed conditional accesses: the thread found its accessible flag
+          revoked and restarted (IMR) *)
 }
 
 val fresh_stats : unit -> stats
@@ -75,8 +78,39 @@ val note_seized : sink -> int -> unit
 (** [n] limbo nodes seized from a dead thread's bag (they remain counted
     retired until actually freed — seizure unpins, it does not free). *)
 
+val note_cond_fail : sink -> Engine.ctx -> unit
+(** One failed conditional access (the thread's accessible flag was found
+    revoked; its operation restarts).  Emits {!Trace.Cond_fail}. *)
+
+(** Declarative capabilities, stated once per scheme in its {!ops}.  Every
+    behavioural property a consumer would otherwise infer from the scheme's
+    name lives here: the sanitizer derives its suppression policy from
+    [caps], the fault-matrix picks its legs from [caps], and the README
+    scheme table is generated from [caps].  No component outside
+    [Registry] may resolve a scheme by name-string matching. *)
+type caps = {
+  hazard_writes : bool;
+      (** publishes hazard pointers: a store to a retired node is legal
+          only under a covering hazard *)
+  neutralizes : bool;
+      (** posts neutralization signals (DEBRA+); stores by a
+          signal-pending thread are tolerated until delivery *)
+  recycles_retired : bool;
+      (** recycles retired nodes in place without freeing (OA-orig
+          pools) — stores into retired nodes are the design *)
+  leaks_by_design : bool;
+      (** never reclaims: retired nodes outliving the run are expected *)
+  conditional_access : bool;
+      (** accesses run under a revocable accessible flag; stores by a
+          revoked thread are squashed by the simulated hardware *)
+  frees_immediately : bool;
+      (** frees retired nodes immediately after revoking access — no
+          limbo list, no grace period (IMR) *)
+}
+
 type ops = {
   name : string;
+  caps : caps;  (** declared capabilities (see {!caps}) *)
   alloc : Engine.ctx -> int -> int;  (** node allocation (palloc for OA) *)
   retire : Engine.ctx -> int -> unit;  (** unlinked node: free when safe *)
   cancel : Engine.ctx -> int -> unit;  (** return a never-published node *)

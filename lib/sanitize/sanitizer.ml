@@ -33,64 +33,23 @@ module Lrmalloc = Oamem_lrmalloc.Lrmalloc
 module Scheme = Oamem_reclaim.Scheme
 module Trace = Oamem_obs.Trace
 
-type policy = {
-  hazard_writes : bool;
-  recycles_retired : bool;
-  leaks_by_design : bool;
-  neutralizes : bool;
-}
+(* What the scheme under test promises is no longer a sanitizer-owned table
+   keyed by name strings: it is the scheme's own capability declaration
+   ({!Scheme.caps}), resolved through the registry by the assembled system.
+   The suppression logic maps capabilities to legal accesses:
 
-(* What each registered scheme promises.  The OA family and HP publish
-   hazards before every write to a node a CAS involves; EBR/IBR rely on
-   grace periods instead (no per-access write contract to check); NR never
-   reclaims and the original OA pools never return memory, so both leak at
-   quiescence by design.  DEBRA additionally neutralizes: a poster may free
-   a victim's reachable nodes the moment its signal posts, because the
-   victim's next access is guaranteed to be discarded unexecuted — the
-   access check must honour that window (see [neutralizes]). *)
-let policy_of_scheme = function
-  | "nr" ->
-      {
-        hazard_writes = false;
-        recycles_retired = false;
-        leaks_by_design = true;
-        neutralizes = false;
-      }
-  | "oa" ->
-      {
-        hazard_writes = true;
-        recycles_retired = true;
-        leaks_by_design = true;
-        neutralizes = false;
-      }
-  | "oa-bit" | "oa-ver" | "hp" ->
-      {
-        hazard_writes = true;
-        recycles_retired = false;
-        leaks_by_design = false;
-        neutralizes = false;
-      }
-  | "ebr" | "ibr" ->
-      {
-        hazard_writes = false;
-        recycles_retired = false;
-        leaks_by_design = false;
-        neutralizes = false;
-      }
-  | "debra" ->
-      {
-        hazard_writes = false;
-        recycles_retired = false;
-        leaks_by_design = false;
-        neutralizes = true;
-      }
-  | _ ->
-      {
-        hazard_writes = false;
-        recycles_retired = true;
-        leaks_by_design = true;
-        neutralizes = false;
-      }
+   - [hazard_writes]: the OA family and HP publish hazards before every
+     write to a node a CAS involves, so an uncovered store to a retired
+     block is a violation; epoch/interval schemes rely on grace periods
+     the sanitizer cannot refute access by access.
+   - [neutralizes]: a poster may free a victim's reachable nodes the moment
+     its signal posts, because the victim's next access is guaranteed to be
+     discarded unexecuted — the access check honours that window.
+   - [conditional_access]: a store by a thread whose accessible flag is
+     revoked is squashed by the simulated hardware, so a store to a freed
+     block while revoked is the expected restart path, not a violation; the
+     same store while *not* revoked remains a real use-after-free. *)
+type policy = Scheme.caps
 
 type kind =
   | Double_retire of { addr : int; first_tid : int; first_cycle : int }
@@ -326,6 +285,15 @@ let on_access t ctx ~addr ~kind =
            signal pending the yield delivers instead of executing: this
            store is about to be discarded unexecuted, and the poster was
            entitled to free the block the moment the post succeeded *)
+        ()
+    | Engine.Store | Engine.Rmw
+      when t.policy.conditional_access
+           && Engine.Mem.access_revoked ctx ~tid:(Engine.Mem.tid ctx) ->
+        (* conditional access: the store commits squashed — the hardware
+           drops the mutation — and the retiring thread revoked *before*
+           freeing, so a revoked thread's store to a freed block is the
+           expected restart path.  A store to freed memory while NOT
+           revoked falls through and is still reported. *)
         ()
     | Engine.Store | Engine.Rmw -> (
         match block_of t addr with

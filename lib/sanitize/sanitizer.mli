@@ -23,32 +23,29 @@
 
 open Oamem_engine
 
+type policy = Oamem_reclaim.Scheme.caps
 (** What the scheme under test promises — drives which accesses are
-    violations.  See {!policy_of_scheme} for the per-scheme settings. *)
-type policy = {
-  hazard_writes : bool;
-      (** stores/RMWs to retired blocks require a published hazard covering
-          the block (HP and the OA family); epoch-based schemes instead
-          rely on grace periods, which the sanitizer cannot refute access
-          by access *)
-  recycles_retired : bool;
-      (** the scheme recycles retired nodes without freeing them (the
-          original OA pools): [Retired -> Allocated] is a legal transition *)
-  leaks_by_design : bool;
-      (** retired-but-unreclaimed blocks at quiescence are expected (no
-          reclamation; bounded recycling pools) *)
-  neutralizes : bool;
-      (** the scheme posts neutralization signals (DEBRA): a store observed
-          while the acting thread has a signal pending targets an access
-          that will be discarded unexecuted by the unwind, so it is not a
-          violation even if the block was already freed — the poster is
-          allowed to reclaim the victim's reachable nodes the moment the
-          post succeeds *)
-}
+    violations.  This is the scheme's own capability declaration
+    ({!Oamem_reclaim.Scheme.caps}); the assembled system resolves it through
+    {!Oamem_reclaim.Registry} rather than matching on name strings:
 
-val policy_of_scheme : string -> policy
-(** Policy for a registered scheme name; unknown names get the most lenient
-    policy. *)
+    - [hazard_writes]: stores/RMWs to retired blocks require a published
+      hazard covering the block (HP and the OA family); epoch-based schemes
+      instead rely on grace periods, which cannot be refuted access by
+      access;
+    - [recycles_retired]: [Retired -> Allocated] is a legal transition (the
+      original OA pools);
+    - [leaks_by_design]: retired-but-unreclaimed blocks at quiescence are
+      expected;
+    - [neutralizes]: a store observed while the acting thread has a signal
+      pending will be discarded unexecuted by the unwind, so it is not a
+      violation even if the block was already freed;
+    - [conditional_access]: a store by a thread whose accessible flag is
+      revoked commits squashed, so a revoked thread's store to a freed
+      block is the expected restart path (the same store while not revoked
+      is still a violation);
+    - [frees_immediately]: informational here (the revocation protocol
+      above is what makes immediate frees legal). *)
 
 type kind =
   | Double_retire of { addr : int; first_tid : int; first_cycle : int }

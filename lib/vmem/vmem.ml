@@ -405,7 +405,9 @@ let store t ctx addr v =
   let f = write_frame t ctx (Engine.Mem.tid ctx) addr vpage in
   Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Store;
-  Atomic.set (Frames.word t.frames ~frame:f ~off) v
+  (* Squashed under a revoked accessible flag (IMR): charged but dropped. *)
+  if not (Engine.Mem.squashed ctx) then
+    Atomic.set (Frames.word t.frames ~frame:f ~off) v
 
 let cas t ctx addr ~expect ~desired =
   observe_access t ctx addr Engine.Rmw;
@@ -414,11 +416,18 @@ let cas t ctx addr ~expect ~desired =
   let f = rmw_frame t ctx (Engine.Mem.tid ctx) addr vpage in
   Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Rmw;
-  let ok =
-    Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect desired
-  in
-  if not ok then Engine.Mem.note_cas_failure ctx ~addr;
-  ok
+  if Engine.Mem.squashed ctx then begin
+    Engine.Mem.note_cas_failure ctx ~addr;
+    false
+  end
+  else begin
+    let ok =
+      Atomic.compare_and_set (Frames.word t.frames ~frame:f ~off) expect
+        desired
+    in
+    if not ok then Engine.Mem.note_cas_failure ctx ~addr;
+    ok
+  end
 
 let fetch_and_add t ctx addr d =
   observe_access t ctx addr Engine.Rmw;
@@ -427,7 +436,8 @@ let fetch_and_add t ctx addr d =
   let f = write_frame t ctx (Engine.Mem.tid ctx) addr vpage in
   Engine.Mem.access ctx ~vpage ~paddr:(Frames.paddr t.frames ~frame:f ~off)
     ~kind:Engine.Rmw;
-  Atomic.fetch_and_add (Frames.word t.frames ~frame:f ~off) d
+  if Engine.Mem.squashed ctx then Atomic.get (Frames.word t.frames ~frame:f ~off)
+  else Atomic.fetch_and_add (Frames.word t.frames ~frame:f ~off) d
 
 (* Double-width CAS over two adjacent words (tagged-pointer ABA prevention,
    as used by VBR).  [addr] must be even so both words share a cache line.
@@ -442,7 +452,11 @@ let dwcas t ctx addr ~expect0 ~expect1 ~desired0 ~desired1 =
     ~kind:Engine.Rmw;
   let w0 = Frames.word t.frames ~frame:f ~off in
   let w1 = Frames.word t.frames ~frame:f ~off:(off + 1) in
-  if Atomic.get w0 = expect0 && Atomic.get w1 = expect1 then begin
+  if
+    (not (Engine.Mem.squashed ctx))
+    && Atomic.get w0 = expect0
+    && Atomic.get w1 = expect1
+  then begin
     Atomic.set w0 desired0;
     Atomic.set w1 desired1;
     true

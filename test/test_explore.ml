@@ -127,7 +127,7 @@ let test_list_insert_delete_all_schemes () =
       let inst = make () in
       inst.Explore.setup (Engine.create ~nthreads:1 ());
       inst.Explore.verify ())
-    [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+    Registry.names
 
 let test_budget_exhausted () =
   let make () =

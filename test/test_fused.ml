@@ -16,6 +16,7 @@ open Oamem_lockfree
 open Oamem_harness
 module Json = Oamem_obs.Json
 module Export = Oamem_obs.Export
+module Metrics = Oamem_obs.Metrics
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -100,6 +101,44 @@ let test_runner_differential () =
         (Json.to_string (Export.metrics_json s.Runner.metrics)
         = Json.to_string (Export.metrics_json f.Runner.metrics)))
     [ ("oa-ver", 1); ("oa-ver", 4); ("nr", 2); ("hp", 2) ]
+
+(* IMR leans on the two conditional-access engine paths that have fused-tier
+   fast copies — revocation posts (tenure teardown) and the squash latch on
+   Store/Rmw commits — so its runs must be byte-identical across all three
+   modes: slow path, fused tenure-only, fused + run-ahead parking. *)
+let test_imr_tri_modal_identity () =
+  let spec ~fused ~runahead =
+    {
+      Runner.default_spec with
+      Runner.scheme = "imr";
+      threads = 4;
+      structure = Runner.Hash_set;
+      workload = Workload.make ~mix:Workload.update_only ~initial:200 ();
+      horizon_cycles = 60_000;
+      threshold = 16;
+      sb_pages = 4;
+      fused;
+      runahead;
+    }
+  in
+  let slow = Runner.run (spec ~fused:false ~runahead:false) in
+  let cond_fails = Metrics.find slow.Runner.metrics "scheme.cond_fails" in
+  check_bool "the workload exercises conditional-access failures" true
+    (cond_fails > 0);
+  List.iter
+    (fun (mode, r) ->
+      let name what = Printf.sprintf "imr %s: %s identical" mode what in
+      check_int (name "ops") slow.Runner.ops r.Runner.ops;
+      check_bool (name "throughput") true
+        (slow.Runner.throughput_mops = r.Runner.throughput_mops);
+      check_int (name "steps") slow.Runner.host_steps r.Runner.host_steps;
+      check_bool (name "metrics") true
+        (Json.to_string (Export.metrics_json slow.Runner.metrics)
+        = Json.to_string (Export.metrics_json r.Runner.metrics)))
+    [
+      ("tenure-only", Runner.run (spec ~fused:true ~runahead:false));
+      ("run-ahead", Runner.run (spec ~fused:true ~runahead:true));
+    ]
 
 (* --- tenure differentials -------------------------------------------------- *)
 
@@ -203,6 +242,37 @@ let test_neutralize_breaks_tenure () =
   let slow = tri_modal "neutralize" ~nthreads:3 build in
   check_int "victim was neutralized once" 1
     (Engine.fault_stats slow ~tid:0).Engine.neutralized
+
+(* An access revocation posted against a tenure-holding victim: revoke does
+   not pull the victim's clock back, but it flips what the victim's
+   subsequent Store/Rmw commits *do* (the squash latch), so every cached
+   tenure bound must be dropped exactly like a posted neutralization — a
+   victim inlining against a stale bound would commit unsquashed stores the
+   slow path squashes.  Thread 2 is a cheap bystander whose tenures span
+   the post. *)
+let test_revoke_breaks_tenure () =
+  let build () =
+    let eng = Engine.create ~nthreads:3 () in
+    Engine.spawn eng ~tid:0 (fun ctx ->
+        for _ = 1 to 2_000 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:16 ~kind:Engine.Store
+        done;
+        check_bool "victim's flag stays revoked" true
+          (Engine.Mem.access_revoked ctx ~tid:0));
+    Engine.spawn eng ~tid:1 (fun ctx ->
+        for i = 1 to 40 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:(64 * i) ~kind:Engine.Rmw;
+          if i = 3 then
+            check_bool "revocation posted" true
+              (Engine.Mem.revoke ctx ~victim:0 = Engine.Posted)
+        done);
+    Engine.spawn eng ~tid:2 (fun ctx ->
+        for _ = 1 to 2_000 do
+          Engine.Mem.access ctx ~vpage:(-1) ~paddr:24 ~kind:Engine.Load
+        done);
+    eng
+  in
+  ignore (tri_modal "revoke" ~nthreads:3 build)
 
 (* reset_clocks issued from inside a running thread, mid-tenure: bounds are
    absolute clock values, so a reset that zeroes the clocks but kept the
@@ -452,6 +522,8 @@ let () =
             test_engine_differential;
           Alcotest.test_case "runner: fused = slow path" `Quick
             test_runner_differential;
+          Alcotest.test_case "runner: imr identical across all three modes"
+            `Quick test_imr_tri_modal_identity;
         ] );
       ( "tenure",
         [
@@ -459,6 +531,8 @@ let () =
             test_leader_overtaken_mid_tenure;
           Alcotest.test_case "neutralize breaks a tenure" `Quick
             test_neutralize_breaks_tenure;
+          Alcotest.test_case "revoke breaks a tenure" `Quick
+            test_revoke_breaks_tenure;
           Alcotest.test_case "reset_clocks mid-tenure" `Quick
             test_reset_clocks_mid_tenure;
           Alcotest.test_case "plan flip mid-tenure (run-ahead rollback)"

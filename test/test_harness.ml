@@ -115,7 +115,7 @@ let test_runner_all_schemes_complete () =
     (fun scheme ->
       let r = Runner.run (small_spec scheme) in
       check_bool (scheme ^ " completes") true (r.Runner.ops > 0))
-    [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+    Oamem_reclaim.Registry.names
 
 let test_runner_deterministic () =
   let a = Runner.run (small_spec "oa-bit") in

@@ -228,7 +228,7 @@ let churn_footprint_bounded scheme () =
 let suite =
   List.map
     (fun s -> ("mixed structures (" ^ s ^ ")", `Quick, mixed_structures s))
-    [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+    Registry.names
   @ [
       ("freed memory reads never fault", `Quick,
        test_reads_of_freed_memory_never_fault);

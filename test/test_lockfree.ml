@@ -15,7 +15,7 @@ open Oamem_reclaim
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+let schemes = Registry.names
 
 let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
     ?(pool_nodes = 4096) ?(sb_pages = 4) scheme =

@@ -29,7 +29,7 @@ let mk_scheme ?(threshold = 4) ?(pool_nodes = 256) name =
       neutralize = true;
     }
   in
-  ((Registry.find name) cfg ~alloc ~meta ~nthreads:4, alloc, vm)
+  ((Registry.find name).Registry.make cfg ~alloc ~meta ~nthreads:4, alloc, vm)
 
 (* --- building blocks ------------------------------------------------------- *)
 
@@ -358,8 +358,8 @@ let test_registry () =
   Alcotest.check_raises "unknown scheme"
     (Invalid_argument
        "unknown reclamation scheme \"bogus\" (known: nr, oa, oa-bit, oa-ver, \
-        hp, ebr, ibr, debra)") (fun () ->
-      let (_ : Registry.factory) = Registry.find "bogus" in
+        hp, ebr, ibr, debra, imr)") (fun () ->
+      let (_ : Registry.entry) = Registry.find "bogus" in
       ())
 
 (* Memory actually returns to the allocator and the OS under the paper's
@@ -367,7 +367,7 @@ let test_registry () =
 let frames_return name remap () =
   let alloc, vm, meta = mk_alloc ~remap () in
   let cfg = { Scheme.default_config with Scheme.threshold = 8 } in
-  let sch = (Registry.find name) cfg ~alloc ~meta ~nthreads:4 in
+  let sch = (Registry.find name).Registry.make cfg ~alloc ~meta ~nthreads:4 in
   let baseline = (Vmem.frames_live vm) in
   for i = 1 to 2000 do
     let n = sch.Scheme.alloc ctx 2 in

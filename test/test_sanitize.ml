@@ -1,7 +1,8 @@
-(* Tests for the memory-lifecycle sanitizer: all seven schemes must run the
-   concurrent list scenario violation-free, while seeded mutations (double
-   retire, unhazarded store-after-retire, access to unmapped memory, double
-   free) must each produce the expected typed report. *)
+(* Tests for the memory-lifecycle sanitizer: every registered scheme must
+   run the concurrent list scenario violation-free, while seeded mutations
+   (double retire, unhazarded store-after-retire, access to unmapped memory,
+   double free, store-to-freed without a revocation) must each produce the
+   expected typed report. *)
 
 open Oamem_engine
 open Oamem_vmem
@@ -12,7 +13,7 @@ open Oamem_sanitize
 module Lrmalloc = Oamem_lrmalloc.Lrmalloc
 
 let check_bool = Alcotest.(check bool)
-let all_schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+let all_schemes = Registry.names
 
 (* [threshold] defaults to 1 (aggressive reclamation exercises the most
    lifecycle transitions); mutation tests that need nodes to *stay* retired
@@ -88,7 +89,51 @@ let test_hash_clean () =
       System.check_sanitizer sys;
       System.drain sys;
       System.check_sanitizer_quiescent sys)
-    [ "oa-ver"; "hp"; "ebr" ]
+    [ "oa-ver"; "hp"; "ebr"; "imr" ]
+
+(* The queue and stack retire nodes a racing rival may still be reading —
+   the structures where IMR's retire-revoke-free sequence has the least
+   slack between the unlink CAS and the free. *)
+let test_queue_stack_clean () =
+  List.iter
+    (fun scheme ->
+      let queue_sys = make_sys scheme in
+      let setup_ctx = Engine.external_ctx () in
+      let q =
+        Ms_queue.create setup_ctx ~scheme:(System.scheme queue_sys)
+          ~vmem:(System.vmem queue_sys)
+      in
+      System.spawn queue_sys ~tid:0 (fun ctx ->
+          for i = 1 to 6 do
+            Ms_queue.enqueue q ctx i
+          done);
+      System.spawn queue_sys ~tid:1 (fun ctx ->
+          for _ = 1 to 4 do
+            ignore (Ms_queue.dequeue q ctx)
+          done);
+      System.run queue_sys;
+      System.check_sanitizer queue_sys;
+      System.drain queue_sys;
+      System.check_sanitizer_quiescent queue_sys;
+      let stack_sys = make_sys scheme in
+      let setup_ctx = Engine.external_ctx () in
+      let s =
+        Treiber_stack.create setup_ctx ~scheme:(System.scheme stack_sys)
+          ~vmem:(System.vmem stack_sys)
+      in
+      System.spawn stack_sys ~tid:0 (fun ctx ->
+          for i = 1 to 6 do
+            Treiber_stack.push s ctx i
+          done);
+      System.spawn stack_sys ~tid:1 (fun ctx ->
+          for _ = 1 to 4 do
+            ignore (Treiber_stack.pop s ctx)
+          done);
+      System.run stack_sys;
+      System.check_sanitizer stack_sys;
+      System.drain stack_sys;
+      System.check_sanitizer_quiescent stack_sys)
+    [ "imr"; "oa-ver" ]
 
 (* --- seeded mutations ----------------------------------------------------- *)
 
@@ -173,6 +218,94 @@ let test_retired_leak_at_quiescence () =
     (function Sanitizer.Retired_leak _ -> true | _ -> false)
     (fun () -> System.check_sanitizer_quiescent sys)
 
+(* IMR's write contract: a store to freed memory is legal only while the
+   storing thread's accessible flag is revoked (the hardware squashes it and
+   the thread is headed for a restart).  The same store while the thread
+   still *holds* access is a genuine use-after-free and must be flagged. *)
+let test_store_freed_unrevoked_is_violation () =
+  let sys = make_sys ~threshold:1000 "imr" in
+  let al = System.alloc sys in
+  let vm = System.vmem sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = Lrmalloc.malloc al ctx 2 in
+      Lrmalloc.free al ctx a;
+      Vmem.store vm ctx a 99);
+  expect_violation "store to freed while holding access"
+    (function Sanitizer.Store_freed _ -> true | _ -> false)
+    (fun () -> System.check_sanitizer sys)
+
+(* Positive control for the mutation above: the identical store with the
+   thread's flag revoked commits squashed and is the expected restart path —
+   the sanitizer must stay silent. *)
+let test_store_freed_while_revoked_is_restart_path () =
+  let sys = make_sys ~threshold:1000 "imr" in
+  let al = System.alloc sys in
+  let vm = System.vmem sys in
+  System.run_on_thread0 sys (fun ctx ->
+      let a = Lrmalloc.malloc al ctx 2 in
+      Lrmalloc.free al ctx a;
+      check_bool "self-revocation posted" true
+        (Engine.Mem.revoke ctx ~victim:(Engine.Mem.tid ctx) = Engine.Posted);
+      Vmem.store vm ctx a 99;
+      check_bool "the store was squashed" true (Engine.Mem.squashed ctx);
+      Engine.Mem.grant_access ctx);
+  System.check_sanitizer sys
+
+(* Regression (livelock): an engine thread that never enters IMR's protocol
+   — no begin_op, no scheme alloc, no read_check — must keep making progress
+   while workers retire around it.  Retire only revokes *participants*, and
+   allocator-internal sections are exempt from the squash, so the
+   bystander's raw malloc/free churn (superblock anchor CASes included)
+   terminates.  Before those two rules its flag was revoked with nothing
+   ever re-granting it, and the allocator CAS retry loop spun forever. *)
+let test_imr_bystander_progress () =
+  let sys =
+    System.create
+      (System.Config.make ~nthreads:3 ~policy:Engine.Min_clock ~scheme:"imr"
+         ~sanitize:true ~max_pages:(1 lsl 14)
+         ~scheme_cfg:
+           {
+             Scheme.default_config with
+             Scheme.threshold = 1;
+             slots_per_thread = Hm_list.slots_needed;
+             pool_nodes = 64;
+           }
+         ())
+  in
+  let setup_ctx = Engine.external_ctx () in
+  let l = System.list_set sys setup_ctx in
+  Hm_list.build_sorted l setup_ctx [ 10; 20; 30; 40 ];
+  let al = System.alloc sys in
+  let vm = System.vmem sys in
+  let rounds = ref 0 in
+  System.spawn sys ~tid:0 (fun ctx ->
+      for k = 1 to 6 do
+        ignore (Hm_list.insert l ctx (100 + k));
+        ignore (Hm_list.delete l ctx (100 + k))
+      done);
+  System.spawn sys ~tid:1 (fun ctx ->
+      for k = 1 to 6 do
+        ignore (Hm_list.insert l ctx (200 + k));
+        ignore (Hm_list.delete l ctx (200 + k))
+      done);
+  System.spawn sys ~tid:2 (fun ctx ->
+      (* bystander: raw allocator churn, never through the scheme *)
+      for i = 1 to 10 do
+        let a = Lrmalloc.malloc al ctx 4 in
+        Vmem.store vm ctx a i;
+        Lrmalloc.free al ctx a;
+        incr rounds
+      done;
+      check_bool "bystander was never revoked" false
+        (Engine.Mem.access_revoked ctx ~tid:2));
+  System.run sys;
+  check_bool "bystander completed every round" true (!rounds = 10);
+  check_bool "imr bystander: final state" true
+    (Hm_list.to_list l = [ 10; 20; 30; 40 ]);
+  System.check_sanitizer sys;
+  System.drain sys;
+  System.check_sanitizer_quiescent sys
+
 (* NR leaks by design: the same sequence must stay silent. *)
 let test_nr_leak_is_by_design () =
   let sys = make_sys "nr" in
@@ -187,6 +320,7 @@ let suite =
   [
     ("all schemes violation-free", `Quick, test_all_schemes_clean);
     ("hash table violation-free", `Quick, test_hash_clean);
+    ("queue and stack violation-free", `Quick, test_queue_stack_clean);
     ("mutation: double retire", `Quick, test_double_retire);
     ( "mutation: store-after-retire without hazard",
       `Quick,
@@ -197,6 +331,15 @@ let suite =
     ("mutation: access to unmapped", `Quick, test_access_unmapped);
     ("mutation: double free", `Quick, test_double_free);
     ("retired leak at quiescence", `Quick, test_retired_leak_at_quiescence);
+    ( "mutation: store to freed while holding access",
+      `Quick,
+      test_store_freed_unrevoked_is_violation );
+    ( "control: store to freed while revoked",
+      `Quick,
+      test_store_freed_while_revoked_is_restart_path );
+    ( "regression: imr bystander makes progress",
+      `Quick,
+      test_imr_bystander_progress );
     ("nr leaks by design", `Quick, test_nr_leak_is_by_design);
   ]
 

@@ -10,7 +10,7 @@ open Oamem_reclaim
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let schemes = [ "nr"; "oa"; "oa-bit"; "oa-ver"; "hp"; "ebr"; "ibr" ]
+let schemes = Registry.names
 
 let mk ?(nthreads = 4) ?(policy = Engine.Min_clock) ?(threshold = 8)
     ?(sb_pages = 4) scheme =

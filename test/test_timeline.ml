@@ -217,6 +217,22 @@ let test_service_byte_identical_across_runs () =
   in
   check_string "same spec, identical phase stats" (stats a) (stats b)
 
+(* Regression: the service scenario livelocked under imr — retire revoked
+   the sampler and ballast bystander threads, whose squashed allocator
+   anchor CASes then retried forever in the pressure wave.  The run must
+   complete with every phase (the pressure wave included) reporting ops. *)
+let test_service_completes_under_imr () =
+  let r = Service.run (small_service_spec "imr") in
+  check_int "all four phases reported" 4 (List.length r.Service.per_phase);
+  List.iter
+    (fun st ->
+      check_bool (st.Service.phase ^ " made progress") true
+        (st.Service.ops > 0))
+    r.Service.per_phase;
+  let wave = List.nth r.Service.per_phase 3 in
+  check_bool "pressure wave exercised recovery" true
+    (wave.Service.pressure_recoveries > 0)
+
 let suite =
   [
     ("window math", `Quick, test_window_math);
@@ -230,6 +246,9 @@ let suite =
     ( "service timeline byte-identical",
       `Quick,
       test_service_byte_identical_across_runs );
+    ( "service completes under imr",
+      `Quick,
+      test_service_completes_under_imr );
   ]
 
 let () = Alcotest.run "timeline" [ ("timeline", suite) ]
